@@ -1,0 +1,271 @@
+package tell_test
+
+import (
+	"sync"
+	"testing"
+
+	"tell"
+)
+
+func usersSchema() *tell.Schema {
+	return &tell.Schema{
+		Name: "users",
+		Cols: []tell.Column{
+			{Name: "id", Type: tell.TInt64},
+			{Name: "name", Type: tell.TString},
+			{Name: "score", Type: tell.TInt64},
+		},
+		PKCols:  []int{0},
+		Indexes: []tell.Index{{Name: "byname", Cols: []int{1}}},
+	}
+}
+
+func startCluster(t *testing.T, opts tell.Options) *tell.Cluster {
+	t.Helper()
+	c, err := tell.Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	c := startCluster(t, tell.Options{StorageNodes: 2})
+	db, err := c.NewProcessingNode("pn1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := db.CreateTable(usersSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := tx.Insert(table, tell.Row{tell.I64(1), tell.Str("ada"), tell.I64(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx2, _ := db.Begin()
+	gotRid, row, found, err := tx2.Get(table, tell.I64(1))
+	if err != nil || !found || gotRid != rid || row[1].S != "ada" {
+		t.Fatalf("get: rid=%d row=%v found=%v err=%v", gotRid, row, found, err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPISharedDataAcrossPNs(t *testing.T) {
+	c := startCluster(t, tell.Options{StorageNodes: 2, ReplicationFactor: 2})
+	db1, _ := c.NewProcessingNode("pn1")
+	table1, err := db1.CreateTable(usersSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db1.Transact(func(tx *tell.Tx) error {
+		_, err := tx.Insert(table1, tell.Row{tell.I64(7), tell.Str("bob"), tell.I64(1)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A PN added later sees everything: elasticity without repartitioning.
+	db2, err := c.NewProcessingNode("pn2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table2, err := db2.OpenTable("users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := db2.Begin()
+	_, row, found, err := tx.Get(table2, tell.I64(7))
+	if err != nil || !found || row[1].S != "bob" {
+		t.Fatalf("cross-PN read: %v %v %v", row, found, err)
+	}
+	tx.Commit()
+}
+
+func TestPublicAPITransactRetriesConflicts(t *testing.T) {
+	c := startCluster(t, tell.Options{StorageNodes: 2})
+	db1, _ := c.NewProcessingNode("pn1")
+	db2, _ := c.NewProcessingNode("pn2")
+	table, err := db1.CreateTable(usersSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rid uint64
+	if err := db1.Transact(func(tx *tell.Tx) error {
+		var err error
+		rid, err = tx.Insert(table, tell.Row{tell.I64(1), tell.Str("x"), tell.I64(0)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	t2, _ := db2.OpenTable("users")
+	// Concurrent increments from two PNs; Transact absorbs conflicts.
+	var wg sync.WaitGroup
+	for _, pair := range []struct {
+		db  *tell.DB
+		tbl *tell.Table
+	}{{db1, table}, {db2, t2}} {
+		pair := pair
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				err := pair.db.Transact(func(tx *tell.Tx) error {
+					row, found, err := tx.Read(pair.tbl, rid)
+					if err != nil || !found {
+						t.Errorf("read: %v %v", found, err)
+						return err
+					}
+					row[2] = tell.I64(row[2].I + 1)
+					_, err = tx.Update(pair.tbl, rid, row)
+					return err
+				})
+				if err != nil {
+					t.Errorf("transact: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	tx, _ := db1.Begin()
+	row, _, _ := tx.Read(table, rid)
+	tx.Commit()
+	if row[2].I != 20 {
+		t.Fatalf("score = %d, want 20 (lost updates)", row[2].I)
+	}
+}
+
+func TestPublicAPIScans(t *testing.T) {
+	c := startCluster(t, tell.Options{})
+	db, _ := c.NewProcessingNode("pn1")
+	table, _ := db.CreateTable(usersSchema())
+	if err := db.Transact(func(tx *tell.Tx) error {
+		for i := int64(0); i < 20; i++ {
+			name := "even"
+			if i%2 == 1 {
+				name = "odd"
+			}
+			if _, err := tx.Insert(table, tell.Row{tell.I64(i), tell.Str(name), tell.I64(i)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := db.Begin()
+	defer tx.Commit()
+	// PK range scan.
+	var got []int64
+	tx.ScanPK(table, []tell.Value{tell.I64(5)}, []tell.Value{tell.I64(10)}, func(e tell.Entry) bool {
+		got = append(got, e.Row[0].I)
+		return true
+	})
+	if len(got) != 5 || got[0] != 5 || got[4] != 9 {
+		t.Fatalf("pk scan: %v", got)
+	}
+	// Secondary index prefix scan.
+	n := 0
+	tx.ScanIndexPrefix(table, "byname", []tell.Value{tell.Str("odd")}, func(e tell.Entry) bool {
+		n++
+		return true
+	})
+	if n != 10 {
+		t.Fatalf("odd rows = %d", n)
+	}
+	// Full analytical scan with aggregation.
+	sum := int64(0)
+	tx.ScanTable(table, func(rid uint64, row tell.Row) bool {
+		sum += row[2].I
+		return true
+	})
+	if sum != 190 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestPublicAPIDeleteAndErrors(t *testing.T) {
+	c := startCluster(t, tell.Options{})
+	db, _ := c.NewProcessingNode("pn1")
+	table, _ := db.CreateTable(usersSchema())
+	var rid uint64
+	db.Transact(func(tx *tell.Tx) error {
+		var err error
+		rid, err = tx.Insert(table, tell.Row{tell.I64(1), tell.Str("gone"), tell.I64(0)})
+		return err
+	})
+	db.Transact(func(tx *tell.Tx) error {
+		found, err := tx.Delete(table, rid)
+		if !found {
+			t.Error("delete found nothing")
+		}
+		return err
+	})
+	tx, _ := db.Begin()
+	if _, _, found, _ := tx.Get(table, tell.I64(1)); found {
+		t.Fatal("deleted row visible")
+	}
+	tx.Commit()
+	if err := tx.Commit(); err != tell.ErrTxnDone {
+		t.Fatalf("double commit: %v", err)
+	}
+	// Duplicate PK from another transaction.
+	err := db.Transact(func(tx *tell.Tx) error {
+		_, err := tx.Insert(table, tell.Row{tell.I64(2), tell.Str("a"), tell.I64(0)})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = db.Transact(func(tx *tell.Tx) error {
+		_, err := tx.Insert(table, tell.Row{tell.I64(2), tell.Str("b"), tell.I64(0)})
+		return err
+	})
+	if err != tell.ErrDuplicateKey {
+		t.Fatalf("duplicate insert: %v", err)
+	}
+}
+
+func TestPublicAPIPushdownScan(t *testing.T) {
+	c := startCluster(t, tell.Options{})
+	db, _ := c.NewProcessingNode("pn1")
+	table, _ := db.CreateTable(usersSchema())
+	db.Transact(func(tx *tell.Tx) error {
+		for i := int64(0); i < 25; i++ {
+			if _, err := tx.Insert(table, tell.Row{tell.I64(i), tell.Str("u"), tell.I64(i * 2)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	tx, _ := db.Begin()
+	defer tx.Commit()
+	// score >= 30, project (id).
+	var ids []int64
+	err := tx.ScanTableWhere(table, 2, tell.GE, tell.I64(30), []int{0},
+		func(rid uint64, row tell.Row) bool {
+			ids = append(ids, row[0].I)
+			return true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 10 {
+		t.Fatalf("matched %d rows, want 10", len(ids))
+	}
+	for _, id := range ids {
+		if id < 15 {
+			t.Fatalf("id %d should not match", id)
+		}
+	}
+}

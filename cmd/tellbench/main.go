@@ -1,0 +1,70 @@
+// Command tellbench regenerates the paper's evaluation (§6): every table
+// and figure has an experiment id; running one prints the corresponding
+// rows/series. See DESIGN.md for the experiment index and EXPERIMENTS.md
+// for recorded paper-vs-measured results.
+//
+// Usage:
+//
+//	tellbench -list
+//	tellbench fig5 fig10
+//	tellbench -wh 32 -measure 5000 all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tell/internal/exp"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		wh      = flag.Int("wh", 16, "TPC-C warehouses")
+		scale   = flag.Float64("scale", 0.05, "per-warehouse row-count scale (1.0 = spec)")
+		warmup  = flag.Int("warmup", 200, "warm-up transactions before measurement")
+		measure = flag.Int("measure", 2000, "measured transactions per configuration")
+		seed    = flag.Int64("seed", 42, "random seed (runs are deterministic per seed)")
+	)
+	flag.Parse()
+
+	reg := exp.Registry()
+	if *list {
+		for _, n := range exp.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tellbench [flags] <experiment>... | all  (use -list to enumerate)")
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = exp.Names()
+	}
+	opt := exp.Options{
+		Warehouses: *wh,
+		Scale:      *scale,
+		Warmup:     *warmup,
+		Measure:    *measure,
+		Seed:       *seed,
+	}
+	for _, id := range ids {
+		fn, ok := reg[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		table, err := fn(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(table)
+		fmt.Printf("(%s completed in %v of real time)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,301 @@
+// Command tellcli is an interactive client for a TCP Tell cluster
+// (cmd/telld): it embeds a processing node locally and speaks to the
+// storage nodes and commit managers over the network.
+//
+//	tellcli -manager host0:7000 -cms host0:7002
+//
+// Commands:
+//
+//	create <table> <col:type,...> pk=<col,...> [index=<name>:<col,...>]
+//	insert <table> <v1> <v2> ...
+//	get <table> <pk values...>
+//	scan <table>
+//	tables
+//	help | quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"tell/internal/commitmgr"
+	"tell/internal/core"
+	"tell/internal/env"
+	"tell/internal/relational"
+	"tell/internal/store"
+	"tell/internal/transport"
+)
+
+func main() {
+	var (
+		manager = flag.String("manager", "", "management node address")
+		cms     = flag.String("cms", "", "comma-separated commit-manager addresses")
+	)
+	flag.Parse()
+	if *manager == "" || *cms == "" {
+		fmt.Fprintln(os.Stderr, "tellcli: -manager and -cms are required")
+		os.Exit(2)
+	}
+	envr := env.NewReal(time.Now().UnixNano())
+	tr := transport.NewTCPNet()
+	node := envr.NewNode("tellcli", 4)
+	sc := store.NewClient(envr, node, tr, *manager)
+	cmAddrs := strings.Split(*cms, ",")
+	pn := core.New(core.Config{ID: "tellcli"}, envr, node, tr, sc,
+		commitmgr.NewClient(envr, node, tr, cmAddrs))
+	ctx, _ := env.DetachedCtx(node)
+
+	cli := &cli{pn: pn, ctx: ctx, tables: make(map[string]*core.TableInfo)}
+	fmt.Println("tell shell — 'help' for commands")
+	sc_ := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("tell> ")
+		if !sc_.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc_.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return
+		}
+		if err := cli.run(line); err != nil {
+			fmt.Printf("error: %v\n", err)
+		}
+	}
+}
+
+type cli struct {
+	pn     *core.PN
+	ctx    env.Ctx
+	tables map[string]*core.TableInfo
+}
+
+func (c *cli) table(name string) (*core.TableInfo, error) {
+	if t, ok := c.tables[name]; ok {
+		return t, nil
+	}
+	t, err := c.pn.Catalog().OpenTable(c.ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	c.tables[name] = t
+	return t, nil
+}
+
+func (c *cli) run(line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "help":
+		fmt.Println("create <table> <col:type,...> pk=<col,...> [index=<name>:<col,...>]")
+		fmt.Println("insert <table> <v1> <v2> ...")
+		fmt.Println("get <table> <pk values...>")
+		fmt.Println("scan <table>")
+		fmt.Println("quit")
+		return nil
+	case "create":
+		return c.create(fields[1:])
+	case "insert":
+		return c.insert(fields[1:])
+	case "get":
+		return c.get(fields[1:])
+	case "scan":
+		return c.scan(fields[1:])
+	default:
+		return fmt.Errorf("unknown command %q", fields[0])
+	}
+}
+
+func (c *cli) create(args []string) error {
+	if len(args) < 3 {
+		return fmt.Errorf("usage: create <table> <col:type,...> pk=<col,...>")
+	}
+	s := &relational.TableSchema{Name: args[0]}
+	for _, spec := range strings.Split(args[1], ",") {
+		parts := strings.SplitN(spec, ":", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad column %q", spec)
+		}
+		var t relational.ColType
+		switch parts[1] {
+		case "int":
+			t = relational.TInt64
+		case "float":
+			t = relational.TFloat64
+		case "string":
+			t = relational.TString
+		case "bool":
+			t = relational.TBool
+		default:
+			return fmt.Errorf("unknown type %q", parts[1])
+		}
+		s.Cols = append(s.Cols, relational.Column{Name: parts[0], Type: t})
+	}
+	for _, arg := range args[2:] {
+		switch {
+		case strings.HasPrefix(arg, "pk="):
+			for _, col := range strings.Split(arg[3:], ",") {
+				i, ok := s.ColIndex(col)
+				if !ok {
+					return fmt.Errorf("unknown pk column %q", col)
+				}
+				s.PKCols = append(s.PKCols, i)
+			}
+		case strings.HasPrefix(arg, "index="):
+			parts := strings.SplitN(arg[6:], ":", 2)
+			if len(parts) != 2 {
+				return fmt.Errorf("bad index spec %q", arg)
+			}
+			ix := relational.IndexSchema{Name: parts[0]}
+			for _, col := range strings.Split(parts[1], ",") {
+				i, ok := s.ColIndex(col)
+				if !ok {
+					return fmt.Errorf("unknown index column %q", col)
+				}
+				ix.Cols = append(ix.Cols, i)
+			}
+			s.Indexes = append(s.Indexes, ix)
+		}
+	}
+	t, err := c.pn.Catalog().CreateTable(c.ctx, s)
+	if err != nil {
+		return err
+	}
+	c.tables[s.Name] = t
+	fmt.Printf("table %s created (id %d)\n", s.Name, t.Schema.ID)
+	return nil
+}
+
+func (c *cli) parseRow(t *core.TableInfo, vals []string) (relational.Row, error) {
+	if len(vals) != len(t.Schema.Cols) {
+		return nil, fmt.Errorf("want %d values", len(t.Schema.Cols))
+	}
+	row := make(relational.Row, len(vals))
+	for i, v := range vals {
+		switch t.Schema.Cols[i].Type {
+		case relational.TInt64:
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = relational.I64(n)
+		case relational.TFloat64:
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = relational.F64(f)
+		case relational.TBool:
+			row[i] = relational.BoolV(v == "true")
+		default:
+			row[i] = relational.Str(v)
+		}
+	}
+	return row, nil
+}
+
+func (c *cli) insert(args []string) error {
+	t, err := c.table(args[0])
+	if err != nil {
+		return err
+	}
+	row, err := c.parseRow(t, args[1:])
+	if err != nil {
+		return err
+	}
+	txn, err := c.pn.Begin(c.ctx)
+	if err != nil {
+		return err
+	}
+	rid, err := txn.Insert(c.ctx, t, row)
+	if err != nil {
+		txn.Abort(c.ctx)
+		return err
+	}
+	if err := txn.Commit(c.ctx); err != nil {
+		return err
+	}
+	fmt.Printf("inserted rid %d\n", rid)
+	return nil
+}
+
+func (c *cli) pkVals(t *core.TableInfo, args []string) ([]relational.Value, error) {
+	if len(args) != len(t.Schema.PKCols) {
+		return nil, fmt.Errorf("want %d pk values", len(t.Schema.PKCols))
+	}
+	vals := make([]relational.Value, len(args))
+	for i, a := range args {
+		col := t.Schema.Cols[t.Schema.PKCols[i]]
+		switch col.Type {
+		case relational.TInt64:
+			n, err := strconv.ParseInt(a, 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = relational.I64(n)
+		default:
+			vals[i] = relational.Str(a)
+		}
+	}
+	return vals, nil
+}
+
+func (c *cli) get(args []string) error {
+	t, err := c.table(args[0])
+	if err != nil {
+		return err
+	}
+	vals, err := c.pkVals(t, args[1:])
+	if err != nil {
+		return err
+	}
+	txn, err := c.pn.Begin(c.ctx)
+	if err != nil {
+		return err
+	}
+	defer txn.Commit(c.ctx)
+	rid, row, found, err := txn.LookupPK(c.ctx, t, vals...)
+	if err != nil {
+		return err
+	}
+	if !found {
+		fmt.Println("(not found)")
+		return nil
+	}
+	fmt.Printf("rid=%d %s\n", rid, formatRow(row))
+	return nil
+}
+
+func (c *cli) scan(args []string) error {
+	t, err := c.table(args[0])
+	if err != nil {
+		return err
+	}
+	txn, err := c.pn.Begin(c.ctx)
+	if err != nil {
+		return err
+	}
+	defer txn.Commit(c.ctx)
+	n := 0
+	err = txn.ScanTable(c.ctx, t, func(rid uint64, row relational.Row) bool {
+		fmt.Printf("rid=%d %s\n", rid, formatRow(row))
+		n++
+		return n < 1000
+	})
+	fmt.Printf("(%d rows)\n", n)
+	return err
+}
+
+func formatRow(row relational.Row) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, " | ")
+}

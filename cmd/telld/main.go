@@ -1,0 +1,130 @@
+// Command telld runs one Tell cluster role as a real network daemon over
+// TCP: a storage node, a commit manager, or the storage management node
+// (the lookup service). A minimal three-machine cluster:
+//
+//	host0$ telld -role manager -listen host0:7000 -storage host1:7001,host2:7001 -rf 2
+//	host1$ telld -role storage -listen host1:7001 -manager host0:7000
+//	host2$ telld -role storage -listen host2:7001 -manager host0:7000
+//	host0$ telld -role cm -listen host0:7002 -manager host0:7000 -id cm0
+//
+// Clients (cmd/tellcli, or an embedded processing node built on the
+// internal packages) connect through the manager's lookup service.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"tell/internal/commitmgr"
+	"tell/internal/env"
+	"tell/internal/store"
+	"tell/internal/transport"
+)
+
+func main() {
+	var (
+		role        = flag.String("role", "", "manager | storage | cm")
+		listen      = flag.String("listen", "", "host:port to serve on")
+		manager     = flag.String("manager", "", "management node address (storage, cm)")
+		storageList = flag.String("storage", "", "comma-separated storage addresses (manager)")
+		rf          = flag.Int("rf", 1, "replication factor (manager)")
+		parts       = flag.Int("partitions-per-node", 1, "partitions per storage node (manager)")
+		id          = flag.String("id", "", "unique id (cm role)")
+		peers       = flag.String("peers", "", "comma-separated commit-manager ids (cm role)")
+	)
+	flag.Parse()
+	if *listen == "" || *role == "" {
+		fmt.Fprintln(os.Stderr, "telld: -role and -listen are required")
+		os.Exit(2)
+	}
+
+	envr := env.NewReal(time.Now().UnixNano())
+	tr := transport.NewTCPNet()
+	node := envr.NewNode(*listen, 4)
+
+	switch *role {
+	case "manager":
+		addrs := splitList(*storageList)
+		if len(addrs) == 0 {
+			log.Fatal("telld: manager needs -storage")
+		}
+		m := store.NewManager(*listen, envr, node, tr)
+		m.ReplicationFactor = *rf
+		m.PingInterval = 500 * time.Millisecond
+		partsList := store.EvenPartitions(len(addrs) * *parts)
+		for i := range partsList {
+			owner := i % len(addrs)
+			partsList[i].Master = addrs[owner]
+			for r := 1; r < *rf; r++ {
+				partsList[i].Replicas = append(partsList[i].Replicas, addrs[(owner+r)%len(addrs)])
+			}
+		}
+		m.SetMap(&store.PartitionMap{Epoch: 1, Partitions: partsList})
+		if err := m.Start(); err != nil {
+			log.Fatalf("telld: %v", err)
+		}
+		log.Printf("management node serving on %s (%d storage nodes, rf=%d)", *listen, len(addrs), *rf)
+
+	case "storage":
+		if *manager == "" {
+			log.Fatal("telld: storage needs -manager")
+		}
+		sn := store.NewNode(*listen, envr, node, tr, store.DefaultCosts())
+		if err := sn.Start(); err != nil {
+			log.Fatalf("telld: %v", err)
+		}
+		// Bootstrap: fetch the partition map from the lookup service.
+		go bootstrapStorage(envr, node, tr, sn, *manager)
+		log.Printf("storage node serving on %s", *listen)
+
+	case "cm":
+		if *manager == "" || *id == "" {
+			log.Fatal("telld: cm needs -manager and -id")
+		}
+		sc := store.NewClient(envr, node, tr, *manager)
+		cm := commitmgr.New(*id, *listen, envr, node, tr, sc)
+		if p := splitList(*peers); len(p) > 0 {
+			cm.Peers = p
+		}
+		if err := cm.Start(); err != nil {
+			log.Fatalf("telld: %v", err)
+		}
+		log.Printf("commit manager %s serving on %s", *id, *listen)
+
+	default:
+		log.Fatalf("telld: unknown role %q", *role)
+	}
+	select {} // serve forever
+}
+
+// bootstrapStorage pulls the partition map until the manager is reachable.
+func bootstrapStorage(envr env.Full, node env.Node, tr transport.Transport, sn *store.Node, manager string) {
+	client := store.NewClient(envr, node, tr, manager)
+	ctx, _ := env.DetachedCtx(node)
+	for {
+		if m, err := client.FetchMap(ctx); err == nil {
+			sn.Configure(m)
+			log.Printf("configured from %s (epoch %d, %d partitions)",
+				manager, m.Epoch, len(m.Partitions))
+			return
+		}
+		time.Sleep(time.Second)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

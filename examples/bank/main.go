@@ -1,0 +1,129 @@
+// Bank: concurrent money transfers from multiple processing nodes against
+// shared data. Snapshot isolation plus LL/SC conflict detection guarantee
+// that no update is ever lost — the total balance is invariant — without a
+// single lock being taken.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	"tell"
+)
+
+const (
+	accounts  = 50
+	initial   = 1000
+	workers   = 8
+	transfers = 100 // per worker
+)
+
+func main() {
+	cluster, err := tell.Start(tell.Options{StorageNodes: 3, ReplicationFactor: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// Two processing nodes share all data: transfers run on both, against
+	// the same accounts, with no partitioning.
+	db1, _ := cluster.NewProcessingNode("pn1")
+	db2, _ := cluster.NewProcessingNode("pn2")
+
+	schema := &tell.Schema{
+		Name: "accounts",
+		Cols: []tell.Column{
+			{Name: "id", Type: tell.TInt64},
+			{Name: "balance", Type: tell.TInt64},
+		},
+		PKCols: []int{0},
+	}
+	table1, err := db1.CreateTable(schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table2, _ := db2.OpenTable("accounts")
+
+	rids := make([]uint64, accounts)
+	err = db1.Transact(func(tx *tell.Tx) error {
+		for i := 0; i < accounts; i++ {
+			rid, err := tx.Insert(table1, tell.Row{tell.I64(int64(i)), tell.I64(initial)})
+			if err != nil {
+				return err
+			}
+			rids[i] = rid
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	transfer := func(db *tell.DB, table *tell.Table, from, to uint64, amount int64) error {
+		return db.Transact(func(tx *tell.Tx) error {
+			fr, ok, err := tx.Read(table, from)
+			if err != nil || !ok {
+				return fmt.Errorf("read from: %v %v", ok, err)
+			}
+			tr, ok, err := tx.Read(table, to)
+			if err != nil || !ok {
+				return fmt.Errorf("read to: %v %v", ok, err)
+			}
+			fr[1] = tell.I64(fr[1].I - amount)
+			tr[1] = tell.I64(tr[1].I + amount)
+			if _, err := tx.Update(table, from, fr); err != nil {
+				return err
+			}
+			_, err = tx.Update(table, to, tr)
+			return err
+		})
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		db, table := db1, table1
+		if w%2 == 1 {
+			db, table = db2, table2
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < transfers; i++ {
+				from := rng.Intn(accounts)
+				to := rng.Intn(accounts)
+				if from == to {
+					continue
+				}
+				amount := int64(1 + rng.Intn(50))
+				if err := transfer(db, table, rids[from], rids[to], amount); err != nil {
+					log.Printf("worker %d: transfer failed: %v", w, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Verify the invariant with a consistent snapshot scan.
+	tx, _ := db1.Begin()
+	total := int64(0)
+	count := 0
+	tx.ScanTable(table1, func(rid uint64, row tell.Row) bool {
+		total += row[1].I
+		count++
+		return true
+	})
+	tx.Commit()
+
+	c1, a1 := db1.Stats()
+	c2, a2 := db2.Stats()
+	fmt.Printf("%d accounts, total balance %d (expected %d)\n", count, total, accounts*initial)
+	fmt.Printf("pn1: %d commits / %d conflicts retried; pn2: %d / %d\n", c1, a1, c2, a2)
+	if total != accounts*initial {
+		log.Fatal("INVARIANT VIOLATED: money was created or destroyed")
+	}
+	fmt.Println("invariant holds: no lost updates under concurrent shared-data transactions")
+}

@@ -1,0 +1,96 @@
+// Quickstart: start an embedded shared-data cluster, create a table, and
+// run ACID transactions against it from a processing node.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tell"
+)
+
+func main() {
+	// A cluster with 3 storage nodes and 2-way replication: every record
+	// survives one storage-node failure.
+	cluster, err := tell.Start(tell.Options{StorageNodes: 3, ReplicationFactor: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// Processing nodes execute transactions; any PN can access all data.
+	db, err := cluster.NewProcessingNode("pn1")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	books, err := db.CreateTable(&tell.Schema{
+		Name: "books",
+		Cols: []tell.Column{
+			{Name: "id", Type: tell.TInt64},
+			{Name: "title", Type: tell.TString},
+			{Name: "author", Type: tell.TString},
+			{Name: "year", Type: tell.TInt64},
+		},
+		PKCols:  []int{0},
+		Indexes: []tell.Index{{Name: "byauthor", Cols: []int{2}}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Insert a few rows in one transaction.
+	err = db.Transact(func(tx *tell.Tx) error {
+		rows := []tell.Row{
+			{tell.I64(1), tell.Str("The Art of Computer Programming"), tell.Str("Knuth"), tell.I64(1968)},
+			{tell.I64(2), tell.Str("Transaction Processing"), tell.Str("Gray"), tell.I64(1992)},
+			{tell.I64(3), tell.Str("Concrete Mathematics"), tell.Str("Knuth"), tell.I64(1989)},
+		}
+		for _, r := range rows {
+			if _, err := tx.Insert(books, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Point lookup by primary key.
+	tx, _ := db.Begin()
+	_, row, found, err := tx.Get(books, tell.I64(2))
+	if err != nil || !found {
+		log.Fatalf("lookup: %v %v", found, err)
+	}
+	fmt.Printf("book 2: %s (%s, %d)\n", row[1].S, row[2].S, row[3].I)
+
+	// Secondary-index scan: all books by Knuth.
+	fmt.Println("by Knuth:")
+	tx.ScanIndexPrefix(books, "byauthor", []tell.Value{tell.Str("Knuth")},
+		func(e tell.Entry) bool {
+			fmt.Printf("  %s (%d)\n", e.Row[1].S, e.Row[3].I)
+			return true
+		})
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Update under snapshot isolation with automatic conflict retry.
+	err = db.Transact(func(tx *tell.Tx) error {
+		rid, row, found, err := tx.Get(books, tell.I64(1))
+		if err != nil || !found {
+			return err
+		}
+		row[3] = tell.I64(1973) // 3rd edition
+		_, err = tx.Update(books, rid, row)
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("updated book 1")
+
+	commits, aborts := db.Stats()
+	fmt.Printf("done: %d commits, %d aborts\n", commits, aborts)
+}

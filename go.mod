@@ -1,0 +1,3 @@
+module tell
+
+go 1.22

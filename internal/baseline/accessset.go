@@ -1,0 +1,109 @@
+package baseline
+
+import "tell/internal/tpcc"
+
+// AccessSet computes a transaction's logical row access set from its input
+// without mutating state. The locking engine (ndblike) acquires these rows
+// before execution; the optimistic engine (fdblike) validates them at its
+// resolver. Keys use the same naming as Result accesses.
+//
+// Rows whose identity depends on current state (the delivery transaction's
+// customers, stock-level's items) are resolved with an unlocked peek; the
+// engines re-execute under their protection regime, so a racing change
+// costs at most a spurious conflict or an extra lock — the same slack real
+// systems have between query planning and execution.
+func AccessSet(ds *Dataset, t tpcc.TxType, input any) (reads, writes []string) {
+	switch t {
+	case tpcc.TxNewOrder:
+		in := input.(*tpcc.NewOrderInput)
+		reads = append(reads, wKey(in.W), cKey(in.W, in.D, in.C))
+		writes = append(writes, dKey(in.W, in.D))
+		seen := map[string]bool{}
+		for _, it := range in.Items {
+			k := sKey(it.SupplyW, it.ItemID)
+			if !seen[k] {
+				seen[k] = true
+				writes = append(writes, k)
+			}
+		}
+	case tpcc.TxPayment:
+		in := input.(*tpcc.PaymentInput)
+		writes = append(writes, wKey(in.W), dKey(in.W, in.D))
+		if c := peekCustomer(ds, in.CW, in.CD, in.ByLastName, in.CLast, in.C); c > 0 {
+			writes = append(writes, cKey(in.CW, in.CD, c))
+		}
+	case tpcc.TxOrderStatus:
+		in := input.(*tpcc.OrderStatusInput)
+		reads = append(reads, dKey(in.W, in.D))
+		if c := peekCustomer(ds, in.W, in.D, in.ByLastName, in.CLast, in.C); c > 0 {
+			reads = append(reads, cKey(in.W, in.D, c))
+		}
+	case tpcc.TxDelivery:
+		in := input.(*tpcc.DeliveryInput)
+		wh := ds.Warehouses[in.W]
+		for d := 0; d < tpcc.DistrictsPerWarehouse; d++ {
+			writes = append(writes, dKey(in.W, d+1))
+			dist := wh.Districts[d]
+			if len(dist.Open) > 0 {
+				if ord, ok := dist.Orders[dist.Open[0]]; ok {
+					writes = append(writes, cKey(in.W, d+1, ord.C))
+				}
+			}
+		}
+	case tpcc.TxStockLevel:
+		in := input.(*tpcc.StockLevelInput)
+		reads = append(reads, dKey(in.W, in.D))
+		wh := ds.Warehouses[in.W]
+		dist := wh.Districts[in.D-1]
+		lo := dist.NextO - 20
+		if lo < 1 {
+			lo = 1
+		}
+		seen := map[int]bool{}
+		for o := lo; o < dist.NextO; o++ {
+			if ord, ok := dist.Orders[o]; ok {
+				for _, l := range ord.Lines {
+					if !seen[l.ItemID] {
+						seen[l.ItemID] = true
+						reads = append(reads, sKey(in.W, l.ItemID))
+					}
+				}
+			}
+		}
+	}
+	return reads, writes
+}
+
+// peekCustomer resolves the customer id a payment/order-status will touch.
+func peekCustomer(ds *Dataset, w, d int, byLast bool, last string, c int) int {
+	wh, ok := ds.Warehouses[w]
+	if !ok {
+		return 0
+	}
+	cust := selectCustomer(wh.Districts[d-1], byLast, last, c)
+	if cust == nil {
+		return 0
+	}
+	return cust.ID
+}
+
+// Exec runs the procedure for (t, input), returning its Result.
+func Exec(ds *Dataset, t tpcc.TxType, input any) Result {
+	switch t {
+	case tpcc.TxNewOrder:
+		return NewOrder(ds, input.(*tpcc.NewOrderInput))
+	case tpcc.TxPayment:
+		return Payment(ds, input.(*tpcc.PaymentInput))
+	case tpcc.TxOrderStatus:
+		return OrderStatus(ds, input.(*tpcc.OrderStatusInput))
+	case tpcc.TxDelivery:
+		return Delivery(ds, input.(*tpcc.DeliveryInput))
+	default:
+		return StockLevel(ds, input.(*tpcc.StockLevelInput))
+	}
+}
+
+// IsWrite reports whether the transaction type mutates state.
+func IsWrite(t tpcc.TxType) bool {
+	return t == tpcc.TxNewOrder || t == tpcc.TxPayment || t == tpcc.TxDelivery
+}

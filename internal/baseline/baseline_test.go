@@ -1,0 +1,207 @@
+package baseline_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"tell/internal/baseline"
+	"tell/internal/tpcc"
+)
+
+func cfg() tpcc.Config { return tpcc.Config{Warehouses: 2, Scale: 0.02, Seed: 3} }
+
+func TestDatasetShapes(t *testing.T) {
+	c := cfg()
+	ds := baseline.NewDataset(c)
+	if len(ds.Items) != c.Items() {
+		t.Fatalf("items = %d", len(ds.Items))
+	}
+	if len(ds.Warehouses) != 2 {
+		t.Fatalf("warehouses = %d", len(ds.Warehouses))
+	}
+	wh := ds.Warehouses[1]
+	if len(wh.Stock) != c.Items() {
+		t.Fatalf("stock = %d", len(wh.Stock))
+	}
+	d := wh.Districts[0]
+	if len(d.Customers) != c.CustomersPerDistrict() {
+		t.Fatalf("customers = %d", len(d.Customers))
+	}
+	if d.NextO != int64(c.OrdersPerDistrict()+1) {
+		t.Fatalf("nextO = %d", d.NextO)
+	}
+	if len(d.Open) != c.OrdersPerDistrict()-c.OrdersPerDistrict()*7/10 {
+		t.Fatalf("open = %d", len(d.Open))
+	}
+}
+
+func TestNewOrderProcedure(t *testing.T) {
+	ds := baseline.NewDataset(cfg())
+	before := ds.Warehouses[1].Districts[0].NextO
+	res := baseline.NewOrder(ds, &tpcc.NewOrderInput{
+		W: 1, D: 1, C: 1,
+		Items: []tpcc.OrderItem{{ItemID: 1, SupplyW: 1, Quantity: 3}, {ItemID: 2, SupplyW: 2, Quantity: 1}},
+	})
+	if !res.OK {
+		t.Fatal("neworder failed")
+	}
+	d := ds.Warehouses[1].Districts[0]
+	if d.NextO != before+1 {
+		t.Fatalf("nextO = %d", d.NextO)
+	}
+	ord := d.Orders[before]
+	if ord == nil || len(ord.Lines) != 2 {
+		t.Fatalf("order = %+v", ord)
+	}
+	// Remote stock updated in warehouse 2.
+	if ds.Warehouses[2].Stock[1].RemoteCnt != 1 {
+		t.Fatal("remote stock count not bumped")
+	}
+	// Read/write sets include the district and both stocks.
+	r, w := res.RowAccessCount()
+	if w != 3 || r != 2 {
+		t.Fatalf("accesses: %d reads %d writes", r, w)
+	}
+}
+
+func TestNewOrderInvalidItemLeavesNoTrace(t *testing.T) {
+	ds := baseline.NewDataset(cfg())
+	before := ds.Warehouses[1].Districts[0].NextO
+	res := baseline.NewOrder(ds, &tpcc.NewOrderInput{
+		W: 1, D: 1, C: 1, InvalidItem: true,
+		Items: []tpcc.OrderItem{{ItemID: 1, SupplyW: 1, Quantity: 3}, {ItemID: 2, SupplyW: 1, Quantity: 1}},
+	})
+	if res.OK {
+		t.Fatal("invalid item committed")
+	}
+	if ds.Warehouses[1].Districts[0].NextO != before {
+		t.Fatal("district sequence leaked")
+	}
+	if ds.Warehouses[1].Stock[0].OrderCnt != 0 {
+		t.Fatal("stock mutated before validation")
+	}
+}
+
+func TestPaymentAndDelivery(t *testing.T) {
+	ds := baseline.NewDataset(cfg())
+	res := baseline.Payment(ds, &tpcc.PaymentInput{W: 1, D: 1, CW: 1, CD: 1, C: 3, Amount: 10})
+	if !res.OK {
+		t.Fatal("payment failed")
+	}
+	if ds.Warehouses[1].Ytd != 300010 {
+		t.Fatalf("w_ytd = %v", ds.Warehouses[1].Ytd)
+	}
+	if ds.Warehouses[1].Districts[0].Customers[2].Balance != -20 {
+		t.Fatalf("balance = %v", ds.Warehouses[1].Districts[0].Customers[2].Balance)
+	}
+	// By last name.
+	res = baseline.Payment(ds, &tpcc.PaymentInput{
+		W: 1, D: 2, CW: 1, CD: 2, ByLastName: true, CLast: tpcc.LastName(0), Amount: 5,
+	})
+	if !res.OK {
+		t.Fatal("payment by last name failed")
+	}
+	// Delivery consumes one open order per district.
+	open := len(ds.Warehouses[1].Districts[0].Open)
+	res = baseline.Delivery(ds, &tpcc.DeliveryInput{W: 1, Carrier: 2})
+	if !res.OK {
+		t.Fatal("delivery failed")
+	}
+	if len(ds.Warehouses[1].Districts[0].Open) != open-1 {
+		t.Fatal("open order not consumed")
+	}
+}
+
+func TestReadOnlyProcedures(t *testing.T) {
+	ds := baseline.NewDataset(cfg())
+	if res := baseline.OrderStatus(ds, &tpcc.OrderStatusInput{W: 1, D: 1, C: 1}); !res.OK {
+		t.Fatal("orderstatus failed")
+	}
+	res := baseline.StockLevel(ds, &tpcc.StockLevelInput{W: 1, D: 1, Threshold: 20})
+	if !res.OK {
+		t.Fatal("stocklevel failed")
+	}
+	r, w := res.RowAccessCount()
+	if w != 0 || r < 10 {
+		t.Fatalf("stocklevel accesses: %d reads %d writes", r, w)
+	}
+}
+
+func TestWarehousesOf(t *testing.T) {
+	in := &tpcc.NewOrderInput{W: 1, Items: []tpcc.OrderItem{{SupplyW: 1}, {SupplyW: 3}, {SupplyW: 1}}}
+	ws := baseline.WarehousesOf(tpcc.TxNewOrder, in)
+	if len(ws) != 2 || ws[0] != 1 || ws[1] != 3 {
+		t.Fatalf("ws = %v", ws)
+	}
+	pin := &tpcc.PaymentInput{W: 2, CW: 5}
+	ws = baseline.WarehousesOf(tpcc.TxPayment, pin)
+	if len(ws) != 2 || ws[0] != 2 || ws[1] != 5 {
+		t.Fatalf("ws = %v", ws)
+	}
+	if ws := baseline.WarehousesOf(tpcc.TxDelivery, &tpcc.DeliveryInput{W: 7}); len(ws) != 1 || ws[0] != 7 {
+		t.Fatalf("ws = %v", ws)
+	}
+}
+
+func TestAccessSetMatchesExecution(t *testing.T) {
+	ds := baseline.NewDataset(cfg())
+	in := &tpcc.NewOrderInput{
+		W: 1, D: 3, C: 2,
+		Items: []tpcc.OrderItem{{ItemID: 5, SupplyW: 1, Quantity: 1}, {ItemID: 9, SupplyW: 2, Quantity: 2}},
+	}
+	reads, writes := baseline.AccessSet(ds, tpcc.TxNewOrder, in)
+	res := baseline.NewOrder(ds, in)
+	if !res.OK {
+		t.Fatal("exec failed")
+	}
+	want := make(map[string]bool)
+	for _, a := range res.Accesses {
+		if a.Write {
+			want[a.Key] = true
+		}
+	}
+	got := make(map[string]bool)
+	for _, k := range writes {
+		got[k] = true
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("write %s missing from precomputed set", k)
+		}
+	}
+	if len(reads) == 0 {
+		t.Fatal("no reads predicted")
+	}
+}
+
+func TestConsistencyAfterManyTransactions(t *testing.T) {
+	c := cfg()
+	ds := baseline.NewDataset(c)
+	gen := tpcc.NewInputGen(c, tpcc.StandardMix(), 1, 1, newRand(11))
+	for i := 0; i < 2000; i++ {
+		ty, input := gen.Next()
+		baseline.Exec(ds, ty, input)
+	}
+	// Condition: d_next_o_id - 1 == max(o_id) per district.
+	for _, wh := range ds.Warehouses {
+		for _, d := range wh.Districts {
+			var maxO int64
+			for o := range d.Orders {
+				if o > maxO {
+					maxO = o
+				}
+			}
+			if d.NextO != maxO+1 {
+				t.Fatalf("w%d d%d: nextO=%d maxO=%d", wh.W, d.ID, d.NextO, maxO)
+			}
+			// Open orders are all undelivered.
+			for _, o := range d.Open {
+				if d.Orders[o].Carrier != 0 {
+					t.Fatalf("delivered order %d still open", o)
+				}
+			}
+		}
+	}
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

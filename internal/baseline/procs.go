@@ -1,0 +1,278 @@
+package baseline
+
+import (
+	"sort"
+
+	"tell/internal/tpcc"
+)
+
+// The five TPC-C transactions as stored procedures over native state. The
+// caller is responsible for isolation: voltlike guarantees it by serial
+// execution, ndblike by row locks, fdblike by optimistic validation of the
+// returned access sets.
+//
+// Every procedure also reports its logical row accesses (reads/writes) so
+// the mediating engines can model per-row costs and conflict detection
+// without duplicating the transaction logic.
+
+// Access is one logical row access.
+type Access struct {
+	Key   string // logical row id, e.g. "d/3/7" for district 7 of warehouse 3
+	Write bool
+}
+
+// Result of a procedure.
+type Result struct {
+	OK       bool // false = intentional rollback (invalid item)
+	Accesses []Access
+}
+
+func (r *Result) read(key string)  { r.Accesses = append(r.Accesses, Access{Key: key}) }
+func (r *Result) write(key string) { r.Accesses = append(r.Accesses, Access{Key: key, Write: true}) }
+
+func dKey(w, d int) string    { return "d/" + itoa(w) + "/" + itoa(d) }
+func wKey(w int) string       { return "w/" + itoa(w) }
+func cKey(w, d, c int) string { return "c/" + itoa(w) + "/" + itoa(d) + "/" + itoa(c) }
+func sKey(w, i int) string    { return "s/" + itoa(w) + "/" + itoa(i) }
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// NewOrder executes the new-order procedure. When it returns OK=false the
+// caller must discard the mutations — the procedure itself defers all state
+// changes until it is certain to succeed, so a rollback is a no-op.
+func NewOrder(ds *Dataset, in *tpcc.NewOrderInput) Result {
+	var res Result
+	wh := ds.Warehouses[in.W]
+	dist := wh.Districts[in.D-1]
+	res.read(wKey(in.W))
+	res.write(dKey(in.W, in.D))
+	res.read(cKey(in.W, in.D, in.C))
+
+	// Validate items first; mutate only if everything checks out.
+	type stockUpd struct {
+		wh   *Warehouse
+		item int
+		qty  int
+	}
+	var upds []stockUpd
+	for n, item := range in.Items {
+		if in.InvalidItem && n == len(in.Items)-1 {
+			return res // OK=false: intentional rollback
+		}
+		if item.ItemID < 1 || item.ItemID > len(ds.Items) {
+			return res
+		}
+		res.write(sKey(item.SupplyW, item.ItemID))
+		upds = append(upds, stockUpd{wh: ds.Warehouses[item.SupplyW], item: item.ItemID, qty: item.Quantity})
+	}
+
+	oID := dist.NextO
+	dist.NextO++
+	cust := dist.Customers[in.C-1]
+	ord := &Order{ID: oID, C: in.C, AllLocal: !in.Remote}
+	for i, item := range in.Items {
+		u := upds[i]
+		s := &u.wh.Stock[u.item-1]
+		if s.Quantity >= u.qty+10 {
+			s.Quantity -= u.qty
+		} else {
+			s.Quantity = s.Quantity - u.qty + 91
+		}
+		s.Ytd += u.qty
+		s.OrderCnt++
+		if item.SupplyW != in.W {
+			s.RemoteCnt++
+		}
+		amount := float64(u.qty) * ds.Items[u.item-1].Price *
+			(1 + wh.Tax + dist.Tax) * (1 - cust.Discount)
+		ord.Lines = append(ord.Lines, OrderLine{
+			ItemID: u.item, SupplyW: item.SupplyW, Quantity: u.qty, Amount: amount,
+		})
+	}
+	dist.Orders[oID] = ord
+	dist.Open = append(dist.Open, oID)
+	dist.LastOrder[in.C] = oID
+	res.OK = true
+	return res
+}
+
+// Payment executes the payment procedure.
+func Payment(ds *Dataset, in *tpcc.PaymentInput) Result {
+	var res Result
+	wh := ds.Warehouses[in.W]
+	res.write(wKey(in.W))
+	wh.Ytd += in.Amount
+	wh.Payments++
+	dist := wh.Districts[in.D-1]
+	res.write(dKey(in.W, in.D))
+	dist.Ytd += in.Amount
+
+	cwh := ds.Warehouses[in.CW]
+	cdist := cwh.Districts[in.CD-1]
+	cust := selectCustomer(cdist, in.ByLastName, in.CLast, in.C)
+	if cust == nil {
+		return res
+	}
+	res.write(cKey(in.CW, in.CD, cust.ID))
+	cust.Balance -= in.Amount
+	cust.YtdPayment += in.Amount
+	cust.PaymentCnt++
+	res.OK = true
+	return res
+}
+
+// selectCustomer resolves by id or by last name (middle row by first name).
+func selectCustomer(dist *District, byLast bool, last string, c int) *Customer {
+	if !byLast {
+		if c < 1 || c > len(dist.Customers) {
+			return nil
+		}
+		return dist.Customers[c-1]
+	}
+	ids := dist.ByLast[last]
+	if len(ids) == 0 {
+		return nil
+	}
+	custs := make([]*Customer, len(ids))
+	for i, id := range ids {
+		custs[i] = dist.Customers[id-1]
+	}
+	sort.Slice(custs, func(i, j int) bool { return custs[i].First < custs[j].First })
+	return custs[len(custs)/2]
+}
+
+// OrderStatus executes the order-status procedure (read-only).
+func OrderStatus(ds *Dataset, in *tpcc.OrderStatusInput) Result {
+	var res Result
+	dist := ds.Warehouses[in.W].Districts[in.D-1]
+	cust := selectCustomer(dist, in.ByLastName, in.CLast, in.C)
+	if cust == nil {
+		return res
+	}
+	res.read(cKey(in.W, in.D, cust.ID))
+	if oID, ok := dist.LastOrder[cust.ID]; ok {
+		res.read(dKey(in.W, in.D))
+		_ = dist.Orders[oID]
+	}
+	res.OK = true
+	return res
+}
+
+// Delivery executes the delivery procedure: the oldest open order of every
+// district is delivered.
+func Delivery(ds *Dataset, in *tpcc.DeliveryInput) Result {
+	var res Result
+	wh := ds.Warehouses[in.W]
+	for d := 0; d < tpcc.DistrictsPerWarehouse; d++ {
+		dist := wh.Districts[d]
+		res.write(dKey(in.W, d+1))
+		if len(dist.Open) == 0 {
+			continue
+		}
+		oID := dist.Open[0]
+		dist.Open = dist.Open[1:]
+		ord := dist.Orders[oID]
+		ord.Carrier = int64(in.Carrier)
+		total := 0.0
+		for i := range ord.Lines {
+			ord.Lines[i].DeliveryD = 1
+			total += ord.Lines[i].Amount
+		}
+		cust := dist.Customers[ord.C-1]
+		res.write(cKey(in.W, d+1, ord.C))
+		cust.Balance += total
+		cust.DeliveryCnt++
+	}
+	res.OK = true
+	return res
+}
+
+// StockLevel executes the stock-level procedure (read-only).
+func StockLevel(ds *Dataset, in *tpcc.StockLevelInput) Result {
+	var res Result
+	wh := ds.Warehouses[in.W]
+	dist := wh.Districts[in.D-1]
+	res.read(dKey(in.W, in.D))
+	lo := dist.NextO - 20
+	if lo < 1 {
+		lo = 1
+	}
+	seen := make(map[int]bool)
+	low := 0
+	for o := lo; o < dist.NextO; o++ {
+		ord, ok := dist.Orders[o]
+		if !ok {
+			continue
+		}
+		for _, l := range ord.Lines {
+			if seen[l.ItemID] {
+				continue
+			}
+			seen[l.ItemID] = true
+			res.read(sKey(in.W, l.ItemID))
+			if wh.Stock[l.ItemID-1].Quantity < in.Threshold {
+				low++
+			}
+		}
+	}
+	res.OK = true
+	return res
+}
+
+// RowAccessCount estimates the logical row accesses of one transaction for
+// cost models.
+func (r *Result) RowAccessCount() (reads, writes int) {
+	for _, a := range r.Accesses {
+		if a.Write {
+			writes++
+		} else {
+			reads++
+		}
+	}
+	return
+}
+
+// WarehousesOf lists the distinct warehouses a transaction input touches —
+// the partitioning question every sharded engine must answer.
+func WarehousesOf(t tpcc.TxType, input any) []int {
+	switch t {
+	case tpcc.TxNewOrder:
+		in := input.(*tpcc.NewOrderInput)
+		set := map[int]bool{in.W: true}
+		for _, it := range in.Items {
+			set[it.SupplyW] = true
+		}
+		return keysOf(set)
+	case tpcc.TxPayment:
+		in := input.(*tpcc.PaymentInput)
+		set := map[int]bool{in.W: true, in.CW: true}
+		return keysOf(set)
+	case tpcc.TxOrderStatus:
+		return []int{input.(*tpcc.OrderStatusInput).W}
+	case tpcc.TxDelivery:
+		return []int{input.(*tpcc.DeliveryInput).W}
+	default:
+		return []int{input.(*tpcc.StockLevelInput).W}
+	}
+}
+
+func keysOf(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

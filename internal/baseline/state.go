@@ -1,0 +1,183 @@
+// Package baseline provides the shared substrate of the three comparison
+// systems the paper evaluates against (§6.4/6.5): a native in-memory TPC-C
+// state representation and the five transactions as stored procedures over
+// it. The partitioned engines (voltlike, ndblike) and the shared-data
+// baseline (fdblike) differ in *how* they mediate access to this state —
+// serial single-threaded partitions, row locks with two-phase commit, or a
+// central optimistic resolver — which is exactly the architectural axis the
+// paper's comparison isolates.
+package baseline
+
+import (
+	"math/rand"
+
+	"tell/internal/tpcc"
+)
+
+// Customer is one customer row.
+type Customer struct {
+	ID          int
+	First, Last string
+	Credit      string
+	Discount    float64
+	Balance     float64
+	YtdPayment  float64
+	PaymentCnt  int
+	DeliveryCnt int
+	Data        string
+}
+
+// Order is one order with its lines.
+type Order struct {
+	ID       int64
+	C        int
+	EntryD   int64
+	Carrier  int64
+	AllLocal bool
+	Lines    []OrderLine
+}
+
+// OrderLine is one order line.
+type OrderLine struct {
+	ItemID    int
+	SupplyW   int
+	Quantity  int
+	Amount    float64
+	DeliveryD int64
+}
+
+// District is one district's state, including its order book.
+type District struct {
+	ID     int
+	Tax    float64
+	Ytd    float64
+	NextO  int64
+	Orders map[int64]*Order
+	// Open is the FIFO of undelivered order ids (the new-order table).
+	Open []int64
+	// LastOrder maps customer id → most recent order id.
+	LastOrder map[int]int64
+	Customers []*Customer // index c-1
+	// ByLast maps last name → customer ids (sorted by first name at use).
+	ByLast map[string][]int
+}
+
+// Stock is one stock row.
+type Stock struct {
+	Quantity  int
+	Ytd       int
+	OrderCnt  int
+	RemoteCnt int
+}
+
+// Warehouse is the full native state of one TPC-C warehouse.
+type Warehouse struct {
+	W         int
+	Tax       float64
+	Ytd       float64
+	Districts [tpcc.DistrictsPerWarehouse]*District
+	Stock     []Stock // index item-1
+	Payments  int
+}
+
+// Item is one row of the shared item table.
+type Item struct {
+	Price float64
+}
+
+// Dataset is a populated native TPC-C database.
+type Dataset struct {
+	Cfg        tpcc.Config
+	Items      []Item // index item-1
+	Warehouses map[int]*Warehouse
+}
+
+// NewDataset populates warehouses [1..cfg.Warehouses].
+func NewDataset(cfg tpcc.Config) *Dataset {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{Cfg: cfg, Warehouses: make(map[int]*Warehouse)}
+	for i := 0; i < cfg.Items(); i++ {
+		ds.Items = append(ds.Items, Item{Price: 1 + float64(rng.Intn(9900))/100})
+	}
+	for w := 1; w <= cfg.Warehouses; w++ {
+		ds.Warehouses[w] = newWarehouse(cfg, w, rng)
+	}
+	return ds
+}
+
+func newWarehouse(cfg tpcc.Config, w int, rng *rand.Rand) *Warehouse {
+	wh := &Warehouse{W: w, Tax: float64(rng.Intn(2000)) / 10000, Ytd: 300000}
+	wh.Stock = make([]Stock, cfg.Items())
+	for i := range wh.Stock {
+		wh.Stock[i] = Stock{Quantity: 10 + rng.Intn(91)}
+	}
+	nCust := cfg.CustomersPerDistrict()
+	nOrd := cfg.OrdersPerDistrict()
+	for d := 0; d < tpcc.DistrictsPerWarehouse; d++ {
+		dist := &District{
+			ID:        d + 1,
+			Tax:       float64(rng.Intn(2000)) / 10000,
+			Ytd:       30000,
+			NextO:     int64(nOrd + 1),
+			Orders:    make(map[int64]*Order),
+			LastOrder: make(map[int]int64),
+			ByLast:    make(map[string][]int),
+		}
+		for c := 1; c <= nCust; c++ {
+			lastNum := (c - 1) % 1000
+			credit := "GC"
+			if rng.Intn(10) == 0 {
+				credit = "BC"
+			}
+			cust := &Customer{
+				ID:         c,
+				First:      randName(rng),
+				Last:       tpcc.LastName(lastNum),
+				Credit:     credit,
+				Discount:   float64(rng.Intn(5000)) / 10000,
+				Balance:    -10,
+				YtdPayment: 10,
+				PaymentCnt: 1,
+			}
+			dist.Customers = append(dist.Customers, cust)
+			dist.ByLast[cust.Last] = append(dist.ByLast[cust.Last], c)
+		}
+		perm := rng.Perm(nCust)
+		deliveredUpTo := nOrd * 7 / 10
+		for o := 1; o <= nOrd; o++ {
+			ord := &Order{ID: int64(o), C: perm[o-1] + 1, AllLocal: true}
+			if o <= deliveredUpTo {
+				ord.Carrier = int64(1 + rng.Intn(10))
+			} else {
+				dist.Open = append(dist.Open, int64(o))
+			}
+			n := 5 + rng.Intn(11)
+			for l := 0; l < n; l++ {
+				ol := OrderLine{
+					ItemID:   1 + rng.Intn(cfg.Items()),
+					SupplyW:  w,
+					Quantity: 5,
+				}
+				if o <= deliveredUpTo {
+					ol.DeliveryD = 1
+				} else {
+					ol.Amount = float64(1+rng.Intn(999899)) / 100
+				}
+				ord.Lines = append(ord.Lines, ol)
+			}
+			dist.Orders[int64(o)] = ord
+			dist.LastOrder[ord.C] = int64(o)
+		}
+		wh.Districts[d] = dist
+	}
+	return wh
+}
+
+func randName(rng *rand.Rand) string {
+	const chars = "abcdefghijklmnopqrstuvwxyz"
+	b := make([]byte, 6+rng.Intn(4))
+	for i := range b {
+		b[i] = chars[rng.Intn(len(chars))]
+	}
+	return string(b)
+}

@@ -1,0 +1,164 @@
+package commitmgr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tell/internal/env"
+	"tell/internal/mvcc"
+	"tell/internal/transport"
+	"tell/internal/wire"
+)
+
+// ErrUnavailable means no commit manager could be reached.
+var ErrUnavailable = errors.New("commitmgr: no commit manager available")
+
+// Client is the PN-side interface to the commit-manager fleet. If the
+// current manager becomes unreachable, the client switches to the next one
+// (§4.4.3: "if a commit manager becomes unavailable, PNs automatically
+// switch to the next one").
+type Client struct {
+	envr env.Full
+	node env.Node
+	tr   transport.Transport
+
+	// Retries per manager before moving on.
+	Retries int
+
+	mu    sync.Mutex
+	addrs []string
+	cur   int
+	conns map[string]transport.Conn
+}
+
+// NewClient creates a client that talks to the managers at addrs.
+func NewClient(envr env.Full, node env.Node, tr transport.Transport, addrs []string) *Client {
+	return &Client{
+		envr:    envr,
+		node:    node,
+		tr:      tr,
+		Retries: 2,
+		addrs:   append([]string(nil), addrs...),
+		conns:   make(map[string]transport.Conn),
+	}
+}
+
+func (c *Client) conn(addr string) (transport.Conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if conn, ok := c.conns[addr]; ok {
+		return conn, nil
+	}
+	conn, err := c.tr.Dial(c.node, addr)
+	if err != nil {
+		return nil, err
+	}
+	c.conns[addr] = conn
+	return conn, nil
+}
+
+// roundTrip tries the current manager, rotating through the fleet on
+// failure.
+func (c *Client) roundTrip(ctx env.Ctx, req []byte) ([]byte, error) {
+	c.mu.Lock()
+	n := len(c.addrs)
+	start := c.cur
+	c.mu.Unlock()
+	for i := 0; i < n; i++ {
+		addr := c.addrs[(start+i)%n]
+		conn, err := c.conn(addr)
+		if err != nil {
+			continue
+		}
+		resp, err := conn.RoundTrip(ctx, req)
+		if err != nil {
+			continue
+		}
+		if i != 0 {
+			c.mu.Lock()
+			c.cur = (start + i) % n
+			c.mu.Unlock()
+		}
+		return resp, nil
+	}
+	return nil, ErrUnavailable
+}
+
+// StartResult is everything a transaction receives at begin (§4.2).
+type StartResult struct {
+	TID  uint64
+	Snap *mvcc.Snapshot
+	Lav  uint64
+}
+
+// Start begins a new transaction.
+func (c *Client) Start(ctx env.Ctx) (StartResult, error) {
+	req := []byte{byte(wire.KindCMReq), byte(cmStart)}
+	for attempt := 0; ; attempt++ {
+		raw, err := c.roundTrip(ctx, req)
+		if err != nil {
+			return StartResult{}, err
+		}
+		res, err := decodeStartResp(raw)
+		if err == nil {
+			return res, nil
+		}
+		if attempt >= c.Retries {
+			return StartResult{}, err
+		}
+		ctx.Sleep(time.Millisecond)
+	}
+}
+
+func decodeStartResp(raw []byte) (StartResult, error) {
+	r := wire.NewReader(raw)
+	if wire.Kind(r.Byte()) != wire.KindCMResp {
+		return StartResult{}, fmt.Errorf("commitmgr: bad response kind")
+	}
+	sub := cmSub(r.Byte())
+	st := wire.Status(r.Byte())
+	if sub != cmStart || st != wire.StatusOK {
+		return StartResult{}, fmt.Errorf("commitmgr: start failed: %v", st)
+	}
+	tid := r.Uvarint()
+	snap, err := mvcc.DecodeSnapshotFrom(r)
+	if err != nil {
+		return StartResult{}, err
+	}
+	lav := r.Uvarint()
+	if err := r.Close(); err != nil {
+		return StartResult{}, err
+	}
+	return StartResult{TID: tid, Snap: snap, Lav: lav}, nil
+}
+
+// Committed reports a successful commit (setCommitted, §4.2).
+func (c *Client) Committed(ctx env.Ctx, tid uint64) error {
+	return c.finished(ctx, tid, true)
+}
+
+// Aborted reports an abort after rollback (setAborted, §4.2).
+func (c *Client) Aborted(ctx env.Ctx, tid uint64) error {
+	return c.finished(ctx, tid, false)
+}
+
+func (c *Client) finished(ctx env.Ctx, tid uint64, committed bool) error {
+	w := wire.NewWriter(16)
+	w.Byte(byte(wire.KindCMReq))
+	w.Byte(byte(cmFinished))
+	w.Uvarint(tid)
+	w.Bool(committed)
+	raw, err := c.roundTrip(ctx, w.Bytes())
+	if err != nil {
+		return err
+	}
+	r := wire.NewReader(raw)
+	r.Byte() // kind
+	r.Byte() // sub
+	if st := wire.Status(r.Byte()); st != wire.StatusOK {
+		return fmt.Errorf("commitmgr: finished(%d) failed: %v", tid, st)
+	}
+	return nil
+}

@@ -1,0 +1,507 @@
+// Package commitmgr implements the commit-manager service (§4.2): a
+// lightweight authority that hands starting transactions a system-wide
+// unique transaction id, a snapshot descriptor, and the lowest active
+// version number (lav). Commit managers do no commit validation — conflict
+// detection happens at the storage layer via LL/SC (§4.1) — which is why
+// they are not a bottleneck (Table 3).
+//
+// Several commit managers run in parallel for scale and fault-tolerance.
+// tid uniqueness comes from an atomic counter in the shared store, bumped
+// in ranges; snapshot state is synchronized through the store at a short
+// interval (1 ms by default; §6.3.3 shows this does not raise abort rates).
+package commitmgr
+
+import (
+	"sync"
+	"time"
+
+	"tell/internal/env"
+	"tell/internal/mvcc"
+	"tell/internal/store"
+	"tell/internal/transport"
+	"tell/internal/wire"
+)
+
+// Store keys used by the commit-manager fleet.
+const (
+	// tidCounterKey is the shared LL/SC counter that makes tids unique.
+	tidCounterKey = "sys/cm/tidctr"
+	// statePrefix + id holds each manager's published state.
+	statePrefix = "sys/cm/state/"
+)
+
+// Server is one commit-manager instance.
+type Server struct {
+	addr string
+	id   string
+	envr env.Full
+	node env.Node
+	tr   transport.Transport
+	sc   *store.Client
+
+	// SyncInterval is how often state is pushed to and pulled from the
+	// store (paper default: 1 ms).
+	SyncInterval time.Duration
+	// TidRange is how many tids one counter bump reserves (paper: e.g. 256).
+	TidRange int64
+	// Interleaved switches tid allocation from contiguous ranges to the
+	// interleaved scheme §4.2 names as near-future work: a manager
+	// reserves a block of the global sequence but issues only every n-th
+	// tid of it (n = fleet size), closing the rest immediately. Issued
+	// tids are therefore spread thinly across the number space instead of
+	// forming long per-manager runs, so a burst of commits from one
+	// manager leaves no wide un-finished gap below the snapshot base —
+	// the staleness effect the paper blames for contiguous ranges' higher
+	// abort rate. Every tid in a reserved block has exactly one manager
+	// responsible for finishing it, so the base always advances.
+	Interleaved bool
+	// Peers lists the ids of all commit managers (including this one)
+	// whose states are merged.
+	Peers []string
+
+	mu sync.Mutex
+	// fin is the finished set: {x ≤ Base} all finished, bits = finished
+	// tids above Base (committed or aborted). Base is the paper's b.
+	fin *mvcc.Snapshot
+	// comm is the snapshot descriptor handed to transactions: committed
+	// tids. Its {≤Base} region may include aborted tids — safe, because
+	// aborted transactions have rolled their versions back (§4.2).
+	comm *mvcc.Snapshot
+	// active maps running tids (started here) to their snapshot base and
+	// start time.
+	active map[uint64]activeTx
+	// tid range state.
+	nextTid, tidEnd uint64
+	issuedThisTick  bool
+	// peerLav caches the min-active-base each peer last published;
+	// peerSeq/peerStale expire managers that stopped publishing.
+	peerLav   map[string]uint64
+	peerSeq   map[string]uint64
+	peerStale map[string]int
+	seq       uint64
+
+	// ActiveTTL expires transactions that never reported an outcome (a
+	// processing node that died before writing its first log entry, so
+	// recovery cannot see it). It must exceed any plausible transaction
+	// duration plus failure-detection time; expired tids count as
+	// aborted. Such a transaction wrote nothing, so this is safe.
+	ActiveTTL time.Duration
+	// StalePeerTicks drops a peer's published lav after this many sync
+	// ticks without change (the peer is presumed dead).
+	StalePeerTicks int
+
+	stopped bool
+	starts  uint64
+}
+
+// New creates a commit manager. id must be unique across the fleet; addr is
+// where PNs reach it. sc is its client to the shared store.
+func New(id, addr string, envr env.Full, node env.Node, tr transport.Transport, sc *store.Client) *Server {
+	return &Server{
+		addr:           addr,
+		id:             id,
+		envr:           envr,
+		node:           node,
+		tr:             tr,
+		sc:             sc,
+		SyncInterval:   time.Millisecond,
+		TidRange:       256,
+		Peers:          []string{id},
+		fin:            mvcc.NewSnapshot(0),
+		comm:           mvcc.NewSnapshot(0),
+		active:         make(map[uint64]activeTx),
+		peerLav:        make(map[string]uint64),
+		peerSeq:        make(map[string]uint64),
+		peerStale:      make(map[string]int),
+		ActiveTTL:      30 * time.Second,
+		StalePeerTicks: 5000,
+	}
+}
+
+// Addr returns the server's address.
+func (s *Server) Addr() string { return s.addr }
+
+// Starts returns how many transactions this manager has started.
+func (s *Server) Starts() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.starts
+}
+
+// Start registers the handler and the synchronization loop.
+func (s *Server) Start() error {
+	if err := s.tr.Listen(s.addr, s.node, s.handle); err != nil {
+		return err
+	}
+	s.node.Go("cm-sync", s.syncLoop)
+	return nil
+}
+
+// Stop ends the synchronization loop.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+}
+
+// Restore rebuilds state from the peers' published snapshots — how a fresh
+// commit manager takes over after a failure (§4.4.3).
+func (s *Server) Restore(ctx env.Ctx) {
+	s.pullPeers(ctx)
+}
+
+func (s *Server) handle(ctx env.Ctx, raw []byte) []byte {
+	if wire.PeekKind(raw) == wire.KindPing {
+		return []byte{byte(wire.KindPong)}
+	}
+	r := wire.NewReader(raw)
+	if wire.Kind(r.Byte()) != wire.KindCMReq {
+		return ackResp(wire.StatusError)
+	}
+	switch cmSub(r.Byte()) {
+	case cmStart:
+		return s.handleStart(ctx)
+	case cmFinished:
+		tid := r.Uvarint()
+		committed := r.Bool()
+		if r.Err() != nil {
+			return ackResp(wire.StatusError)
+		}
+		s.finish(tid, committed)
+		return ackResp(wire.StatusOK)
+	}
+	return ackResp(wire.StatusError)
+}
+
+// peerIndex returns this manager's position in the (sorted) fleet and the
+// fleet size, the parameters of interleaved allocation.
+func (s *Server) peerIndex() (idx, n int) {
+	n = len(s.Peers)
+	if n == 0 {
+		return 0, 1
+	}
+	sorted := append([]string(nil), s.Peers...)
+	sortStrings(sorted)
+	for i, p := range sorted {
+		if p == s.id {
+			return i, n
+		}
+	}
+	return 0, n
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// handleStart implements start() → (tid, snapshot descriptor, lav).
+func (s *Server) handleStart(ctx env.Ctx) []byte {
+	ctx.Work(500 * time.Nanosecond)
+	s.mu.Lock()
+	if s.nextTid > s.tidEnd {
+		// Range exhausted: reserve a fresh one through the shared
+		// counter. Dropping the lock during the RPC would let
+		// concurrent starts double-issue, so refill synchronously.
+		s.mu.Unlock()
+		if err := s.refillRange(ctx); err != nil {
+			return ackResp(wire.StatusUnavailable)
+		}
+		s.mu.Lock()
+		if s.nextTid > s.tidEnd {
+			s.mu.Unlock()
+			return ackResp(wire.StatusUnavailable)
+		}
+	}
+	tid := s.nextTid
+	if s.Interleaved {
+		_, n := s.peerIndex()
+		s.nextTid += uint64(n)
+	} else {
+		s.nextTid++
+	}
+	s.issuedThisTick = true
+	s.starts++
+	snap := s.comm.Clone()
+	s.active[tid] = activeTx{base: snap.Base, at: ctx.Now()}
+	lav := s.lavLocked()
+	s.mu.Unlock()
+
+	w := wire.NewWriter(64)
+	w.Byte(byte(wire.KindCMResp))
+	w.Byte(byte(cmStart))
+	w.Byte(byte(wire.StatusOK))
+	w.Uvarint(tid)
+	snap.EncodeTo(w)
+	w.Uvarint(lav)
+	return w.Bytes()
+}
+
+// refillRange reserves fresh tids. Contiguous mode bumps the shared store
+// counter by TidRange. Interleaved mode reserves a *block* of the global
+// sequence and issues only this manager's residue class within it: with n
+// managers, block b covers tids (b·TidRange·n, (b+1)·TidRange·n] and
+// manager i issues those ≡ i+1 (mod n). Uniqueness still comes from the
+// shared counter (block ids never repeat).
+func (s *Server) refillRange(ctx env.Ctx) error {
+	if !s.Interleaved {
+		hi, err := s.sc.CounterAdd(ctx, []byte(tidCounterKey), s.TidRange)
+		if err != nil {
+			return err
+		}
+		lo := uint64(hi) - uint64(s.TidRange) + 1
+		s.mu.Lock()
+		if lo > s.tidEnd {
+			s.nextTid, s.tidEnd = lo, uint64(hi)
+		}
+		s.mu.Unlock()
+		return nil
+	}
+	idx, n := s.peerIndex()
+	span := s.TidRange * int64(n)
+	hi, err := s.sc.CounterAdd(ctx, []byte(tidCounterKey), span)
+	if err != nil {
+		return err
+	}
+	blockLo := uint64(hi) - uint64(span) + 1 // first tid of the block
+	first := blockLo + uint64(idx)
+	last := first + uint64(s.TidRange-1)*uint64(n)
+	s.mu.Lock()
+	if first > s.tidEnd {
+		s.nextTid, s.tidEnd = first, last
+		// The residue classes of the other managers in this block are
+		// not ours to issue; if the fleet is smaller than n (or peers
+		// idle), close them immediately so the base can advance. A peer
+		// that reserved its own block never collides with these tids —
+		// blocks are disjoint — but two managers could reserve different
+		// blocks and leave each other's residues open; closing only our
+		// own block's foreign residues is handled by each manager for
+		// the blocks IT reserved, so every tid has exactly one closer.
+		for t := blockLo; t <= blockLo+uint64(span)-1; t++ {
+			if (t-blockLo)%uint64(n) != uint64(idx) {
+				s.fin.Add(t)
+			}
+		}
+		s.advanceLocked()
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// finish implements setCommitted/setAborted.
+func (s *Server) finish(tid uint64, committed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.active, tid)
+	s.fin.Add(tid)
+	if committed {
+		s.comm.Add(tid)
+	}
+	s.advanceLocked()
+}
+
+// advanceLocked normalizes the finished set and rebases the committed set
+// onto the new base.
+func (s *Server) advanceLocked() {
+	oldBase := s.fin.Base
+	s.fin.Normalize()
+	if s.fin.Base == oldBase {
+		return
+	}
+	reb := mvcc.NewSnapshot(s.fin.Base)
+	for _, t := range s.comm.Members() {
+		reb.Add(t)
+	}
+	s.comm = reb
+}
+
+// lavLocked is the lowest active version number: the smallest snapshot base
+// among active transactions across the fleet (§4.2). Versions below it are
+// garbage-collection candidates.
+func (s *Server) lavLocked() uint64 {
+	lav := s.fin.Base
+	for _, a := range s.active {
+		if a.base < lav {
+			lav = a.base
+		}
+	}
+	for _, p := range s.peerLav {
+		if p < lav {
+			lav = p
+		}
+	}
+	return lav
+}
+
+// Lav exposes the current lav (used by the lazy background GC, §5.4).
+func (s *Server) Lav() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lavLocked()
+}
+
+// Descriptor returns a copy of the current snapshot descriptor.
+func (s *Server) Descriptor() *mvcc.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.comm.Clone()
+}
+
+// syncLoop periodically publishes this manager's state to the store and
+// merges the other managers' states (§4.2: "in short intervals, every
+// commit manager writes its snapshot to the store and thereafter reads the
+// latest snapshots of the other commit managers").
+func (s *Server) syncLoop(ctx env.Ctx) {
+	for {
+		s.mu.Lock()
+		stopped := s.stopped
+		s.mu.Unlock()
+		if stopped {
+			return
+		}
+		s.closeIdleRange(ctx)
+		s.pushState(ctx)
+		if len(s.Peers) > 1 {
+			s.pullPeers(ctx)
+		}
+		ctx.Sleep(s.SyncInterval)
+	}
+}
+
+// closeIdleRange finishes the unissued remainder of the tid range if no tid
+// was issued since the last tick, so the global base does not stall behind
+// tids that will never run (§4.2 discusses the limitation of continuous
+// ranges; this is the mitigation).
+func (s *Server) closeIdleRange(ctx env.Ctx) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Expire transactions that never reported back (see ActiveTTL).
+	now := ctx.Now()
+	for tid, a := range s.active {
+		if now-a.at > s.ActiveTTL {
+			delete(s.active, tid)
+			s.fin.Add(tid)
+		}
+	}
+	if s.issuedThisTick {
+		s.issuedThisTick = false
+		s.advanceLocked()
+		return
+	}
+	for s.nextTid <= s.tidEnd {
+		s.fin.Add(s.nextTid)
+		s.nextTid++
+	}
+	s.advanceLocked()
+}
+
+// activeTx records a running transaction's snapshot base and start time.
+type activeTx struct {
+	base uint64
+	at   time.Duration
+}
+
+// pushState publishes (fin, comm, minActiveBase).
+func (s *Server) pushState(ctx env.Ctx) {
+	s.mu.Lock()
+	w := wire.NewWriter(64)
+	s.fin.EncodeTo(w)
+	s.comm.EncodeTo(w)
+	minActive := s.fin.Base
+	for _, a := range s.active {
+		if a.base < minActive {
+			minActive = a.base
+		}
+	}
+	w.Uvarint(minActive)
+	s.seq++
+	w.Uvarint(s.seq)
+	payload := w.Bytes()
+	s.mu.Unlock()
+	s.sc.Put(ctx, []byte(statePrefix+s.id), payload)
+}
+
+// pullPeers merges every peer's published state into ours.
+func (s *Server) pullPeers(ctx env.Ctx) {
+	for _, peer := range s.Peers {
+		if peer == s.id {
+			continue
+		}
+		raw, _, err := s.sc.Get(ctx, []byte(statePrefix+peer))
+		if err != nil {
+			continue
+		}
+		r := wire.NewReader(raw)
+		pfin, err := mvcc.DecodeSnapshotFrom(r)
+		if err != nil {
+			continue
+		}
+		pcomm, err := mvcc.DecodeSnapshotFrom(r)
+		if err != nil {
+			continue
+		}
+		plav := r.Uvarint()
+		pseq := r.Uvarint()
+		if r.Err() != nil {
+			continue
+		}
+		s.mu.Lock()
+		s.merge(pfin, pcomm)
+		if pseq == s.peerSeq[peer] {
+			s.peerStale[peer]++
+			if s.peerStale[peer] > s.StalePeerTicks {
+				// Presumed dead: stop letting it pin the lav.
+				delete(s.peerLav, peer)
+			}
+		} else {
+			s.peerSeq[peer] = pseq
+			s.peerStale[peer] = 0
+			s.peerLav[peer] = plav
+		}
+		s.advanceLocked()
+		s.mu.Unlock()
+	}
+}
+
+// merge folds a peer's (fin, comm) into ours. Caller holds s.mu.
+func (s *Server) merge(pfin, pcomm *mvcc.Snapshot) {
+	// Union of finished sets: a higher base is a global fact (all those
+	// tids finished), so take the max and the union of extras.
+	if pfin.Base > s.fin.Base {
+		newFin := pfin.Clone()
+		for _, t := range s.fin.Members() {
+			newFin.Add(t)
+		}
+		s.fin = newFin
+	} else {
+		for _, t := range pfin.Members() {
+			s.fin.Add(t)
+		}
+	}
+	if pcomm.Base > s.comm.Base {
+		newComm := pcomm.Clone()
+		for _, t := range s.comm.Members() {
+			newComm.Add(t)
+		}
+		s.comm = newComm
+	} else {
+		for _, t := range pcomm.Members() {
+			s.comm.Add(t)
+		}
+	}
+}
+
+// ackResp encodes a status-only response.
+func ackResp(st wire.Status) []byte {
+	return []byte{byte(wire.KindCMResp), byte(cmFinished), byte(st)}
+}
+
+type cmSub byte
+
+const (
+	cmStart cmSub = iota + 1
+	cmFinished
+)

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"tell/internal/env"
+	"tell/internal/mvcc"
+	"tell/internal/relational"
+	"tell/internal/store"
+	"tell/internal/wire"
+)
+
+// fullSet is the version-number set "valid for every snapshot", used for
+// records whose cache unit has never been written under SBVS.
+func fullSet() *mvcc.Snapshot { return mvcc.NewSnapshot(1 << 62) }
+
+// versionSetKey is the store key of the version-set entry covering rid's
+// cache unit (§5.5.3: "multiple sequential records of a relational table
+// are assigned to a cache unit").
+func versionSetKey(tableID uint32, rid uint64, unitSize int) []byte {
+	return []byte(fmt.Sprintf("vs/%d/%d", tableID, rid/uint64(unitSize)))
+}
+
+func encodeVS(s *mvcc.Snapshot) []byte {
+	w := wire.NewWriter(s.Size())
+	s.EncodeTo(w)
+	return w.Bytes()
+}
+
+func decodeVS(b []byte) (*mvcc.Snapshot, error) {
+	r := wire.NewReader(b)
+	s, err := mvcc.DecodeSnapshotFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// sbEntry is one record in the PN-wide shared buffer (§5.5.2): the record,
+// its LL stamp, and the version-number set B for which the copy is valid.
+type sbEntry struct {
+	key   string
+	rec   *mvcc.Record
+	stamp uint64
+	b     *mvcc.Snapshot
+	unit  string
+	elem  *list.Element
+}
+
+// sharedBuffer is an LRU cache of records shared by all transactions on a
+// processing node.
+type sharedBuffer struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*sbEntry
+	byUnit  map[string]map[string]*sbEntry
+	lru     *list.List // front = most recent
+
+	hits, misses uint64
+}
+
+func newSharedBuffer(max int) *sharedBuffer {
+	return &sharedBuffer{
+		max:     max,
+		entries: make(map[string]*sbEntry),
+		byUnit:  make(map[string]map[string]*sbEntry),
+		lru:     list.New(),
+	}
+}
+
+// HitRatio returns the fraction of lookups served from the buffer.
+func (b *sharedBuffer) HitRatio() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	total := b.hits + b.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(b.hits) / float64(total)
+}
+
+func (b *sharedBuffer) get(key string) *sbEntry {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.entries[key]
+	if !ok {
+		return nil
+	}
+	b.lru.MoveToFront(e.elem)
+	return e
+}
+
+func (b *sharedBuffer) recordHit(hit bool) {
+	b.mu.Lock()
+	if hit {
+		b.hits++
+	} else {
+		b.misses++
+	}
+	b.mu.Unlock()
+}
+
+// put inserts or replaces an entry, evicting the least recently used one
+// when full.
+func (b *sharedBuffer) put(key string, rec *mvcc.Record, stamp uint64, vset *mvcc.Snapshot, unit string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.putLocked(key, rec, stamp, vset, unit)
+}
+
+func (b *sharedBuffer) putLocked(key string, rec *mvcc.Record, stamp uint64, vset *mvcc.Snapshot, unit string) {
+	if e, ok := b.entries[key]; ok {
+		e.rec, e.stamp, e.b = rec, stamp, vset
+		b.setUnitLocked(e, unit)
+		b.lru.MoveToFront(e.elem)
+		return
+	}
+	e := &sbEntry{key: key, rec: rec, stamp: stamp, b: vset}
+	e.elem = b.lru.PushFront(e)
+	b.entries[key] = e
+	b.setUnitLocked(e, unit)
+	for len(b.entries) > b.max {
+		tail := b.lru.Back()
+		if tail == nil {
+			break
+		}
+		victim := tail.Value.(*sbEntry)
+		b.removeLocked(victim)
+	}
+}
+
+func (b *sharedBuffer) setUnitLocked(e *sbEntry, unit string) {
+	if e.unit == unit {
+		return
+	}
+	if e.unit != "" {
+		delete(b.byUnit[e.unit], e.key)
+	}
+	e.unit = unit
+	if unit != "" {
+		m := b.byUnit[unit]
+		if m == nil {
+			m = make(map[string]*sbEntry)
+			b.byUnit[unit] = m
+		}
+		m[e.key] = e
+	}
+}
+
+func (b *sharedBuffer) removeLocked(e *sbEntry) {
+	b.lru.Remove(e.elem)
+	delete(b.entries, e.key)
+	if e.unit != "" {
+		delete(b.byUnit[e.unit], e.key)
+	}
+}
+
+// extendB widens an entry's validity set (sound when the stored version set
+// was verified unchanged, §5.5.3 condition 2a).
+func (b *sharedBuffer) extendB(key string, with *mvcc.Snapshot) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e, ok := b.entries[key]; ok {
+		e.b = mvcc.Union(e.b, with)
+	}
+}
+
+// writeThrough installs the result of a committed update (§5.5.2: "record
+// updates are applied to the buffer in a write-through manner").
+func (b *sharedBuffer) writeThrough(key string, rec *mvcc.Record, stamp uint64, vset *mvcc.Snapshot) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.entries[key]
+	if !ok {
+		b.putLocked(key, rec, stamp, vset, "")
+		return
+	}
+	e.rec, e.stamp, e.b = rec, stamp, vset
+	b.lru.MoveToFront(e.elem)
+}
+
+// invalidateUnit drops every buffered record of a cache unit (§5.5.3:
+// "once the version number set is updated, all buffered records of a cache
+// unit are invalidated").
+func (b *sharedBuffer) invalidateUnit(unit string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, e := range b.byUnit[unit] {
+		b.removeLocked(e)
+	}
+	delete(b.byUnit, unit)
+}
+
+// fetchRecord resolves a record read according to the configured buffering
+// strategy (§5.5). It returns the full multi-version record and its LL
+// stamp; store.ErrNotFound when the record does not exist.
+func (pn *PN) fetchRecord(ctx env.Ctx, key []byte, snap *mvcc.Snapshot) (*mvcc.Record, uint64, error) {
+	switch pn.cfg.Buffer {
+	case SB:
+		return pn.fetchSB(ctx, key, snap)
+	case SBVS:
+		return pn.fetchSBVS(ctx, key, snap)
+	default:
+		return pn.fetchDirect(ctx, key)
+	}
+}
+
+func (pn *PN) fetchDirect(ctx env.Ctx, key []byte) (*mvcc.Record, uint64, error) {
+	raw, stamp, err := pn.sc.Get(ctx, key)
+	if err != nil {
+		return nil, 0, err
+	}
+	rec, err := mvcc.Decode(raw)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rec, stamp, nil
+}
+
+// fetchSB implements the shared record buffer (§5.5.2).
+func (pn *PN) fetchSB(ctx env.Ctx, key []byte, snap *mvcc.Snapshot) (*mvcc.Record, uint64, error) {
+	ks := string(key)
+	if e := pn.shared.get(ks); e != nil && snap.SubsetOf(e.b) {
+		// Condition 1: V_tx ⊆ B — the buffer is recent enough.
+		pn.shared.recordHit(true)
+		return e.rec, e.stamp, nil
+	}
+	pn.shared.recordHit(false)
+	// Condition 2: fetch from the store and stamp the entry with V_max,
+	// the version set of the most recently started transaction here.
+	vm := pn.vmax()
+	rec, stamp, err := pn.fetchDirect(ctx, key)
+	if err != nil {
+		return nil, 0, err
+	}
+	pn.shared.put(ks, rec, stamp, vm, "")
+	return rec, stamp, nil
+}
+
+// fetchSBVS implements the shared buffer with version-set synchronization
+// (§5.5.3).
+func (pn *PN) fetchSBVS(ctx env.Ctx, key []byte, snap *mvcc.Snapshot) (*mvcc.Record, uint64, error) {
+	tableID, rid, ok := relational.ParseRecordKey(key)
+	if !ok {
+		return pn.fetchDirect(ctx, key)
+	}
+	unitKey := versionSetKey(tableID, rid, pn.cfg.CacheUnitSize)
+	ks := string(key)
+	if e := pn.shared.get(ks); e != nil {
+		if snap.SubsetOf(e.b) {
+			// Condition 1: valid without any network traffic.
+			pn.shared.recordHit(true)
+			return e.rec, e.stamp, nil
+		}
+		// Condition 2: fetch only the (small) version set.
+		cached := e.b
+		vsPrime, err := pn.fetchVS(ctx, unitKey)
+		if err != nil {
+			return nil, 0, err
+		}
+		if vsPrime.Equal(cached) {
+			// 2a: unchanged since caching — still valid; widen B so
+			// future transactions pass condition 1.
+			pn.shared.extendB(ks, snap)
+			pn.shared.recordHit(true)
+			return e.rec, e.stamp, nil
+		}
+		// 2b: the unit changed; re-fetch the record.
+	}
+	pn.shared.recordHit(false)
+	rec, stamp, err := pn.fetchDirect(ctx, key)
+	if err != nil {
+		return nil, 0, err
+	}
+	vsPrime, err := pn.fetchVS(ctx, unitKey)
+	if err != nil {
+		return nil, 0, err
+	}
+	pn.shared.put(ks, rec, stamp, vsPrime, string(unitKey))
+	return rec, stamp, nil
+}
+
+// fetchVS reads a unit's version set; a missing entry means the unit was
+// never updated, i.e. valid for every snapshot.
+func (pn *PN) fetchVS(ctx env.Ctx, unitKey []byte) (*mvcc.Snapshot, error) {
+	raw, _, err := pn.sc.Get(ctx, unitKey)
+	if err == store.ErrNotFound {
+		return fullSet(), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return decodeVS(raw)
+}
+
+// SharedBufferHitRatio exposes the buffer hit ratio (Figure 11 reports it).
+func (pn *PN) SharedBufferHitRatio() float64 {
+	if pn.shared == nil {
+		return 0
+	}
+	return pn.shared.HitRatio()
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"tell/internal/mvcc"
+)
+
+func snap(base uint64, extra ...uint64) *mvcc.Snapshot {
+	s := mvcc.NewSnapshot(base)
+	for _, t := range extra {
+		s.Add(t)
+	}
+	return s
+}
+
+func TestSharedBufferPutGetAndLRU(t *testing.T) {
+	b := newSharedBuffer(3)
+	for i := 0; i < 3; i++ {
+		b.put(fmt.Sprintf("k%d", i), mvcc.NewRecord(1, nil), uint64(i+1), snap(10), "")
+	}
+	if e := b.get("k0"); e == nil || e.stamp != 1 {
+		t.Fatalf("k0: %+v", e)
+	}
+	// Touch k0 so k1 is the LRU victim when k3 arrives.
+	b.put("k3", mvcc.NewRecord(1, nil), 4, snap(10), "")
+	if b.get("k1") != nil {
+		t.Fatal("k1 should have been evicted")
+	}
+	if b.get("k0") == nil || b.get("k2") == nil || b.get("k3") == nil {
+		t.Fatal("survivors missing")
+	}
+}
+
+func TestSharedBufferWriteThroughUpdatesEntry(t *testing.T) {
+	b := newSharedBuffer(10)
+	b.put("k", mvcc.NewRecord(1, nil), 5, snap(10), "")
+	rec2 := mvcc.NewRecord(2, nil)
+	b.writeThrough("k", rec2, 9, snap(12, 15))
+	e := b.get("k")
+	if e.stamp != 9 || e.rec != rec2 {
+		t.Fatalf("write-through lost: %+v", e)
+	}
+	if !e.b.Contains(15) {
+		t.Fatal("version set not replaced")
+	}
+	// Write-through on an absent key inserts it.
+	b.writeThrough("fresh", rec2, 1, snap(1))
+	if b.get("fresh") == nil {
+		t.Fatal("fresh entry missing")
+	}
+}
+
+func TestSharedBufferUnitInvalidation(t *testing.T) {
+	b := newSharedBuffer(10)
+	b.put("a1", mvcc.NewRecord(1, nil), 1, snap(1), "unitA")
+	b.put("a2", mvcc.NewRecord(1, nil), 2, snap(1), "unitA")
+	b.put("b1", mvcc.NewRecord(1, nil), 3, snap(1), "unitB")
+	b.invalidateUnit("unitA")
+	if b.get("a1") != nil || b.get("a2") != nil {
+		t.Fatal("unitA entries survived invalidation")
+	}
+	if b.get("b1") == nil {
+		t.Fatal("unitB entry wrongly dropped")
+	}
+}
+
+func TestSharedBufferExtendB(t *testing.T) {
+	b := newSharedBuffer(10)
+	b.put("k", mvcc.NewRecord(1, nil), 1, snap(5), "")
+	b.extendB("k", snap(9))
+	e := b.get("k")
+	if !e.b.Contains(8) {
+		t.Fatal("validity set not widened")
+	}
+	// Extending a missing key is a no-op, not a panic.
+	b.extendB("missing", snap(1))
+}
+
+func TestSharedBufferHitRatio(t *testing.T) {
+	b := newSharedBuffer(10)
+	b.recordHit(true)
+	b.recordHit(true)
+	b.recordHit(false)
+	if r := b.HitRatio(); r < 0.66 || r > 0.67 {
+		t.Fatalf("ratio = %v", r)
+	}
+}
+
+func TestVersionSetKeyGroupsByUnit(t *testing.T) {
+	a := versionSetKey(3, 5, 10)
+	b := versionSetKey(3, 9, 10)
+	c := versionSetKey(3, 10, 10)
+	if string(a) != string(b) {
+		t.Fatalf("rids 5 and 9 should share unit: %s vs %s", a, b)
+	}
+	if string(a) == string(c) {
+		t.Fatal("rid 10 should start a new unit")
+	}
+	if string(versionSetKey(4, 5, 10)) == string(a) {
+		t.Fatal("different tables must not share units")
+	}
+}
+
+func TestVSCodec(t *testing.T) {
+	s := snap(100, 105, 170)
+	got, err := decodeVS(encodeVS(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(s) {
+		t.Fatalf("roundtrip: %v != %v", got, s)
+	}
+	if _, err := decodeVS([]byte{0xff}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestFullSetContainsEverything(t *testing.T) {
+	fs := fullSet()
+	for _, tid := range []uint64{0, 1, 1 << 40, 1 << 61} {
+		if !fs.Contains(tid) {
+			t.Fatalf("fullSet missing %d", tid)
+		}
+	}
+	if !snap(500, 777).SubsetOf(fs) {
+		t.Fatal("every snapshot must be a subset of fullSet")
+	}
+}

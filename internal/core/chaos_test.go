@@ -1,0 +1,129 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"tell/internal/core"
+	"tell/internal/env"
+	"tell/internal/relational"
+	"tell/internal/sim"
+)
+
+// TestStorageFailureDuringTransfers kills a storage node while concurrent
+// transfers are running (RF2). The store fails over to replicas; committed
+// money is never lost, the total stays invariant, and the workload keeps
+// committing after the failure.
+func TestStorageFailureDuringTransfers(t *testing.T) {
+	e := newEngineRF(t, 2, core.TB, 2)
+	const nAcc = 20
+	const workers = 4
+	var rids []uint64
+	finished := 0
+	transfersAfterKill := 0
+	killed := false
+
+	e.driver.Go("chaos", func(ctx env.Ctx) {
+		table, err := e.pns[0].Catalog().CreateTable(ctx, accountsSchema())
+		if err != nil {
+			t.Error(err)
+			e.k.Stop()
+			return
+		}
+		setup, _ := e.pns[0].Begin(ctx)
+		for i := int64(0); i < nAcc; i++ {
+			rid, _ := setup.Insert(ctx, table, account(i, "a", 100))
+			rids = append(rids, rid)
+		}
+		mustCommit(t, ctx, setup)
+
+		for w := 0; w < workers; w++ {
+			w := w
+			pn := e.pns[w%len(e.pns)]
+			e.driver.Go("worker", func(ctx env.Ctx) {
+				tbl, _ := pn.Catalog().OpenTable(ctx, "accounts")
+				rng := ctx.Rand()
+				for i := 0; i < 120; i++ {
+					from, to := rids[rng.Intn(nAcc)], rids[rng.Intn(nAcc)]
+					if from == to {
+						continue
+					}
+					for attempt := 0; attempt < 20; attempt++ {
+						txn, err := pn.Begin(ctx)
+						if err != nil {
+							ctx.Sleep(5 * time.Millisecond)
+							continue
+						}
+						fr, ok1, err1 := txn.Read(ctx, tbl, from)
+						tr, ok2, err2 := txn.Read(ctx, tbl, to)
+						if err1 != nil || err2 != nil || !ok1 || !ok2 {
+							txn.Abort(ctx)
+							ctx.Sleep(5 * time.Millisecond)
+							continue
+						}
+						txn.Update(ctx, tbl, from, account(fr[0].I, "a", fr[2].I-1))
+						txn.Update(ctx, tbl, to, account(tr[0].I, "a", tr[2].I+1))
+						if err := txn.Commit(ctx); err == nil {
+							if killed {
+								transfersAfterKill++
+							}
+							break
+						}
+						ctx.Sleep(time.Millisecond)
+					}
+				}
+				finished++
+			})
+		}
+
+		// Kill a storage node mid-run.
+		e.driver.Go("killer", func(ctx env.Ctx) {
+			ctx.Sleep(10 * time.Millisecond)
+			e.net.SetDown("sn1", true)
+			killed = true
+		})
+
+		// Verifier: wait for workers, check the invariant.
+		e.driver.Go("verify", func(ctx env.Ctx) {
+			for finished < workers {
+				ctx.Sleep(5 * time.Millisecond)
+			}
+			// Allow in-flight recovery to settle.
+			ctx.Sleep(200 * time.Millisecond)
+			var total int64
+			ok := false
+			for attempt := 0; attempt < 10 && !ok; attempt++ {
+				txn, err := e.pns[0].Begin(ctx)
+				if err != nil {
+					ctx.Sleep(10 * time.Millisecond)
+					continue
+				}
+				total = 0
+				scanErr := txn.ScanTable(ctx, table, func(rid uint64, row relational.Row) bool {
+					total += row[2].I
+					return true
+				})
+				txn.Commit(ctx)
+				if scanErr == nil {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Error("could not scan after failover")
+			} else if total != nAcc*100 {
+				t.Errorf("total = %d, want %d: committed money lost or duplicated", total, nAcc*100)
+			}
+			if transfersAfterKill == 0 {
+				t.Error("no transfers committed after the storage failure (availability lost)")
+			}
+			e.k.Stop()
+		})
+	})
+	if err := e.k.RunUntil(sim.Time(3000 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if finished != workers {
+		t.Fatalf("only %d/%d workers finished", finished, workers)
+	}
+	e.k.Shutdown()
+}

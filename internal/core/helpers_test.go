@@ -1,0 +1,17 @@
+package core_test
+
+import (
+	"testing"
+
+	"tell/internal/mvcc"
+)
+
+// countVersions decodes a raw record value and returns its version count.
+func countVersions(t *testing.T, raw []byte) int {
+	t.Helper()
+	rec, err := mvcc.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(rec.Versions)
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"tell/internal/commitmgr"
+	"tell/internal/env"
+	"tell/internal/mvcc"
+	"tell/internal/relational"
+	"tell/internal/store"
+	"tell/internal/transport"
+	"tell/internal/txlog"
+	"tell/internal/wire"
+)
+
+// BufferStrategy selects how records are buffered on the PN (§5.5).
+type BufferStrategy int
+
+const (
+	// TB: the transaction buffer only — every transaction caches the
+	// records it read for its own lifetime (§5.5.1). This is Tell's
+	// default and the best strategy for TPC-C (Figure 11).
+	TB BufferStrategy = iota
+	// SB: a shared record buffer across all transactions on the PN,
+	// validated via version number sets (§5.5.2).
+	SB
+	// SBVS: the shared buffer with version-set synchronization through
+	// the storage system, with records grouped into cache units (§5.5.3).
+	SBVS
+)
+
+func (b BufferStrategy) String() string {
+	switch b {
+	case TB:
+		return "TB"
+	case SB:
+		return "SB"
+	case SBVS:
+		return "SBVS"
+	}
+	return "?"
+}
+
+// Costs models the PN-side CPU time charged per engine step under
+// simulation. The defaults are calibrated so that one 4-core PN saturates
+// at roughly the paper's single-PN TPC-C throughput (§6.3.1).
+type Costs struct {
+	Begin    time.Duration // transaction setup
+	ReadOp   time.Duration // per record read (decode, visibility)
+	WriteOp  time.Duration // per buffered write (encode)
+	IndexOp  time.Duration // per index traversal step driven locally
+	CommitOp time.Duration // per applied update at commit
+	Logic    time.Duration // per transaction application logic
+}
+
+// DefaultCosts returns the calibrated PN cost model.
+func DefaultCosts() Costs {
+	return Costs{
+		Begin:    2 * time.Microsecond,
+		ReadOp:   3 * time.Microsecond,
+		WriteOp:  2 * time.Microsecond,
+		IndexOp:  2 * time.Microsecond,
+		CommitOp: 3 * time.Microsecond,
+		Logic:    20 * time.Microsecond,
+	}
+}
+
+// Config assembles a PN.
+type Config struct {
+	// ID names the node; it tags transaction-log entries for recovery.
+	ID string
+	// Workers is the number of synchronous worker threads (§6.1: "a
+	// thread processes a transaction at a time; while waiting for an I/O
+	// request to complete, another thread takes over").
+	Workers int
+	// Buffer selects the record-buffering strategy.
+	Buffer BufferStrategy
+	// SharedBufferSize caps the SB/SBVS buffer (entries).
+	SharedBufferSize int
+	// CacheUnitSize groups records per version-set entry under SBVS.
+	CacheUnitSize int
+	// Fanout is the B+tree node capacity.
+	Fanout int
+	// CacheIndexInner toggles B+tree inner-node caching (§5.3.1).
+	CacheIndexInner bool
+	// Costs is the CPU model (DefaultCosts if zero).
+	Costs Costs
+	// RidRange is how many rids one counter bump reserves per table.
+	RidRange int64
+}
+
+func (c *Config) fill() {
+	if c.ID == "" {
+		c.ID = "pn"
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.SharedBufferSize <= 0 {
+		c.SharedBufferSize = 1 << 18
+	}
+	if c.CacheUnitSize <= 0 {
+		c.CacheUnitSize = 10
+	}
+	if c.Fanout <= 0 {
+		c.Fanout = 64
+	}
+	if c.Costs == (Costs{}) {
+		c.Costs = DefaultCosts()
+	}
+	if c.RidRange <= 0 {
+		c.RidRange = 256
+	}
+}
+
+// PN is one processing node.
+type PN struct {
+	cfg  Config
+	envr env.Full
+	node env.Node
+	sc   *store.Client
+	cm   *commitmgr.Client
+	log  *txlog.Log
+	cat  *Catalog
+
+	shared *sharedBuffer
+
+	mu sync.Mutex
+	// lastSnap is the snapshot of the most recently started transaction:
+	// the Vmax of §5.5.2.
+	lastSnap *mvcc.Snapshot
+	// rid range cache per table id.
+	ridNext map[uint32]uint64
+	ridEnd  map[uint32]uint64
+
+	jobs env.Queue
+
+	// Counters.
+	commits, aborts uint64
+}
+
+// New assembles a processing node on the given execution node. The caller
+// supplies the shared-store client, commit-manager client and transport.
+func New(cfg Config, envr env.Full, node env.Node, tr transport.Transport, sc *store.Client, cm *commitmgr.Client) *PN {
+	cfg.fill()
+	pn := &PN{
+		cfg:     cfg,
+		envr:    envr,
+		node:    node,
+		sc:      sc,
+		cm:      cm,
+		log:     txlog.New(sc),
+		cat:     NewCatalog(sc, cfg.Fanout, cfg.CacheIndexInner),
+		ridNext: make(map[uint32]uint64),
+		ridEnd:  make(map[uint32]uint64),
+		jobs:    envr.NewQueue(),
+	}
+	if cfg.Buffer != TB {
+		pn.shared = newSharedBuffer(cfg.SharedBufferSize)
+	}
+	return pn
+}
+
+// ID returns the node's name.
+func (pn *PN) ID() string { return pn.cfg.ID }
+
+// Catalog returns the PN's table catalog.
+func (pn *PN) Catalog() *Catalog { return pn.cat }
+
+// Costs returns the PN's CPU cost model (workload code charges Logic).
+func (pn *PN) Costs() Costs { return pn.cfg.Costs }
+
+// Store returns the underlying store client (examples use it for scans).
+func (pn *PN) Store() *store.Client { return pn.sc }
+
+// Stats returns (commits, aborts).
+func (pn *PN) Stats() (commits, aborts uint64) {
+	pn.mu.Lock()
+	defer pn.mu.Unlock()
+	return pn.commits, pn.aborts
+}
+
+// StartWorkers launches the synchronous worker pool. Jobs submitted with
+// Execute run on these workers; at most Workers transactions are in flight
+// at once on this PN.
+func (pn *PN) StartWorkers() {
+	for i := 0; i < pn.cfg.Workers; i++ {
+		pn.node.Go("worker", pn.workerLoop)
+	}
+}
+
+// job is one queued unit of work with a completion future.
+type job struct {
+	fn   func(ctx env.Ctx)
+	done env.Future
+}
+
+func (pn *PN) workerLoop(ctx env.Ctx) {
+	for {
+		v, ok := pn.jobs.Get(ctx)
+		if !ok {
+			return
+		}
+		j := v.(*job)
+		j.fn(ctx)
+		j.done.Set(nil)
+	}
+}
+
+// Execute runs fn on one of the PN's workers and blocks until it finishes.
+// This is how terminals drive the PN (§6.1's synchronous processing model).
+func (pn *PN) Execute(ctx env.Ctx, fn func(ctx env.Ctx)) {
+	j := &job{fn: fn, done: pn.envr.NewFuture()}
+	pn.jobs.Put(j)
+	j.done.Get(ctx)
+}
+
+// Stop closes the job queue; workers drain and exit.
+func (pn *PN) Stop() { pn.jobs.Close() }
+
+// Serve registers the PN on the transport so the management node's failure
+// detector can ping it. tr is the transport the PN was built with.
+func (pn *PN) Serve(tr transport.Transport) error {
+	return tr.Listen(pn.cfg.ID, pn.node, func(ctx env.Ctx, req []byte) []byte {
+		if wire.PeekKind(req) == wire.KindPing {
+			return []byte{byte(wire.KindPong)}
+		}
+		return []byte{byte(wire.KindInvalid)}
+	})
+}
+
+// allocRid reserves a fresh rid for the table (range-cached).
+func (pn *PN) allocRid(ctx env.Ctx, tableID uint32) (uint64, error) {
+	pn.mu.Lock()
+	if pn.ridNext[tableID] != 0 && pn.ridNext[tableID] <= pn.ridEnd[tableID] {
+		rid := pn.ridNext[tableID]
+		pn.ridNext[tableID]++
+		pn.mu.Unlock()
+		return rid, nil
+	}
+	pn.mu.Unlock()
+	hi, err := pn.sc.CounterAdd(ctx, relational.RidCounterKey(tableID), pn.cfg.RidRange)
+	if err != nil {
+		return 0, err
+	}
+	pn.mu.Lock()
+	lo := uint64(hi) - uint64(pn.cfg.RidRange) + 1
+	if lo > pn.ridEnd[tableID] {
+		pn.ridNext[tableID], pn.ridEnd[tableID] = lo, uint64(hi)
+	}
+	rid := pn.ridNext[tableID]
+	pn.ridNext[tableID]++
+	pn.mu.Unlock()
+	return rid, nil
+}
+
+// BumpRidCounter advances a table's rid counter after bulk loading (the
+// loader hands out rids itself).
+func BumpRidCounter(ctx env.Ctx, sc *store.Client, tableID uint32, to uint64) error {
+	cur, err := sc.CounterAdd(ctx, relational.RidCounterKey(tableID), 0)
+	if err != nil {
+		return err
+	}
+	if uint64(cur) < to {
+		_, err = sc.CounterAdd(ctx, relational.RidCounterKey(tableID), int64(to-uint64(cur)))
+	}
+	return err
+}

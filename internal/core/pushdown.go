@@ -1,0 +1,46 @@
+package core
+
+import (
+	"tell/internal/env"
+	"tell/internal/relational"
+	"tell/internal/store"
+)
+
+// ScanTableFiltered is the push-down variant of ScanTable (§5.2): the
+// storage nodes evaluate pred and return only the projected columns of
+// matching rows visible in this transaction's snapshot. proj lists column
+// positions (nil = all columns); the rows passed to fn follow the projected
+// order. Compared with ScanTable, only matching projected bytes cross the
+// network.
+func (t *Txn) ScanTableFiltered(ctx env.Ctx, table *TableInfo, pred *store.Predicate, proj []int, fn func(rid uint64, row relational.Row) bool) error {
+	if t.state != StateRunning {
+		return ErrTxnDone
+	}
+	spec := &store.ScanSpec{
+		Schema:   table.Schema,
+		Snapshot: t.snap,
+		Pred:     pred,
+		Proj:     proj,
+	}
+	projected := spec.ProjectedSchema()
+	lo, hi := relational.RecordPrefix(table.Schema.ID)
+	pairs, err := t.pn.sc.ScanFiltered(ctx, lo, hi, spec, 0)
+	if err != nil {
+		return err
+	}
+	for _, p := range pairs {
+		ctx.Work(t.pn.cfg.Costs.ReadOp / 2)
+		rid, ok := relational.RidFromRecordKey(p.Key)
+		if !ok {
+			continue
+		}
+		row, err := relational.DecodeRow(projected, p.Val)
+		if err != nil {
+			return err
+		}
+		if !fn(rid, row) {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,269 @@
+package env_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tell/internal/env"
+	"tell/internal/sim"
+)
+
+// runSim spawns fn on a fresh simulated node and runs the kernel to
+// completion.
+func runSim(t *testing.T, fn func(ctx env.Ctx, e env.Full)) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	e := env.NewSim(k)
+	n := e.NewNode("n1", 4)
+	n.Go("test", func(ctx env.Ctx) { fn(ctx, e) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+}
+
+func TestSimSleepIsVirtual(t *testing.T) {
+	start := time.Now()
+	runSim(t, func(ctx env.Ctx, e env.Full) {
+		ctx.Sleep(10 * time.Hour)
+		if ctx.Now() != 10*time.Hour {
+			t.Errorf("Now = %v, want 10h", ctx.Now())
+		}
+	})
+	if real := time.Since(start); real > time.Second {
+		t.Fatalf("simulated 10h took %v of real time", real)
+	}
+}
+
+func TestSimWorkOccupiesCores(t *testing.T) {
+	// 8 activities charging 10ms each on a 4-core node take 20ms.
+	k := sim.NewKernel(1)
+	e := env.NewSim(k)
+	n := e.NewNode("n1", 4)
+	for i := 0; i < 8; i++ {
+		n.Go("w", func(ctx env.Ctx) { ctx.Work(10 * time.Millisecond) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Now(); got != 20*time.Millisecond {
+		t.Fatalf("elapsed = %v, want 20ms", got)
+	}
+	k.Shutdown()
+}
+
+func TestSimQueueAcrossNodes(t *testing.T) {
+	k := sim.NewKernel(1)
+	e := env.NewSim(k)
+	q := e.NewQueue()
+	a := e.NewNode("a", 1)
+	b := e.NewNode("b", 1)
+	got := 0
+	b.Go("consumer", func(ctx env.Ctx) {
+		v, ok := q.Get(ctx)
+		if ok {
+			got = v.(int)
+		}
+	})
+	a.Go("producer", func(ctx env.Ctx) {
+		ctx.Sleep(time.Millisecond)
+		q.Put(42)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("got %d, want 42", got)
+	}
+	k.Shutdown()
+}
+
+func TestRealEnvBasics(t *testing.T) {
+	e := env.NewReal(7)
+	n := e.NewNode("n1", 2)
+	if n.Name() != "n1" || n.Cores() != 2 {
+		t.Fatalf("node metadata wrong: %q %d", n.Name(), n.Cores())
+	}
+	var wg sync.WaitGroup
+	var count atomic.Int32
+	wg.Add(3)
+	for i := 0; i < 3; i++ {
+		n.Go("w", func(ctx env.Ctx) {
+			defer wg.Done()
+			ctx.Work(time.Hour) // free under the real env
+			ctx.Sleep(time.Millisecond)
+			count.Add(1)
+		})
+	}
+	wg.Wait()
+	if count.Load() != 3 {
+		t.Fatalf("count = %d, want 3", count.Load())
+	}
+}
+
+func TestRealQueue(t *testing.T) {
+	e := env.NewReal(7)
+	n := e.NewNode("n1", 1)
+	q := e.NewQueue()
+	done := make(chan int, 3)
+	n.Go("c", func(ctx env.Ctx) {
+		for {
+			v, ok := q.Get(ctx)
+			if !ok {
+				close(done)
+				return
+			}
+			done <- v.(int)
+		}
+	})
+	q.Put(1)
+	q.Put(2)
+	if got := <-done; got != 1 {
+		t.Fatalf("got %d, want 1", got)
+	}
+	if got := <-done; got != 2 {
+		t.Fatalf("got %d, want 2", got)
+	}
+	q.Close()
+	if _, ok := <-done; ok {
+		t.Fatal("expected closed channel after queue close")
+	}
+}
+
+func TestRealQueueTimeout(t *testing.T) {
+	e := env.NewReal(7)
+	n := e.NewNode("n1", 1)
+	q := e.NewQueue()
+	res := make(chan bool, 1)
+	n.Go("c", func(ctx env.Ctx) {
+		_, _, timedOut := q.GetTimeout(ctx, 10*time.Millisecond)
+		res <- timedOut
+	})
+	if !<-res {
+		t.Fatal("expected timeout")
+	}
+}
+
+func TestRealFuture(t *testing.T) {
+	e := env.NewReal(7)
+	n := e.NewNode("n1", 1)
+	f := e.NewFuture()
+	res := make(chan any, 1)
+	n.Go("w", func(ctx env.Ctx) { res <- f.Get(ctx) })
+	time.Sleep(5 * time.Millisecond)
+	f.Set("hello")
+	if got := <-res; got != "hello" {
+		t.Fatalf("got %v", got)
+	}
+	if !f.IsSet() {
+		t.Fatal("IsSet should be true")
+	}
+}
+
+func TestRealFutureTimeout(t *testing.T) {
+	e := env.NewReal(7)
+	n := e.NewNode("n1", 1)
+	f := e.NewFuture()
+	res := make(chan bool, 1)
+	n.Go("w", func(ctx env.Ctx) {
+		_, ok := f.GetTimeout(ctx, 5*time.Millisecond)
+		res <- ok
+	})
+	if <-res {
+		t.Fatal("expected timeout")
+	}
+}
+
+func TestSimDeterminism(t *testing.T) {
+	run := func() []int64 {
+		k := sim.NewKernel(99)
+		e := env.NewSim(k)
+		n := e.NewNode("n", 2)
+		var trace []int64
+		for i := 0; i < 4; i++ {
+			n.Go("w", func(ctx env.Ctx) {
+				for j := 0; j < 10; j++ {
+					ctx.Work(time.Duration(ctx.Rand().Intn(100)) * time.Microsecond)
+					trace = append(trace, int64(ctx.Now()))
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		k.Shutdown()
+		return trace
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+}
+
+func TestLockerMutualExclusionSim(t *testing.T) {
+	k := sim.NewKernel(1)
+	e := env.NewSim(k)
+	n := e.NewNode("n", 2)
+	l := env.NewLocker(e)
+	inside := 0
+	maxInside := 0
+	for i := 0; i < 5; i++ {
+		n.Go("w", func(ctx env.Ctx) {
+			l.Lock(ctx)
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			// Hold across a blocking operation — the forbidden pattern
+			// for sync.Mutex, the reason Locker exists.
+			ctx.Sleep(time.Millisecond)
+			inside--
+			l.Unlock()
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxInside != 1 {
+		t.Fatalf("critical section overlapped: %d", maxInside)
+	}
+	if k.Now().Duration() < 5*time.Millisecond {
+		t.Fatalf("sections did not serialize: %v", k.Now().Duration())
+	}
+	k.Shutdown()
+}
+
+func TestLockerRealEnv(t *testing.T) {
+	e := env.NewReal(1)
+	n := e.NewNode("n", 2)
+	l := env.NewLocker(e)
+	var mu sync.Mutex
+	inside, maxInside := 0, 0
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		n.Go("w", func(ctx env.Ctx) {
+			defer wg.Done()
+			l.Lock(ctx)
+			mu.Lock()
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			mu.Unlock()
+			ctx.Sleep(time.Millisecond)
+			mu.Lock()
+			inside--
+			mu.Unlock()
+			l.Unlock()
+		})
+	}
+	wg.Wait()
+	if maxInside != 1 {
+		t.Fatalf("critical section overlapped: %d", maxInside)
+	}
+}

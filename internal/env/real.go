@@ -1,0 +1,204 @@
+package env
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// realEnv is the production environment: activities are goroutines, Sleep is
+// time.Sleep, Work is free, queues and futures are channel/condvar based.
+type realEnv struct {
+	start time.Time
+	mu    sync.Mutex
+	rng   *rand.Rand
+}
+
+// NewReal returns an environment backed by real goroutines and wall-clock
+// time. seed initializes the (mutex-protected) random source.
+func NewReal(seed int64) Full {
+	return &realEnv{start: time.Now(), rng: rand.New(rand.NewSource(seed))}
+}
+
+func (e *realEnv) Now() time.Duration { return time.Since(e.start) }
+
+func (e *realEnv) NewNode(name string, cores int) Node {
+	return &realNode{env: e, name: name, cores: cores}
+}
+
+func (e *realEnv) NewQueue() Queue   { return newRealQueue() }
+func (e *realEnv) NewFuture() Future { return newRealFuture() }
+
+type realNode struct {
+	env   *realEnv
+	name  string
+	cores int
+}
+
+func (n *realNode) Name() string         { return n.name }
+func (n *realNode) Cores() int           { return n.cores }
+func (n *realNode) Utilization() float64 { return 0 }
+
+func (n *realNode) Go(name string, fn func(ctx Ctx)) {
+	go fn(&realCtx{node: n})
+}
+
+// DetachedCtx returns an execution context for synchronous calls into the
+// engine from arbitrary goroutines. Only the real environment supports
+// this (ok=false for simulated nodes, whose activities must be spawned
+// with Node.Go so the kernel can schedule them).
+func DetachedCtx(n Node) (Ctx, bool) {
+	if rn, ok := n.(*realNode); ok {
+		return &realCtx{node: rn}, true
+	}
+	return nil, false
+}
+
+type realCtx struct {
+	node *realNode
+}
+
+func (c *realCtx) Node() Node                     { return c.node }
+func (c *realCtx) Now() time.Duration             { return c.node.env.Now() }
+func (c *realCtx) Sleep(d time.Duration)          { time.Sleep(d) }
+func (c *realCtx) Work(time.Duration)             {}
+func (c *realCtx) Go(name string, fn func(c Ctx)) { c.node.Go(name, fn) }
+
+func (c *realCtx) Rand() *rand.Rand {
+	// The shared env source is not safe for concurrent use; derive a
+	// private per-call source from it under the lock.
+	e := c.node.env
+	e.mu.Lock()
+	seed := e.rng.Int63()
+	e.mu.Unlock()
+	return rand.New(rand.NewSource(seed))
+}
+
+// realQueue is an unbounded FIFO built on a condition variable.
+type realQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []any
+	head   int
+	closed bool
+}
+
+func newRealQueue() *realQueue {
+	q := &realQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *realQueue) Put(v any) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.buf = append(q.buf, v)
+	q.cond.Signal()
+}
+
+func (q *realQueue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+func (q *realQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf) - q.head
+}
+
+func (q *realQueue) pop() (any, bool) {
+	if q.head < len(q.buf) {
+		v := q.buf[q.head]
+		q.buf[q.head] = nil
+		q.head++
+		if q.head == len(q.buf) {
+			q.buf, q.head = q.buf[:0], 0
+		}
+		return v, true
+	}
+	return nil, false
+}
+
+func (q *realQueue) Get(ctx Ctx) (any, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if v, ok := q.pop(); ok {
+			return v, true
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+func (q *realQueue) GetTimeout(ctx Ctx, d time.Duration) (any, bool, bool) {
+	deadline := time.Now().Add(d)
+	// sync.Cond has no timed wait; poll with a short interval. Timeouts in
+	// this codebase guard failure detection, not hot paths.
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if v, ok := q.pop(); ok {
+			return v, true, false
+		}
+		if q.closed {
+			return nil, false, false
+		}
+		if time.Now().After(deadline) {
+			return nil, false, true
+		}
+		q.mu.Unlock()
+		time.Sleep(time.Millisecond)
+		q.mu.Lock()
+	}
+}
+
+// realFuture is a write-once value on a channel.
+type realFuture struct {
+	done chan struct{}
+	mu   sync.Mutex
+	val  any
+	set  bool
+}
+
+func newRealFuture() *realFuture { return &realFuture{done: make(chan struct{})} }
+
+func (f *realFuture) Set(v any) {
+	f.mu.Lock()
+	if f.set {
+		f.mu.Unlock()
+		panic("env: Future set twice")
+	}
+	f.val = v
+	f.set = true
+	f.mu.Unlock()
+	close(f.done)
+}
+
+func (f *realFuture) IsSet() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.set
+}
+
+func (f *realFuture) Get(ctx Ctx) any {
+	<-f.done
+	return f.val
+}
+
+func (f *realFuture) GetTimeout(ctx Ctx, d time.Duration) (any, bool) {
+	select {
+	case <-f.done:
+		return f.val, true
+	case <-time.After(d):
+		return nil, false
+	}
+}

@@ -1,0 +1,93 @@
+package env
+
+import (
+	"math/rand"
+	"time"
+
+	"tell/internal/sim"
+)
+
+// simEnv adapts the discrete-event simulator to the Env interfaces.
+type simEnv struct {
+	k *sim.Kernel
+}
+
+// NewSim wraps kernel k as an environment. The caller drives the simulation
+// by calling k.Run (or RunFor/RunUntil) after spawning activities.
+func NewSim(k *sim.Kernel) Full { return &simEnv{k: k} }
+
+func (e *simEnv) Now() time.Duration { return e.k.Now().Duration() }
+
+func (e *simEnv) NewNode(name string, cores int) Node {
+	return &simNode{env: e, name: name, cores: cores, cpu: sim.NewResource(e.k, cores)}
+}
+
+func (e *simEnv) NewQueue() Queue   { return &simQueue{q: sim.NewQueue(e.k)} }
+func (e *simEnv) NewFuture() Future { return &simFuture{f: sim.NewFuture(e.k)} }
+
+type simNode struct {
+	env   *simEnv
+	name  string
+	cores int
+	cpu   *sim.Resource
+}
+
+func (n *simNode) Name() string         { return n.name }
+func (n *simNode) Cores() int           { return n.cores }
+func (n *simNode) Utilization() float64 { return n.cpu.Utilization() }
+
+func (n *simNode) Go(name string, fn func(ctx Ctx)) {
+	n.env.k.Go(n.name+"/"+name, func(p *sim.Proc) {
+		fn(&simCtx{node: n, p: p})
+	})
+}
+
+type simCtx struct {
+	node *simNode
+	p    *sim.Proc
+}
+
+func (c *simCtx) Node() Node                       { return c.node }
+func (c *simCtx) Now() time.Duration               { return c.p.Now().Duration() }
+func (c *simCtx) Sleep(d time.Duration)            { c.p.Sleep(d) }
+func (c *simCtx) Work(d time.Duration)             { c.node.cpu.Use(c.p, d) }
+func (c *simCtx) Go(name string, fn func(ctx Ctx)) { c.node.Go(name, fn) }
+func (c *simCtx) Rand() *rand.Rand                 { return c.node.env.k.Rand() }
+
+// proc extracts the sim process from a simulated Ctx. Simulation-only
+// components (for example the simulated network) use it to block callers.
+func proc(ctx Ctx) *sim.Proc { return ctx.(*simCtx).p }
+
+// Proc returns the simulation process behind a simulated Ctx. It panics if
+// ctx belongs to the real environment; callers should check Kernel first.
+func Proc(ctx Ctx) *sim.Proc { return proc(ctx) }
+
+// Kernel returns the sim kernel behind a simulated Ctx, or nil if ctx
+// belongs to the real environment.
+func Kernel(ctx Ctx) *sim.Kernel {
+	if c, ok := ctx.(*simCtx); ok {
+		return c.p.Kernel()
+	}
+	return nil
+}
+
+type simQueue struct{ q *sim.Queue }
+
+func (s *simQueue) Put(v any) { s.q.Put(v) }
+func (s *simQueue) Close()    { s.q.Close() }
+func (s *simQueue) Len() int  { return s.q.Len() }
+
+func (s *simQueue) Get(ctx Ctx) (any, bool) { return s.q.Get(proc(ctx)) }
+
+func (s *simQueue) GetTimeout(ctx Ctx, d time.Duration) (any, bool, bool) {
+	return s.q.GetTimeout(proc(ctx), d)
+}
+
+type simFuture struct{ f *sim.Future }
+
+func (s *simFuture) Set(v any)       { s.f.Set(v) }
+func (s *simFuture) IsSet() bool     { return s.f.IsSet() }
+func (s *simFuture) Get(ctx Ctx) any { return s.f.Get(proc(ctx)) }
+func (s *simFuture) GetTimeout(ctx Ctx, d time.Duration) (any, bool) {
+	return s.f.GetTimeout(proc(ctx), d)
+}

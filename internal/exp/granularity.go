@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"tell/internal/env"
+	"tell/internal/sim"
+	"tell/internal/store"
+	"tell/internal/transport"
+)
+
+// AblationGranularity reproduces the record-vs-page storage-granularity
+// argument of §2.2/§5.1 as a storage-layer microbenchmark. Records cannot
+// be cached meaningfully in a shared-data system (remote PNs may change
+// them anytime), so a page-granularity store performs the *same number of
+// requests* as a record-granularity store while moving pageSize× the
+// bytes — "a coarse-grained storage scheme would not reduce the number of
+// requests to the storage system but only increase network traffic".
+func AblationGranularity(opt Options) (*Table, error) {
+	opt.Defaults()
+	const (
+		records    = 20000
+		accesses   = 30000
+		recordSize = 150
+		pageSize   = 16
+	)
+	t := &Table{
+		ID:    "ablation-granularity",
+		Title: "Ablation: record vs page storage granularity (random reads)",
+		Header: []string{
+			"granularity", "requests", "MB moved", "virtual time", "reads/s",
+		},
+	}
+	run := func(label string, group int) error {
+		k := sim.NewKernel(opt.Seed)
+		envr := env.NewSim(k)
+		net := transport.NewSimNet(k, transport.InfiniBand())
+		cluster, err := store.NewCluster(envr, net, store.ClusterConfig{NumNodes: 3})
+		if err != nil {
+			return err
+		}
+		// Load: one cell per group of `group` records.
+		payload := make([]byte, recordSize*group)
+		for i := 0; i < records/group; i++ {
+			if err := cluster.BulkLoad(gkey(i), payload); err != nil {
+				return err
+			}
+		}
+		node := envr.NewNode("pn", 4)
+		client := cluster.NewClient(node)
+		var elapsed time.Duration
+		workers := 16
+		done := 0
+		for w := 0; w < workers; w++ {
+			w := w
+			node.Go("reader", func(ctx env.Ctx) {
+				rng := ctx.Rand()
+				_ = w
+				for i := 0; i < accesses/workers; i++ {
+					cell := rng.Intn(records) / group
+					if _, _, err := client.Get(ctx, gkey(cell)); err != nil {
+						return
+					}
+				}
+				done++
+				if done == workers {
+					elapsed = ctx.Now()
+					k.Stop()
+				}
+			})
+		}
+		if err := k.RunUntil(sim.Time(time.Hour)); err != nil {
+			return err
+		}
+		k.Shutdown()
+		st := net.Stats()
+		mb := float64(st.BytesSent+st.BytesRecv) / (1 << 20)
+		rate := float64(accesses) / elapsed.Seconds()
+		t.AddRow(label, fmt.Sprint(st.Requests), f1(mb), elapsed.String(), f0(rate))
+		return nil
+	}
+	if err := run("record (1 row/cell)", 1); err != nil {
+		return nil, err
+	}
+	if err := run(fmt.Sprintf("page (%d rows/cell)", pageSize), pageSize); err != nil {
+		return nil, err
+	}
+	t.Note("every access re-fetches from the store (shared data defeats caching), so pages cost the same requests but %d× the traffic", pageSize)
+	return t, nil
+}
+
+func gkey(i int) []byte { return []byte(fmt.Sprintf("g/%08d", i)) }

@@ -1,0 +1,325 @@
+// Package exp defines the paper's experiments: one runner per evaluation
+// table and figure (§6). Every experiment assembles a virtual cluster on
+// the discrete-event simulator, loads TPC-C, drives terminals, and reports
+// the same rows/series the paper reports. cmd/tellbench and bench_test.go
+// are thin wrappers around this package.
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"tell/internal/baseline"
+	"tell/internal/commitmgr"
+	"tell/internal/core"
+	"tell/internal/env"
+	"tell/internal/fdblike"
+	"tell/internal/ndblike"
+	"tell/internal/sim"
+	"tell/internal/store"
+	"tell/internal/tpcc"
+	"tell/internal/transport"
+	"tell/internal/voltlike"
+)
+
+// Options are the workload knobs shared by all experiments.
+type Options struct {
+	// Warehouses is the TPC-C scale factor. The paper used 200 on seven
+	// storage servers; the default here fits one host (see EXPERIMENTS.md).
+	Warehouses int
+	// Scale shrinks per-warehouse row counts (see tpcc.Config.Scale).
+	Scale float64
+	// Warmup and Measure are transaction counts.
+	Warmup, Measure int
+	// TerminalsPerWorker oversubscribes the PN worker pools so queueing
+	// occurs, as the paper's terminal counts did.
+	TerminalsPerWorker int
+	Seed               int64
+}
+
+// Defaults fills zero fields.
+func (o *Options) Defaults() {
+	if o.Warehouses <= 0 {
+		o.Warehouses = 16
+	}
+	if o.Scale <= 0 {
+		o.Scale = 0.05
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 200
+	}
+	if o.Measure <= 0 {
+		o.Measure = 2000
+	}
+	if o.TerminalsPerWorker <= 0 {
+		o.TerminalsPerWorker = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+}
+
+func (o Options) tpccConfig() tpcc.Config {
+	return tpcc.Config{Warehouses: o.Warehouses, Scale: o.Scale, Seed: o.Seed}
+}
+
+// TellParams configure one Tell deployment.
+type TellParams struct {
+	PNs, SNs, CMs     int
+	ReplicationFactor int
+	Workers           int // per PN; default 8
+	Network           transport.NetworkClass
+	Buffer            core.BufferStrategy
+	CacheUnitSize     int
+	Mix               tpcc.Mix
+	SyncInterval      time.Duration
+	Batching          bool // default true (set NoBatching to disable)
+	NoBatching        bool
+	NoIndexCache      bool
+	TidRange          int64
+	// InterleavedTids switches the commit managers to the interleaved
+	// allocation scheme (§4.2 future work).
+	InterleavedTids bool
+}
+
+func (p *TellParams) defaults() {
+	if p.PNs <= 0 {
+		p.PNs = 1
+	}
+	if p.SNs <= 0 {
+		p.SNs = 3
+	}
+	if p.CMs <= 0 {
+		p.CMs = 1
+	}
+	if p.ReplicationFactor <= 0 {
+		p.ReplicationFactor = 1
+	}
+	if p.Workers <= 0 {
+		p.Workers = 8
+	}
+	if p.Network.Name == "" {
+		p.Network = transport.InfiniBand()
+	}
+	if p.Mix.Name == "" {
+		p.Mix = tpcc.StandardMix()
+	}
+	if p.SyncInterval <= 0 {
+		p.SyncInterval = time.Millisecond
+	}
+}
+
+// Cores returns the total CPU cores of the deployment, the x-axis of
+// Figures 8 and 9 (PN and SN processes get 4 cores — one NUMA unit of the
+// paper's servers — commit managers 2, the management node 2).
+func (p TellParams) Cores() int {
+	return p.PNs*4 + p.SNs*4 + p.CMs*2 + 2
+}
+
+// TellRun is the outcome of one Tell deployment run.
+type TellRun struct {
+	Result *tpcc.Result
+	// AbortRate is the overall transaction abort rate (§6.3.1).
+	AbortRate float64
+	// Requests and bytes on the simulated network (§6.6).
+	NetRequests uint64
+	NetBytes    uint64
+	// BatchFactor is ops per storage request achieved by the batcher.
+	BatchFactor float64
+}
+
+// RunTell executes one full Tell deployment run.
+func RunTell(opt Options, p TellParams) (*TellRun, error) {
+	opt.Defaults()
+	p.defaults()
+	k := sim.NewKernel(opt.Seed)
+	envr := env.NewSim(k)
+	net := transport.NewSimNet(k, p.Network)
+
+	cluster, err := store.NewCluster(envr, net, store.ClusterConfig{
+		NumNodes:          p.SNs,
+		ReplicationFactor: p.ReplicationFactor,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := tpcc.Load(cluster, opt.tpccConfig()); err != nil {
+		return nil, err
+	}
+
+	// Commit managers.
+	var cmIDs, cmAddrs []string
+	for i := 0; i < p.CMs; i++ {
+		cmIDs = append(cmIDs, fmt.Sprintf("cm%d", i))
+	}
+	for i := 0; i < p.CMs; i++ {
+		addr := cmIDs[i]
+		node := envr.NewNode(addr, 2)
+		cm := commitmgr.New(addr, addr, envr, node, net, cluster.NewClient(node))
+		cm.Peers = cmIDs
+		cm.SyncInterval = p.SyncInterval
+		cm.Interleaved = p.InterleavedTids
+		if p.TidRange > 0 {
+			cm.TidRange = p.TidRange
+		}
+		if err := cm.Start(); err != nil {
+			return nil, err
+		}
+		cmAddrs = append(cmAddrs, addr)
+	}
+
+	// Processing nodes.
+	var pns []*core.PN
+	var clients []*store.Client
+	for i := 0; i < p.PNs; i++ {
+		name := fmt.Sprintf("pn%d", i)
+		node := envr.NewNode(name, 4)
+		sc := cluster.NewClient(node)
+		if p.NoBatching {
+			sc.SetBatching(false)
+		}
+		// Each PN talks primarily to "its" commit manager, spreading CM
+		// load, with the rest as fail-over targets.
+		order := append([]string{cmAddrs[i%len(cmAddrs)]}, cmAddrs...)
+		pn := core.New(core.Config{
+			ID:              name,
+			Workers:         p.Workers,
+			Buffer:          p.Buffer,
+			CacheUnitSize:   p.CacheUnitSize,
+			CacheIndexInner: !p.NoIndexCache,
+		}, envr, node, net, sc, commitmgr.NewClient(envr, node, net, order))
+		pn.StartWorkers()
+		pns = append(pns, pn)
+		clients = append(clients, sc)
+	}
+
+	// Terminals.
+	driverNode := envr.NewNode("terminals", 4)
+	terminals := p.PNs * p.Workers * opt.TerminalsPerWorker
+	var engines []tpcc.Engine
+	var res *tpcc.Result
+	var runErr error
+	driverNode.Go("driver", func(ctx env.Ctx) {
+		defer k.Stop()
+		for _, pn := range pns {
+			eng, err := tpcc.NewTellEngine(ctx, pn)
+			if err != nil {
+				runErr = err
+				return
+			}
+			engines = append(engines, eng)
+		}
+		drv := tpcc.NewDriver(opt.tpccConfig(), p.Mix, engines, terminals, opt.Seed)
+		res = drv.Run(ctx, envr, driverNode, opt.Warmup, opt.Measure)
+	})
+	if err := k.RunUntil(sim.Time(6 * time.Hour)); err != nil {
+		return nil, err
+	}
+	k.Shutdown()
+	if runErr != nil {
+		return nil, runErr
+	}
+	if res == nil {
+		return nil, fmt.Errorf("exp: run did not complete within the virtual deadline")
+	}
+
+	out := &TellRun{Result: res, AbortRate: res.AbortRate()}
+	st := net.Stats()
+	out.NetRequests = st.Requests
+	out.NetBytes = st.BytesSent + st.BytesRecv
+	var ops, batches uint64
+	for _, sc := range clients {
+		ops += sc.Ops()
+		batches += sc.Batches()
+	}
+	if batches > 0 {
+		out.BatchFactor = float64(ops) / float64(batches)
+	}
+	return out, nil
+}
+
+// BaselineKind selects a comparison engine.
+type BaselineKind int
+
+const (
+	Voltlike BaselineKind = iota
+	NDBlike
+	FDBlike
+)
+
+func (b BaselineKind) String() string {
+	switch b {
+	case Voltlike:
+		return "VoltDB-style"
+	case NDBlike:
+		return "MySQLCluster-style"
+	case FDBlike:
+		return "FoundationDB-style"
+	}
+	return "?"
+}
+
+// BaselineParams configure a comparison-system run.
+type BaselineParams struct {
+	Kind              BaselineKind
+	Nodes             int // 8-core machines
+	ReplicationFactor int
+	Mix               tpcc.Mix
+	Terminals         int
+}
+
+// Cores returns the deployment's total core count.
+func (p BaselineParams) Cores() int {
+	c := p.Nodes * 8
+	if p.Kind == FDBlike {
+		c += 4 // sequencer + resolver
+	}
+	return c
+}
+
+// RunBaseline executes one comparison-system run.
+func RunBaseline(opt Options, p BaselineParams) (*tpcc.Result, error) {
+	opt.Defaults()
+	if p.Nodes <= 0 {
+		p.Nodes = 3
+	}
+	if p.Mix.Name == "" {
+		p.Mix = tpcc.StandardMix()
+	}
+	if p.Terminals <= 0 {
+		p.Terminals = p.Nodes * 16
+	}
+	k := sim.NewKernel(opt.Seed)
+	envr := env.NewSim(k)
+	ds := baseline.NewDataset(opt.tpccConfig())
+	var nodes []env.Node
+	for i := 0; i < p.Nodes; i++ {
+		nodes = append(nodes, envr.NewNode(fmt.Sprintf("node%d", i), 8))
+	}
+	var eng tpcc.Engine
+	switch p.Kind {
+	case Voltlike:
+		eng = voltlike.New(voltlike.Config{ReplicationFactor: p.ReplicationFactor}, envr, ds, nodes)
+	case NDBlike:
+		eng = ndblike.New(ndblike.Config{ReplicationFactor: p.ReplicationFactor}, envr, ds, nodes)
+	case FDBlike:
+		seq := envr.NewNode("sequencer", 2)
+		resv := envr.NewNode("resolver", 2)
+		eng = fdblike.New(fdblike.Config{}, envr, ds, nodes, seq, resv)
+	}
+	driverNode := envr.NewNode("terminals", 4)
+	var res *tpcc.Result
+	driverNode.Go("driver", func(ctx env.Ctx) {
+		defer k.Stop()
+		drv := tpcc.NewDriver(opt.tpccConfig(), p.Mix, []tpcc.Engine{eng}, p.Terminals, opt.Seed)
+		res = drv.Run(ctx, envr, driverNode, opt.Warmup, opt.Measure)
+	})
+	if err := k.RunUntil(sim.Time(6 * time.Hour)); err != nil {
+		return nil, err
+	}
+	k.Shutdown()
+	if res == nil {
+		return nil, fmt.Errorf("exp: baseline run did not complete")
+	}
+	return res, nil
+}

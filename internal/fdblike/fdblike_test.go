@@ -1,0 +1,89 @@
+package fdblike_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tell/internal/baseline"
+	"tell/internal/env"
+	"tell/internal/fdblike"
+	"tell/internal/sim"
+	"tell/internal/tpcc"
+)
+
+func runFDB(t *testing.T, nodes, terminals, txns int, cfg tpcc.Config) (*tpcc.Result, *fdblike.Engine, *baseline.Dataset) {
+	t.Helper()
+	k := sim.NewKernel(23)
+	envr := env.NewSim(k)
+	ds := baseline.NewDataset(cfg)
+	var enodes []env.Node
+	for i := 0; i < nodes; i++ {
+		enodes = append(enodes, envr.NewNode(fmt.Sprintf("fdb%d", i), 8))
+	}
+	seq := envr.NewNode("sequencer", 2)
+	resv := envr.NewNode("resolver", 2)
+	eng := fdblike.New(fdblike.Config{}, envr, ds, enodes, seq, resv)
+	drv := tpcc.NewDriver(cfg, tpcc.StandardMix(), []tpcc.Engine{eng}, terminals, 29)
+	driver := envr.NewNode("driver", 4)
+	var res *tpcc.Result
+	driver.Go("drv", func(ctx env.Ctx) {
+		defer k.Stop()
+		res = drv.Run(ctx, envr, driver, 10, txns)
+	})
+	if err := k.RunUntil(sim.Time(30000 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if res == nil {
+		t.Fatal("driver did not finish")
+	}
+	return res, eng, ds
+}
+
+func TestFDBRunsStandardMix(t *testing.T) {
+	cfg := tpcc.Config{Warehouses: 8, Scale: 0.02, Seed: 3}
+	res, _, ds := runFDB(t, 3, 24, 300, cfg)
+	if res.TotalCommitted() == 0 || res.TpmC() <= 0 {
+		t.Fatalf("no throughput: %v", res)
+	}
+	// Order books must stay consistent (aborted transactions never
+	// execute their mutations).
+	for _, wh := range ds.Warehouses {
+		for _, d := range wh.Districts {
+			var maxO int64
+			for o := range d.Orders {
+				if o > maxO {
+					maxO = o
+				}
+			}
+			if d.NextO != maxO+1 {
+				t.Fatalf("w%d d%d: nextO=%d maxO=%d", wh.W, d.ID, d.NextO, maxO)
+			}
+		}
+	}
+}
+
+func TestFDBOptimisticConflictsDetected(t *testing.T) {
+	// Hammer a single warehouse: the central resolver must observe
+	// read/write-set overlaps and abort some transactions.
+	cfg := tpcc.Config{Warehouses: 1, Scale: 0.02, Seed: 3}
+	res, eng, _ := runFDB(t, 2, 24, 300, cfg)
+	if eng.Conflicts() == 0 {
+		t.Fatal("no optimistic conflicts under single-warehouse contention")
+	}
+	if res.AbortRate() == 0 {
+		t.Fatal("expected aborts from resolver conflicts")
+	}
+	t.Logf("conflicts=%d abortRate=%.2f", eng.Conflicts(), res.AbortRate())
+}
+
+func TestFDBSlowerPerTransactionThanChattyDesignSuggests(t *testing.T) {
+	// The chatty SQL layer makes per-transaction latency high: mean
+	// latency must exceed 10 round trips' worth.
+	cfg := tpcc.Config{Warehouses: 8, Scale: 0.02, Seed: 3}
+	res, _, _ := runFDB(t, 3, 8, 200, cfg)
+	if mean := res.Latency.Total().Mean(); mean < 500*time.Microsecond {
+		t.Fatalf("mean latency %v implausibly low for a per-row-RPC design", mean)
+	}
+}

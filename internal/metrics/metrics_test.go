@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := &Histogram{}
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Mean(); got < 50*time.Millisecond || got > 51*time.Millisecond {
+		t.Fatalf("mean = %v, want ~50.5ms", got)
+	}
+	if h.Min() != time.Millisecond || h.Max() != 100*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	// σ of 1..100 is ~28.9ms.
+	if got := h.Stddev(); got < 28*time.Millisecond || got > 30*time.Millisecond {
+		t.Fatalf("stddev = %v, want ~28.9ms", got)
+	}
+}
+
+func TestHistogramPercentilesWithinBucketResolution(t *testing.T) {
+	h := &Histogram{}
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	check := func(p float64, want time.Duration) {
+		got := h.Percentile(p)
+		lo := time.Duration(float64(want) * 0.95)
+		hi := time.Duration(float64(want) * 1.05)
+		if got < lo || got > hi {
+			t.Fatalf("p%v = %v, want ~%v", p, got, want)
+		}
+	}
+	check(50, 500*time.Millisecond)
+	check(99, 990*time.Millisecond)
+	check(99.9, 999*time.Millisecond)
+}
+
+func TestHistogramMaxPercentileIsMax(t *testing.T) {
+	h := &Histogram{}
+	h.Record(time.Millisecond)
+	h.Record(time.Second)
+	if got := h.Percentile(100); got > time.Second*11/10 || got < time.Second*9/10 {
+		t.Fatalf("p100 = %v, want ~1s", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := &Histogram{}, &Histogram{}
+	for i := 0; i < 50; i++ {
+		a.Record(10 * time.Millisecond)
+		b.Record(30 * time.Millisecond)
+	}
+	a.Merge(b)
+	if a.Count() != 100 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	if got := a.Mean(); got < 19*time.Millisecond || got > 21*time.Millisecond {
+		t.Fatalf("mean = %v, want 20ms", got)
+	}
+	if a.Min() != 10*time.Millisecond || a.Max() != 30*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestHistogramZeroAndTinyValues(t *testing.T) {
+	h := &Histogram{}
+	h.Record(0)
+	h.Record(time.Nanosecond)
+	h.Record(time.Microsecond)
+	if h.Count() != 3 {
+		t.Fatal("records lost")
+	}
+	if h.Percentile(50) > time.Microsecond {
+		t.Fatalf("p50 = %v", h.Percentile(50))
+	}
+}
+
+// TestHistogramPercentileProperty: for uniform random data the histogram
+// percentile must be within bucket resolution (~1.8%) of the exact value.
+func TestHistogramPercentileProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := &Histogram{}
+		samples := make([]float64, 0, 500)
+		for i := 0; i < 500; i++ {
+			d := time.Duration(rng.Intn(1e9)) + time.Microsecond
+			h.Record(d)
+			samples = append(samples, float64(d))
+		}
+		for _, p := range []float64{50, 90, 99} {
+			got := float64(h.Percentile(p))
+			// Exact percentile by sorting.
+			sorted := append([]float64(nil), samples...)
+			for i := 1; i < len(sorted); i++ {
+				for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+					sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+				}
+			}
+			idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+			want := sorted[idx]
+			if got < want*0.95 || got > want*1.05 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRates(t *testing.T) {
+	if got := PerMinute(600, time.Minute); got != 600 {
+		t.Fatalf("PerMinute = %v", got)
+	}
+	if got := PerMinute(100, 30*time.Second); got != 200 {
+		t.Fatalf("PerMinute = %v", got)
+	}
+	if got := PerSecond(100, 2*time.Second); got != 50 {
+		t.Fatalf("PerSecond = %v", got)
+	}
+	if PerMinute(5, 0) != 0 || PerSecond(5, 0) != 0 {
+		t.Fatal("zero elapsed must give zero rate")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := NewSummary()
+	s.Record("neworder", 10*time.Millisecond)
+	s.Record("neworder", 20*time.Millisecond)
+	s.Record("payment", 5*time.Millisecond)
+	if got := s.Get("neworder").Count(); got != 2 {
+		t.Fatalf("neworder count = %d", got)
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "neworder" || names[1] != "payment" {
+		t.Fatalf("names = %v", names)
+	}
+	if got := s.Total().Count(); got != 3 {
+		t.Fatalf("total = %d", got)
+	}
+	if s.Get("missing") != nil {
+		t.Fatal("missing name should be nil")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("value = %d", c.Value())
+	}
+}

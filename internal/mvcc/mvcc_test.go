@@ -1,0 +1,400 @@
+package mvcc
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"tell/internal/wire"
+)
+
+func TestSnapshotBaseMembership(t *testing.T) {
+	s := NewSnapshot(10)
+	for tid := uint64(0); tid <= 10; tid++ {
+		if !s.Contains(tid) {
+			t.Fatalf("tid %d should be visible", tid)
+		}
+	}
+	if s.Contains(11) {
+		t.Fatal("tid 11 should not be visible")
+	}
+}
+
+func TestSnapshotAddAndContains(t *testing.T) {
+	s := NewSnapshot(10)
+	s.Add(12)
+	s.Add(75) // crosses a word boundary
+	s.Add(200)
+	if !s.Contains(12) || !s.Contains(75) || !s.Contains(200) {
+		t.Fatal("added tids missing")
+	}
+	if s.Contains(11) || s.Contains(13) || s.Contains(76) {
+		t.Fatal("false positives")
+	}
+	if s.Max() != 200 {
+		t.Fatalf("Max = %d", s.Max())
+	}
+	s.Add(5) // below base: no-op
+	if !s.Contains(5) {
+		t.Fatal("tid below base must be contained")
+	}
+}
+
+func TestSnapshotNormalize(t *testing.T) {
+	s := NewSnapshot(10)
+	s.Add(11)
+	s.Add(12)
+	s.Add(14)
+	s.Normalize()
+	if s.Base != 12 {
+		t.Fatalf("base = %d, want 12", s.Base)
+	}
+	if !s.Contains(14) || s.Contains(13) {
+		t.Fatal("membership changed by Normalize")
+	}
+	if s.Max() != 14 {
+		t.Fatalf("Max = %d", s.Max())
+	}
+}
+
+func TestSnapshotSubset(t *testing.T) {
+	a := NewSnapshot(10)
+	b := NewSnapshot(10)
+	if !a.SubsetOf(b) || !b.SubsetOf(a) {
+		t.Fatal("equal sets must be mutual subsets")
+	}
+	b.Add(12)
+	if !a.SubsetOf(b) {
+		t.Fatal("a ⊆ b after b grew")
+	}
+	if b.SubsetOf(a) {
+		t.Fatal("b ⊄ a")
+	}
+	// Higher base vs bitset members.
+	c := NewSnapshot(12) // {≤12}
+	d := NewSnapshot(10)
+	d.Add(11)
+	d.Add(12) // {≤10, 11, 12} — same set
+	if !c.SubsetOf(d) || !d.SubsetOf(c) || !c.Equal(d) {
+		t.Fatal("equivalent representations must compare equal")
+	}
+	e := NewSnapshot(10)
+	e.Add(12) // missing 11
+	if c.SubsetOf(e) {
+		t.Fatal("c ⊄ e: 11 is missing from e")
+	}
+	if !e.SubsetOf(c) {
+		t.Fatal("e ⊆ c")
+	}
+}
+
+func TestSnapshotCodec(t *testing.T) {
+	s := NewSnapshot(1000)
+	s.Add(1005)
+	s.Add(1100)
+	w := wire.NewWriter(0)
+	s.EncodeTo(w)
+	r := wire.NewReader(w.Bytes())
+	got, err := DecodeSnapshotFrom(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(s) {
+		t.Fatalf("decoded %v != %v", got, s)
+	}
+}
+
+// TestSnapshotPropertyVsMapSet compares the bitset implementation against a
+// plain map-based set under random operations.
+func TestSnapshotPropertyVsMapSet(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := uint64(rng.Intn(1000))
+		s := NewSnapshot(base)
+		ref := make(map[uint64]bool)
+		for i := 0; i < 200; i++ {
+			tid := base + uint64(rng.Intn(500))
+			s.Add(tid)
+			if tid > base {
+				ref[tid] = true
+			}
+		}
+		for tid := uint64(0); tid < base+600; tid++ {
+			want := tid <= base || ref[tid]
+			if s.Contains(tid) != want {
+				return false
+			}
+		}
+		// Normalize must preserve membership.
+		n := s.Clone()
+		n.Normalize()
+		for tid := uint64(0); tid < base+600; tid++ {
+			if s.Contains(tid) != n.Contains(tid) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordCodecRoundTrip(t *testing.T) {
+	rec := &Record{Versions: []Version{
+		{TID: 30, Data: []byte("v30")},
+		{TID: 20, Deleted: true},
+		{TID: 10, Data: []byte("v10")},
+	}}
+	got, err := Decode(rec.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Versions) != 3 {
+		t.Fatalf("versions = %d", len(got.Versions))
+	}
+	if got.Versions[0].TID != 30 || string(got.Versions[0].Data) != "v30" {
+		t.Fatalf("v0 = %+v", got.Versions[0])
+	}
+	if !got.Versions[1].Deleted {
+		t.Fatal("delete marker lost")
+	}
+}
+
+func TestRecordVisible(t *testing.T) {
+	rec := &Record{Versions: []Version{
+		{TID: 30, Data: []byte("v30")},
+		{TID: 10, Data: []byte("v10")},
+	}}
+	// Snapshot sees only tid 10.
+	s := NewSnapshot(15)
+	v, ok := rec.Visible(s)
+	if !ok || v.TID != 10 {
+		t.Fatalf("visible = %+v %v", v, ok)
+	}
+	// Snapshot sees both: highest wins.
+	s = NewSnapshot(30)
+	v, ok = rec.Visible(s)
+	if !ok || v.TID != 30 {
+		t.Fatalf("visible = %+v %v", v, ok)
+	}
+	// Snapshot predates all versions.
+	s = NewSnapshot(5)
+	if _, ok := rec.Visible(s); ok {
+		t.Fatal("nothing should be visible")
+	}
+	// Bitset visibility: snapshot {≤15, 30}.
+	s = NewSnapshot(15)
+	s.Add(30)
+	v, _ = rec.Visible(s)
+	if v.TID != 30 {
+		t.Fatalf("visible = %+v", v)
+	}
+}
+
+func TestRecordVisibleDeleteMarker(t *testing.T) {
+	rec := &Record{Versions: []Version{
+		{TID: 20, Deleted: true},
+		{TID: 10, Data: []byte("v10")},
+	}}
+	if _, ok := rec.Visible(NewSnapshot(25)); ok {
+		t.Fatal("deleted row visible")
+	}
+	if v, ok := rec.Visible(NewSnapshot(15)); !ok || v.TID != 10 {
+		t.Fatal("old version should be visible below the delete")
+	}
+}
+
+func TestWithVersionKeepsDescendingOrder(t *testing.T) {
+	rec := NewRecord(10, []byte("a"))
+	rec = rec.WithVersion(30, false, []byte("c"))
+	rec = rec.WithVersion(20, false, []byte("b"))
+	tids := []uint64{rec.Versions[0].TID, rec.Versions[1].TID, rec.Versions[2].TID}
+	if tids[0] != 30 || tids[1] != 20 || tids[2] != 10 {
+		t.Fatalf("order = %v", tids)
+	}
+	// Replacing an existing version keeps one copy.
+	rec = rec.WithVersion(20, false, []byte("b2"))
+	if len(rec.Versions) != 3 {
+		t.Fatalf("len = %d", len(rec.Versions))
+	}
+	v, _ := rec.Get(20)
+	if string(v.Data) != "b2" {
+		t.Fatalf("v20 = %q", v.Data)
+	}
+}
+
+func TestWithoutVersion(t *testing.T) {
+	rec := NewRecord(10, []byte("a")).WithVersion(20, false, []byte("b"))
+	rec, nonEmpty := rec.WithoutVersion(20)
+	if !nonEmpty || len(rec.Versions) != 1 || rec.Versions[0].TID != 10 {
+		t.Fatalf("rollback: %+v", rec)
+	}
+	rec, nonEmpty = rec.WithoutVersion(10)
+	if nonEmpty {
+		t.Fatal("record should be empty")
+	}
+}
+
+func TestGCRules(t *testing.T) {
+	rec := &Record{Versions: []Version{
+		{TID: 40, Data: []byte("d")},
+		{TID: 30, Data: []byte("c")},
+		{TID: 20, Data: []byte("b")},
+		{TID: 10, Data: []byte("a")},
+	}}
+	// lav=35: C={30,20,10}, G={20,10}. Versions 40 and 30 survive.
+	pruned, changed, empty := rec.GC(35)
+	if !changed || empty {
+		t.Fatalf("changed=%v empty=%v", changed, empty)
+	}
+	if len(pruned.Versions) != 2 || pruned.Versions[0].TID != 40 || pruned.Versions[1].TID != 30 {
+		t.Fatalf("pruned = %v", pruned)
+	}
+	// lav=5: nothing collectable.
+	if _, changed, _ := rec.GC(5); changed {
+		t.Fatal("nothing should change below all versions")
+	}
+	// max(C) is never collected even when all versions qualify.
+	pruned, _, _ = rec.GC(100)
+	if len(pruned.Versions) != 1 || pruned.Versions[0].TID != 40 {
+		t.Fatalf("pruned = %v", pruned)
+	}
+}
+
+func TestGCEmptyOnDeadRecord(t *testing.T) {
+	rec := &Record{Versions: []Version{
+		{TID: 20, Deleted: true},
+		{TID: 10, Data: []byte("a")},
+	}}
+	pruned, changed, empty := rec.GC(50)
+	if !changed || !empty {
+		t.Fatalf("changed=%v empty=%v pruned=%v", changed, empty, pruned)
+	}
+	// But not while the delete version is above the lav.
+	if _, _, empty := rec.GC(15); empty {
+		t.Fatal("record must survive while old versions are readable")
+	}
+}
+
+// TestRecordPropertyRoundTripAndVisibility fuzzes version sets through the
+// codec and checks Visible against a reference implementation.
+func TestRecordPropertyRoundTripAndVisibility(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Distinct random tids.
+		tidSet := make(map[uint64]bool)
+		for len(tidSet) < 8 {
+			tidSet[uint64(rng.Intn(100)+1)] = true
+		}
+		var tids []uint64
+		for tid := range tidSet {
+			tids = append(tids, tid)
+		}
+		sort.Slice(tids, func(i, j int) bool { return tids[i] > tids[j] })
+		rec := &Record{}
+		for _, tid := range tids {
+			rec.Versions = append(rec.Versions, Version{
+				TID:     tid,
+				Deleted: rng.Intn(5) == 0,
+				Data:    []byte{byte(tid)},
+			})
+		}
+		got, err := Decode(rec.Encode())
+		if err != nil || len(got.Versions) != len(rec.Versions) {
+			return false
+		}
+		for i := range rec.Versions {
+			if got.Versions[i].TID != rec.Versions[i].TID ||
+				got.Versions[i].Deleted != rec.Versions[i].Deleted ||
+				!bytes.Equal(got.Versions[i].Data, rec.Versions[i].Data) {
+				return false
+			}
+		}
+		// Visibility agrees with a linear reference.
+		base := uint64(rng.Intn(120))
+		snap := NewSnapshot(base)
+		var want *Version
+		for i := range rec.Versions {
+			if rec.Versions[i].TID <= base {
+				want = &rec.Versions[i]
+				break
+			}
+		}
+		v, ok := rec.Visible(snap)
+		if want == nil || want.Deleted {
+			return !ok
+		}
+		return ok && v.TID == want.TID
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGCPropertyNeverLosesVisibleVersions: after GC with lav, any snapshot
+// at or above lav reads the same version as before.
+func TestGCPropertyNeverLosesVisibleVersions(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rec := &Record{}
+		used := make(map[uint64]bool)
+		for i := 0; i < 6; i++ {
+			tid := uint64(rng.Intn(50) + 1)
+			if used[tid] {
+				continue
+			}
+			used[tid] = true
+			rec = rec.WithVersion(tid, false, []byte{byte(tid)})
+		}
+		if len(rec.Versions) == 0 {
+			return true
+		}
+		lav := uint64(rng.Intn(60))
+		pruned, _, empty := rec.GC(lav)
+		if empty {
+			return false // no delete markers here, must never empty
+		}
+		for base := lav; base < 60; base++ {
+			snap := NewSnapshot(base)
+			v1, ok1 := rec.Visible(snap)
+			v2, ok2 := pruned.Visible(snap)
+			if ok1 != ok2 {
+				return false
+			}
+			if ok1 && v1.TID != v2.TID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotUnion(t *testing.T) {
+	a := NewSnapshot(10)
+	a.Add(14)
+	b := NewSnapshot(12)
+	b.Add(20)
+	u := Union(a, b)
+	for _, tid := range []uint64{1, 10, 11, 12, 14, 20} {
+		if !u.Contains(tid) {
+			t.Fatalf("union missing %d", tid)
+		}
+	}
+	if u.Contains(13) || u.Contains(15) || u.Contains(21) {
+		t.Fatal("union has extras")
+	}
+	// Union is symmetric.
+	if !Union(b, a).Equal(u) {
+		t.Fatal("union not symmetric")
+	}
+	// Inputs unchanged.
+	if a.Contains(20) || b.Contains(14) {
+		t.Fatal("union mutated inputs")
+	}
+}

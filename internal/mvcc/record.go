@@ -1,0 +1,185 @@
+package mvcc
+
+import (
+	"fmt"
+
+	"tell/internal/wire"
+)
+
+// Version is one version of a record. TID is both the identifier of the
+// writing transaction and the version number (§4.2: "tids and version
+// numbers are synonyms"). A Deleted version marks the row as removed for
+// snapshots that include it.
+type Version struct {
+	TID     uint64
+	Deleted bool
+	Data    []byte
+}
+
+// Record is the serialized set of all versions of a row, stored as a single
+// key-value pair (§5.1): one read returns every version, and one atomic
+// conditional write both applies an update and detects write-write
+// conflicts. Versions are kept sorted by descending TID.
+type Record struct {
+	Versions []Version
+}
+
+// Decode parses a record value fetched from the store.
+func Decode(b []byte) (*Record, error) {
+	r := wire.NewReader(b)
+	n := r.Count(2)
+	rec := &Record{Versions: make([]Version, n)}
+	for i := range rec.Versions {
+		v := &rec.Versions[i]
+		v.TID = r.Uvarint()
+		v.Deleted = r.Bool()
+		v.Data = r.BytesN()
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// Encode serializes the record for storage.
+func (rec *Record) Encode() []byte {
+	size := 4
+	for i := range rec.Versions {
+		size += 12 + len(rec.Versions[i].Data)
+	}
+	w := wire.NewWriter(size)
+	w.Uvarint(uint64(len(rec.Versions)))
+	for i := range rec.Versions {
+		v := &rec.Versions[i]
+		w.Uvarint(v.TID)
+		w.Bool(v.Deleted)
+		w.BytesN(v.Data)
+	}
+	return w.Bytes()
+}
+
+// NewRecord creates a record with a single initial version.
+func NewRecord(tid uint64, data []byte) *Record {
+	return &Record{Versions: []Version{{TID: tid, Data: data}}}
+}
+
+// Visible returns the version the snapshot may read: the version with the
+// highest version number v ∈ V ∩ V* (§4.2). ok is false when no version is
+// visible or the visible version is a delete marker.
+func (rec *Record) Visible(snap *Snapshot) (v *Version, ok bool) {
+	for i := range rec.Versions {
+		if snap.Contains(rec.Versions[i].TID) {
+			if rec.Versions[i].Deleted {
+				return nil, false
+			}
+			return &rec.Versions[i], true
+		}
+	}
+	return nil, false
+}
+
+// Latest returns the version with the highest TID.
+func (rec *Record) Latest() *Version {
+	if len(rec.Versions) == 0 {
+		return nil
+	}
+	return &rec.Versions[0]
+}
+
+// Get returns the version with exactly the given tid.
+func (rec *Record) Get(tid uint64) (*Version, bool) {
+	for i := range rec.Versions {
+		if rec.Versions[i].TID == tid {
+			return &rec.Versions[i], true
+		}
+	}
+	return nil, false
+}
+
+// WithVersion returns a copy of the record with version tid set to data,
+// inserted in descending-TID position (replacing an existing tid version).
+func (rec *Record) WithVersion(tid uint64, deleted bool, data []byte) *Record {
+	out := &Record{Versions: make([]Version, 0, len(rec.Versions)+1)}
+	inserted := false
+	nv := Version{TID: tid, Deleted: deleted, Data: data}
+	for _, v := range rec.Versions {
+		switch {
+		case v.TID == tid:
+			continue // replaced
+		case !inserted && v.TID < tid:
+			out.Versions = append(out.Versions, nv)
+			inserted = true
+		}
+		out.Versions = append(out.Versions, v)
+	}
+	if !inserted {
+		out.Versions = append(out.Versions, nv)
+	}
+	return out
+}
+
+// WithoutVersion returns a copy with version tid removed (rollback of an
+// aborted transaction, §4.3/4.4.1). The second result is false when the
+// record then has no versions left and should be deleted from the store.
+func (rec *Record) WithoutVersion(tid uint64) (*Record, bool) {
+	out := &Record{Versions: make([]Version, 0, len(rec.Versions))}
+	for _, v := range rec.Versions {
+		if v.TID != tid {
+			out.Versions = append(out.Versions, v)
+		}
+	}
+	return out, len(out.Versions) > 0
+}
+
+// GC removes versions that no current or future transaction can read,
+// given the lowest active version number (§5.4): with C = {x ∈ V : x ≤ lav},
+// the collectable set is G = C \ {max(C)}. It returns the pruned record and
+// whether anything was removed. If the sole surviving version is a delete
+// marker that is itself ≤ lav, empty is true: the whole record (and its
+// index entries) can be removed.
+func (rec *Record) GC(lav uint64) (pruned *Record, changed, empty bool) {
+	maxC := uint64(0)
+	found := false
+	for i := range rec.Versions {
+		if rec.Versions[i].TID <= lav {
+			if !found || rec.Versions[i].TID > maxC {
+				maxC = rec.Versions[i].TID
+				found = true
+			}
+		}
+	}
+	if !found {
+		return rec, false, false
+	}
+	out := &Record{Versions: make([]Version, 0, len(rec.Versions))}
+	for _, v := range rec.Versions {
+		if v.TID <= lav && v.TID != maxC {
+			changed = true
+			continue
+		}
+		out.Versions = append(out.Versions, v)
+	}
+	if len(out.Versions) == 1 && out.Versions[0].Deleted && out.Versions[0].TID <= lav {
+		return out, true, true
+	}
+	if !changed {
+		return rec, false, false
+	}
+	return out, true, false
+}
+
+// String renders the record for debugging.
+func (rec *Record) String() string {
+	s := "["
+	for i, v := range rec.Versions {
+		if i > 0 {
+			s += " "
+		}
+		if v.Deleted {
+			s += fmt.Sprintf("%d:†", v.TID)
+		} else {
+			s += fmt.Sprintf("%d:%dB", v.TID, len(v.Data))
+		}
+	}
+	return s + "]"
+}

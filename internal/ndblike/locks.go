@@ -1,0 +1,119 @@
+package ndblike
+
+import (
+	"sync"
+	"time"
+
+	"tell/internal/env"
+)
+
+// lockTable implements shared/exclusive row locks with FIFO waiting. The
+// bookkeeping is guarded by a plain mutex (all operations are
+// non-blocking); waiting happens on environment futures, so parked
+// transactions are simulation-safe.
+type lockTable struct {
+	envr env.Full
+	mu   sync.Mutex
+	rows map[string]*rowLock
+}
+
+type rowLock struct {
+	// sharedHolders > 0 means read-locked; exclusive means write-locked.
+	sharedHolders int
+	exclusive     bool
+	waiters       []*lockWaiter
+}
+
+type lockWaiter struct {
+	excl    bool
+	granted env.Future
+}
+
+func newLockTable(envr env.Full) *lockTable {
+	return &lockTable{envr: envr, rows: make(map[string]*rowLock)}
+}
+
+// lock acquires key in the requested mode, waiting FIFO behind conflicting
+// holders. It reports whether it had to wait and whether it succeeded
+// within the timeout.
+func (t *lockTable) lock(ctx env.Ctx, key string, excl bool, timeout time.Duration) (waited, ok bool) {
+	t.mu.Lock()
+	rl := t.rows[key]
+	if rl == nil {
+		rl = &rowLock{}
+		t.rows[key] = rl
+	}
+	if t.grantableLocked(rl, excl) && len(rl.waiters) == 0 {
+		t.grantLocked(rl, excl)
+		t.mu.Unlock()
+		return false, true
+	}
+	w := &lockWaiter{excl: excl, granted: t.envr.NewFuture()}
+	rl.waiters = append(rl.waiters, w)
+	t.mu.Unlock()
+
+	if _, got := w.granted.GetTimeout(ctx, timeout); got {
+		return true, true
+	}
+	// Timed out: remove from the queue (if still there) and fail. A
+	// concurrent grant may have raced the timeout; detect via IsSet.
+	t.mu.Lock()
+	if w.granted.IsSet() {
+		t.mu.Unlock()
+		return true, true
+	}
+	for i, q := range rl.waiters {
+		if q == w {
+			rl.waiters = append(rl.waiters[:i], rl.waiters[i+1:]...)
+			break
+		}
+	}
+	t.mu.Unlock()
+	return true, false
+}
+
+func (t *lockTable) grantableLocked(rl *rowLock, excl bool) bool {
+	if excl {
+		return rl.sharedHolders == 0 && !rl.exclusive
+	}
+	return !rl.exclusive
+}
+
+func (t *lockTable) grantLocked(rl *rowLock, excl bool) {
+	if excl {
+		rl.exclusive = true
+	} else {
+		rl.sharedHolders++
+	}
+}
+
+// unlock releases one hold on key and grants waiters in FIFO order
+// (multiple compatible shared waiters are granted together).
+func (t *lockTable) unlock(key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rl := t.rows[key]
+	if rl == nil {
+		return
+	}
+	if rl.exclusive {
+		rl.exclusive = false
+	} else if rl.sharedHolders > 0 {
+		rl.sharedHolders--
+	}
+	for len(rl.waiters) > 0 {
+		w := rl.waiters[0]
+		if !t.grantableLocked(rl, w.excl) {
+			break
+		}
+		rl.waiters = rl.waiters[1:]
+		t.grantLocked(rl, w.excl)
+		w.granted.Set(nil)
+		if w.excl {
+			break
+		}
+	}
+	if !rl.exclusive && rl.sharedHolders == 0 && len(rl.waiters) == 0 {
+		delete(t.rows, key)
+	}
+}

@@ -1,0 +1,399 @@
+// Package query provides volcano-style relational operators over Tell
+// transactions — the "complex queries" capability of §2.1/§5: ordering,
+// aggregation, filtering and joins composed as iterators. Base iterators
+// ship records from the shared store to the query ("data is shipped to the
+// query"); the push-down variant moves selection and projection into the
+// storage nodes (§5.2).
+package query
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+
+	"tell/internal/core"
+	"tell/internal/env"
+	"tell/internal/relational"
+	"tell/internal/store"
+)
+
+// ErrClosed is returned by Next after Close.
+var ErrClosed = errors.New("query: iterator closed")
+
+// Iterator produces rows one at a time; ok=false signals exhaustion.
+type Iterator interface {
+	Next(ctx env.Ctx) (row relational.Row, ok bool, err error)
+	Close()
+}
+
+// rowsIter serves a materialized row set.
+type rowsIter struct {
+	rows   []relational.Row
+	pos    int
+	closed bool
+}
+
+func (it *rowsIter) Next(env.Ctx) (relational.Row, bool, error) {
+	if it.closed {
+		return nil, false, ErrClosed
+	}
+	if it.pos >= len(it.rows) {
+		return nil, false, nil
+	}
+	r := it.rows[it.pos]
+	it.pos++
+	return r, true, nil
+}
+
+func (it *rowsIter) Close() { it.closed = true }
+
+// Rows wraps a literal row set as an iterator (tests, VALUES clauses).
+func Rows(rows []relational.Row) Iterator { return &rowsIter{rows: rows} }
+
+// TableScan reads every visible row of the table within txn's snapshot.
+// Rows are fetched from the shared store (full shipping).
+func TableScan(ctx env.Ctx, txn *core.Txn, table *core.TableInfo) (Iterator, error) {
+	var rows []relational.Row
+	err := txn.ScanTable(ctx, table, func(rid uint64, row relational.Row) bool {
+		rows = append(rows, row)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &rowsIter{rows: rows}, nil
+}
+
+// TableScanPushdown reads the table with server-side selection and
+// projection (§5.2). pred and proj may be nil/empty.
+func TableScanPushdown(ctx env.Ctx, txn *core.Txn, table *core.TableInfo, pred *store.Predicate, proj []int) (Iterator, error) {
+	var rows []relational.Row
+	err := txn.ScanTableFiltered(ctx, table, pred, proj, func(rid uint64, row relational.Row) bool {
+		rows = append(rows, row)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &rowsIter{rows: rows}, nil
+}
+
+// IndexRange reads rows via an index within [lo, hi) (pass index "" for the
+// primary key).
+func IndexRange(ctx env.Ctx, txn *core.Txn, table *core.TableInfo, index string, lo, hi []relational.Value) (Iterator, error) {
+	var rows []relational.Row
+	collect := func(e core.IndexEntry) bool {
+		rows = append(rows, e.Row)
+		return true
+	}
+	var err error
+	if index == "" {
+		err = txn.ScanPK(ctx, table, lo, hi, collect)
+	} else {
+		err = txn.ScanIndex(ctx, table, index, lo, hi, collect)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &rowsIter{rows: rows}, nil
+}
+
+// Select filters rows by a predicate.
+func Select(in Iterator, pred func(relational.Row) bool) Iterator {
+	return &selectIter{in: in, pred: pred}
+}
+
+type selectIter struct {
+	in   Iterator
+	pred func(relational.Row) bool
+}
+
+func (it *selectIter) Next(ctx env.Ctx) (relational.Row, bool, error) {
+	for {
+		row, ok, err := it.in.Next(ctx)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if it.pred(row) {
+			return row, true, nil
+		}
+	}
+}
+
+func (it *selectIter) Close() { it.in.Close() }
+
+// Project keeps only the given column positions, in order.
+func Project(in Iterator, cols []int) Iterator {
+	return &projectIter{in: in, cols: cols}
+}
+
+type projectIter struct {
+	in   Iterator
+	cols []int
+}
+
+func (it *projectIter) Next(ctx env.Ctx) (relational.Row, bool, error) {
+	row, ok, err := it.in.Next(ctx)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(relational.Row, len(it.cols))
+	for i, c := range it.cols {
+		out[i] = row[c]
+	}
+	return out, true, nil
+}
+
+func (it *projectIter) Close() { it.in.Close() }
+
+// OrderBy sorts the input by the given columns (ascending, using the
+// order-preserving value encoding for type-correct comparison).
+func OrderBy(in Iterator, cols []int) Iterator {
+	return &orderIter{in: in, cols: cols}
+}
+
+type orderIter struct {
+	in     Iterator
+	cols   []int
+	sorted []relational.Row
+	done   bool
+	pos    int
+}
+
+func (it *orderIter) Next(ctx env.Ctx) (relational.Row, bool, error) {
+	if !it.done {
+		for {
+			row, ok, err := it.in.Next(ctx)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			it.sorted = append(it.sorted, row)
+		}
+		sort.SliceStable(it.sorted, func(i, j int) bool {
+			return bytes.Compare(
+				relational.IndexKeyFromRow(it.sorted[i], it.cols),
+				relational.IndexKeyFromRow(it.sorted[j], it.cols)) < 0
+		})
+		it.done = true
+	}
+	if it.pos >= len(it.sorted) {
+		return nil, false, nil
+	}
+	r := it.sorted[it.pos]
+	it.pos++
+	return r, true, nil
+}
+
+func (it *orderIter) Close() { it.in.Close() }
+
+// Limit stops after n rows.
+func Limit(in Iterator, n int) Iterator { return &limitIter{in: in, left: n} }
+
+type limitIter struct {
+	in   Iterator
+	left int
+}
+
+func (it *limitIter) Next(ctx env.Ctx) (relational.Row, bool, error) {
+	if it.left <= 0 {
+		return nil, false, nil
+	}
+	row, ok, err := it.in.Next(ctx)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	it.left--
+	return row, true, nil
+}
+
+func (it *limitIter) Close() { it.in.Close() }
+
+// AggFunc identifies an aggregate function.
+type AggFunc int
+
+const (
+	Count AggFunc = iota
+	SumI          // sum of an int64 column
+	SumF          // sum of a float64 column
+	MinV          // minimum by value ordering
+	MaxV          // maximum by value ordering
+)
+
+// Agg is one aggregate over a column (Col ignored for Count).
+type Agg struct {
+	Fn  AggFunc
+	Col int
+}
+
+// GroupBy groups rows by key columns and computes aggregates per group.
+// Output rows are [keyCols..., aggValues...] in first-seen group order.
+func GroupBy(in Iterator, keyCols []int, aggs []Agg) Iterator {
+	return &groupIter{in: in, keyCols: keyCols, aggs: aggs}
+}
+
+type groupState struct {
+	key    relational.Row
+	counts []int64
+	sumsI  []int64
+	sumsF  []float64
+	minMax []relational.Value
+	seen   []bool
+}
+
+type groupIter struct {
+	in      Iterator
+	keyCols []int
+	aggs    []Agg
+	groups  []*groupState
+	index   map[string]*groupState
+	done    bool
+	pos     int
+}
+
+func (it *groupIter) Next(ctx env.Ctx) (relational.Row, bool, error) {
+	if !it.done {
+		it.index = make(map[string]*groupState)
+		for {
+			row, ok, err := it.in.Next(ctx)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			key := relational.IndexKeyFromRow(row, it.keyCols)
+			g, exists := it.index[string(key)]
+			if !exists {
+				g = &groupState{
+					counts: make([]int64, len(it.aggs)),
+					sumsI:  make([]int64, len(it.aggs)),
+					sumsF:  make([]float64, len(it.aggs)),
+					minMax: make([]relational.Value, len(it.aggs)),
+					seen:   make([]bool, len(it.aggs)),
+				}
+				for _, c := range it.keyCols {
+					g.key = append(g.key, row[c])
+				}
+				it.index[string(key)] = g
+				it.groups = append(it.groups, g)
+			}
+			for i, a := range it.aggs {
+				switch a.Fn {
+				case Count:
+					g.counts[i]++
+				case SumI:
+					g.sumsI[i] += row[a.Col].I
+				case SumF:
+					g.sumsF[i] += row[a.Col].F
+				case MinV, MaxV:
+					v := row[a.Col]
+					if !g.seen[i] {
+						g.minMax[i], g.seen[i] = v, true
+						break
+					}
+					c := bytes.Compare(
+						relational.AppendKeyValue(nil, v),
+						relational.AppendKeyValue(nil, g.minMax[i]))
+					if (a.Fn == MinV && c < 0) || (a.Fn == MaxV && c > 0) {
+						g.minMax[i] = v
+					}
+				}
+			}
+		}
+		it.done = true
+	}
+	if it.pos >= len(it.groups) {
+		return nil, false, nil
+	}
+	g := it.groups[it.pos]
+	it.pos++
+	out := append(relational.Row{}, g.key...)
+	for i, a := range it.aggs {
+		switch a.Fn {
+		case Count:
+			out = append(out, relational.I64(g.counts[i]))
+		case SumI:
+			out = append(out, relational.I64(g.sumsI[i]))
+		case SumF:
+			out = append(out, relational.F64(g.sumsF[i]))
+		case MinV, MaxV:
+			out = append(out, g.minMax[i])
+		}
+	}
+	return out, true, nil
+}
+
+func (it *groupIter) Close() { it.in.Close() }
+
+// HashJoin joins two inputs on equality of the given column sets; output
+// rows are the concatenation left ++ right. The right input is built into a
+// hash table (it should be the smaller side).
+func HashJoin(left, right Iterator, leftCols, rightCols []int) Iterator {
+	return &joinIter{left: left, right: right, lCols: leftCols, rCols: rightCols}
+}
+
+type joinIter struct {
+	left, right  Iterator
+	lCols, rCols []int
+	table        map[string][]relational.Row
+	built        bool
+	pending      []relational.Row // matches for the current left row
+	current      relational.Row
+}
+
+func (it *joinIter) Next(ctx env.Ctx) (relational.Row, bool, error) {
+	if !it.built {
+		it.table = make(map[string][]relational.Row)
+		for {
+			row, ok, err := it.right.Next(ctx)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			k := string(relational.IndexKeyFromRow(row, it.rCols))
+			it.table[k] = append(it.table[k], row)
+		}
+		it.built = true
+	}
+	for {
+		if len(it.pending) > 0 {
+			r := it.pending[0]
+			it.pending = it.pending[1:]
+			out := append(append(relational.Row{}, it.current...), r...)
+			return out, true, nil
+		}
+		row, ok, err := it.left.Next(ctx)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		it.current = row
+		k := string(relational.IndexKeyFromRow(row, it.lCols))
+		it.pending = it.table[k]
+	}
+}
+
+func (it *joinIter) Close() {
+	it.left.Close()
+	it.right.Close()
+}
+
+// Collect drains an iterator into a slice and closes it.
+func Collect(ctx env.Ctx, it Iterator) ([]relational.Row, error) {
+	defer it.Close()
+	var out []relational.Row
+	for {
+		row, ok, err := it.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}

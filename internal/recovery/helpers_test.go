@@ -1,0 +1,27 @@
+package recovery_test
+
+import (
+	"testing"
+
+	"tell/internal/core"
+	"tell/internal/mvcc"
+	"tell/internal/relational"
+)
+
+func decodeRecord(t *testing.T, raw []byte) *mvcc.Record {
+	t.Helper()
+	rec, err := mvcc.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func encodeRow(t *testing.T, table *core.TableInfo, row relational.Row) []byte {
+	t.Helper()
+	b, err := relational.EncodeRow(table.Schema, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -1,0 +1,258 @@
+package recovery_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tell/internal/commitmgr"
+	"tell/internal/core"
+	"tell/internal/env"
+	"tell/internal/recovery"
+	"tell/internal/relational"
+	"tell/internal/sim"
+	"tell/internal/store"
+	"tell/internal/transport"
+	"tell/internal/txlog"
+)
+
+type rig struct {
+	k       *sim.Kernel
+	envr    env.Full
+	net     *transport.SimNet
+	cluster *store.Cluster
+	pns     []*core.PN
+	mgr     *recovery.Manager
+	driver  env.Node
+}
+
+func newRig(t *testing.T, nPNs int) *rig {
+	t.Helper()
+	k := sim.NewKernel(31)
+	envr := env.NewSim(k)
+	net := transport.NewSimNet(k, transport.InfiniBand())
+	cl, err := store.NewCluster(envr, net, store.ClusterConfig{NumNodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmNode := envr.NewNode("cm0", 2)
+	cm := commitmgr.New("cm0", "cm0", envr, cmNode, net, cl.NewClient(cmNode))
+	if err := cm.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{k: k, envr: envr, net: net, cluster: cl}
+	for i := 0; i < nPNs; i++ {
+		name := fmt.Sprintf("pn%d", i)
+		node := envr.NewNode(name, 4)
+		pn := core.New(core.Config{ID: name}, envr, node, net,
+			cl.NewClient(node), commitmgr.NewClient(envr, node, net, []string{"cm0"}))
+		if err := pn.Serve(net); err != nil {
+			t.Fatal(err)
+		}
+		r.pns = append(r.pns, pn)
+	}
+	mgmtNode := envr.NewNode("pn-mgmt", 2)
+	r.mgr = recovery.NewManager(envr, mgmtNode, net, cl.NewClient(mgmtNode),
+		commitmgr.NewClient(envr, mgmtNode, net, []string{"cm0"}))
+	for i := 0; i < nPNs; i++ {
+		r.mgr.Watch(fmt.Sprintf("pn%d", i))
+	}
+	r.driver = envr.NewNode("driver", 2)
+	return r
+}
+
+func (r *rig) run(t *testing.T, fn func(ctx env.Ctx)) {
+	t.Helper()
+	done := false
+	r.driver.Go("test", func(ctx env.Ctx) {
+		defer r.k.Stop()
+		fn(ctx)
+		done = true
+	})
+	if err := r.k.RunUntil(sim.Time(3000 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("test activity did not finish")
+	}
+	r.k.Shutdown()
+}
+
+func schema() *relational.TableSchema {
+	return &relational.TableSchema{
+		Name:   "kv",
+		Cols:   []relational.Column{{Name: "k", Type: relational.TInt64}, {Name: "v", Type: relational.TInt64}},
+		PKCols: []int{0},
+	}
+}
+
+// crashMidCommit simulates a PN that dies with partially applied updates:
+// it writes the log entry and applies record changes but never sets the
+// commit flag — exactly the state recovery must clean up (§4.4.1).
+func crashMidCommit(t *testing.T, ctx env.Ctx, pn *core.PN, table *core.TableInfo, rid uint64, tidOut *uint64) {
+	t.Helper()
+	txn, err := pn.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	*tidOut = txn.TID()
+	// Reproduce the commit prefix by hand: log entry + applied version.
+	key := relational.RecordKey(table.Schema.ID, rid)
+	log := txlog.New(pn.Store())
+	if err := log.Append(ctx, &txlog.Entry{TID: txn.TID(), PN: pn.ID(), WriteSet: [][]byte{key}}); err != nil {
+		t.Fatal(err)
+	}
+	raw, stamp, err := pn.Store().Get(ctx, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := decodeRecord(t, raw)
+	rec = rec.WithVersion(txn.TID(), false, encodeRow(t, table, relational.Row{relational.I64(1), relational.I64(666)}))
+	if _, err := pn.Store().CondPut(ctx, key, rec.Encode(), stamp); err != nil {
+		t.Fatal(err)
+	}
+	// ... and then the PN "crashes": no index update, no commit flag, no
+	// commit-manager notification.
+}
+
+func TestRecoveryRollsBackUncommitted(t *testing.T) {
+	r := newRig(t, 2)
+	r.run(t, func(ctx env.Ctx) {
+		pn0, pn1 := r.pns[0], r.pns[1]
+		table, _ := pn0.Catalog().CreateTable(ctx, schema())
+		setup, _ := pn0.Begin(ctx)
+		rid, _ := setup.Insert(ctx, table, relational.Row{relational.I64(1), relational.I64(42)})
+		if err := setup.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+		var deadTid uint64
+		crashMidCommit(t, ctx, pn1, table, rid, &deadTid)
+
+		// The partially applied version is present in the raw record.
+		raw, _, _ := pn0.Store().Get(ctx, relational.RecordKey(table.Schema.ID, rid))
+		if n := len(decodeRecord(t, raw).Versions); n != 2 {
+			t.Fatalf("expected 2 versions pre-recovery, got %d", n)
+		}
+
+		// Run recovery for pn1 directly.
+		n, err := r.mgr.Recover(ctx, "pn1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 1 {
+			t.Fatalf("rolled back %d transactions, want 1", n)
+		}
+		raw, _, _ = pn0.Store().Get(ctx, relational.RecordKey(table.Schema.ID, rid))
+		rec := decodeRecord(t, raw)
+		if len(rec.Versions) != 1 {
+			t.Fatalf("version not reverted: %v", rec)
+		}
+		// Data is intact for new transactions.
+		check, _ := pn0.Begin(ctx)
+		row, found, _ := check.Read(ctx, table, rid)
+		if !found || row[1].I != 42 {
+			t.Fatalf("post-recovery read: %v %v", row, found)
+		}
+		check.Commit(ctx)
+		// And the fence prevents a late commit flag.
+		log := txlog.New(pn0.Store())
+		if err := log.MarkCommitted(ctx, deadTid); err != txlog.ErrFenced {
+			t.Fatalf("expected fence, got %v", err)
+		}
+	})
+}
+
+func TestRecoveryLeavesCommittedAlone(t *testing.T) {
+	r := newRig(t, 2)
+	r.run(t, func(ctx env.Ctx) {
+		pn0 := r.pns[0]
+		table, _ := pn0.Catalog().CreateTable(ctx, schema())
+		setup, _ := pn0.Begin(ctx)
+		rid, _ := setup.Insert(ctx, table, relational.Row{relational.I64(1), relational.I64(1)})
+		setup.Commit(ctx)
+		// A properly committed transaction from pn1.
+		t1, _ := r.pns[1].Catalog().OpenTable(ctx, "kv")
+		txn, _ := r.pns[1].Begin(ctx)
+		txn.Update(ctx, t1, rid, relational.Row{relational.I64(1), relational.I64(2)})
+		if err := txn.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+		n, err := r.mgr.Recover(ctx, "pn1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 0 {
+			t.Fatalf("recovery rolled back %d committed transactions", n)
+		}
+		check, _ := pn0.Begin(ctx)
+		row, _, _ := check.Read(ctx, table, rid)
+		if row[1].I != 2 {
+			t.Fatalf("committed data lost: %v", row)
+		}
+		check.Commit(ctx)
+	})
+}
+
+func TestFailureDetectorTriggersRecovery(t *testing.T) {
+	r := newRig(t, 2)
+	r.mgr.Start()
+	recovered := ""
+	r.mgr.OnRecovered = func(pn string, n int) { recovered = pn }
+	r.run(t, func(ctx env.Ctx) {
+		pn0, pn1 := r.pns[0], r.pns[1]
+		table, _ := pn0.Catalog().CreateTable(ctx, schema())
+		setup, _ := pn0.Begin(ctx)
+		rid, _ := setup.Insert(ctx, table, relational.Row{relational.I64(1), relational.I64(7)})
+		setup.Commit(ctx)
+		var deadTid uint64
+		crashMidCommit(t, ctx, pn1, table, rid, &deadTid)
+		// Kill pn1's endpoint; the failure detector must notice and
+		// recover within a few ping intervals.
+		r.net.SetDown("pn1", true)
+		ctx.Sleep(500 * time.Millisecond)
+		if recovered != "pn1" {
+			t.Fatalf("recovered = %q, want pn1", recovered)
+		}
+		if r.mgr.Recoveries() != 1 || r.mgr.RolledBack() != 1 {
+			t.Fatalf("recoveries=%d rolledBack=%d", r.mgr.Recoveries(), r.mgr.RolledBack())
+		}
+		check, _ := pn0.Begin(ctx)
+		row, found, _ := check.Read(ctx, table, rid)
+		if !found || row[1].I != 7 {
+			t.Fatalf("post-recovery: %v %v", row, found)
+		}
+		check.Commit(ctx)
+	})
+}
+
+func TestRecoveryHandlesMultipleFailures(t *testing.T) {
+	r := newRig(t, 3)
+	r.mgr.Start()
+	r.run(t, func(ctx env.Ctx) {
+		pn0 := r.pns[0]
+		table, _ := pn0.Catalog().CreateTable(ctx, schema())
+		setup, _ := pn0.Begin(ctx)
+		rid1, _ := setup.Insert(ctx, table, relational.Row{relational.I64(1), relational.I64(1)})
+		rid2, _ := setup.Insert(ctx, table, relational.Row{relational.I64(2), relational.I64(2)})
+		setup.Commit(ctx)
+		var tid1, tid2 uint64
+		t1, _ := r.pns[1].Catalog().OpenTable(ctx, "kv")
+		t2, _ := r.pns[2].Catalog().OpenTable(ctx, "kv")
+		crashMidCommit(t, ctx, r.pns[1], t1, rid1, &tid1)
+		crashMidCommit(t, ctx, r.pns[2], t2, rid2, &tid2)
+		r.net.SetDown("pn1", true)
+		r.net.SetDown("pn2", true)
+		ctx.Sleep(time.Second)
+		if r.mgr.Recoveries() != 2 || r.mgr.RolledBack() != 2 {
+			t.Fatalf("recoveries=%d rolledBack=%d", r.mgr.Recoveries(), r.mgr.RolledBack())
+		}
+		check, _ := pn0.Begin(ctx)
+		for i, rid := range []uint64{rid1, rid2} {
+			row, found, _ := check.Read(ctx, table, rid)
+			if !found || row[1].I != int64(i+1) {
+				t.Fatalf("rid%d: %v %v", i+1, row, found)
+			}
+		}
+		check.Commit(ctx)
+	})
+}

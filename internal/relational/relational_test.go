@@ -1,0 +1,272 @@
+package relational
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sampleSchema() *TableSchema {
+	return &TableSchema{
+		Name: "customer",
+		ID:   3,
+		Cols: []Column{
+			{Name: "c_id", Type: TInt64},
+			{Name: "c_name", Type: TString},
+			{Name: "c_balance", Type: TFloat64},
+			{Name: "c_data", Type: TBytes},
+			{Name: "c_good", Type: TBool},
+		},
+		PKCols:  []int{0},
+		Indexes: []IndexSchema{{Name: "byname", Cols: []int{1}}},
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	s := sampleSchema()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *s
+	bad.PKCols = []int{9}
+	if bad.Validate() == nil {
+		t.Fatal("out-of-range PK accepted")
+	}
+	bad2 := *s
+	bad2.Cols = append([]Column{}, s.Cols...)
+	bad2.Cols[1].Name = "c_id"
+	if bad2.Validate() == nil {
+		t.Fatal("duplicate column accepted")
+	}
+	bad3 := *s
+	bad3.PKCols = nil
+	if bad3.Validate() == nil {
+		t.Fatal("missing PK accepted")
+	}
+}
+
+func TestSchemaCodec(t *testing.T) {
+	s := sampleSchema()
+	got, err := DecodeSchema(s.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "customer" || got.ID != 3 || len(got.Cols) != 5 {
+		t.Fatalf("got %+v", got)
+	}
+	if got.Cols[2].Type != TFloat64 || got.PKCols[0] != 0 {
+		t.Fatalf("got %+v", got)
+	}
+	if len(got.Indexes) != 1 || got.Indexes[0].Name != "byname" || got.Indexes[0].Cols[0] != 1 {
+		t.Fatalf("indexes %+v", got.Indexes)
+	}
+}
+
+func TestRowCodecRoundTrip(t *testing.T) {
+	s := sampleSchema()
+	row := Row{I64(7), Str("Alice"), F64(-12.5), Bytes([]byte{1, 2, 0, 3}), BoolV(true)}
+	b, err := EncodeRow(s, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRow(s, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range row {
+		if !got[i].Equal(row[i]) {
+			t.Fatalf("col %d: %v != %v", i, got[i], row[i])
+		}
+	}
+}
+
+func TestRowCodecNulls(t *testing.T) {
+	s := sampleSchema()
+	row := Row{I64(1), Null(TString), Null(TFloat64), Null(TBytes), Null(TBool)}
+	b, err := EncodeRow(s, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRow(s, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[1].Null || !got[4].Null {
+		t.Fatalf("nulls lost: %+v", got)
+	}
+}
+
+func TestRowCodecRejectsTypeMismatch(t *testing.T) {
+	s := sampleSchema()
+	if _, err := EncodeRow(s, Row{Str("x"), Str("y"), F64(0), Bytes(nil), BoolV(false)}); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+	if _, err := EncodeRow(s, Row{I64(1)}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestKeyEncodingOrderInt64(t *testing.T) {
+	vals := []int64{math.MinInt64, -1 << 40, -255, -1, 0, 1, 255, 1 << 40, math.MaxInt64}
+	var prev []byte
+	for i, v := range vals {
+		k := EncodeKey(I64(v))
+		if i > 0 && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("order broken at %d", v)
+		}
+		prev = k
+	}
+}
+
+func TestKeyEncodingOrderFloat(t *testing.T) {
+	vals := []float64{math.Inf(-1), -1e100, -1.5, -0.0001, 0, 0.0001, 1.5, 1e100, math.Inf(1)}
+	var prev []byte
+	for i, v := range vals {
+		k := EncodeKey(F64(v))
+		if i > 0 && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("order broken at %g", v)
+		}
+		prev = k
+	}
+}
+
+func TestKeyEncodingOrderStringsWithZeroBytes(t *testing.T) {
+	vals := []string{"", "\x00", "\x00a", "a", "a\x00", "a\x00b", "ab", "b"}
+	var prev []byte
+	for i, v := range vals {
+		k := EncodeKey(Str(v))
+		if i > 0 && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("order broken at %q", v)
+		}
+		prev = k
+	}
+}
+
+func TestKeyEncodingCompositePrefixSafety(t *testing.T) {
+	// ("a", "b") must sort before ("ab",) style confusions are impossible
+	// thanks to terminators.
+	k1 := EncodeKey(Str("a"), Str("z"))
+	k2 := EncodeKey(Str("ab"), Str("a"))
+	if bytes.Compare(k1, k2) >= 0 {
+		t.Fatal("composite ordering broken")
+	}
+	// Null sorts before any value.
+	if bytes.Compare(EncodeKey(Null(TString)), EncodeKey(Str(""))) >= 0 {
+		t.Fatal("null must sort first")
+	}
+}
+
+// TestKeyEncodingPropertyInt property: byte order == numeric order.
+func TestKeyEncodingPropertyInt(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka, kb := EncodeKey(I64(a)), EncodeKey(I64(b))
+		switch {
+		case a < b:
+			return bytes.Compare(ka, kb) < 0
+		case a > b:
+			return bytes.Compare(ka, kb) > 0
+		default:
+			return bytes.Equal(ka, kb)
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKeyEncodingPropertyString property: byte order == lexicographic order.
+func TestKeyEncodingPropertyString(t *testing.T) {
+	f := func(a, b string) bool {
+		ka, kb := EncodeKey(Str(a)), EncodeKey(Str(b))
+		switch {
+		case a < b:
+			return bytes.Compare(ka, kb) < 0
+		case a > b:
+			return bytes.Compare(ka, kb) > 0
+		default:
+			return bytes.Equal(ka, kb)
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKeyEncodingPropertyComposite property: composite keys sort like
+// component tuples.
+func TestKeyEncodingPropertyComposite(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	type tuple struct {
+		a int64
+		s string
+	}
+	var tuples []tuple
+	for i := 0; i < 300; i++ {
+		tuples = append(tuples, tuple{a: int64(rng.Intn(10) - 5), s: string(rune('a' + rng.Intn(4)))})
+	}
+	keys := make([][]byte, len(tuples))
+	for i, tp := range tuples {
+		keys[i] = EncodeKey(I64(tp.a), Str(tp.s))
+	}
+	order := make([]int, len(tuples))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		return bytes.Compare(keys[order[x]], keys[order[y]]) < 0
+	})
+	for i := 1; i < len(order); i++ {
+		p, q := tuples[order[i-1]], tuples[order[i]]
+		if p.a > q.a || (p.a == q.a && p.s > q.s) {
+			t.Fatalf("tuple order violated: %+v after %+v", q, p)
+		}
+	}
+}
+
+func TestRecordKeys(t *testing.T) {
+	k := RecordKey(7, 12345)
+	rid, ok := RidFromRecordKey(k)
+	if !ok || rid != 12345 {
+		t.Fatalf("rid = %d, %v", rid, ok)
+	}
+	if _, ok := RidFromRecordKey([]byte("short")); ok {
+		t.Fatal("bad key accepted")
+	}
+	// Keys for the same table share a scannable prefix and order by rid.
+	if bytes.Compare(RecordKey(7, 1), RecordKey(7, 2)) >= 0 {
+		t.Fatal("record keys not rid-ordered")
+	}
+}
+
+func TestRidIndexValRoundTrip(t *testing.T) {
+	if got := RidFromIndexVal(RidToIndexVal(987654321)); got != 987654321 {
+		t.Fatalf("got %d", got)
+	}
+	if RidFromIndexVal([]byte{1, 2}) != 0 {
+		t.Fatal("short value should decode to 0")
+	}
+}
+
+func TestAppendRidPreservesOrderWithinKey(t *testing.T) {
+	base := EncodeKey(Str("dup"))
+	k1 := AppendRid(append([]byte(nil), base...), 1)
+	k2 := AppendRid(append([]byte(nil), base...), 2)
+	if bytes.Compare(k1, k2) >= 0 {
+		t.Fatal("rid suffix order broken")
+	}
+}
+
+func TestPrefixEnd(t *testing.T) {
+	if got := PrefixEnd([]byte{1, 2, 3}); !bytes.Equal(got, []byte{1, 2, 4}) {
+		t.Fatalf("got %v", got)
+	}
+	if got := PrefixEnd([]byte{1, 0xFF}); !bytes.Equal(got, []byte{2}) {
+		t.Fatalf("got %v", got)
+	}
+	if got := PrefixEnd([]byte{0xFF, 0xFF}); got != nil {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,298 @@
+// Package sim implements a deterministic discrete-event simulator.
+//
+// The simulator is the substrate for all scalability experiments in this
+// repository: the paper's evaluation ran on a 12-server InfiniBand cluster,
+// which we reproduce as a virtual cluster whose nodes, CPU cores and network
+// links are simulated resources. The database code itself executes for real;
+// only time is virtual.
+//
+// Processes are ordinary goroutines scheduled cooperatively with strict
+// hand-off: exactly one process runs at any instant, and control returns to
+// the kernel whenever a process blocks on a simulated primitive (Sleep,
+// Queue.Get, Resource.Acquire, Future.Get). This makes simulations fully
+// deterministic — a given seed and program always produce the same event
+// order — and lets a single host core simulate an arbitrarily large cluster.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"time"
+)
+
+// Time is a point in virtual time, expressed as nanoseconds since the start
+// of the simulation.
+type Time int64
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and earlier time u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts t to the duration elapsed since the simulation started.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// event is a scheduled occurrence: either a process wake-up or a kernel
+// callback. Events with equal times fire in scheduling order (seq).
+type event struct {
+	at   Time
+	seq  uint64
+	proc *Proc  // process to resume, or nil
+	fn   func() // kernel callback, run inline; must not block
+	idx  int    // heap index
+	dead bool   // cancelled
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// yieldKind reports why a process handed control back to the kernel.
+type yieldKind int
+
+const (
+	yieldBlocked yieldKind = iota // process is waiting on an event
+	yieldDone                     // process function returned
+	yieldPanic                    // process function panicked
+)
+
+type yieldMsg struct {
+	kind yieldKind
+	err  error
+}
+
+// Kernel is a discrete-event simulation instance. It is not safe for
+// concurrent use; all interaction happens from the goroutine that calls Run
+// and from the processes the kernel itself schedules.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	rng     *rand.Rand
+	yield   chan yieldMsg
+	cur     *Proc
+	procs   map[*Proc]struct{}
+	stopped bool
+	err     error
+	nspawn  int
+}
+
+// ErrKilled is the panic value delivered to processes that are still blocked
+// when the kernel shuts down. The kernel recovers it silently.
+var ErrKilled = fmt.Errorf("sim: process killed at shutdown")
+
+// NewKernel returns a kernel whose random source is seeded with seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		rng:   rand.New(rand.NewSource(seed)),
+		yield: make(chan yieldMsg),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Err returns the first process panic observed, if any.
+func (k *Kernel) Err() error { return k.err }
+
+// Procs returns the number of live (running or blocked) processes.
+func (k *Kernel) Procs() int { return len(k.procs) }
+
+func (k *Kernel) schedule(at Time, p *Proc, fn func()) *event {
+	if at < k.now {
+		at = k.now
+	}
+	k.seq++
+	e := &event{at: at, seq: k.seq, proc: p, fn: fn}
+	heap.Push(&k.events, e)
+	return e
+}
+
+// After schedules fn to run at the current time plus d. fn executes on the
+// kernel goroutine and must not block on simulated primitives; it may wake
+// processes, put to queues, set futures, or schedule further callbacks.
+func (k *Kernel) After(d time.Duration, fn func()) {
+	k.schedule(k.now.Add(d), nil, fn)
+}
+
+// Go spawns a new process that begins executing at the current virtual time.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, wake: make(chan wakeMsg)}
+	k.procs[p] = struct{}{}
+	k.nspawn++
+	go func() {
+		if m := <-p.wake; m.kill {
+			k.yield <- yieldMsg{kind: yieldDone}
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				if r == ErrKilled {
+					k.yield <- yieldMsg{kind: yieldDone}
+					return
+				}
+				k.yield <- yieldMsg{
+					kind: yieldPanic,
+					err:  fmt.Errorf("sim: process %q panicked: %v\n%s", p.name, r, debug.Stack()),
+				}
+				return
+			}
+			k.yield <- yieldMsg{kind: yieldDone}
+		}()
+		fn(p)
+	}()
+	k.schedule(k.now, p, nil)
+	return p
+}
+
+// dispatch resumes process p and waits for it to block or finish.
+func (k *Kernel) dispatch(p *Proc) {
+	k.cur = p
+	p.wake <- wakeMsg{}
+	m := <-k.yield
+	k.cur = nil
+	switch m.kind {
+	case yieldDone:
+		delete(k.procs, p)
+	case yieldPanic:
+		delete(k.procs, p)
+		if k.err == nil {
+			k.err = m.err
+		}
+		k.stopped = true
+	}
+}
+
+// Stop halts the simulation: Run returns after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// maxTime is the sentinel deadline meaning "run until the queue drains".
+const maxTime = Time(1<<62 - 1)
+
+// Run executes events until the event queue is empty, Stop is called, or a
+// process panics. It returns the first process panic, if any.
+func (k *Kernel) Run() error { return k.RunUntil(maxTime) }
+
+// RunFor runs the simulation for d virtual time from now.
+func (k *Kernel) RunFor(d time.Duration) error { return k.RunUntil(k.now.Add(d)) }
+
+// RunUntil executes events with timestamps at or before deadline. When it
+// returns, virtual time equals the deadline (unless the event queue drained
+// or the kernel stopped first).
+func (k *Kernel) RunUntil(deadline Time) error {
+	for !k.stopped {
+		e := k.next()
+		if e == nil {
+			// Queue drained: idle until the deadline.
+			if deadline != maxTime && deadline > k.now {
+				k.now = deadline
+			}
+			break
+		}
+		if e.at > deadline {
+			// Put it back for a later Run call.
+			heap.Push(&k.events, e)
+			k.now = deadline
+			return k.err
+		}
+		k.now = e.at
+		if e.fn != nil {
+			e.fn()
+			continue
+		}
+		k.dispatch(e.proc)
+	}
+	return k.err
+}
+
+func (k *Kernel) next() *event {
+	for len(k.events) > 0 {
+		e := heap.Pop(&k.events).(*event)
+		if !e.dead {
+			return e
+		}
+	}
+	return nil
+}
+
+// Shutdown terminates all still-blocked processes so their goroutines exit.
+// It must be called after Run returns; the kernel is unusable afterwards.
+func (k *Kernel) Shutdown() {
+	k.stopped = true
+	for p := range k.procs {
+		p.wake <- wakeMsg{kill: true}
+		<-k.yield
+	}
+	k.procs = map[*Proc]struct{}{}
+}
+
+type wakeMsg struct{ kill bool }
+
+// Proc is a handle to a simulated process. All methods must be called from
+// within the process's own function.
+type Proc struct {
+	k    *Kernel
+	name string
+	wake chan wakeMsg
+}
+
+// Name returns the name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// block hands control to the kernel until another event resumes p.
+func (p *Proc) block() {
+	p.k.yield <- yieldMsg{kind: yieldBlocked}
+	if m := <-p.wake; m.kill {
+		panic(ErrKilled)
+	}
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d <= 0 {
+		// Yield anyway so zero-duration sleeps still provide a scheduling
+		// point, mirroring runtime.Gosched.
+		d = 0
+	}
+	p.k.schedule(p.k.now.Add(d), p, nil)
+	p.block()
+}
+
+// Go spawns a sibling process.
+func (p *Proc) Go(name string, fn func(p *Proc)) *Proc { return p.k.Go(name, fn) }

@@ -1,0 +1,613 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"tell/internal/env"
+	"tell/internal/transport"
+	"tell/internal/wire"
+)
+
+// Client errors.
+var (
+	// ErrNotFound: the key does not exist.
+	ErrNotFound = errors.New("store: key not found")
+	// ErrConflict: the LL/SC store-conditional failed — the cell changed
+	// since it was load-linked. This is the conflict signal the MVCC
+	// protocol is built on (§4.1).
+	ErrConflict = errors.New("store: conditional write conflict")
+	// ErrUnavailable: the owning partition could not be reached after
+	// retries and fail-over.
+	ErrUnavailable = errors.New("store: partition unavailable")
+)
+
+// Client is the storage-system client library used by processing nodes. It
+// caches the partition map, routes operations to partition masters, retries
+// through fail-overs, and — centrally for performance (§5.1) — batches
+// operations aggressively: all operations issued concurrently on one
+// processing node toward the same storage node coalesce into single
+// requests ("batching ... is also used to combine concurrent read
+// operations from different transactions on the same PN").
+type Client struct {
+	envr    env.Full
+	node    env.Node
+	tr      transport.Transport
+	mgrAddr string
+
+	// MaxBatch bounds how many ops one request may carry.
+	MaxBatch int
+	// Senders is how many requests may be in flight per storage node
+	// (pipelined batching): one sender would serialize all traffic to a
+	// node behind a single round trip.
+	Senders int
+	// Retries bounds re-routing attempts per operation.
+	Retries int
+	// RetryDelay is slept between retries (virtual time under sim).
+	RetryDelay time.Duration
+
+	mu       sync.Mutex
+	pmap     *PartitionMap
+	conns    map[string]transport.Conn
+	batchers map[string]*batcher
+	batching bool
+
+	// Stats
+	nBatches, nOps uint64
+}
+
+// NewClient creates a client on the given node. mgrAddr is the management
+// node used as the lookup service. Batching is enabled by default.
+func NewClient(envr env.Full, node env.Node, tr transport.Transport, mgrAddr string) *Client {
+	return &Client{
+		envr:       envr,
+		node:       node,
+		tr:         tr,
+		mgrAddr:    mgrAddr,
+		MaxBatch:   64,
+		Senders:    4,
+		Retries:    10,
+		RetryDelay: 2 * time.Millisecond,
+		conns:      make(map[string]transport.Conn),
+		batchers:   make(map[string]*batcher),
+		batching:   true,
+	}
+}
+
+// SetBatching toggles cross-transaction request batching (the batching
+// ablation experiment turns it off).
+func (c *Client) SetBatching(on bool) { c.batching = on }
+
+// Close shuts down the client's batcher activities and connections.
+// In-flight operations may fail; the client must not be used afterwards.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, b := range c.batchers {
+		b.q.Close()
+	}
+	for _, conn := range c.conns {
+		conn.Close()
+	}
+}
+
+// Ops returns the number of storage operations issued.
+func (c *Client) Ops() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nOps
+}
+
+// Batches returns the number of storage requests sent; Ops/Batches is the
+// achieved batching factor.
+func (c *Client) Batches() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nBatches
+}
+
+// refreshMap fetches the partition map from the lookup service.
+func (c *Client) refreshMap(ctx env.Ctx) error {
+	conn, err := c.conn(c.mgrAddr)
+	if err != nil {
+		return err
+	}
+	raw, err := conn.RoundTrip(ctx, encodeMetaGetMap())
+	if err != nil {
+		return err
+	}
+	pm, err := decodeMapResp(raw)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.pmap == nil || pm.Epoch > c.pmap.Epoch {
+		c.pmap = pm
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// FetchMap fetches the current partition map from the lookup service and
+// caches it (node bootstrap uses this).
+func (c *Client) FetchMap(ctx env.Ctx) (*PartitionMap, error) {
+	if err := c.refreshMap(ctx); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pmap == nil {
+		return nil, ErrUnavailable
+	}
+	return c.pmap.Clone(), nil
+}
+
+// pmapLocked returns the cached map, fetching it on first use.
+func (c *Client) getMap(ctx env.Ctx) (*PartitionMap, error) {
+	c.mu.Lock()
+	pm := c.pmap
+	c.mu.Unlock()
+	if pm != nil {
+		return pm, nil
+	}
+	if err := c.refreshMap(ctx); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	pm = c.pmap
+	c.mu.Unlock()
+	if pm == nil {
+		return nil, ErrUnavailable
+	}
+	return pm, nil
+}
+
+func (c *Client) conn(addr string) (transport.Conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if conn, ok := c.conns[addr]; ok {
+		return conn, nil
+	}
+	conn, err := c.tr.Dial(c.node, addr)
+	if err != nil {
+		return nil, err
+	}
+	c.conns[addr] = conn
+	return conn, nil
+}
+
+// batchReply carries one op's outcome through a future.
+type batchReply struct {
+	res wire.Result
+	err error
+}
+
+// pendingOp is one queued operation inside a batcher.
+type pendingOp struct {
+	op  wire.Op
+	fut env.Future
+}
+
+// batcher serializes traffic to one storage node: while one request is in
+// flight, newly issued operations queue up and leave in the next request.
+// This is the paper's natural batching across transactions (§5.1).
+type batcher struct {
+	c    *Client
+	addr string
+	q    env.Queue
+}
+
+func (c *Client) batcherFor(addr string) *batcher {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.batchers[addr]; ok {
+		return b
+	}
+	b := &batcher{c: c, addr: addr, q: c.envr.NewQueue()}
+	c.batchers[addr] = b
+	n := c.Senders
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		c.node.Go("batcher:"+addr, b.run)
+	}
+	return b
+}
+
+func (b *batcher) run(ctx env.Ctx) {
+	for {
+		v, ok := b.q.Get(ctx)
+		if !ok {
+			return
+		}
+		batch := []*pendingOp{v.(*pendingOp)}
+		for b.q.Len() > 0 && len(batch) < b.c.MaxBatch {
+			v, _ := b.q.Get(ctx)
+			batch = append(batch, v.(*pendingOp))
+		}
+		b.send(ctx, batch)
+	}
+}
+
+func (b *batcher) send(ctx env.Ctx, batch []*pendingOp) {
+	req := &wire.StoreRequest{Ops: make([]wire.Op, len(batch))}
+	for i, p := range batch {
+		req.Ops[i] = p.op
+	}
+	b.c.mu.Lock()
+	if b.c.pmap != nil {
+		req.Epoch = b.c.pmap.Epoch
+	}
+	b.c.nBatches++
+	b.c.nOps += uint64(len(batch))
+	b.c.mu.Unlock()
+
+	conn, err := b.c.conn(b.addr)
+	if err == nil {
+		var raw []byte
+		raw, err = conn.RoundTrip(ctx, req.Encode())
+		if err == nil {
+			var resp *wire.StoreResponse
+			resp, err = wire.DecodeStoreResponse(raw)
+			if err == nil {
+				if len(resp.Results) != len(batch) {
+					err = fmt.Errorf("store: %d results for %d ops", len(resp.Results), len(batch))
+				} else {
+					for i, p := range batch {
+						p.fut.Set(batchReply{res: resp.Results[i]})
+					}
+					return
+				}
+			}
+		}
+	}
+	for _, p := range batch {
+		p.fut.Set(batchReply{err: err})
+	}
+}
+
+// execBatch sends ops grouped by destination and waits for all outcomes.
+// Results align with ops by index. Transport failures surface as results
+// with StatusUnavailable so the retry loop treats them uniformly.
+func (c *Client) execBatch(ctx env.Ctx, ops []wire.Op) ([]wire.Result, error) {
+	pm, err := c.getMap(ctx)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]wire.Result, len(ops))
+	futs := make([]env.Future, len(ops))
+	type direct struct {
+		addr    string
+		indices []int
+	}
+	var directs map[string]*direct
+	for i := range ops {
+		part, ok := pm.LookupKey(ops[i].Key)
+		if !ok || part.Master == "" {
+			results[i] = wire.Result{Status: wire.StatusUnavailable}
+			continue
+		}
+		if c.batching {
+			p := &pendingOp{op: ops[i], fut: c.envr.NewFuture()}
+			futs[i] = p.fut
+			c.batcherFor(part.Master).q.Put(p)
+		} else {
+			if directs == nil {
+				directs = make(map[string]*direct)
+			}
+			d, ok := directs[part.Master]
+			if !ok {
+				d = &direct{addr: part.Master}
+				directs[part.Master] = d
+			}
+			d.indices = append(d.indices, i)
+		}
+	}
+	// Non-batching path: one request per destination carrying only this
+	// call's ops (still grouped per destination, as a single transaction
+	// would do on its own).
+	for _, d := range directs {
+		req := &wire.StoreRequest{Epoch: pm.Epoch}
+		for _, i := range d.indices {
+			req.Ops = append(req.Ops, ops[i])
+		}
+		c.mu.Lock()
+		c.nBatches++
+		c.nOps += uint64(len(d.indices))
+		c.mu.Unlock()
+		var resp *wire.StoreResponse
+		conn, err := c.conn(d.addr)
+		if err == nil {
+			var raw []byte
+			raw, err = conn.RoundTrip(ctx, req.Encode())
+			if err == nil {
+				resp, err = wire.DecodeStoreResponse(raw)
+			}
+		}
+		for k, i := range d.indices {
+			if err != nil || resp == nil || k >= len(resp.Results) {
+				results[i] = wire.Result{Status: wire.StatusUnavailable}
+			} else {
+				results[i] = resp.Results[k]
+			}
+		}
+	}
+	for i, f := range futs {
+		if f == nil {
+			continue
+		}
+		rep := f.Get(ctx).(batchReply)
+		if rep.err != nil {
+			results[i] = wire.Result{Status: wire.StatusUnavailable}
+		} else {
+			results[i] = rep.res
+		}
+	}
+	return results, nil
+}
+
+// Exec runs a batch of operations, transparently retrying operations that
+// hit stale partition maps or fail-overs. Result i corresponds to op i.
+func (c *Client) Exec(ctx env.Ctx, ops []wire.Op) ([]wire.Result, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	results, err := c.execBatch(ctx, ops)
+	if err != nil {
+		return nil, err
+	}
+	// Retry loop for re-routable failures.
+	for attempt := 0; attempt < c.Retries; attempt++ {
+		var retryIdx []int
+		for i := range results {
+			switch results[i].Status {
+			case wire.StatusWrongPartition, wire.StatusUnavailable:
+				retryIdx = append(retryIdx, i)
+			}
+		}
+		if len(retryIdx) == 0 {
+			return results, nil
+		}
+		ctx.Sleep(c.RetryDelay)
+		if err := c.refreshMap(ctx); err != nil {
+			continue
+		}
+		sub := make([]wire.Op, len(retryIdx))
+		for k, i := range retryIdx {
+			sub[k] = ops[i]
+		}
+		subResults, err := c.execBatch(ctx, sub)
+		if err != nil {
+			continue
+		}
+		for k, i := range retryIdx {
+			results[i] = subResults[k]
+		}
+	}
+	return results, nil
+}
+
+// statusErr maps a result status to a client error.
+func statusErr(s wire.Status) error {
+	switch s {
+	case wire.StatusOK:
+		return nil
+	case wire.StatusNotFound:
+		return ErrNotFound
+	case wire.StatusConflict:
+		return ErrConflict
+	case wire.StatusUnavailable, wire.StatusWrongPartition:
+		return ErrUnavailable
+	}
+	return fmt.Errorf("store: status %v", s)
+}
+
+// Get returns the value and LL stamp for key. The stamp is the load-link
+// token for a later CondPut.
+func (c *Client) Get(ctx env.Ctx, key []byte) (val []byte, stamp uint64, err error) {
+	res, err := c.Exec(ctx, []wire.Op{{Code: wire.OpGet, Key: key}})
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := statusErr(res[0].Status); err != nil {
+		return nil, 0, err
+	}
+	return res[0].Val, res[0].Stamp, nil
+}
+
+// Put unconditionally stores val under key.
+func (c *Client) Put(ctx env.Ctx, key, val []byte) (stamp uint64, err error) {
+	res, err := c.Exec(ctx, []wire.Op{{Code: wire.OpPut, Key: key, Val: val}})
+	if err != nil {
+		return 0, err
+	}
+	if err := statusErr(res[0].Status); err != nil {
+		return 0, err
+	}
+	return res[0].Stamp, nil
+}
+
+// CondPut is the store-conditional: it writes val only if the cell's stamp
+// still equals stamp (0 = key must not exist). On success it returns the
+// new stamp; on interference it returns ErrConflict.
+func (c *Client) CondPut(ctx env.Ctx, key, val []byte, stamp uint64) (newStamp uint64, err error) {
+	res, err := c.Exec(ctx, []wire.Op{{Code: wire.OpCondPut, Key: key, Val: val, Stamp: stamp}})
+	if err != nil {
+		return 0, err
+	}
+	if err := statusErr(res[0].Status); err != nil {
+		return 0, err
+	}
+	return res[0].Stamp, nil
+}
+
+// Delete removes key. A non-zero stamp makes the delete conditional.
+func (c *Client) Delete(ctx env.Ctx, key []byte, stamp uint64) error {
+	res, err := c.Exec(ctx, []wire.Op{{Code: wire.OpDelete, Key: key, Stamp: stamp}})
+	if err != nil {
+		return err
+	}
+	return statusErr(res[0].Status)
+}
+
+// CounterAdd atomically adds delta to the counter at key (creating it at
+// zero) and returns the new value. Counters allocate tids and rids (§4.2).
+func (c *Client) CounterAdd(ctx env.Ctx, key []byte, delta int64) (int64, error) {
+	res, err := c.Exec(ctx, []wire.Op{{Code: wire.OpCounterAdd, Key: key, Delta: delta}})
+	if err != nil {
+		return 0, err
+	}
+	if err := statusErr(res[0].Status); err != nil {
+		return 0, err
+	}
+	return res[0].Count, nil
+}
+
+// Scan returns up to limit pairs with lo <= key < hi in order (descending
+// when reverse is set). It fans out to every partition master and merges.
+// Scans bypass the batcher: they carry bulk payloads (§5.2).
+func (c *Client) Scan(ctx env.Ctx, lo, hi []byte, limit int, reverse bool) ([]wire.Pair, error) {
+	pm, err := c.getMap(ctx)
+	if err != nil {
+		return nil, err
+	}
+	masters := pm.Masters()
+	type scanOut struct {
+		pairs []wire.Pair
+		err   error
+	}
+	futs := make([]env.Future, len(masters))
+	op := wire.Op{Code: wire.OpScan, Key: lo, EndKey: hi, Limit: uint32(limit), Reverse: reverse}
+	req := (&wire.StoreRequest{Epoch: pm.Epoch, Ops: []wire.Op{op}}).Encode()
+	for i, addr := range masters {
+		i, addr := i, addr
+		futs[i] = c.envr.NewFuture()
+		ctx.Go("scan", func(sctx env.Ctx) {
+			conn, err := c.conn(addr)
+			if err != nil {
+				futs[i].Set(scanOut{err: err})
+				return
+			}
+			raw, err := conn.RoundTrip(sctx, req)
+			if err != nil {
+				futs[i].Set(scanOut{err: err})
+				return
+			}
+			resp, err := wire.DecodeStoreResponse(raw)
+			if err != nil {
+				futs[i].Set(scanOut{err: err})
+				return
+			}
+			if len(resp.Results) != 1 || resp.Results[0].Status != wire.StatusOK {
+				futs[i].Set(scanOut{err: ErrUnavailable})
+				return
+			}
+			futs[i].Set(scanOut{pairs: resp.Results[0].Pairs})
+		})
+	}
+	var all []wire.Pair
+	for _, f := range futs {
+		out := f.Get(ctx).(scanOut)
+		if out.err != nil {
+			return nil, out.err
+		}
+		all = append(all, out.pairs...)
+	}
+	if reverse {
+		sort.Slice(all, func(i, j int) bool { return bytes.Compare(all[i].Key, all[j].Key) > 0 })
+	} else {
+		sort.Slice(all, func(i, j int) bool { return bytes.Compare(all[i].Key, all[j].Key) < 0 })
+	}
+	if limit > 0 && len(all) > limit {
+		all = all[:limit]
+	}
+	return all, nil
+}
+
+// ScanFiltered runs a push-down scan (§5.2): every partition master
+// evaluates the spec's selection and projection server-side and returns
+// only matching, projected rows. Traffic shrinks accordingly; see the
+// ext-pushdown experiment.
+func (c *Client) ScanFiltered(ctx env.Ctx, lo, hi []byte, spec *ScanSpec, limit int) ([]wire.Pair, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if attempt > 0 {
+			ctx.Sleep(c.RetryDelay)
+			if err := c.refreshMap(ctx); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		pairs, err := c.scanFilteredOnce(ctx, lo, hi, spec, limit)
+		if err == nil {
+			return pairs, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+func (c *Client) scanFilteredOnce(ctx env.Ctx, lo, hi []byte, spec *ScanSpec, limit int) ([]wire.Pair, error) {
+	pm, err := c.getMap(ctx)
+	if err != nil {
+		return nil, err
+	}
+	masters := pm.Masters()
+	type scanOut struct {
+		pairs []wire.Pair
+		err   error
+	}
+	futs := make([]env.Future, len(masters))
+	op := wire.Op{
+		Code:   wire.OpScanFiltered,
+		Key:    lo,
+		EndKey: hi,
+		Limit:  uint32(limit),
+		Val:    spec.Encode(),
+	}
+	req := (&wire.StoreRequest{Epoch: pm.Epoch, Ops: []wire.Op{op}}).Encode()
+	for i, addr := range masters {
+		i, addr := i, addr
+		futs[i] = c.envr.NewFuture()
+		ctx.Go("scanf", func(sctx env.Ctx) {
+			conn, err := c.conn(addr)
+			if err != nil {
+				futs[i].Set(scanOut{err: err})
+				return
+			}
+			raw, err := conn.RoundTrip(sctx, req)
+			if err != nil {
+				futs[i].Set(scanOut{err: err})
+				return
+			}
+			resp, err := wire.DecodeStoreResponse(raw)
+			if err != nil {
+				futs[i].Set(scanOut{err: err})
+				return
+			}
+			if len(resp.Results) != 1 || resp.Results[0].Status != wire.StatusOK {
+				futs[i].Set(scanOut{err: ErrUnavailable})
+				return
+			}
+			futs[i].Set(scanOut{pairs: resp.Results[0].Pairs})
+		})
+	}
+	var all []wire.Pair
+	for _, f := range futs {
+		out := f.Get(ctx).(scanOut)
+		if out.err != nil {
+			return nil, out.err
+		}
+		all = append(all, out.pairs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return bytes.Compare(all[i].Key, all[j].Key) < 0 })
+	if limit > 0 && len(all) > limit {
+		all = all[:limit]
+	}
+	return all, nil
+}

@@ -1,0 +1,177 @@
+package store
+
+import (
+	"fmt"
+
+	"tell/internal/env"
+	"tell/internal/transport"
+)
+
+// ClusterConfig describes a storage cluster to assemble.
+type ClusterConfig struct {
+	// NumNodes is the number of storage nodes (SNs).
+	NumNodes int
+	// PartitionsPerNode splits each node's load (default 1).
+	PartitionsPerNode int
+	// ReplicationFactor is the total number of copies, master included
+	// (RF1 = no replication), matching the paper's RF1/RF2/RF3 axes.
+	ReplicationFactor int
+	// CoresPerNode sizes the simulated machines (default 4, half of the
+	// paper's dual-socket servers: each process was pinned to one NUMA
+	// unit, §6.1).
+	CoresPerNode int
+	// Spares is how many standby nodes to provision for re-replication.
+	Spares int
+	// Costs is the CPU cost model (DefaultCosts if zero).
+	Costs Costs
+}
+
+func (c *ClusterConfig) fill() {
+	if c.NumNodes <= 0 {
+		c.NumNodes = 1
+	}
+	if c.PartitionsPerNode <= 0 {
+		c.PartitionsPerNode = 1
+	}
+	if c.ReplicationFactor <= 0 {
+		c.ReplicationFactor = 1
+	}
+	if c.CoresPerNode <= 0 {
+		c.CoresPerNode = 4
+	}
+	if c.Costs == (Costs{}) {
+		c.Costs = DefaultCosts()
+	}
+}
+
+// Cluster is an assembled storage layer: nodes, manager and topology. It
+// exists for in-process deployments (simulation, tests, examples); the
+// telld binary assembles the same pieces across real processes.
+type Cluster struct {
+	Env       env.Full
+	Transport transport.Transport
+	Manager   *Manager
+	Nodes     []*Node
+
+	byAddr map[string]*Node
+	cfg    ClusterConfig
+}
+
+// NewCluster assembles and starts a storage cluster. Partitions are spread
+// round-robin across nodes; each partition's replicas live on the next
+// ReplicationFactor-1 nodes.
+func NewCluster(envr env.Full, tr transport.Transport, cfg ClusterConfig) (*Cluster, error) {
+	cfg.fill()
+	if cfg.ReplicationFactor > cfg.NumNodes {
+		return nil, fmt.Errorf("store: replication factor %d exceeds node count %d",
+			cfg.ReplicationFactor, cfg.NumNodes)
+	}
+	c := &Cluster{
+		Env:       envr,
+		Transport: tr,
+		byAddr:    make(map[string]*Node),
+		cfg:       cfg,
+	}
+
+	nParts := cfg.NumNodes * cfg.PartitionsPerNode
+	parts := EvenPartitions(nParts)
+	addrs := make([]string, cfg.NumNodes)
+	for i := 0; i < cfg.NumNodes; i++ {
+		addrs[i] = fmt.Sprintf("sn%d", i)
+	}
+	for i := range parts {
+		owner := i % cfg.NumNodes
+		parts[i].Master = addrs[owner]
+		for r := 1; r < cfg.ReplicationFactor; r++ {
+			parts[i].Replicas = append(parts[i].Replicas, addrs[(owner+r)%cfg.NumNodes])
+		}
+	}
+	pmap := &PartitionMap{Epoch: 1, Partitions: parts}
+
+	// Management node.
+	mgrEnvNode := envr.NewNode("mgmt", 2)
+	c.Manager = NewManager("mgmt", envr, mgrEnvNode, tr)
+	c.Manager.ReplicationFactor = cfg.ReplicationFactor
+	c.Manager.SetMap(pmap)
+
+	// Storage nodes.
+	for i := 0; i < cfg.NumNodes+cfg.Spares; i++ {
+		addr := fmt.Sprintf("sn%d", i)
+		n := envr.NewNode(addr, cfg.CoresPerNode)
+		sn := NewNode(addr, envr, n, tr, cfg.Costs)
+		sn.Configure(pmap)
+		if err := sn.Start(); err != nil {
+			return nil, err
+		}
+		c.Nodes = append(c.Nodes, sn)
+		c.byAddr[addr] = sn
+		if i >= cfg.NumNodes {
+			c.Manager.AddSpare(addr)
+		}
+	}
+	if err := c.Manager.Start(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ManagerAddr returns the lookup-service address for clients.
+func (c *Cluster) ManagerAddr() string { return c.Manager.Addr() }
+
+// NewClient creates a storage client homed on the given execution node.
+func (c *Cluster) NewClient(node env.Node) *Client {
+	return NewClient(c.Env, node, c.Transport, c.ManagerAddr())
+}
+
+// Node returns the storage node serving addr.
+func (c *Cluster) Node(addr string) *Node { return c.byAddr[addr] }
+
+// BulkLoad installs a key directly on its master and replicas, bypassing
+// the RPC path. Only for dataset population before an experiment starts.
+func (c *Cluster) BulkLoad(key, val []byte) error {
+	part, ok := c.Manager.Map().LookupKey(key)
+	if !ok {
+		return fmt.Errorf("store: no partition for key %q", key)
+	}
+	master := c.byAddr[part.Master]
+	if master == nil {
+		return fmt.Errorf("store: unknown master %q", part.Master)
+	}
+	stamp := master.BulkLoad(key, val)
+	for _, rep := range part.Replicas {
+		if rn := c.byAddr[rep]; rn != nil {
+			rn.LoadReplica(key, val, stamp)
+		}
+	}
+	return nil
+}
+
+// BulkLoadCounter installs a counter cell directly on its master and
+// replicas (dataset population only).
+func (c *Cluster) BulkLoadCounter(key []byte, v int64) error {
+	part, ok := c.Manager.Map().LookupKey(key)
+	if !ok {
+		return fmt.Errorf("store: no partition for key %q", key)
+	}
+	master := c.byAddr[part.Master]
+	if master == nil {
+		return fmt.Errorf("store: unknown master %q", part.Master)
+	}
+	stamp := master.BulkLoadCounter(key, v)
+	for _, rep := range part.Replicas {
+		if rn := c.byAddr[rep]; rn != nil {
+			rn.LoadReplicaCounter(key, v, stamp)
+		}
+	}
+	return nil
+}
+
+// TotalKeys sums stored cells across masters (each key counted once per
+// owning master).
+func (c *Cluster) TotalKeys() int {
+	total := 0
+	for _, n := range c.Nodes {
+		total += n.Keys()
+	}
+	return total
+}

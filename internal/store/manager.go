@@ -1,0 +1,271 @@
+package store
+
+import (
+	"sync"
+	"time"
+
+	"tell/internal/env"
+	"tell/internal/transport"
+	"tell/internal/wire"
+)
+
+// Manager is the storage layer's management node (§4.4.2): it detects
+// failures with a timeout-based (eventually perfect) failure detector,
+// manages the partition map, fails partitions over to replicas, restores
+// the replication level from spare nodes, and serves partition-map lookups
+// to clients (the "lookup service" of §2.1).
+type Manager struct {
+	addr string
+	envr env.Full
+	node env.Node
+	tr   transport.Transport
+
+	// PingInterval and FailAfter tune the failure detector: a node is
+	// declared dead after FailAfter consecutive missed pings.
+	PingInterval time.Duration
+	FailAfter    int
+	// ReplicationFactor is the target number of copies (master included).
+	ReplicationFactor int
+
+	mu      sync.Mutex
+	pmap    *PartitionMap
+	spares  []string
+	dead    map[string]bool
+	misses  map[string]int
+	conns   map[string]transport.Conn
+	stopped bool
+
+	// OnFailover, if set, is called (without the lock) after a node has
+	// been failed over; tests use it to observe recovery.
+	OnFailover func(addr string)
+
+	failovers int
+}
+
+// NewManager creates a management node serving addr.
+func NewManager(addr string, envr env.Full, node env.Node, tr transport.Transport) *Manager {
+	return &Manager{
+		addr:              addr,
+		envr:              envr,
+		node:              node,
+		tr:                tr,
+		PingInterval:      5 * time.Millisecond,
+		FailAfter:         3,
+		ReplicationFactor: 1,
+		pmap:              &PartitionMap{Epoch: 1},
+		dead:              make(map[string]bool),
+		misses:            make(map[string]int),
+		conns:             make(map[string]transport.Conn),
+	}
+}
+
+// Addr returns the manager's serving address.
+func (m *Manager) Addr() string { return m.addr }
+
+// Failovers returns how many node fail-overs the manager has executed.
+func (m *Manager) Failovers() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.failovers
+}
+
+// Map returns a copy of the current partition map.
+func (m *Manager) Map() *PartitionMap {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pmap.Clone()
+}
+
+// SetMap installs the initial partition map (cluster bootstrap).
+func (m *Manager) SetMap(pm *PartitionMap) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pmap = pm.Clone()
+}
+
+// AddSpare registers a standby storage node used to restore the replication
+// factor after failures.
+func (m *Manager) AddSpare(addr string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.spares = append(m.spares, addr)
+}
+
+// Start registers the lookup-service handler and launches the failure
+// detector.
+func (m *Manager) Start() error {
+	if err := m.tr.Listen(m.addr, m.node, m.handle); err != nil {
+		return err
+	}
+	m.node.Go("failure-detector", m.monitor)
+	return nil
+}
+
+// Stop halts the failure detector loop.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	m.stopped = true
+	m.mu.Unlock()
+}
+
+func (m *Manager) handle(ctx env.Ctx, raw []byte) []byte {
+	if wire.PeekKind(raw) == wire.KindPing {
+		return []byte{byte(wire.KindPong)}
+	}
+	r := wire.NewReader(raw)
+	if wire.Kind(r.Byte()) != wire.KindMetaReq {
+		return encodeMetaAck(wire.StatusError)
+	}
+	switch metaSub(r.Byte()) {
+	case metaGetMap:
+		m.mu.Lock()
+		pm := m.pmap.Clone()
+		m.mu.Unlock()
+		return encodeMetaMap(pm)
+	}
+	return encodeMetaAck(wire.StatusError)
+}
+
+// monitor is the failure-detector loop.
+func (m *Manager) monitor(ctx env.Ctx) {
+	for {
+		m.mu.Lock()
+		if m.stopped {
+			m.mu.Unlock()
+			return
+		}
+		targets := m.liveNodesLocked()
+		m.mu.Unlock()
+
+		for _, addr := range targets {
+			alive := m.ping(ctx, addr)
+			m.mu.Lock()
+			if alive {
+				m.misses[addr] = 0
+				m.mu.Unlock()
+				continue
+			}
+			m.misses[addr]++
+			failed := m.misses[addr] >= m.FailAfter && !m.dead[addr]
+			m.mu.Unlock()
+			if failed {
+				m.failover(ctx, addr)
+			}
+		}
+		ctx.Sleep(m.PingInterval)
+	}
+}
+
+// liveNodesLocked lists distinct storage addresses in the map that are not
+// known dead. Caller holds m.mu.
+func (m *Manager) liveNodesLocked() []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(a string) {
+		if a != "" && !seen[a] && !m.dead[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	for i := range m.pmap.Partitions {
+		add(m.pmap.Partitions[i].Master)
+		for _, r := range m.pmap.Partitions[i].Replicas {
+			add(r)
+		}
+	}
+	return out
+}
+
+func (m *Manager) ping(ctx env.Ctx, addr string) bool {
+	conn, err := m.conn(addr)
+	if err != nil {
+		return false
+	}
+	resp, err := conn.RoundTrip(ctx, []byte{byte(wire.KindPing)})
+	return err == nil && wire.PeekKind(resp) == wire.KindPong
+}
+
+func (m *Manager) conn(addr string) (transport.Conn, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.conns[addr]; ok {
+		return c, nil
+	}
+	c, err := m.tr.Dial(m.node, addr)
+	if err != nil {
+		return nil, err
+	}
+	m.conns[addr] = c
+	return c, nil
+}
+
+// failover removes deadAddr from the map, promoting replicas to master
+// where needed, pushes the new configuration, and restores the replication
+// factor from spares.
+func (m *Manager) failover(ctx env.Ctx, deadAddr string) {
+	type transfer struct {
+		master string
+		pid    uint64
+		target string
+	}
+	var transfers []transfer
+
+	m.mu.Lock()
+	if m.dead[deadAddr] {
+		m.mu.Unlock()
+		return
+	}
+	m.dead[deadAddr] = true
+	m.failovers++
+	pm := m.pmap
+	for i := range pm.Partitions {
+		p := &pm.Partitions[i]
+		// Drop the dead node from the replica list.
+		reps := p.Replicas[:0]
+		for _, r := range p.Replicas {
+			if r != deadAddr {
+				reps = append(reps, r)
+			}
+		}
+		p.Replicas = reps
+		if p.Master == deadAddr {
+			if len(p.Replicas) == 0 {
+				// Data loss: no replica to promote. The partition
+				// stays headless; clients see Unavailable.
+				p.Master = ""
+				continue
+			}
+			p.Master = p.Replicas[0]
+			p.Replicas = p.Replicas[1:]
+		}
+		// Restore the replication factor from spares.
+		for 1+len(p.Replicas) < m.ReplicationFactor && len(m.spares) > 0 {
+			spare := m.spares[0]
+			m.spares = m.spares[1:]
+			p.Replicas = append(p.Replicas, spare)
+			transfers = append(transfers, transfer{master: p.Master, pid: p.ID, target: spare})
+		}
+	}
+	pm.Epoch++
+	newMap := pm.Clone()
+	targets := m.liveNodesLocked()
+	m.mu.Unlock()
+
+	// Push the new configuration to every surviving node.
+	cfg := encodeMetaConfigure(newMap)
+	for _, addr := range targets {
+		if conn, err := m.conn(addr); err == nil {
+			conn.RoundTrip(ctx, cfg)
+		}
+	}
+	// Backfill new replicas from their masters. Apply-if-newer on the
+	// replica makes this safe concurrently with live writes.
+	for _, tr := range transfers {
+		if conn, err := m.conn(tr.master); err == nil {
+			conn.RoundTrip(ctx, encodeMetaTransfer(tr.pid, tr.target))
+		}
+	}
+	if m.OnFailover != nil {
+		m.OnFailover(deadAddr)
+	}
+}

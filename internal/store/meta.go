@@ -1,0 +1,89 @@
+package store
+
+import (
+	"fmt"
+
+	"tell/internal/wire"
+)
+
+// The meta/control protocol carries cluster-management traffic: partition
+// map lookups from clients, configuration pushes from the manager to the
+// storage nodes, partition transfers during re-replication, and health
+// pings. Frames are [KindMetaReq|KindMetaResp, subtype, payload].
+
+type metaSub byte
+
+const (
+	metaGetMap metaSub = iota + 1
+	metaConfigure
+	metaTransfer
+	metaAck
+	metaMap
+)
+
+func encodeMetaGetMap() []byte {
+	return []byte{byte(wire.KindMetaReq), byte(metaGetMap)}
+}
+
+func encodeMetaConfigure(m *PartitionMap) []byte {
+	w := wire.NewWriter(64)
+	w.Byte(byte(wire.KindMetaReq))
+	w.Byte(byte(metaConfigure))
+	m.EncodeTo(w)
+	return w.Bytes()
+}
+
+// encodeMetaTransfer asks a node to copy partition pid's data to target,
+// which will then serve as a fresh replica.
+func encodeMetaTransfer(pid uint64, target string) []byte {
+	w := wire.NewWriter(32)
+	w.Byte(byte(wire.KindMetaReq))
+	w.Byte(byte(metaTransfer))
+	w.Uvarint(pid)
+	w.String(target)
+	return w.Bytes()
+}
+
+func encodeMetaAck(st wire.Status) []byte {
+	return []byte{byte(wire.KindMetaResp), byte(metaAck), byte(st)}
+}
+
+func encodeMetaMap(m *PartitionMap) []byte {
+	w := wire.NewWriter(64)
+	w.Byte(byte(wire.KindMetaResp))
+	w.Byte(byte(metaMap))
+	m.EncodeTo(w)
+	return w.Bytes()
+}
+
+func decodeMetaResp(b []byte) (metaSub, *wire.Reader, error) {
+	r := wire.NewReader(b)
+	if k := wire.Kind(r.Byte()); k != wire.KindMetaResp {
+		return 0, nil, fmt.Errorf("store: kind %d is not a meta response", k)
+	}
+	return metaSub(r.Byte()), r, r.Err()
+}
+
+// decodeAckStatus parses a metaAck response.
+func decodeAckStatus(b []byte) (wire.Status, error) {
+	sub, r, err := decodeMetaResp(b)
+	if err != nil {
+		return 0, err
+	}
+	if sub != metaAck {
+		return 0, fmt.Errorf("store: meta subtype %d is not an ack", sub)
+	}
+	return wire.Status(r.Byte()), r.Err()
+}
+
+// decodeMapResp parses a metaMap response.
+func decodeMapResp(b []byte) (*PartitionMap, error) {
+	sub, r, err := decodeMetaResp(b)
+	if err != nil {
+		return nil, err
+	}
+	if sub != metaMap {
+		return nil, fmt.Errorf("store: meta subtype %d is not a map", sub)
+	}
+	return DecodePartitionMapFrom(r)
+}

@@ -1,0 +1,173 @@
+package store_test
+
+import (
+	"testing"
+	"time"
+
+	"tell/internal/env"
+	"tell/internal/mvcc"
+	"tell/internal/relational"
+	"tell/internal/store"
+)
+
+func specSchema() *relational.TableSchema {
+	return &relational.TableSchema{
+		Name: "t",
+		Cols: []relational.Column{
+			{Name: "id", Type: relational.TInt64},
+			{Name: "tag", Type: relational.TString},
+			{Name: "score", Type: relational.TFloat64},
+		},
+		PKCols: []int{0},
+	}
+}
+
+func TestScanSpecCodec(t *testing.T) {
+	snap := mvcc.NewSnapshot(42)
+	snap.Add(50)
+	spec := &store.ScanSpec{
+		Schema:   specSchema(),
+		Snapshot: snap,
+		Pred:     &store.Predicate{Col: 1, Op: store.CmpEQ, Val: relational.Str("x")},
+		Proj:     []int{0, 2},
+	}
+	got, err := store.DecodeScanSpec(spec.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema.Name != "t" || len(got.Schema.Cols) != 3 {
+		t.Fatalf("schema: %+v", got.Schema)
+	}
+	if !got.Snapshot.Contains(50) || got.Snapshot.Contains(51) {
+		t.Fatal("snapshot lost")
+	}
+	if got.Pred.Col != 1 || got.Pred.Op != store.CmpEQ || got.Pred.Val.S != "x" {
+		t.Fatalf("pred: %+v", got.Pred)
+	}
+	if len(got.Proj) != 2 || got.Proj[1] != 2 {
+		t.Fatalf("proj: %v", got.Proj)
+	}
+	// No predicate, no projection.
+	spec2 := &store.ScanSpec{Schema: specSchema(), Snapshot: mvcc.NewSnapshot(1)}
+	got2, err := store.DecodeScanSpec(spec2.Encode())
+	if err != nil || got2.Pred != nil || len(got2.Proj) != 0 {
+		t.Fatalf("minimal spec: %+v %v", got2, err)
+	}
+	// Out-of-range columns rejected.
+	bad := &store.ScanSpec{
+		Schema:   specSchema(),
+		Snapshot: mvcc.NewSnapshot(1),
+		Pred:     &store.Predicate{Col: 9, Op: store.CmpEQ, Val: relational.I64(1)},
+	}
+	if _, err := store.DecodeScanSpec(bad.Encode()); err == nil {
+		t.Fatal("bad predicate column accepted")
+	}
+	if _, err := store.DecodeScanSpec([]byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestPredicateOperators(t *testing.T) {
+	row := relational.Row{relational.I64(5), relational.Str("m"), relational.F64(1.5)}
+	cases := []struct {
+		p    store.Predicate
+		want bool
+	}{
+		{store.Predicate{Col: 0, Op: store.CmpEQ, Val: relational.I64(5)}, true},
+		{store.Predicate{Col: 0, Op: store.CmpNE, Val: relational.I64(5)}, false},
+		{store.Predicate{Col: 0, Op: store.CmpLT, Val: relational.I64(6)}, true},
+		{store.Predicate{Col: 0, Op: store.CmpLE, Val: relational.I64(5)}, true},
+		{store.Predicate{Col: 0, Op: store.CmpGT, Val: relational.I64(5)}, false},
+		{store.Predicate{Col: 0, Op: store.CmpGE, Val: relational.I64(5)}, true},
+		{store.Predicate{Col: 1, Op: store.CmpLT, Val: relational.Str("z")}, true},
+		{store.Predicate{Col: 1, Op: store.CmpGT, Val: relational.Str("z")}, false},
+		{store.Predicate{Col: 2, Op: store.CmpGE, Val: relational.F64(1.5)}, true},
+		{store.Predicate{Col: 2, Op: store.CmpGT, Val: relational.F64(-2)}, true},
+		// Negative numbers order correctly through the key encoding.
+		{store.Predicate{Col: 0, Op: store.CmpGT, Val: relational.I64(-10)}, true},
+	}
+	for i, c := range cases {
+		if got := c.p.Matches(row); got != c.want {
+			t.Fatalf("case %d: got %v", i, got)
+		}
+	}
+}
+
+func TestScanFilteredThroughCluster(t *testing.T) {
+	h := newHarness(t, store.ClusterConfig{NumNodes: 3})
+	defer h.close()
+	schema := specSchema()
+	schema.ID = 7
+	// Load multi-version records directly: id i with tag "even"/"odd".
+	for i := int64(0); i < 30; i++ {
+		tag := "even"
+		if i%2 == 1 {
+			tag = "odd"
+		}
+		data, err := relational.EncodeRow(schema, relational.Row{
+			relational.I64(i), relational.Str(tag), relational.F64(float64(i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := mvcc.NewRecord(0, data)
+		if err := h.cluster.BulkLoad(relational.RecordKey(schema.ID, uint64(i+1)), rec.Encode()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.run(t, func(ctx env.Ctx) {
+		spec := &store.ScanSpec{
+			Schema:   schema,
+			Snapshot: mvcc.NewSnapshot(10),
+			Pred:     &store.Predicate{Col: 1, Op: store.CmpEQ, Val: relational.Str("odd")},
+			Proj:     []int{0},
+		}
+		lo, hi := relational.RecordPrefix(schema.ID)
+		pairs, err := h.client.ScanFiltered(ctx, lo, hi, spec, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pairs) != 15 {
+			t.Fatalf("matched %d, want 15", len(pairs))
+		}
+		proj := spec.ProjectedSchema()
+		for _, p := range pairs {
+			row, err := relational.DecodeRow(proj, p.Val)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(row) != 1 || row[0].I%2 != 1 {
+				t.Fatalf("bad projected row: %v", row)
+			}
+		}
+		// Limit applies across partitions.
+		pairs, err = h.client.ScanFiltered(ctx, lo, hi, spec, 4)
+		if err != nil || len(pairs) != 4 {
+			t.Fatalf("limited: %d %v", len(pairs), err)
+		}
+	})
+}
+
+func TestScanFilteredSurvivesFailover(t *testing.T) {
+	h := newHarness(t, store.ClusterConfig{NumNodes: 3, ReplicationFactor: 2})
+	defer h.close()
+	schema := specSchema()
+	schema.ID = 7
+	for i := int64(0); i < 10; i++ {
+		data, _ := relational.EncodeRow(schema, relational.Row{
+			relational.I64(i), relational.Str("x"), relational.F64(0),
+		})
+		rec := mvcc.NewRecord(0, data)
+		h.cluster.BulkLoad(relational.RecordKey(schema.ID, uint64(i+1)), rec.Encode())
+	}
+	h.run(t, func(ctx env.Ctx) {
+		h.net.SetDown("sn0", true)
+		ctx.Sleep(500 * time.Millisecond) // failover
+		spec := &store.ScanSpec{Schema: schema, Snapshot: mvcc.NewSnapshot(10)}
+		lo, hi := relational.RecordPrefix(schema.ID)
+		pairs, err := h.client.ScanFiltered(ctx, lo, hi, spec, 0)
+		if err != nil || len(pairs) != 10 {
+			t.Fatalf("after failover: %d %v", len(pairs), err)
+		}
+	})
+}

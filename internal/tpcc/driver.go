@@ -1,0 +1,210 @@
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"tell/internal/env"
+	"tell/internal/metrics"
+)
+
+// Result is the outcome of one benchmark run.
+type Result struct {
+	Mix       string
+	Elapsed   time.Duration // measurement window (virtual time under sim)
+	Committed [numTxTypes]uint64
+	Aborted   [numTxTypes]uint64
+	Latency   *metrics.Summary
+}
+
+// TpmC is the paper's headline metric: committed new-order transactions per
+// minute (§6.2).
+func (r *Result) TpmC() float64 {
+	return metrics.PerMinute(r.Committed[TxNewOrder], r.Elapsed)
+}
+
+// Tps is total committed transactions per second (the read-intensive mix's
+// metric).
+func (r *Result) Tps() float64 {
+	return metrics.PerSecond(r.TotalCommitted(), r.Elapsed)
+}
+
+// TotalCommitted sums commits across types.
+func (r *Result) TotalCommitted() uint64 {
+	var t uint64
+	for _, c := range r.Committed {
+		t += c
+	}
+	return t
+}
+
+// TotalAborted sums aborts across types.
+func (r *Result) TotalAborted() uint64 {
+	var t uint64
+	for _, c := range r.Aborted {
+		t += c
+	}
+	return t
+}
+
+// AbortRate is aborted / issued across all transaction types (the paper's
+// "overall transaction abort rate").
+func (r *Result) AbortRate() float64 {
+	total := r.TotalCommitted() + r.TotalAborted()
+	if total == 0 {
+		return 0
+	}
+	return float64(r.TotalAborted()) / float64(total)
+}
+
+// String renders the headline numbers.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: TpmC=%.0f Tps=%.0f aborts=%.2f%% latency[%s]",
+		r.Mix, r.TpmC(), r.Tps(), 100*r.AbortRate(), r.Latency.Total())
+}
+
+// Driver owns a set of closed-loop terminals issuing transactions against
+// the engines. Terminals send continuously without wait times (§6.2) and do
+// not retry failed transactions (failed transactions are simply not counted,
+// matching the paper's TpmC accounting).
+type Driver struct {
+	cfg       Config
+	mix       Mix
+	engines   []Engine
+	terminals int
+	seed      int64
+
+	mu        sync.Mutex
+	started   bool
+	startAt   time.Duration
+	warmLeft  int
+	measLeft  int
+	stop      bool
+	result    *Result
+	liveTerms int
+	done      env.Future
+}
+
+// NewDriver creates a driver with the given terminal count spread
+// round-robin over the engines.
+func NewDriver(cfg Config, mix Mix, engines []Engine, terminals int, seed int64) *Driver {
+	cfg.fill()
+	if terminals <= 0 {
+		terminals = 8
+	}
+	return &Driver{
+		cfg:       cfg,
+		mix:       mix,
+		engines:   engines,
+		terminals: terminals,
+		seed:      seed,
+		result:    &Result{Mix: mix.Name, Latency: metrics.NewSummary()},
+	}
+}
+
+// Run spawns the terminals on node and blocks until `measure` transactions
+// have finished after a warm-up of `warmup` transactions. It must be called
+// from an activity on the environment the engines run in.
+func (d *Driver) Run(ctx env.Ctx, envr env.Full, node env.Node, warmup, measure int) *Result {
+	d.mu.Lock()
+	d.warmLeft = warmup
+	d.measLeft = measure
+	d.liveTerms = d.terminals
+	d.done = envr.NewFuture()
+	d.mu.Unlock()
+	for i := 0; i < d.terminals; i++ {
+		i := i
+		node.Go(fmt.Sprintf("terminal%d", i), func(tctx env.Ctx) {
+			d.terminal(tctx, i)
+		})
+	}
+	d.done.Get(ctx)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.result
+}
+
+// terminal is one closed loop: generate input, issue, record, repeat.
+func (d *Driver) terminal(ctx env.Ctx, id int) {
+	w := (id % d.cfg.Warehouses) + 1
+	dd := (id / d.cfg.Warehouses % DistrictsPerWarehouse) + 1
+	rng := rand.New(rand.NewSource(d.seed + int64(id)*7919))
+	gen := NewInputGen(d.cfg, d.mix, w, dd, rng)
+	engine := d.engines[id%len(d.engines)]
+
+	for {
+		d.mu.Lock()
+		stop := d.stop
+		d.mu.Unlock()
+		if stop {
+			break
+		}
+		txType, input := gen.Next()
+		begin := ctx.Now()
+		committed, err := d.issue(ctx, engine, txType, input)
+		elapsed := ctx.Now() - begin
+		if err != nil {
+			// Infrastructure failure: stop this terminal; the run can
+			// still complete on the others.
+			break
+		}
+		d.record(ctx, txType, committed, elapsed)
+	}
+	d.mu.Lock()
+	d.liveTerms--
+	last := d.liveTerms == 0
+	d.mu.Unlock()
+	if last {
+		d.done.Set(nil)
+	}
+}
+
+func (d *Driver) issue(ctx env.Ctx, e Engine, t TxType, input any) (bool, error) {
+	switch t {
+	case TxNewOrder:
+		return e.NewOrder(ctx, input.(*NewOrderInput))
+	case TxPayment:
+		return e.Payment(ctx, input.(*PaymentInput))
+	case TxOrderStatus:
+		return e.OrderStatus(ctx, input.(*OrderStatusInput))
+	case TxDelivery:
+		return e.Delivery(ctx, input.(*DeliveryInput))
+	default:
+		return e.StockLevel(ctx, input.(*StockLevelInput))
+	}
+}
+
+// record accounts one finished transaction, handling the warm-up window and
+// the measurement end.
+func (d *Driver) record(ctx env.Ctx, t TxType, committed bool, latency time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.stop {
+		return
+	}
+	if d.warmLeft > 0 {
+		d.warmLeft--
+		if d.warmLeft == 0 {
+			d.started = true
+			d.startAt = ctx.Now()
+		}
+		return
+	}
+	if !d.started {
+		d.started = true
+		d.startAt = ctx.Now()
+	}
+	if committed {
+		d.result.Committed[t]++
+		d.result.Latency.Record(t.String(), latency)
+	} else {
+		d.result.Aborted[t]++
+	}
+	d.measLeft--
+	if d.measLeft <= 0 {
+		d.result.Elapsed = ctx.Now() - d.startAt
+		d.stop = true
+	}
+}

@@ -1,0 +1,107 @@
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// NURand constants (TPC-C clause 2.1.6). The C values are fixed per run.
+const (
+	cLast = 123
+	cID   = 77
+	cOLI  = 5525
+)
+
+// nuRand is the non-uniform random function NURand(A, x, y) of the spec.
+func nuRand(rng *rand.Rand, a, c, x, y int) int {
+	return (((rng.Intn(a+1) | (x + rng.Intn(y-x+1))) + c) % (y - x + 1)) + x
+}
+
+// NURandCustomerID picks a customer id in [1, max] with TPC-C skew.
+func NURandCustomerID(rng *rand.Rand, max int) int {
+	if max < 1023 {
+		// With scaled-down customer counts, shrink A proportionally so
+		// the skew shape survives.
+		return nuRand(rng, nextPow2(max/3), cID%max1(max), 1, max)
+	}
+	return nuRand(rng, 1023, cID, 1, max)
+}
+
+// NURandItemID picks an item id in [1, max] with TPC-C skew.
+func NURandItemID(rng *rand.Rand, max int) int {
+	if max < 8191 {
+		return nuRand(rng, nextPow2(max/3), cOLI%max1(max), 1, max)
+	}
+	return nuRand(rng, 8191, cOLI, 1, max)
+}
+
+// NURandLastNameIdx picks a last-name syllable index with TPC-C skew.
+func NURandLastNameIdx(rng *rand.Rand, max int) int {
+	return nuRand(rng, 255, cLast, 0, max-1)
+}
+
+func max1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+func nextPow2(v int) int {
+	p := 1
+	for p < v {
+		p <<= 1
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// lastNameSyllables per TPC-C clause 4.3.2.3.
+var lastNameSyllables = []string{
+	"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+}
+
+// LastName builds the spec's syllable-concatenated last name for number n
+// (0..999).
+func LastName(n int) string {
+	return lastNameSyllables[n/100] + lastNameSyllables[(n/10)%10] + lastNameSyllables[n%10]
+}
+
+// randLastNameLoaded picks a loaded last name number: customers are loaded
+// with last names derived from (c_id-1) mod 1000 for the first 1000, then
+// NURand for the rest; for lookups the spec uses NURand(255,0,999).
+func randLastNameNumber(rng *rand.Rand) int {
+	return NURandLastNameIdx(rng, 1000)
+}
+
+// randAlnum produces a random alphanumeric string in [lo, hi] characters.
+// The spec pads rows with sizeable a-strings; we keep them short to trade
+// memory for warehouse count (documented in EXPERIMENTS.md).
+func randAlnum(rng *rand.Rand, lo, hi int) string {
+	const chars = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	n := lo + rng.Intn(hi-lo+1)
+	var sb strings.Builder
+	sb.Grow(n)
+	for i := 0; i < n; i++ {
+		sb.WriteByte(chars[rng.Intn(len(chars))])
+	}
+	return sb.String()
+}
+
+// originalMark is embedded in 10% of i_data/s_data strings (clause 4.3.3.1).
+const originalMark = "ORIGINAL"
+
+func randData(rng *rand.Rand) string {
+	s := randAlnum(rng, 12, 24)
+	if rng.Intn(10) == 0 {
+		pos := rng.Intn(len(s) - 7)
+		s = s[:pos] + originalMark + s[pos+8:]
+	}
+	return s
+}
+
+// wName deterministically names a warehouse.
+func wName(w int) string { return fmt.Sprintf("WH%04d", w) }

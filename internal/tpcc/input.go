@@ -1,0 +1,259 @@
+package tpcc
+
+import (
+	"math/rand"
+
+	"tell/internal/env"
+)
+
+// TxType enumerates the five TPC-C transactions.
+type TxType int
+
+const (
+	TxNewOrder TxType = iota
+	TxPayment
+	TxOrderStatus
+	TxDelivery
+	TxStockLevel
+	numTxTypes
+)
+
+func (t TxType) String() string {
+	switch t {
+	case TxNewOrder:
+		return "new-order"
+	case TxPayment:
+		return "payment"
+	case TxOrderStatus:
+		return "order-status"
+	case TxDelivery:
+		return "delivery"
+	case TxStockLevel:
+		return "stock-level"
+	}
+	return "?"
+}
+
+// Mix is a transaction mix: per-type percentages (summing to 100).
+type Mix struct {
+	Name string
+	Pct  [numTxTypes]int
+	// Shardable removes remote new-order items and remote payment
+	// customers, making every transaction single-warehouse (§6.4's
+	// "TPC-C shardable" variant).
+	Shardable bool
+}
+
+// StandardMix is the write-intensive standard mix (Table 2): write ratio
+// 35.84%, throughput metric TpmC.
+func StandardMix() Mix {
+	return Mix{Name: "standard", Pct: [numTxTypes]int{45, 43, 4, 4, 4}}
+}
+
+// ReadIntensiveMix is the paper's read-intensive mix (Table 2): 9%
+// new-order, 84% order-status, 7% stock-level; write ratio 4.89%.
+func ReadIntensiveMix() Mix {
+	return Mix{Name: "read-intensive", Pct: [numTxTypes]int{9, 0, 84, 0, 7}}
+}
+
+// ShardableMix is the standard mix with all cross-warehouse accesses
+// removed (remote new-order and payment replaced by local equivalents).
+func ShardableMix() Mix {
+	m := StandardMix()
+	m.Name = "shardable"
+	m.Shardable = true
+	return m
+}
+
+// pick selects a transaction type.
+func (m Mix) pick(rng *rand.Rand) TxType {
+	r := rng.Intn(100)
+	acc := 0
+	for t := 0; t < int(numTxTypes); t++ {
+		acc += m.Pct[t]
+		if r < acc {
+			return TxType(t)
+		}
+	}
+	return TxNewOrder
+}
+
+// OrderItem is one line of a new-order request.
+type OrderItem struct {
+	ItemID   int
+	SupplyW  int
+	Quantity int
+}
+
+// NewOrderInput parameterizes one new-order transaction.
+type NewOrderInput struct {
+	W, D, C int
+	Items   []OrderItem
+	// InvalidItem marks the spec's 1% of new-orders that reference an
+	// unused item id and must roll back (clause 2.4.1.4).
+	InvalidItem bool
+	// Remote reports whether any item is supplied by a remote warehouse.
+	Remote bool
+}
+
+// PaymentInput parameterizes one payment transaction.
+type PaymentInput struct {
+	W, D int
+	// Customer selection: by last name (60%) or by id.
+	ByLastName bool
+	CLast      string
+	C          int
+	// The customer's home warehouse/district (15% remote).
+	CW, CD int
+	Amount float64
+	Remote bool
+}
+
+// OrderStatusInput parameterizes one order-status transaction.
+type OrderStatusInput struct {
+	W, D       int
+	ByLastName bool
+	CLast      string
+	C          int
+}
+
+// DeliveryInput parameterizes one delivery transaction.
+type DeliveryInput struct {
+	W       int
+	Carrier int
+}
+
+// StockLevelInput parameterizes one stock-level transaction.
+type StockLevelInput struct {
+	W, D      int
+	Threshold int
+}
+
+// InputGen generates transaction inputs for one terminal, bound to a home
+// warehouse and district as the spec prescribes.
+type InputGen struct {
+	cfg   Config
+	mix   Mix
+	homeW int
+	homeD int
+	rng   *rand.Rand
+}
+
+// NewInputGen creates a generator for a terminal homed at warehouse w,
+// district d.
+func NewInputGen(cfg Config, mix Mix, w, d int, rng *rand.Rand) *InputGen {
+	cfg.fill()
+	return &InputGen{cfg: cfg, mix: mix, homeW: w, homeD: d, rng: rng}
+}
+
+// Next picks the next transaction type and its input. The returned input is
+// one of the *Input types above.
+func (g *InputGen) Next() (TxType, any) {
+	t := g.mix.pick(g.rng)
+	switch t {
+	case TxNewOrder:
+		return t, g.newOrder()
+	case TxPayment:
+		return t, g.payment()
+	case TxOrderStatus:
+		return t, g.orderStatus()
+	case TxDelivery:
+		return t, &DeliveryInput{W: g.homeW, Carrier: 1 + g.rng.Intn(10)}
+	default:
+		return t, &StockLevelInput{W: g.homeW, D: g.homeD, Threshold: 10 + g.rng.Intn(11)}
+	}
+}
+
+func (g *InputGen) otherWarehouse() int {
+	if g.cfg.Warehouses == 1 {
+		return 1
+	}
+	for {
+		w := 1 + g.rng.Intn(g.cfg.Warehouses)
+		if w != g.homeW {
+			return w
+		}
+	}
+}
+
+func (g *InputGen) newOrder() *NewOrderInput {
+	in := &NewOrderInput{
+		W: g.homeW,
+		D: 1 + g.rng.Intn(DistrictsPerWarehouse),
+		C: NURandCustomerID(g.rng, g.cfg.CustomersPerDistrict()),
+	}
+	nItems := 5 + g.rng.Intn(11) // 5..15
+	// Clause 2.4.1.4: 1% of new-orders carry an invalid item id.
+	in.InvalidItem = g.rng.Intn(100) == 0
+	for i := 0; i < nItems; i++ {
+		item := OrderItem{
+			ItemID:   NURandItemID(g.rng, g.cfg.Items()),
+			SupplyW:  in.W,
+			Quantity: 1 + g.rng.Intn(10),
+		}
+		// Clause 2.4.1.5: 1% of items come from a remote warehouse.
+		if !g.mix.Shardable && g.rng.Intn(100) == 0 {
+			item.SupplyW = g.otherWarehouse()
+			in.Remote = true
+		}
+		in.Items = append(in.Items, item)
+	}
+	return in
+}
+
+func (g *InputGen) payment() *PaymentInput {
+	in := &PaymentInput{
+		W:      g.homeW,
+		D:      1 + g.rng.Intn(DistrictsPerWarehouse),
+		Amount: 1 + float64(g.rng.Intn(499900))/100,
+	}
+	in.CW, in.CD = in.W, in.D
+	// Clause 2.5.1.2: 15% of payments are for a remote customer.
+	if !g.mix.Shardable && g.rng.Intn(100) < 15 {
+		in.CW = g.otherWarehouse()
+		in.CD = 1 + g.rng.Intn(DistrictsPerWarehouse)
+		in.Remote = true
+	}
+	// 60% select the customer by last name.
+	if g.rng.Intn(100) < 60 {
+		in.ByLastName = true
+		in.CLast = LastName(randLastNameNumber(g.rng) % loadedNameRange(g.cfg))
+	} else {
+		in.C = NURandCustomerID(g.rng, g.cfg.CustomersPerDistrict())
+	}
+	return in
+}
+
+func (g *InputGen) orderStatus() *OrderStatusInput {
+	in := &OrderStatusInput{W: g.homeW, D: 1 + g.rng.Intn(DistrictsPerWarehouse)}
+	if g.rng.Intn(100) < 60 {
+		in.ByLastName = true
+		in.CLast = LastName(randLastNameNumber(g.rng) % loadedNameRange(g.cfg))
+	} else {
+		in.C = NURandCustomerID(g.rng, g.cfg.CustomersPerDistrict())
+	}
+	return in
+}
+
+// loadedNameRange bounds last-name lookups to names that were actually
+// loaded when the customer count is scaled below 1000 per district.
+func loadedNameRange(cfg Config) int {
+	n := cfg.CustomersPerDistrict()
+	if n < 1000 {
+		return n
+	}
+	return 1000
+}
+
+// Engine is what a database system must provide to run TPC-C. Each method
+// executes one complete transaction and reports whether it committed;
+// conflicts surface as committed=false (the terminal does not retry,
+// matching the paper's failed-transaction accounting). err is reserved for
+// infrastructure failures.
+type Engine interface {
+	NewOrder(ctx env.Ctx, in *NewOrderInput) (committed bool, err error)
+	Payment(ctx env.Ctx, in *PaymentInput) (bool, error)
+	OrderStatus(ctx env.Ctx, in *OrderStatusInput) (bool, error)
+	Delivery(ctx env.Ctx, in *DeliveryInput) (bool, error)
+	StockLevel(ctx env.Ctx, in *StockLevelInput) (bool, error)
+}

@@ -1,0 +1,278 @@
+package tpcc
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"tell/internal/btree"
+	"tell/internal/mvcc"
+	"tell/internal/relational"
+	"tell/internal/store"
+)
+
+// loadTID is the version number of bulk-loaded rows: 0 is visible in every
+// snapshot (x ≤ b holds for any base).
+const loadTID = 0
+
+// Loaded describes the populated database: the schemas with their assigned
+// table ids and the row counts.
+type Loaded struct {
+	Config  Config
+	Schemas map[string]*relational.TableSchema
+	Rows    int
+	Bytes   int
+}
+
+// Load populates a storage cluster with the TPC-C dataset, writing records,
+// indexes, schemas and counters through the bulk-load path (the network
+// path would dominate experiment set-up time without exercising anything
+// the experiments measure; see store.Node.BulkLoad).
+func Load(cluster *store.Cluster, cfg Config) (*Loaded, error) {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	schemas := Schemas()
+	out := &Loaded{Config: cfg, Schemas: make(map[string]*relational.TableSchema)}
+
+	// Assign table ids 1..n and persist the catalog.
+	for i, s := range schemas {
+		s.ID = uint32(i + 1)
+		out.Schemas[s.Name] = s
+		if err := cluster.BulkLoad(relational.SchemaKey(s.Name), s.Encode()); err != nil {
+			return nil, err
+		}
+	}
+	if err := cluster.BulkLoadCounter([]byte("sys/tableid"), int64(len(schemas))); err != nil {
+		return nil, err
+	}
+
+	l := &loader{cluster: cluster, cfg: cfg, rng: rng, out: out}
+	for _, build := range []func() error{
+		l.loadItems, l.loadWarehouses,
+	} {
+		if err := build(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// loader accumulates per-table state during population.
+type loader struct {
+	cluster *store.Cluster
+	cfg     Config
+	rng     *rand.Rand
+	out     *Loaded
+}
+
+// tableLoader streams rows of one table and builds its indexes.
+type tableLoader struct {
+	l       *loader
+	schema  *relational.TableSchema
+	nextRid uint64
+	pkPairs []btree.Pair
+	secs    map[string][]btree.Pair
+}
+
+func (l *loader) table(name string) *tableLoader {
+	t := &tableLoader{l: l, schema: l.out.Schemas[name], secs: make(map[string][]btree.Pair)}
+	for _, ix := range t.schema.Indexes {
+		t.secs[ix.Name] = nil
+	}
+	return t
+}
+
+// add stores one row and collects its index entries.
+func (t *tableLoader) add(row relational.Row) error {
+	data, err := relational.EncodeRow(t.schema, row)
+	if err != nil {
+		return err
+	}
+	t.nextRid++
+	rid := t.nextRid
+	rec := mvcc.NewRecord(loadTID, data)
+	val := rec.Encode()
+	if err := t.l.cluster.BulkLoad(relational.RecordKey(t.schema.ID, rid), val); err != nil {
+		return err
+	}
+	t.l.out.Rows++
+	t.l.out.Bytes += len(val)
+	t.pkPairs = append(t.pkPairs, btree.Pair{
+		Key: relational.IndexKeyFromRow(row, t.schema.PKCols),
+		Val: relational.RidToIndexVal(rid),
+	})
+	for _, ix := range t.schema.Indexes {
+		key := relational.AppendRid(relational.IndexKeyFromRow(row, ix.Cols), rid)
+		t.secs[ix.Name] = append(t.secs[ix.Name], btree.Pair{Key: key, Val: relational.RidToIndexVal(rid)})
+	}
+	return nil
+}
+
+// finish sorts and bulk-builds the table's indexes and sets its rid counter.
+func (t *tableLoader) finish() error {
+	sortPairs(t.pkPairs)
+	if err := btree.BulkBuild(relational.PKIndexName(t.schema.Name), t.pkPairs, 64,
+		t.l.cluster.BulkLoad, t.l.cluster.BulkLoadCounter); err != nil {
+		return fmt.Errorf("tpcc: pk index of %s: %w", t.schema.Name, err)
+	}
+	for _, ix := range t.schema.Indexes {
+		pairs := t.secs[ix.Name]
+		sortPairs(pairs)
+		if err := btree.BulkBuild(relational.SecIndexName(t.schema.Name, ix.Name), pairs, 64,
+			t.l.cluster.BulkLoad, t.l.cluster.BulkLoadCounter); err != nil {
+			return fmt.Errorf("tpcc: index %s of %s: %w", ix.Name, t.schema.Name, err)
+		}
+	}
+	return t.l.cluster.BulkLoadCounter(relational.RidCounterKey(t.schema.ID), int64(t.nextRid))
+}
+
+func sortPairs(pairs []btree.Pair) {
+	sort.Slice(pairs, func(i, j int) bool { return bytes.Compare(pairs[i].Key, pairs[j].Key) < 0 })
+}
+
+func (l *loader) loadItems() error {
+	t := l.table(TItem)
+	for i := 1; i <= l.cfg.Items(); i++ {
+		row := relational.Row{
+			relational.I64(int64(i)),
+			relational.Str("item-" + randAlnum(l.rng, 4, 8)),
+			relational.F64(1 + float64(l.rng.Intn(9900))/100),
+			relational.Str(randData(l.rng)),
+		}
+		if err := t.add(row); err != nil {
+			return err
+		}
+	}
+	return t.finish()
+}
+
+func (l *loader) loadWarehouses() error {
+	wh := l.table(TWarehouse)
+	dist := l.table(TDistrict)
+	cust := l.table(TCustomer)
+	hist := l.table(THistory)
+	ord := l.table(TOrders)
+	nord := l.table(TNewOrder)
+	ol := l.table(TOrderLine)
+	stock := l.table(TStock)
+
+	nCust := l.cfg.CustomersPerDistrict()
+	nOrd := l.cfg.OrdersPerDistrict()
+	for w := 1; w <= l.cfg.Warehouses; w++ {
+		if err := wh.add(relational.Row{
+			relational.I64(int64(w)),
+			relational.Str(wName(w)),
+			relational.F64(float64(l.rng.Intn(2000)) / 10000), // 0..0.2
+			relational.F64(300000),
+		}); err != nil {
+			return err
+		}
+		// Stock: one row per item per warehouse.
+		for i := 1; i <= l.cfg.Items(); i++ {
+			if err := stock.add(relational.Row{
+				relational.I64(int64(w)), relational.I64(int64(i)),
+				relational.I64(int64(10 + l.rng.Intn(91))), // 10..100
+				relational.I64(0), relational.I64(0), relational.I64(0),
+				relational.Str(randData(l.rng)),
+			}); err != nil {
+				return err
+			}
+		}
+		for d := 1; d <= DistrictsPerWarehouse; d++ {
+			if err := dist.add(relational.Row{
+				relational.I64(int64(w)), relational.I64(int64(d)),
+				relational.Str(fmt.Sprintf("D%02d", d)),
+				relational.F64(float64(l.rng.Intn(2000)) / 10000),
+				relational.F64(30000),
+				relational.I64(int64(nOrd + 1)),
+			}); err != nil {
+				return err
+			}
+			// Customers.
+			for c := 1; c <= nCust; c++ {
+				lastNum := c - 1
+				if lastNum >= 1000 {
+					lastNum = randLastNameNumber(l.rng)
+				}
+				credit := "GC"
+				if l.rng.Intn(10) == 0 {
+					credit = "BC"
+				}
+				if err := cust.add(relational.Row{
+					relational.I64(int64(w)), relational.I64(int64(d)), relational.I64(int64(c)),
+					relational.Str(randAlnum(l.rng, 6, 10)),
+					relational.Str(LastName(lastNum % 1000)),
+					relational.Str(credit),
+					relational.F64(float64(l.rng.Intn(5000)) / 10000),
+					relational.F64(-10), relational.F64(10),
+					relational.I64(1), relational.I64(0),
+					relational.Str(randAlnum(l.rng, 20, 40)),
+				}); err != nil {
+					return err
+				}
+				// One history row per customer. Loaded h_seq values are
+				// negative so they can never collide with runtime rows,
+				// whose h_seq is the (positive) transaction id.
+				if err := hist.add(relational.Row{
+					relational.I64(int64(w)), relational.I64(int64(d)), relational.I64(int64(-c)),
+					relational.I64(int64(c)), relational.I64(int64(w)), relational.I64(int64(d)),
+					relational.I64(0), relational.F64(10),
+				}); err != nil {
+					return err
+				}
+			}
+			// Orders over a permutation of customers.
+			perm := l.rng.Perm(nCust)
+			deliveredUpTo := nOrd * 7 / 10
+			for o := 1; o <= nOrd; o++ {
+				olCnt := 5 + l.rng.Intn(11) // 5..15
+				carrier := int64(0)
+				if o <= deliveredUpTo {
+					carrier = int64(1 + l.rng.Intn(10))
+				}
+				if err := ord.add(relational.Row{
+					relational.I64(int64(w)), relational.I64(int64(d)), relational.I64(int64(o)),
+					relational.I64(int64(perm[o-1] + 1)),
+					relational.I64(0), relational.I64(carrier),
+					relational.I64(int64(olCnt)), relational.I64(1),
+				}); err != nil {
+					return err
+				}
+				if o > deliveredUpTo {
+					if err := nord.add(relational.Row{
+						relational.I64(int64(w)), relational.I64(int64(d)), relational.I64(int64(o)),
+					}); err != nil {
+						return err
+					}
+				}
+				for n := 1; n <= olCnt; n++ {
+					deliveryD := int64(0)
+					amount := 0.0
+					if o <= deliveredUpTo {
+						deliveryD = 1
+					} else {
+						amount = float64(1+l.rng.Intn(999899)) / 100
+					}
+					if err := ol.add(relational.Row{
+						relational.I64(int64(w)), relational.I64(int64(d)), relational.I64(int64(o)),
+						relational.I64(int64(n)),
+						relational.I64(int64(1 + l.rng.Intn(l.cfg.Items()))),
+						relational.I64(int64(w)),
+						relational.I64(deliveryD),
+						relational.I64(5),
+						relational.F64(amount),
+					}); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	for _, t := range []*tableLoader{wh, dist, cust, hist, ord, nord, ol, stock} {
+		if err := t.finish(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+// Package tpcc implements the TPC-C benchmark (§6.2): the nine-table
+// schema, data population, all five transactions, and the three workload
+// mixes the paper evaluates — the write-intensive standard mix, the
+// read-intensive mix of Table 2, and the perfectly shardable variant of
+// §6.4 (remote new-order and payment transactions replaced by local ones).
+//
+// As in the paper, terminals run without wait times and throughput is
+// reported as TpmC (committed new-order transactions per minute) for the
+// standard mix and Tps for the read-intensive mix.
+package tpcc
+
+import (
+	"tell/internal/relational"
+)
+
+// Config sizes and parameterizes a TPC-C deployment.
+type Config struct {
+	// Warehouses is the scale factor W (paper default: 200; our
+	// experiment defaults are smaller — a single host's memory replaces a
+	// seven-server storage layer; see EXPERIMENTS.md).
+	Warehouses int
+	// Scale shrinks the per-warehouse row counts uniformly (1.0 = the
+	// spec's 100k items / 3k customers per district). Contention behavior
+	// is governed by Warehouses and districts, which are never scaled.
+	Scale float64
+	// Seed drives all data and input generation.
+	Seed int64
+}
+
+func (c *Config) fill() {
+	if c.Warehouses <= 0 {
+		c.Warehouses = 1
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1.0
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+}
+
+// Districts per warehouse (fixed by the spec; this is the contention axis).
+const DistrictsPerWarehouse = 10
+
+// Items returns the size of the item table.
+func (c *Config) Items() int { return scaled(100000, c.Scale) }
+
+// CustomersPerDistrict returns the customer count per district.
+func (c *Config) CustomersPerDistrict() int { return scaled(3000, c.Scale) }
+
+// OrdersPerDistrict returns the initially loaded order count per district.
+func (c *Config) OrdersPerDistrict() int { return c.CustomersPerDistrict() }
+
+func scaled(n int, s float64) int {
+	v := int(float64(n) * s)
+	if v < 10 {
+		v = 10
+	}
+	return v
+}
+
+// Table names.
+const (
+	TWarehouse = "warehouse"
+	TDistrict  = "district"
+	TCustomer  = "customer"
+	THistory   = "history"
+	TNewOrder  = "neworder"
+	TOrders    = "orders"
+	TOrderLine = "orderline"
+	TItem      = "item"
+	TStock     = "stock"
+)
+
+// Column positions, exported for readable transaction code.
+//
+// warehouse: w_id, w_name, w_tax, w_ytd
+const (
+	WID = iota
+	WName
+	WTax
+	WYtd
+)
+
+// district: d_w_id, d_id, d_name, d_tax, d_ytd, d_next_o_id
+const (
+	DWID = iota
+	DID
+	DName
+	DTax
+	DYtd
+	DNextOID
+)
+
+// customer: c_w_id, c_d_id, c_id, c_first, c_last, c_credit, c_discount,
+// c_balance, c_ytd_payment, c_payment_cnt, c_delivery_cnt, c_data
+const (
+	CWID = iota
+	CDID
+	CID
+	CFirst
+	CLast
+	CCredit
+	CDiscount
+	CBalance
+	CYtdPayment
+	CPaymentCnt
+	CDeliveryCnt
+	CData
+)
+
+// history: h_w_id, h_d_id, h_seq, h_c_id, h_c_w_id, h_c_d_id, h_date, h_amount
+const (
+	HWID = iota
+	HDID
+	HSeq
+	HCID
+	HCWID
+	HCDID
+	HDate
+	HAmount
+)
+
+// neworder: no_w_id, no_d_id, no_o_id
+const (
+	NOWID = iota
+	NODID
+	NOOID
+)
+
+// orders: o_w_id, o_d_id, o_id, o_c_id, o_entry_d, o_carrier_id, o_ol_cnt, o_all_local
+const (
+	OWID = iota
+	ODID
+	OID
+	OCID
+	OEntryD
+	OCarrierID
+	OOlCnt
+	OAllLocal
+)
+
+// orderline: ol_w_id, ol_d_id, ol_o_id, ol_number, ol_i_id, ol_supply_w_id,
+// ol_delivery_d, ol_quantity, ol_amount
+const (
+	OLWID = iota
+	OLDID
+	OLOID
+	OLNumber
+	OLIID
+	OLSupplyWID
+	OLDeliveryD
+	OLQuantity
+	OLAmount
+)
+
+// item: i_id, i_name, i_price, i_data
+const (
+	IID = iota
+	IName
+	IPrice
+	IData
+)
+
+// stock: s_w_id, s_i_id, s_quantity, s_ytd, s_order_cnt, s_remote_cnt, s_data
+const (
+	SWID = iota
+	SIID
+	SQuantity
+	SYtd
+	SOrderCnt
+	SRemoteCnt
+	SData
+)
+
+// Secondary index names.
+const (
+	IdxCustomerByLast = "bylast" // (c_w_id, c_d_id, c_last)
+	IdxOrdersByCust   = "bycust" // (o_w_id, o_d_id, o_c_id, o_id)
+)
+
+// Schemas returns the nine TPC-C table schemas in load order.
+func Schemas() []*relational.TableSchema {
+	i64 := relational.TInt64
+	f64 := relational.TFloat64
+	str := relational.TString
+	col := func(n string, t relational.ColType) relational.Column {
+		return relational.Column{Name: n, Type: t}
+	}
+	return []*relational.TableSchema{
+		{
+			Name:   TWarehouse,
+			Cols:   []relational.Column{col("w_id", i64), col("w_name", str), col("w_tax", f64), col("w_ytd", f64)},
+			PKCols: []int{WID},
+		},
+		{
+			Name: TDistrict,
+			Cols: []relational.Column{
+				col("d_w_id", i64), col("d_id", i64), col("d_name", str),
+				col("d_tax", f64), col("d_ytd", f64), col("d_next_o_id", i64),
+			},
+			PKCols: []int{DWID, DID},
+		},
+		{
+			Name: TCustomer,
+			Cols: []relational.Column{
+				col("c_w_id", i64), col("c_d_id", i64), col("c_id", i64),
+				col("c_first", str), col("c_last", str), col("c_credit", str),
+				col("c_discount", f64), col("c_balance", f64), col("c_ytd_payment", f64),
+				col("c_payment_cnt", i64), col("c_delivery_cnt", i64), col("c_data", str),
+			},
+			PKCols: []int{CWID, CDID, CID},
+			Indexes: []relational.IndexSchema{
+				{Name: IdxCustomerByLast, Cols: []int{CWID, CDID, CLast}},
+			},
+		},
+		{
+			Name: THistory,
+			Cols: []relational.Column{
+				col("h_w_id", i64), col("h_d_id", i64), col("h_seq", i64),
+				col("h_c_id", i64), col("h_c_w_id", i64), col("h_c_d_id", i64),
+				col("h_date", i64), col("h_amount", f64),
+			},
+			PKCols: []int{HWID, HDID, HSeq},
+		},
+		{
+			Name:   TNewOrder,
+			Cols:   []relational.Column{col("no_w_id", i64), col("no_d_id", i64), col("no_o_id", i64)},
+			PKCols: []int{NOWID, NODID, NOOID},
+		},
+		{
+			Name: TOrders,
+			Cols: []relational.Column{
+				col("o_w_id", i64), col("o_d_id", i64), col("o_id", i64), col("o_c_id", i64),
+				col("o_entry_d", i64), col("o_carrier_id", i64), col("o_ol_cnt", i64), col("o_all_local", i64),
+			},
+			PKCols: []int{OWID, ODID, OID},
+			Indexes: []relational.IndexSchema{
+				{Name: IdxOrdersByCust, Cols: []int{OWID, ODID, OCID, OID}},
+			},
+		},
+		{
+			Name: TOrderLine,
+			Cols: []relational.Column{
+				col("ol_w_id", i64), col("ol_d_id", i64), col("ol_o_id", i64), col("ol_number", i64),
+				col("ol_i_id", i64), col("ol_supply_w_id", i64), col("ol_delivery_d", i64),
+				col("ol_quantity", i64), col("ol_amount", f64),
+			},
+			PKCols: []int{OLWID, OLDID, OLOID, OLNumber},
+		},
+		{
+			Name:   TItem,
+			Cols:   []relational.Column{col("i_id", i64), col("i_name", str), col("i_price", f64), col("i_data", str)},
+			PKCols: []int{IID},
+		},
+		{
+			Name: TStock,
+			Cols: []relational.Column{
+				col("s_w_id", i64), col("s_i_id", i64), col("s_quantity", i64),
+				col("s_ytd", i64), col("s_order_cnt", i64), col("s_remote_cnt", i64), col("s_data", str),
+			},
+			PKCols: []int{SWID, SIID},
+		},
+	}
+}

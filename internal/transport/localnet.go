@@ -1,0 +1,126 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"tell/internal/env"
+)
+
+// LocalNet delivers messages in-process on real goroutines. It is the
+// transport for unit tests and single-process deployments (the examples run
+// a whole virtual cluster inside one binary this way). An optional fixed
+// latency can be injected per round trip.
+type LocalNet struct {
+	mu      sync.RWMutex
+	eps     map[string]*localEndpoint
+	down    map[string]bool
+	latency time.Duration
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+type localEndpoint struct {
+	node env.Node
+	h    Handler
+}
+
+// NewLocalNet returns an empty in-process network.
+func NewLocalNet() *LocalNet {
+	return &LocalNet{eps: make(map[string]*localEndpoint), down: make(map[string]bool)}
+}
+
+// SetLatency injects a fixed real-time delay per round trip.
+func (n *LocalNet) SetLatency(d time.Duration) { n.latency = d }
+
+// SetDown marks addr as failed or recovered.
+func (n *LocalNet) SetDown(addr string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[addr] = down
+}
+
+// Stats returns cumulative traffic counters.
+func (n *LocalNet) Stats() Stats {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	return n.stats
+}
+
+// Listen registers h as the server for addr on the given node.
+func (n *LocalNet) Listen(addr string, node env.Node, h Handler) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.eps[addr]; ok {
+		return fmt.Errorf("localnet: address %q already in use", addr)
+	}
+	n.eps[addr] = &localEndpoint{node: node, h: h}
+	return nil
+}
+
+// Dial opens a connection from node to addr.
+func (n *LocalNet) Dial(node env.Node, addr string) (Conn, error) {
+	return &localConn{net: n, dst: addr}, nil
+}
+
+type localConn struct {
+	net    *LocalNet
+	dst    string
+	closed bool
+}
+
+func (c *localConn) Close() error {
+	c.closed = true
+	return nil
+}
+
+func (c *localConn) RoundTrip(ctx env.Ctx, req []byte) ([]byte, error) {
+	if c.closed {
+		return nil, ErrClosed
+	}
+	n := c.net
+	n.mu.RLock()
+	ep, ok := n.eps[c.dst]
+	isDown := n.down[c.dst]
+	n.mu.RUnlock()
+
+	n.statsMu.Lock()
+	n.stats.Requests++
+	n.stats.BytesSent += uint64(len(req))
+	n.statsMu.Unlock()
+
+	if !ok || isDown {
+		return nil, ErrUnreachable
+	}
+	if n.latency > 0 {
+		ctx.Sleep(n.latency)
+	}
+	// The handler runs inline on the caller's goroutine but against the
+	// serving node's context, so Node() reports correctly. Under the real
+	// environment Work is free, so no accounting is lost.
+	resp := ep.h(detachedCtx{ctx: ctx, node: ep.node}, req)
+	if n.latency > 0 {
+		ctx.Sleep(n.latency)
+	}
+	n.statsMu.Lock()
+	n.stats.BytesRecv += uint64(len(resp))
+	n.statsMu.Unlock()
+	return resp, nil
+}
+
+// detachedCtx runs a handler on the caller's goroutine while reporting the
+// serving node as its home.
+type detachedCtx struct {
+	ctx  env.Ctx
+	node env.Node
+}
+
+func (d detachedCtx) Node() env.Node               { return d.node }
+func (d detachedCtx) Now() time.Duration           { return d.ctx.Now() }
+func (d detachedCtx) Sleep(dur time.Duration)      { d.ctx.Sleep(dur) }
+func (d detachedCtx) Work(time.Duration)           {}
+func (d detachedCtx) Go(n string, f func(env.Ctx)) { d.node.Go(n, f) }
+func (d detachedCtx) Rand() *rand.Rand             { return d.ctx.Rand() }

@@ -1,0 +1,150 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"tell/internal/env"
+	"tell/internal/sim"
+)
+
+// SimNet is the simulated cluster network. Message delivery advances virtual
+// time by the network class's latency plus size/bandwidth; handlers execute
+// as simulated activities on the destination node, so their ctx.Work calls
+// queue on that node's modelled CPU cores.
+type SimNet struct {
+	k       *sim.Kernel
+	class   NetworkClass
+	timeout time.Duration
+	eps     map[string]*simEndpoint
+	down    map[string]bool
+	// DropFn, if set, drops messages between the given addresses,
+	// modelling a network partition.
+	DropFn func(src, dst string) bool
+
+	stats Stats
+}
+
+type simEndpoint struct {
+	addr string
+	node env.Node
+	h    Handler
+}
+
+// NewSimNet creates a network on kernel k with the given link parameters.
+func NewSimNet(k *sim.Kernel, class NetworkClass) *SimNet {
+	return &SimNet{
+		k:       k,
+		class:   class,
+		timeout: 50 * time.Millisecond,
+		eps:     make(map[string]*simEndpoint),
+		down:    make(map[string]bool),
+	}
+}
+
+// SetTimeout changes how long requests to dead or partitioned endpoints
+// wait before failing (default 50ms of virtual time).
+func (n *SimNet) SetTimeout(d time.Duration) { n.timeout = d }
+
+// Class returns the configured network class.
+func (n *SimNet) Class() NetworkClass { return n.class }
+
+// Stats returns cumulative traffic counters.
+func (n *SimNet) Stats() Stats { return n.stats }
+
+// SetDown marks addr as failed (true) or recovered (false). Requests to a
+// down endpoint time out, as do responses from handlers that were running
+// when the endpoint went down.
+func (n *SimNet) SetDown(addr string, down bool) { n.down[addr] = down }
+
+// Listen registers h as the server for addr on the given node.
+func (n *SimNet) Listen(addr string, node env.Node, h Handler) error {
+	if _, ok := n.eps[addr]; ok {
+		return fmt.Errorf("simnet: address %q already in use", addr)
+	}
+	n.eps[addr] = &simEndpoint{addr: addr, node: node, h: h}
+	return nil
+}
+
+// Dial opens a connection from node to addr. The endpoint need not exist
+// yet; resolution happens per request.
+func (n *SimNet) Dial(node env.Node, addr string) (Conn, error) {
+	return &simConn{net: n, src: node, dst: addr}, nil
+}
+
+type simConn struct {
+	net    *SimNet
+	src    env.Node
+	dst    string
+	closed bool
+}
+
+func (c *simConn) Close() error {
+	c.closed = true
+	return nil
+}
+
+func (c *simConn) reachable() bool {
+	n := c.net
+	if n.down[c.dst] || n.down[c.src.Name()] {
+		return false
+	}
+	if n.DropFn != nil && n.DropFn(c.src.Name(), c.dst) {
+		return false
+	}
+	_, ok := n.eps[c.dst]
+	return ok
+}
+
+// RoundTrip sends req to the destination endpoint and blocks the calling
+// activity until the response has travelled back.
+func (c *simConn) RoundTrip(ctx env.Ctx, req []byte) ([]byte, error) {
+	if c.closed {
+		return nil, ErrClosed
+	}
+	n := c.net
+	n.stats.Requests++
+	n.stats.BytesSent += uint64(len(req))
+
+	if !c.reachable() {
+		ctx.Sleep(n.timeout)
+		return nil, ErrTimeout
+	}
+
+	fut := sim.NewFuture(n.k)
+	// Request travels to the server.
+	n.k.After(n.class.TransferTime(len(req)), func() {
+		ep, ok := n.eps[c.dst]
+		if !ok || n.down[c.dst] {
+			return // lost; client times out
+		}
+		// The handler runs as an activity on the serving node.
+		ep.node.Go("handler", func(hctx env.Ctx) {
+			resp := ep.h(hctx, req)
+			if n.down[c.dst] || n.down[c.src.Name()] {
+				return // server or client died meanwhile
+			}
+			// Response travels back to the client.
+			n.k.After(n.class.TransferTime(len(resp)), func() {
+				n.stats.BytesRecv += uint64(len(resp))
+				fut.Set(resp)
+			})
+		})
+	})
+
+	v, ok := fut.GetTimeout(simProc(ctx), n.timeout)
+	if !ok {
+		return nil, ErrTimeout
+	}
+	return v.([]byte), nil
+}
+
+// simProc extracts the simulation process behind ctx; SimNet only works
+// with simulated contexts.
+func simProc(ctx env.Ctx) *sim.Proc {
+	k := env.Kernel(ctx)
+	if k == nil {
+		panic("transport: SimNet used with a non-simulated context")
+	}
+	return env.Proc(ctx)
+}

@@ -1,0 +1,241 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"tell/internal/env"
+)
+
+// TCPNet carries requests over real TCP connections. Frames are
+// [uint32 length][uint64 request id][payload]; responses echo the request
+// id, so a single connection multiplexes many in-flight requests. This is
+// the transport behind cmd/telld and cmd/tellcli.
+type TCPNet struct {
+	// Timeout bounds each round trip (default 10s).
+	Timeout time.Duration
+
+	mu        sync.Mutex
+	listeners []net.Listener
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// NewTCPNet returns a TCP transport.
+func NewTCPNet() *TCPNet { return &TCPNet{Timeout: 10 * time.Second} }
+
+// Stats returns cumulative traffic counters.
+func (t *TCPNet) Stats() Stats {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	return t.stats
+}
+
+// Close shuts down all listeners.
+func (t *TCPNet) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var err error
+	for _, l := range t.listeners {
+		if e := l.Close(); e != nil && err == nil {
+			err = e
+		}
+	}
+	t.listeners = nil
+	return err
+}
+
+const maxFrame = 64 << 20 // 64 MiB sanity bound on a single frame
+
+func writeFrame(w io.Writer, id uint64, payload []byte) error {
+	hdr := make([]byte, 12)
+	binary.LittleEndian.PutUint32(hdr, uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[4:], id)
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (id uint64, payload []byte, err error) {
+	hdr := make([]byte, 12)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", n)
+	}
+	id = binary.LittleEndian.Uint64(hdr[4:])
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return id, payload, nil
+}
+
+// Listen binds a real TCP listener on addr (host:port) and serves requests
+// with h. Handler invocations run as activities on node.
+func (t *TCPNet) Listen(addr string, node env.Node, h Handler) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.listeners = append(t.listeners, l)
+	t.mu.Unlock()
+	go t.acceptLoop(l, node, h)
+	return nil
+}
+
+// Addr returns the bound address of the i-th listener (useful with ":0").
+func (t *TCPNet) Addr(i int) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i < 0 || i >= len(t.listeners) {
+		return ""
+	}
+	return t.listeners[i].Addr().String()
+}
+
+func (t *TCPNet) acceptLoop(l net.Listener, node env.Node, h Handler) {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go t.serveConn(c, node, h)
+	}
+}
+
+func (t *TCPNet) serveConn(c net.Conn, node env.Node, h Handler) {
+	defer c.Close()
+	var wmu sync.Mutex
+	for {
+		id, payload, err := readFrame(c)
+		if err != nil {
+			return
+		}
+		t.statsMu.Lock()
+		t.stats.Requests++
+		t.stats.BytesRecv += uint64(len(payload))
+		t.statsMu.Unlock()
+		node.Go("tcp-handler", func(ctx env.Ctx) {
+			resp := h(ctx, payload)
+			wmu.Lock()
+			defer wmu.Unlock()
+			if err := writeFrame(c, id, resp); err != nil {
+				c.Close()
+			}
+		})
+	}
+}
+
+// Dial connects to addr over TCP.
+func (t *TCPNet) Dial(node env.Node, addr string) (Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, t.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	tc := &tcpConn{
+		net:     t,
+		conn:    c,
+		pending: make(map[uint64]chan []byte),
+	}
+	go tc.readLoop()
+	return tc, nil
+}
+
+type tcpConn struct {
+	net  *TCPNet
+	conn net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan []byte
+	closed  bool
+}
+
+func (c *tcpConn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *tcpConn) readLoop() {
+	for {
+		id, payload, err := readFrame(c.conn)
+		if err != nil {
+			c.Close()
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		if ok {
+			delete(c.pending, id)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- payload
+		}
+	}
+}
+
+func (c *tcpConn) RoundTrip(ctx env.Ctx, req []byte) ([]byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan []byte, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.net.statsMu.Lock()
+	c.net.stats.BytesSent += uint64(len(req))
+	c.net.statsMu.Unlock()
+
+	c.wmu.Lock()
+	err := writeFrame(c.conn, id, req)
+	c.wmu.Unlock()
+	if err != nil {
+		c.forget(id)
+		return nil, err
+	}
+
+	timeout := c.net.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return resp, nil
+	case <-time.After(timeout):
+		c.forget(id)
+		return nil, ErrTimeout
+	}
+}
+
+func (c *tcpConn) forget(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}

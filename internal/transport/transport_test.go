@@ -1,0 +1,363 @@
+package transport_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"tell/internal/env"
+	"tell/internal/sim"
+	"tell/internal/transport"
+)
+
+// echoUpper is a trivial handler that upper-cases ASCII.
+func echoUpper(ctx env.Ctx, req []byte) []byte {
+	out := make([]byte, len(req))
+	for i, b := range req {
+		if 'a' <= b && b <= 'z' {
+			b -= 32
+		}
+		out[i] = b
+	}
+	return out
+}
+
+func TestSimNetRoundTrip(t *testing.T) {
+	k := sim.NewKernel(1)
+	e := env.NewSim(k)
+	net := transport.NewSimNet(k, transport.InfiniBand())
+	server := e.NewNode("sn1", 2)
+	client := e.NewNode("pn1", 2)
+	if err := net.Listen("sn1", server, echoUpper); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	client.Go("c", func(ctx env.Ctx) {
+		conn, err := net.Dial(client, "sn1")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got, err = conn.RoundTrip(ctx, []byte("hello"))
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "HELLO" {
+		t.Fatalf("got %q", got)
+	}
+	// Two one-way transfers of 5 bytes at InfiniBand latency.
+	min := 2 * transport.InfiniBand().Latency
+	if k.Now().Duration() < min {
+		t.Fatalf("elapsed %v < minimum %v", k.Now().Duration(), min)
+	}
+	k.Shutdown()
+}
+
+func TestSimNetLatencyModel(t *testing.T) {
+	// Ethernet round trips must be slower than InfiniBand ones.
+	measure := func(class transport.NetworkClass) time.Duration {
+		k := sim.NewKernel(1)
+		e := env.NewSim(k)
+		net := transport.NewSimNet(k, class)
+		server := e.NewNode("s", 1)
+		client := e.NewNode("c", 1)
+		net.Listen("s", server, echoUpper)
+		var elapsed time.Duration
+		client.Go("c", func(ctx env.Ctx) {
+			conn, _ := net.Dial(client, "s")
+			for i := 0; i < 10; i++ {
+				conn.RoundTrip(ctx, []byte("x"))
+			}
+			elapsed = ctx.Now()
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		k.Shutdown()
+		return elapsed
+	}
+	ib := measure(transport.InfiniBand())
+	eth := measure(transport.Ethernet10G())
+	if eth < 5*ib {
+		t.Fatalf("ethernet (%v) should be much slower than infiniband (%v)", eth, ib)
+	}
+}
+
+func TestSimNetHandlerChargesServerCPU(t *testing.T) {
+	k := sim.NewKernel(1)
+	e := env.NewSim(k)
+	net := transport.NewSimNet(k, transport.InfiniBand())
+	server := e.NewNode("s", 1)
+	client := e.NewNode("c", 4)
+	busy := func(ctx env.Ctx, req []byte) []byte {
+		ctx.Work(time.Millisecond)
+		return req
+	}
+	net.Listen("s", server, busy)
+	// 4 concurrent clients, 1 server core: requests serialize on the
+	// server CPU, so total time is at least 4ms.
+	for i := 0; i < 4; i++ {
+		client.Go("c", func(ctx env.Ctx) {
+			conn, _ := net.Dial(client, "s")
+			conn.RoundTrip(ctx, []byte("x"))
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now().Duration() < 4*time.Millisecond {
+		t.Fatalf("elapsed %v, want >= 4ms (CPU-serialized)", k.Now().Duration())
+	}
+	k.Shutdown()
+}
+
+func TestSimNetDownEndpointTimesOut(t *testing.T) {
+	k := sim.NewKernel(1)
+	e := env.NewSim(k)
+	net := transport.NewSimNet(k, transport.InfiniBand())
+	net.SetTimeout(5 * time.Millisecond)
+	server := e.NewNode("s", 1)
+	client := e.NewNode("c", 1)
+	net.Listen("s", server, echoUpper)
+	net.SetDown("s", true)
+	var err error
+	client.Go("c", func(ctx env.Ctx) {
+		conn, _ := net.Dial(client, "s")
+		_, err = conn.RoundTrip(ctx, []byte("x"))
+	})
+	if e := k.Run(); e != nil {
+		t.Fatal(e)
+	}
+	if err != transport.ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if k.Now().Duration() < 5*time.Millisecond {
+		t.Fatal("timeout should consume virtual time")
+	}
+	k.Shutdown()
+}
+
+func TestSimNetRecoveryAfterDown(t *testing.T) {
+	k := sim.NewKernel(1)
+	e := env.NewSim(k)
+	net := transport.NewSimNet(k, transport.InfiniBand())
+	net.SetTimeout(time.Millisecond)
+	server := e.NewNode("s", 1)
+	client := e.NewNode("c", 1)
+	net.Listen("s", server, echoUpper)
+	net.SetDown("s", true)
+	var first, second error
+	client.Go("c", func(ctx env.Ctx) {
+		conn, _ := net.Dial(client, "s")
+		_, first = conn.RoundTrip(ctx, []byte("x"))
+		net.SetDown("s", false)
+		_, second = conn.RoundTrip(ctx, []byte("x"))
+	})
+	if e := k.Run(); e != nil {
+		t.Fatal(e)
+	}
+	if first == nil || second != nil {
+		t.Fatalf("first=%v second=%v", first, second)
+	}
+	k.Shutdown()
+}
+
+func TestSimNetStats(t *testing.T) {
+	k := sim.NewKernel(1)
+	e := env.NewSim(k)
+	net := transport.NewSimNet(k, transport.InfiniBand())
+	server := e.NewNode("s", 1)
+	client := e.NewNode("c", 1)
+	net.Listen("s", server, echoUpper)
+	client.Go("c", func(ctx env.Ctx) {
+		conn, _ := net.Dial(client, "s")
+		conn.RoundTrip(ctx, []byte("abcde"))
+		conn.RoundTrip(ctx, []byte("xyz"))
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := net.Stats()
+	if st.Requests != 2 || st.BytesSent != 8 || st.BytesRecv != 8 {
+		t.Fatalf("stats = %+v", st)
+	}
+	k.Shutdown()
+}
+
+func TestLocalNetRoundTrip(t *testing.T) {
+	e := env.NewReal(1)
+	net := transport.NewLocalNet()
+	server := e.NewNode("s", 1)
+	client := e.NewNode("c", 1)
+	if err := net.Listen("s", server, echoUpper); err != nil {
+		t.Fatal(err)
+	}
+	res := make(chan []byte, 1)
+	client.Go("c", func(ctx env.Ctx) {
+		conn, _ := net.Dial(client, "s")
+		got, err := conn.RoundTrip(ctx, []byte("tell"))
+		if err != nil {
+			t.Error(err)
+		}
+		res <- got
+	})
+	if got := <-res; string(got) != "TELL" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestLocalNetDown(t *testing.T) {
+	e := env.NewReal(1)
+	net := transport.NewLocalNet()
+	server := e.NewNode("s", 1)
+	client := e.NewNode("c", 1)
+	net.Listen("s", server, echoUpper)
+	net.SetDown("s", true)
+	res := make(chan error, 1)
+	client.Go("c", func(ctx env.Ctx) {
+		conn, _ := net.Dial(client, "s")
+		_, err := conn.RoundTrip(ctx, []byte("x"))
+		res <- err
+	})
+	if err := <-res; err != transport.ErrUnreachable {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLocalNetConcurrentClients(t *testing.T) {
+	e := env.NewReal(1)
+	net := transport.NewLocalNet()
+	server := e.NewNode("s", 1)
+	net.Listen("s", server, echoUpper)
+	var wg sync.WaitGroup
+	errs := make(chan error, 50)
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		client := e.NewNode("c", 1)
+		client.Go("c", func(ctx env.Ctx) {
+			defer wg.Done()
+			conn, _ := net.Dial(client, "s")
+			got, err := conn.RoundTrip(ctx, []byte("abc"))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(got, []byte("ABC")) {
+				t.Errorf("got %q", got)
+			}
+		})
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPNetRoundTrip(t *testing.T) {
+	e := env.NewReal(1)
+	tn := transport.NewTCPNet()
+	defer tn.Close()
+	server := e.NewNode("s", 1)
+	if err := tn.Listen("127.0.0.1:0", server, echoUpper); err != nil {
+		t.Fatal(err)
+	}
+	addr := tn.Addr(0)
+	client := e.NewNode("c", 1)
+	res := make(chan []byte, 1)
+	client.Go("c", func(ctx env.Ctx) {
+		conn, err := tn.Dial(client, addr)
+		if err != nil {
+			t.Error(err)
+			res <- nil
+			return
+		}
+		defer conn.Close()
+		got, err := conn.RoundTrip(ctx, []byte("over tcp"))
+		if err != nil {
+			t.Error(err)
+		}
+		res <- got
+	})
+	if got := <-res; string(got) != "OVER TCP" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestTCPNetMultiplexing(t *testing.T) {
+	e := env.NewReal(1)
+	tn := transport.NewTCPNet()
+	defer tn.Close()
+	server := e.NewNode("s", 1)
+	slowEcho := func(ctx env.Ctx, req []byte) []byte {
+		time.Sleep(time.Duration(req[0]) * time.Millisecond)
+		return req
+	}
+	if err := tn.Listen("127.0.0.1:0", server, slowEcho); err != nil {
+		t.Fatal(err)
+	}
+	addr := tn.Addr(0)
+	client := e.NewNode("c", 1)
+	conn, err := tn.Dial(client, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Issue concurrent requests with different delays over ONE connection;
+	// responses must be matched by id, not by order.
+	var wg sync.WaitGroup
+	for i := byte(1); i <= 5; i++ {
+		i := i
+		wg.Add(1)
+		client.Go("c", func(ctx env.Ctx) {
+			defer wg.Done()
+			payload := []byte{6 - i, i} // later requests get shorter delays
+			got, err := conn.RoundTrip(ctx, payload)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !bytes.Equal(got, payload) {
+				t.Errorf("response mismatch: %v != %v", got, payload)
+			}
+		})
+	}
+	wg.Wait()
+}
+
+func TestTCPNetLargePayload(t *testing.T) {
+	e := env.NewReal(1)
+	tn := transport.NewTCPNet()
+	defer tn.Close()
+	server := e.NewNode("s", 1)
+	echo := func(ctx env.Ctx, req []byte) []byte { return req }
+	if err := tn.Listen("127.0.0.1:0", server, echo); err != nil {
+		t.Fatal(err)
+	}
+	client := e.NewNode("c", 1)
+	conn, err := tn.Dial(client, tn.Addr(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	res := make(chan []byte, 1)
+	client.Go("c", func(ctx env.Ctx) {
+		got, err := conn.RoundTrip(ctx, big)
+		if err != nil {
+			t.Error(err)
+		}
+		res <- got
+	})
+	if got := <-res; !bytes.Equal(got, big) {
+		t.Fatal("large payload corrupted")
+	}
+}

@@ -1,0 +1,163 @@
+package txlog_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"tell/internal/env"
+	"tell/internal/sim"
+	"tell/internal/store"
+	"tell/internal/transport"
+	"tell/internal/txlog"
+)
+
+func runWithLog(t *testing.T, fn func(ctx env.Ctx, l *txlog.Log)) {
+	t.Helper()
+	k := sim.NewKernel(5)
+	envr := env.NewSim(k)
+	net := transport.NewSimNet(k, transport.InfiniBand())
+	sc, err := store.NewCluster(envr, net, store.ClusterConfig{NumNodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn := envr.NewNode("pn0", 2)
+	l := txlog.New(sc.NewClient(pn))
+	done := false
+	pn.Go("test", func(ctx env.Ctx) {
+		fn(ctx, l)
+		done = true
+		k.Stop()
+	})
+	if err := k.RunUntil(sim.Time(60 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("test did not finish")
+	}
+	k.Shutdown()
+}
+
+func TestKeyOrderMatchesTidOrder(t *testing.T) {
+	prev := txlog.Key(0)
+	for _, tid := range []uint64{1, 2, 255, 256, 1 << 20, 1 << 40, ^uint64(0)} {
+		k := txlog.Key(tid)
+		if bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("key order broken at tid %d", tid)
+		}
+		got, ok := txlog.TIDFromKey(k)
+		if !ok || got != tid {
+			t.Fatalf("TIDFromKey(%v) = %d, %v", k, got, ok)
+		}
+		prev = k
+	}
+	if _, ok := txlog.TIDFromKey([]byte("nonsense")); ok {
+		t.Fatal("bad key accepted")
+	}
+}
+
+func TestEntryCodec(t *testing.T) {
+	e := &txlog.Entry{
+		TID:       42,
+		PN:        "pn3",
+		Timestamp: 17 * time.Millisecond,
+		WriteSet:  [][]byte{[]byte("t0/r1"), []byte("t0/r2")},
+		Committed: true,
+	}
+	got, err := txlog.Decode(e.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TID != 42 || got.PN != "pn3" || !got.Committed || got.Timestamp != e.Timestamp {
+		t.Fatalf("got %+v", got)
+	}
+	if len(got.WriteSet) != 2 || string(got.WriteSet[1]) != "t0/r2" {
+		t.Fatalf("writeset %v", got.WriteSet)
+	}
+}
+
+func TestAppendAndGet(t *testing.T) {
+	runWithLog(t, func(ctx env.Ctx, l *txlog.Log) {
+		e := &txlog.Entry{TID: 7, PN: "pn0", WriteSet: [][]byte{[]byte("k")}}
+		if err := l.Append(ctx, e); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		// Double append must fail: tids are unique.
+		if err := l.Append(ctx, e); err == nil {
+			t.Fatal("double append succeeded")
+		}
+		got, err := l.Get(ctx, 7)
+		if err != nil || got.PN != "pn0" || got.Committed {
+			t.Fatalf("get: %+v %v", got, err)
+		}
+	})
+}
+
+func TestMarkCommitted(t *testing.T) {
+	runWithLog(t, func(ctx env.Ctx, l *txlog.Log) {
+		l.Append(ctx, &txlog.Entry{TID: 9, PN: "pn0"})
+		if err := l.MarkCommitted(ctx, 9); err != nil {
+			t.Fatalf("mark: %v", err)
+		}
+		got, _ := l.Get(ctx, 9)
+		if !got.Committed {
+			t.Fatal("flag not set")
+		}
+		// Idempotent.
+		if err := l.MarkCommitted(ctx, 9); err != nil {
+			t.Fatalf("re-mark: %v", err)
+		}
+	})
+}
+
+func TestScanBackwardOrderAndBounds(t *testing.T) {
+	runWithLog(t, func(ctx env.Ctx, l *txlog.Log) {
+		for tid := uint64(1); tid <= 20; tid++ {
+			l.Append(ctx, &txlog.Entry{TID: tid, PN: "pn0"})
+		}
+		var got []uint64
+		if err := l.ScanBackward(ctx, 5, 15, func(e *txlog.Entry) bool {
+			got = append(got, e.TID)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 11 || got[0] != 15 || got[10] != 5 {
+			t.Fatalf("got %v", got)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] != got[i-1]-1 {
+				t.Fatalf("not descending: %v", got)
+			}
+		}
+		// Early stop.
+		n := 0
+		l.ScanBackward(ctx, 0, ^uint64(0), func(e *txlog.Entry) bool {
+			n++
+			return n < 3
+		})
+		if n != 3 {
+			t.Fatalf("early stop visited %d", n)
+		}
+	})
+}
+
+func TestTruncate(t *testing.T) {
+	runWithLog(t, func(ctx env.Ctx, l *txlog.Log) {
+		for tid := uint64(1); tid <= 10; tid++ {
+			l.Append(ctx, &txlog.Entry{TID: tid, PN: "pn0"})
+		}
+		n, err := l.Truncate(ctx, 6)
+		if err != nil || n != 5 {
+			t.Fatalf("truncate: %d %v", n, err)
+		}
+		var got []uint64
+		l.ScanBackward(ctx, 0, ^uint64(0), func(e *txlog.Entry) bool {
+			got = append(got, e.TID)
+			return true
+		})
+		if len(got) != 5 || got[0] != 10 || got[4] != 6 {
+			t.Fatalf("after truncate: %v", got)
+		}
+	})
+}

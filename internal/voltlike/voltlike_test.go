@@ -1,0 +1,106 @@
+package voltlike_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tell/internal/baseline"
+	"tell/internal/env"
+	"tell/internal/sim"
+	"tell/internal/tpcc"
+	"tell/internal/voltlike"
+)
+
+// runMix executes the driver against a voltlike cluster and returns the
+// result.
+func runMix(t *testing.T, mix tpcc.Mix, nodes, terminals, txns int, cfg tpcc.Config) *tpcc.Result {
+	t.Helper()
+	k := sim.NewKernel(13)
+	envr := env.NewSim(k)
+	ds := baseline.NewDataset(cfg)
+	var enodes []env.Node
+	for i := 0; i < nodes; i++ {
+		enodes = append(enodes, envr.NewNode(fmt.Sprintf("volt%d", i), 8))
+	}
+	eng := voltlike.New(voltlike.Config{}, envr, ds, enodes)
+	drv := tpcc.NewDriver(cfg, mix, []tpcc.Engine{eng}, terminals, 9)
+	driver := envr.NewNode("driver", 4)
+	var res *tpcc.Result
+	driver.Go("drv", func(ctx env.Ctx) {
+		defer k.Stop()
+		res = drv.Run(ctx, envr, driver, 20, txns)
+	})
+	if err := k.RunUntil(sim.Time(30000 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if res == nil {
+		t.Fatal("driver did not finish")
+	}
+	return res
+}
+
+func TestVoltlikeRunsStandardMix(t *testing.T) {
+	cfg := tpcc.Config{Warehouses: 12, Scale: 0.02, Seed: 3}
+	res := runMix(t, tpcc.StandardMix(), 2, 24, 400, cfg)
+	if res.TotalCommitted() == 0 || res.TpmC() <= 0 {
+		t.Fatalf("no throughput: %v", res)
+	}
+	// Serial partitions never produce concurrency aborts; the only
+	// rollbacks are the ~1% invalid-item new-orders.
+	if res.AbortRate() > 0.03 {
+		t.Fatalf("abort rate %.3f", res.AbortRate())
+	}
+}
+
+func TestVoltlikeShardableBeatsStandard(t *testing.T) {
+	// The defining behaviour (Figures 8/9): without cross-partition
+	// transactions voltlike flies; with them it stalls.
+	cfg := tpcc.Config{Warehouses: 12, Scale: 0.02, Seed: 3}
+	std := runMix(t, tpcc.StandardMix(), 3, 36, 500, cfg)
+	shard := runMix(t, tpcc.ShardableMix(), 3, 36, 500, cfg)
+	if shard.TpmC() <= std.TpmC() {
+		t.Fatalf("shardable (%.0f) must beat standard (%.0f)", shard.TpmC(), std.TpmC())
+	}
+	t.Logf("standard=%.0f shardable=%.0f TpmC (×%.1f)",
+		std.TpmC(), shard.TpmC(), shard.TpmC()/std.TpmC())
+}
+
+func TestVoltlikeConsistencyPreserved(t *testing.T) {
+	k := sim.NewKernel(17)
+	envr := env.NewSim(k)
+	cfg := tpcc.Config{Warehouses: 4, Scale: 0.02, Seed: 5}
+	ds := baseline.NewDataset(cfg)
+	nodes := []env.Node{envr.NewNode("v0", 8), envr.NewNode("v1", 8)}
+	eng := voltlike.New(voltlike.Config{}, envr, ds, nodes)
+	drv := tpcc.NewDriver(cfg, tpcc.StandardMix(), []tpcc.Engine{eng}, 16, 2)
+	driver := envr.NewNode("driver", 4)
+	driver.Go("drv", func(ctx env.Ctx) {
+		defer k.Stop()
+		drv.Run(ctx, envr, driver, 0, 600)
+	})
+	if err := k.RunUntil(sim.Time(30000 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	// Despite concurrent terminals and cross-partition transactions, the
+	// serial/stall discipline must keep the order books consistent.
+	for _, wh := range ds.Warehouses {
+		for _, d := range wh.Districts {
+			var maxO int64
+			for o := range d.Orders {
+				if o > maxO {
+					maxO = o
+				}
+			}
+			if d.NextO != maxO+1 {
+				t.Fatalf("w%d d%d: nextO=%d maxO=%d", wh.W, d.ID, d.NextO, maxO)
+			}
+		}
+	}
+	single, multi := eng.Stats()
+	if single == 0 || multi == 0 {
+		t.Fatalf("expected both kinds: single=%d multi=%d", single, multi)
+	}
+}

@@ -1,0 +1,370 @@
+package wire
+
+import "fmt"
+
+// Kind identifies the protocol family of a message; it is the first byte of
+// every encoded payload.
+type Kind byte
+
+const (
+	KindInvalid Kind = iota
+	KindStoreReq
+	KindStoreResp
+	KindReplicate
+	KindReplicateResp
+	KindCMReq
+	KindCMResp
+	KindMetaReq
+	KindMetaResp
+	KindPing
+	KindPong
+)
+
+// PeekKind returns the kind byte of an encoded message.
+func PeekKind(b []byte) Kind {
+	if len(b) == 0 {
+		return KindInvalid
+	}
+	return Kind(b[0])
+}
+
+// OpCode is a storage operation type.
+type OpCode byte
+
+const (
+	OpGet OpCode = iota + 1
+	OpPut
+	OpCondPut
+	OpDelete
+	OpCounterAdd
+	OpScan
+	// OpScanFiltered is the push-down scan (§5.2): the storage node
+	// evaluates a selection predicate and projection against the visible
+	// version of each record and returns only matching, projected rows.
+	// The spec (schema, snapshot, predicate, projection) travels in Val.
+	OpScanFiltered
+)
+
+func (o OpCode) String() string {
+	switch o {
+	case OpGet:
+		return "Get"
+	case OpPut:
+		return "Put"
+	case OpCondPut:
+		return "CondPut"
+	case OpDelete:
+		return "Delete"
+	case OpCounterAdd:
+		return "CounterAdd"
+	case OpScan:
+		return "Scan"
+	case OpScanFiltered:
+		return "ScanFiltered"
+	}
+	return fmt.Sprintf("OpCode(%d)", byte(o))
+}
+
+// IsWrite reports whether the operation mutates storage state.
+func (o OpCode) IsWrite() bool {
+	switch o {
+	case OpPut, OpCondPut, OpDelete, OpCounterAdd:
+		return true
+	}
+	return false
+}
+
+// Status is the outcome of an operation or request.
+type Status byte
+
+const (
+	StatusOK Status = iota + 1
+	// StatusConflict: a conditional operation failed because the cell's
+	// stamp did not match — the LL/SC store-conditional failed.
+	StatusConflict
+	StatusNotFound
+	// StatusWrongPartition: the contacted node does not own the key; the
+	// client must refresh its partition map.
+	StatusWrongPartition
+	StatusUnavailable
+	StatusError
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusConflict:
+		return "Conflict"
+	case StatusNotFound:
+		return "NotFound"
+	case StatusWrongPartition:
+		return "WrongPartition"
+	case StatusUnavailable:
+		return "Unavailable"
+	case StatusError:
+		return "Error"
+	}
+	return fmt.Sprintf("Status(%d)", byte(s))
+}
+
+// Op is one storage operation. Which fields are meaningful depends on Code:
+//
+//	Get:        Key
+//	Put:        Key, Val
+//	CondPut:    Key, Val, Stamp (0 = key must not exist: an insert)
+//	Delete:     Key, Stamp (0 = unconditional)
+//	CounterAdd: Key, Delta
+//	Scan:       Key (inclusive low), EndKey (exclusive high), Limit, Reverse
+type Op struct {
+	Code    OpCode
+	Key     []byte
+	Val     []byte
+	Stamp   uint64
+	Delta   int64
+	EndKey  []byte
+	Limit   uint32
+	Reverse bool
+}
+
+// Pair is one key-value result of a scan.
+type Pair struct {
+	Key   []byte
+	Val   []byte
+	Stamp uint64
+}
+
+// Result is the outcome of one Op.
+type Result struct {
+	Status Status
+	Val    []byte // Get: current value
+	Stamp  uint64 // Get/Put/CondPut: cell stamp after the operation
+	Count  int64  // CounterAdd: counter value after the add
+	Pairs  []Pair // Scan
+}
+
+// StoreRequest is a batch of operations addressed to one storage node. The
+// paper's aggressive batching (§5.1) means a request routinely carries
+// operations from several transactions.
+type StoreRequest struct {
+	Epoch uint64 // partition-map epoch known to the client
+	Ops   []Op
+}
+
+// StoreResponse carries one Result per request Op, in order. If Status is
+// not OK the results may be empty (for example StatusWrongPartition, where
+// Epoch carries the node's newer partition-map epoch).
+type StoreResponse struct {
+	Status  Status
+	Epoch   uint64
+	Results []Result
+}
+
+// Encode serializes the request.
+func (m *StoreRequest) Encode() []byte {
+	w := NewWriter(64 + 32*len(m.Ops))
+	w.Byte(byte(KindStoreReq))
+	w.Uvarint(m.Epoch)
+	w.Uvarint(uint64(len(m.Ops)))
+	for i := range m.Ops {
+		encodeOp(w, &m.Ops[i])
+	}
+	return w.Bytes()
+}
+
+func encodeOp(w *Writer, op *Op) {
+	w.Byte(byte(op.Code))
+	w.BytesN(op.Key)
+	switch op.Code {
+	case OpGet:
+	case OpPut:
+		w.BytesN(op.Val)
+	case OpCondPut:
+		w.BytesN(op.Val)
+		w.Uvarint(op.Stamp)
+	case OpDelete:
+		w.Uvarint(op.Stamp)
+	case OpCounterAdd:
+		w.Varint(op.Delta)
+	case OpScan:
+		w.BytesN(op.EndKey)
+		w.Uvarint(uint64(op.Limit))
+		w.Bool(op.Reverse)
+	case OpScanFiltered:
+		w.BytesN(op.EndKey)
+		w.Uvarint(uint64(op.Limit))
+		w.BytesN(op.Val)
+	}
+}
+
+func decodeOp(r *Reader, op *Op) {
+	op.Code = OpCode(r.Byte())
+	op.Key = r.BytesN()
+	switch op.Code {
+	case OpGet:
+	case OpPut:
+		op.Val = r.BytesN()
+	case OpCondPut:
+		op.Val = r.BytesN()
+		op.Stamp = r.Uvarint()
+	case OpDelete:
+		op.Stamp = r.Uvarint()
+	case OpCounterAdd:
+		op.Delta = r.Varint()
+	case OpScan:
+		op.EndKey = r.BytesN()
+		op.Limit = uint32(r.Uvarint())
+		op.Reverse = r.Bool()
+	case OpScanFiltered:
+		op.EndKey = r.BytesN()
+		op.Limit = uint32(r.Uvarint())
+		op.Val = r.BytesN()
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("wire: unknown op code %d", op.Code)
+		}
+	}
+}
+
+// DecodeStoreRequest parses an encoded StoreRequest.
+func DecodeStoreRequest(b []byte) (*StoreRequest, error) {
+	r := NewReader(b)
+	if k := Kind(r.Byte()); k != KindStoreReq {
+		return nil, fmt.Errorf("wire: kind %d is not a store request", k)
+	}
+	m := &StoreRequest{Epoch: r.Uvarint()}
+	n := r.Count(2)
+	m.Ops = make([]Op, n)
+	for i := range m.Ops {
+		decodeOp(r, &m.Ops[i])
+	}
+	return m, r.Close()
+}
+
+// Encode serializes the response.
+func (m *StoreResponse) Encode() []byte {
+	w := NewWriter(64)
+	w.Byte(byte(KindStoreResp))
+	w.Byte(byte(m.Status))
+	w.Uvarint(m.Epoch)
+	w.Uvarint(uint64(len(m.Results)))
+	for i := range m.Results {
+		res := &m.Results[i]
+		w.Byte(byte(res.Status))
+		w.BytesN(res.Val)
+		w.Uvarint(res.Stamp)
+		w.Varint(res.Count)
+		w.Uvarint(uint64(len(res.Pairs)))
+		for _, p := range res.Pairs {
+			w.BytesN(p.Key)
+			w.BytesN(p.Val)
+			w.Uvarint(p.Stamp)
+		}
+	}
+	return w.Bytes()
+}
+
+// DecodeStoreResponse parses an encoded StoreResponse.
+func DecodeStoreResponse(b []byte) (*StoreResponse, error) {
+	r := NewReader(b)
+	if k := Kind(r.Byte()); k != KindStoreResp {
+		return nil, fmt.Errorf("wire: kind %d is not a store response", k)
+	}
+	m := &StoreResponse{Status: Status(r.Byte()), Epoch: r.Uvarint()}
+	n := r.Count(5)
+	m.Results = make([]Result, n)
+	for i := range m.Results {
+		res := &m.Results[i]
+		res.Status = Status(r.Byte())
+		res.Val = r.BytesN()
+		res.Stamp = r.Uvarint()
+		res.Count = r.Varint()
+		np := r.Count(3)
+		if np > 0 {
+			res.Pairs = make([]Pair, np)
+			for j := range res.Pairs {
+				res.Pairs[j].Key = r.BytesN()
+				res.Pairs[j].Val = r.BytesN()
+				res.Pairs[j].Stamp = r.Uvarint()
+			}
+		}
+	}
+	return m, r.Close()
+}
+
+// Mutation is one applied write shipped from a partition master to its
+// replicas. Stamp is the authoritative cell stamp assigned by the master;
+// Deleted marks tombstones; Counter marks counter cells.
+type Mutation struct {
+	Key     []byte
+	Val     []byte
+	Stamp   uint64
+	Deleted bool
+	Counter bool
+	CtrVal  int64
+}
+
+// ReplicateRequest ships a batch of mutations to one replica.
+type ReplicateRequest struct {
+	PartitionID uint64
+	Mutations   []Mutation
+}
+
+// Encode serializes the replication request.
+func (m *ReplicateRequest) Encode() []byte {
+	w := NewWriter(64 + 32*len(m.Mutations))
+	w.Byte(byte(KindReplicate))
+	w.Uvarint(m.PartitionID)
+	w.Uvarint(uint64(len(m.Mutations)))
+	for i := range m.Mutations {
+		mu := &m.Mutations[i]
+		w.BytesN(mu.Key)
+		w.BytesN(mu.Val)
+		w.Uvarint(mu.Stamp)
+		w.Bool(mu.Deleted)
+		w.Bool(mu.Counter)
+		w.Varint(mu.CtrVal)
+	}
+	return w.Bytes()
+}
+
+// DecodeReplicateRequest parses an encoded ReplicateRequest.
+func DecodeReplicateRequest(b []byte) (*ReplicateRequest, error) {
+	r := NewReader(b)
+	if k := Kind(r.Byte()); k != KindReplicate {
+		return nil, fmt.Errorf("wire: kind %d is not a replicate request", k)
+	}
+	m := &ReplicateRequest{PartitionID: r.Uvarint()}
+	n := r.Count(6)
+	m.Mutations = make([]Mutation, n)
+	for i := range m.Mutations {
+		mu := &m.Mutations[i]
+		mu.Key = r.BytesN()
+		mu.Val = r.BytesN()
+		mu.Stamp = r.Uvarint()
+		mu.Deleted = r.Bool()
+		mu.Counter = r.Bool()
+		mu.CtrVal = r.Varint()
+	}
+	return m, r.Close()
+}
+
+// ReplicateResponse acknowledges a replication batch.
+type ReplicateResponse struct {
+	Status Status
+}
+
+// Encode serializes the replication response.
+func (m *ReplicateResponse) Encode() []byte {
+	return []byte{byte(KindReplicateResp), byte(m.Status)}
+}
+
+// DecodeReplicateResponse parses an encoded ReplicateResponse.
+func DecodeReplicateResponse(b []byte) (*ReplicateResponse, error) {
+	r := NewReader(b)
+	if k := Kind(r.Byte()); k != KindReplicateResp {
+		return nil, fmt.Errorf("wire: kind %d is not a replicate response", k)
+	}
+	m := &ReplicateResponse{Status: Status(r.Byte())}
+	return m, r.Close()
+}
