@@ -1,0 +1,17 @@
+GO ?= go
+
+.PHONY: test test-race fuzz-short vet
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Short continuous-fuzzing session for the wire codecs; the regular test
+# run only replays the corpus.
+fuzz-short:
+	$(GO) test ./internal/wire -run=Fuzz -fuzz=FuzzRoundTrip -fuzztime=10s
+
+vet:
+	$(GO) vet ./...

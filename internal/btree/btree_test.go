@@ -12,6 +12,7 @@ import (
 	"tell/internal/env"
 	"tell/internal/sim"
 	"tell/internal/store"
+	"tell/internal/testutil"
 	"tell/internal/transport"
 )
 
@@ -26,7 +27,7 @@ type treeHarness struct {
 
 func newTreeHarness(t *testing.T, nodes int) *treeHarness {
 	t.Helper()
-	k := sim.NewKernel(11)
+	k := sim.NewKernel(testutil.Seed(t, 11))
 	envr := env.NewSim(k)
 	net := transport.NewSimNet(k, transport.InfiniBand())
 	cl, err := store.NewCluster(envr, net, store.ClusterConfig{NumNodes: nodes})

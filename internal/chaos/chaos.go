@@ -1,0 +1,248 @@
+// Package chaos is a deterministic fault-injection layer for simulated Tell
+// deployments. A Plan declares what goes wrong and when — node crashes and
+// restarts, network partitions and heals, and random per-message faults
+// (drop, delay, duplication) — and an Injector installs it into the
+// discrete-event kernel and the simulated network. Because the simulator is
+// deterministic, a plan plus a seed always reproduces the same failure
+// schedule, message casualties included: a failing chaos test replays
+// exactly from its printed seed.
+//
+// Timed events ride on sim.Kernel.After; per-message faults hook into
+// transport.SimNet via SetFaultFn. Crashing a storage node exercises the
+// store's failure detector and replica failover; crashing a commit manager
+// exercises the PN client's manager rotation (§4.4); delaying only
+// wire.KindReplicate messages models replica lag.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tell/internal/sim"
+	"tell/internal/transport"
+	"tell/internal/wire"
+)
+
+// EventKind is a scheduled fault transition.
+type EventKind int
+
+const (
+	// Crash makes the target endpoint unreachable: requests to it and
+	// responses from it time out. The process keeps running (it is the
+	// network's view that dies), which models both a crashed machine and
+	// a machine cut off from the cluster.
+	Crash EventKind = iota
+	// Restart makes a crashed endpoint reachable again.
+	Restart
+	// Partition splits the named groups from each other: messages
+	// between endpoints in different groups are dropped. Endpoints not
+	// named in any group communicate freely with everyone.
+	Partition
+	// Heal removes the partition.
+	Heal
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Restart:
+		return "restart"
+	case Partition:
+		return "partition"
+	case Heal:
+		return "heal"
+	}
+	return "?"
+}
+
+// Event is one scheduled fault transition.
+type Event struct {
+	// At is when the event fires, in virtual time since Install.
+	At   time.Duration
+	Kind EventKind
+	// Target is the endpoint to crash or restart.
+	Target string
+	// Groups are the partition sides (Partition events only).
+	Groups [][]string
+}
+
+// MessageFaults is a random per-message fault source. Probabilities are
+// evaluated independently per message leg (request and response count
+// separately) against the injector's seeded RNG.
+type MessageFaults struct {
+	// DropProb loses the leg entirely.
+	DropProb float64
+	// DupProb delivers the leg twice.
+	DupProb float64
+	// DelayProb adds a uniform random delay in (0, MaxDelay] to the leg.
+	DelayProb float64
+	MaxDelay  time.Duration
+	// Addrs restricts the faults to legs whose source or destination is
+	// listed (nil = every leg).
+	Addrs []string
+	// Kinds restricts the faults to the listed wire protocol kinds
+	// (nil = every kind). {wire.KindReplicate} models replica lag.
+	Kinds []wire.Kind
+	// After suppresses the faults before this virtual time, Until after
+	// it (zero Until = forever).
+	After, Until time.Duration
+}
+
+func (m *MessageFaults) matches(src, dst string, payload []byte, now time.Duration) bool {
+	if now < m.After || (m.Until > 0 && now >= m.Until) {
+		return false
+	}
+	if m.Kinds != nil {
+		k := wire.PeekKind(payload)
+		ok := false
+		for _, want := range m.Kinds {
+			if k == want {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if m.Addrs != nil {
+		ok := false
+		for _, a := range m.Addrs {
+			if src == a || dst == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Plan is a declarative fault schedule.
+type Plan struct {
+	// Name labels the plan in test output.
+	Name string
+	// Events are timed transitions, in any order.
+	Events []Event
+	// Msg are random per-message fault sources, all consulted per leg.
+	Msg []MessageFaults
+}
+
+// Injector is an installed Plan. It also exposes the fault transitions as
+// manual calls so tests can trigger them at data-dependent moments.
+type Injector struct {
+	k   *sim.Kernel
+	net *transport.SimNet
+	rng *rand.Rand
+
+	plan Plan
+	// group maps a partitioned endpoint to its side; empty = no
+	// partition in force.
+	group map[string]int
+
+	drops, dups, delays uint64
+}
+
+// Install wires plan into the kernel and network. The injector draws all
+// randomness from its own rand.Rand seeded with seed, so the same plan,
+// seed and workload replay the same faults. Install may be called before
+// the simulation starts or from within it.
+func Install(k *sim.Kernel, net *transport.SimNet, plan Plan, seed int64) *Injector {
+	in := &Injector{
+		k:     k,
+		net:   net,
+		rng:   rand.New(rand.NewSource(seed)),
+		plan:  plan,
+		group: make(map[string]int),
+	}
+	net.SetFaultFn(in.fault)
+	for _, ev := range plan.Events {
+		ev := ev
+		k.After(ev.At, func() { in.apply(ev) })
+	}
+	return in
+}
+
+// Uninstall removes the injector's network hook (scheduled events that have
+// not fired yet still fire).
+func (in *Injector) Uninstall() { in.net.SetFaultFn(nil) }
+
+// Stats returns how many message legs were dropped, duplicated and delayed.
+func (in *Injector) Stats() (drops, dups, delays uint64) {
+	return in.drops, in.dups, in.delays
+}
+
+func (in *Injector) apply(ev Event) {
+	switch ev.Kind {
+	case Crash:
+		in.CrashNode(ev.Target)
+	case Restart:
+		in.RestartNode(ev.Target)
+	case Partition:
+		in.PartitionNet(ev.Groups...)
+	case Heal:
+		in.HealNet()
+	}
+}
+
+// CrashNode makes addr unreachable immediately.
+func (in *Injector) CrashNode(addr string) { in.net.SetDown(addr, true) }
+
+// RestartNode makes addr reachable again.
+func (in *Injector) RestartNode(addr string) { in.net.SetDown(addr, false) }
+
+// PartitionNet installs a partition between the given groups.
+func (in *Injector) PartitionNet(groups ...[]string) {
+	in.group = make(map[string]int)
+	for i, g := range groups {
+		for _, a := range g {
+			in.group[a] = i
+		}
+	}
+}
+
+// HealNet removes any partition.
+func (in *Injector) HealNet() { in.group = map[string]int{} }
+
+// fault is the transport.FaultFn: partition first, then the plan's random
+// message-fault sources. It runs on the kernel goroutine.
+func (in *Injector) fault(src, dst string, payload []byte) transport.Fault {
+	var f transport.Fault
+	if len(in.group) > 0 {
+		gs, okS := in.group[src]
+		gd, okD := in.group[dst]
+		if okS && okD && gs != gd {
+			in.drops++
+			return transport.Fault{Drop: true}
+		}
+	}
+	now := in.k.Now().Duration()
+	for i := range in.plan.Msg {
+		m := &in.plan.Msg[i]
+		if !m.matches(src, dst, payload, now) {
+			continue
+		}
+		if m.DropProb > 0 && in.rng.Float64() < m.DropProb {
+			in.drops++
+			return transport.Fault{Drop: true}
+		}
+		if m.DupProb > 0 && in.rng.Float64() < m.DupProb {
+			f.Duplicate = true
+			in.dups++
+		}
+		if m.DelayProb > 0 && m.MaxDelay > 0 && in.rng.Float64() < m.DelayProb {
+			f.Delay += time.Duration(1 + in.rng.Int63n(int64(m.MaxDelay)))
+			in.delays++
+		}
+	}
+	return f
+}
+
+// String renders the plan for test logs.
+func (p Plan) String() string {
+	return fmt.Sprintf("plan %q: %d events, %d message-fault sources", p.Name, len(p.Events), len(p.Msg))
+}

@@ -1,0 +1,95 @@
+package chaos
+
+import (
+	"time"
+
+	"tell/internal/wire"
+)
+
+// Canned fault plans used by the chaos test matrix. Each returns a Plan
+// parameterised on the deployment's addresses; tests combine them with
+// network classes and seeds.
+
+// NoFaults is the control plan.
+func NoFaults() Plan { return Plan{Name: "none"} }
+
+// StorageCrash kills one storage node at the given time. With RF ≥ 2 the
+// manager fails its partitions over to replicas; with a spare provisioned
+// the replication level is restored.
+func StorageCrash(addr string, at time.Duration) Plan {
+	return Plan{
+		Name:   "storage-crash",
+		Events: []Event{{At: at, Kind: Crash, Target: addr}},
+	}
+}
+
+// StorageCrashRestart kills a storage node and brings it back later. The
+// restarted node has been failed out of the partition map, so the rejoin
+// must not corrupt state (stale master syndrome).
+func StorageCrashRestart(addr string, crashAt, restartAt time.Duration) Plan {
+	return Plan{
+		Name: "storage-crash-restart",
+		Events: []Event{
+			{At: crashAt, Kind: Crash, Target: addr},
+			{At: restartAt, Kind: Restart, Target: addr},
+		},
+	}
+}
+
+// CMFailover kills one commit manager mid-run; PN clients must rotate to a
+// surviving manager (§4.4.3).
+func CMFailover(addr string, at time.Duration) Plan {
+	return Plan{
+		Name:   "cm-failover",
+		Events: []Event{{At: at, Kind: Crash, Target: addr}},
+	}
+}
+
+// PartitionHeal splits the endpoints into two sides for a window, then
+// heals. While the partition is in force, cross-side messages are dropped.
+func PartitionHeal(sideA, sideB []string, at, healAt time.Duration) Plan {
+	return Plan{
+		Name: "partition-heal",
+		Events: []Event{
+			{At: at, Kind: Partition, Groups: [][]string{sideA, sideB}},
+			{At: healAt, Kind: Heal},
+		},
+	}
+}
+
+// FlakyNetwork drops, duplicates and delays a small fraction of every
+// message leg for the whole run.
+func FlakyNetwork(dropProb, dupProb float64, maxDelay time.Duration) Plan {
+	return Plan{
+		Name: "flaky-network",
+		Msg: []MessageFaults{{
+			DropProb:  dropProb,
+			DupProb:   dupProb,
+			DelayProb: 0.05,
+			MaxDelay:  maxDelay,
+		}},
+	}
+}
+
+// ReplicaLag delays every master→replica mutation stream, so replicas trail
+// their masters; a failover promotes a replica that may be mid-catch-up.
+func ReplicaLag(maxDelay time.Duration) Plan {
+	return Plan{
+		Name: "replica-lag",
+		Msg: []MessageFaults{{
+			DelayProb: 1,
+			MaxDelay:  maxDelay,
+			Kinds:     []wire.Kind{wire.KindReplicate},
+		}},
+	}
+}
+
+// ReplicaLagWithFailover combines replica lag with a storage-node crash:
+// the promoted replica took over while lagging, which is exactly when
+// acknowledged writes are easiest to lose.
+func ReplicaLagWithFailover(addr string, at time.Duration, maxDelay time.Duration) Plan {
+	p := ReplicaLag(maxDelay)
+	p.Name = "replica-lag+failover"
+	p.Events = []Event{{At: at, Kind: Crash, Target: addr}}
+	return p
+}

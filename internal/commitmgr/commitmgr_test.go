@@ -9,6 +9,7 @@ import (
 	"tell/internal/env"
 	"tell/internal/sim"
 	"tell/internal/store"
+	"tell/internal/testutil"
 	"tell/internal/transport"
 )
 
@@ -25,7 +26,7 @@ type cmHarness struct {
 
 func newCMHarness(t *testing.T, nCMs int) *cmHarness {
 	t.Helper()
-	k := sim.NewKernel(3)
+	k := sim.NewKernel(testutil.Seed(t, 3))
 	envr := env.NewSim(k)
 	net := transport.NewSimNet(k, transport.InfiniBand())
 	sc, err := store.NewCluster(envr, net, store.ClusterConfig{NumNodes: 2})

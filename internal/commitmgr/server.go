@@ -19,6 +19,7 @@ import (
 	"tell/internal/mvcc"
 	"tell/internal/store"
 	"tell/internal/transport"
+	"tell/internal/txlog"
 	"tell/internal/wire"
 )
 
@@ -79,6 +80,12 @@ type Server struct {
 	peerSeq   map[string]uint64
 	peerStale map[string]int
 	seq       uint64
+	// peerRange caches each peer's last published unissued tid range
+	// [next, end]; deadPeers marks peers presumed dead, whose ranges and
+	// unreported finishes are recovered from the transaction log.
+	peerRange map[string][2]uint64
+	deadPeers map[string]bool
+	syncTick  int
 
 	// ActiveTTL expires transactions that never reported an outcome (a
 	// processing node that died before writing its first log entry, so
@@ -89,6 +96,15 @@ type Server struct {
 	// StalePeerTicks drops a peer's published lav after this many sync
 	// ticks without change (the peer is presumed dead).
 	StalePeerTicks int
+	// RecoveryGrace is how old a transaction-log entry without an outcome
+	// must be before a recovery sweep fences it off as aborted. It bounds
+	// the window in which fencing could spuriously abort a slow but alive
+	// transaction (which stays safe — the fence makes MarkCommitted fail —
+	// just wasteful).
+	RecoveryGrace time.Duration
+	// RecoveryEvery is how many sync ticks pass between recovery sweeps
+	// while some peer is presumed dead.
+	RecoveryEvery int
 
 	stopped bool
 	starts  uint64
@@ -113,8 +129,12 @@ func New(id, addr string, envr env.Full, node env.Node, tr transport.Transport, 
 		peerLav:        make(map[string]uint64),
 		peerSeq:        make(map[string]uint64),
 		peerStale:      make(map[string]int),
+		peerRange:      make(map[string][2]uint64),
+		deadPeers:      make(map[string]bool),
 		ActiveTTL:      30 * time.Second,
 		StalePeerTicks: 5000,
+		RecoveryGrace:  100 * time.Millisecond,
+		RecoveryEvery:  100,
 	}
 }
 
@@ -366,6 +386,13 @@ func (s *Server) syncLoop(ctx env.Ctx) {
 		s.pushState(ctx)
 		if len(s.Peers) > 1 {
 			s.pullPeers(ctx)
+			s.mu.Lock()
+			s.syncTick++
+			sweep := len(s.deadPeers) > 0 && s.syncTick%s.RecoveryEvery == 0
+			s.mu.Unlock()
+			if sweep {
+				s.recoverDeadPeers(ctx)
+			}
 		}
 		ctx.Sleep(s.SyncInterval)
 	}
@@ -404,7 +431,7 @@ type activeTx struct {
 	at   time.Duration
 }
 
-// pushState publishes (fin, comm, minActiveBase).
+// pushState publishes (fin, comm, minActiveBase, unissued tid range).
 func (s *Server) pushState(ctx env.Ctx) {
 	s.mu.Lock()
 	w := wire.NewWriter(64)
@@ -419,6 +446,8 @@ func (s *Server) pushState(ctx env.Ctx) {
 	w.Uvarint(minActive)
 	s.seq++
 	w.Uvarint(s.seq)
+	w.Uvarint(s.nextTid)
+	w.Uvarint(s.tidEnd)
 	payload := w.Bytes()
 	s.mu.Unlock()
 	s.sc.Put(ctx, []byte(statePrefix+s.id), payload)
@@ -445,24 +474,144 @@ func (s *Server) pullPeers(ctx env.Ctx) {
 		}
 		plav := r.Uvarint()
 		pseq := r.Uvarint()
+		pnext := r.Uvarint()
+		pend := r.Uvarint()
 		if r.Err() != nil {
 			continue
 		}
 		s.mu.Lock()
 		s.merge(pfin, pcomm)
+		s.peerRange[peer] = [2]uint64{pnext, pend}
 		if pseq == s.peerSeq[peer] {
 			s.peerStale[peer]++
 			if s.peerStale[peer] > s.StalePeerTicks {
-				// Presumed dead: stop letting it pin the lav.
+				// Presumed dead: stop letting it pin the lav, and mark it
+				// for transaction-log recovery (§4.4.3).
 				delete(s.peerLav, peer)
+				s.deadPeers[peer] = true
 			}
 		} else {
 			s.peerSeq[peer] = pseq
 			s.peerStale[peer] = 0
 			s.peerLav[peer] = plav
+			delete(s.deadPeers, peer) // publishing again: it is back
 		}
 		s.advanceLocked()
 		s.mu.Unlock()
+	}
+}
+
+// recoverDeadPeers reconstructs the finish facts a crashed manager took
+// with it (§4.4.3). A manager's fin/comm sets are soft state pushed to the
+// store every SyncInterval; a crash loses at most the last interval of
+// acknowledged finish reports plus the unissued remainder of its tid range,
+// and both would stall the global snapshot base forever. The durable truth
+// is the transaction log (§4.4.1): a transaction is committed iff its log
+// entry carries the committed flag. The sweep therefore
+//
+//  1. closes the dead peer's published unissued range, writing a fenced
+//     log entry first so the tid can never be issued and committed later
+//     (a falsely-suspected manager that still holds the range stays safe:
+//     its transactions fail the log append and abort), and
+//  2. walks the log over the unfinished gap and finishes every entry with
+//     a recorded outcome; entries without one are fenced off as aborted
+//     once they are older than RecoveryGrace, matching the recovery rule
+//     for failed processing nodes.
+func (s *Server) recoverDeadPeers(ctx env.Ctx) {
+	s.mu.Lock()
+	dead := make([]string, 0, len(s.deadPeers))
+	for p := range s.deadPeers {
+		dead = append(dead, p)
+	}
+	finBase := s.fin.Base
+	s.mu.Unlock()
+	if len(dead) == 0 {
+		return
+	}
+	hi, err := s.sc.CounterAdd(ctx, []byte(tidCounterKey), 0)
+	if err != nil || hi <= 0 {
+		return
+	}
+	l := txlog.New(s.sc)
+
+	// 1. Fence and close the unissued ranges of dead peers.
+	for _, p := range dead {
+		s.mu.Lock()
+		rng, ok := s.peerRange[p]
+		s.mu.Unlock()
+		if !ok || rng[0] > rng[1] {
+			continue
+		}
+		for tid := rng[0]; tid <= rng[1]; tid++ {
+			if s.tidFinished(tid) {
+				continue
+			}
+			s.fenceAndClose(ctx, l, tid)
+		}
+	}
+
+	// 2. Sweep the log over the unfinished gap for recorded outcomes.
+	now := ctx.Now()
+	var entries []*txlog.Entry
+	l.ScanBackward(ctx, finBase+1, uint64(hi), func(e *txlog.Entry) bool {
+		entries = append(entries, e)
+		return true
+	})
+	for _, e := range entries {
+		if s.tidFinished(e.TID) {
+			continue
+		}
+		switch {
+		case e.Committed:
+			s.finish(e.TID, true)
+		case e.Aborted:
+			s.finish(e.TID, false)
+		case now-e.Timestamp > s.RecoveryGrace:
+			// No outcome for a long time: the report was lost with the
+			// dead manager. Fence, then close; the fence resolves the race
+			// with an owner that is merely slow.
+			if fenced, committed, err := l.MarkAborted(ctx, e.TID); err == nil {
+				if committed {
+					s.finish(e.TID, true)
+				} else if fenced {
+					s.finish(e.TID, false)
+				}
+			}
+		}
+	}
+}
+
+// tidFinished reports whether tid is already in the finished set.
+func (s *Server) tidFinished(tid uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fin.Contains(tid)
+}
+
+// fenceAndClose writes a pre-fenced log entry for a tid that was never
+// issued and marks it finished. If an entry already exists the tid WAS
+// issued in the dead manager's final interval; an entry with an outcome is
+// applied, one without is left for the grace-period sweep.
+func (s *Server) fenceAndClose(ctx env.Ctx, l *txlog.Log, tid uint64) {
+	err := l.Append(ctx, &txlog.Entry{
+		TID:       tid,
+		PN:        "recovery:" + s.id,
+		Timestamp: ctx.Now(),
+		Aborted:   true,
+	})
+	if err == nil {
+		s.finish(tid, false)
+		return
+	}
+	e, err := l.Get(ctx, tid)
+	if err != nil {
+		return
+	}
+	switch {
+	case e.Committed:
+		s.finish(tid, true)
+	case e.Aborted:
+		s.finish(tid, false)
 	}
 }
 

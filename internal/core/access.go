@@ -198,17 +198,17 @@ func entryObsolete(schema *relational.TableSchema, cols []int, keyPrefix []byte,
 	if rec == nil || len(rec.Versions) == 0 {
 		return true // record is gone entirely
 	}
-	// G = {x ∈ C : x ≠ max(C)} with C = {x ≤ lav}.
-	maxC := uint64(0)
-	for i := range rec.Versions {
-		if rec.Versions[i].TID <= lav && rec.Versions[i].TID > maxC {
-			maxC = rec.Versions[i].TID
-		}
+	// G = everything applied before the GC survivor (mvcc.SurvivorIdx):
+	// versions are in apply order, so collectable means positioned after
+	// the newest-applied version with TID ≤ lav.
+	surv := rec.SurvivorIdx(lav)
+	live := rec.Versions
+	if surv >= 0 {
+		live = rec.Versions[:surv+1]
 	}
-	for i := range rec.Versions {
-		v := &rec.Versions[i]
-		inG := v.TID <= lav && v.TID != maxC
-		if inG || v.Deleted {
+	for i := range live {
+		v := &live[i]
+		if v.Deleted {
 			continue
 		}
 		row, err := relational.DecodeRow(schema, v.Data)

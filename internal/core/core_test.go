@@ -11,6 +11,7 @@ import (
 	"tell/internal/relational"
 	"tell/internal/sim"
 	"tell/internal/store"
+	"tell/internal/testutil"
 	"tell/internal/transport"
 )
 
@@ -33,7 +34,7 @@ func newEngine(t *testing.T, nPNs int, buffer core.BufferStrategy) *engine {
 // newEngineRF builds the deployment with an explicit replication factor.
 func newEngineRF(t *testing.T, nPNs int, buffer core.BufferStrategy, rf int) *engine {
 	t.Helper()
-	k := sim.NewKernel(21)
+	k := sim.NewKernel(testutil.Seed(t, 21))
 	envr := env.NewSim(k)
 	net := transport.NewSimNet(k, transport.InfiniBand())
 	cl, err := store.NewCluster(envr, net, store.ClusterConfig{NumNodes: 3, ReplicationFactor: rf})

@@ -88,6 +88,12 @@ type Config struct {
 	Costs Costs
 	// RidRange is how many rids one counter bump reserves per table.
 	RidRange int64
+	// SkipWriteValidation is a TEST-ONLY negative control for the
+	// history checker: commits apply updates with blind puts instead of
+	// LL/SC conditional writes and the running-conflict check of §4.1 is
+	// skipped, deliberately permitting lost updates. Never enable it
+	// outside a test that expects internal/histcheck to flag anomalies.
+	SkipWriteValidation bool
 }
 
 func (c *Config) fill() {
@@ -127,6 +133,8 @@ type PN struct {
 	shared *sharedBuffer
 
 	mu sync.Mutex
+	// rec, when non-nil, observes the transaction history (histcheck).
+	rec TxnRecorder
 	// lastSnap is the snapshot of the most recently started transaction:
 	// the Vmax of §5.5.2.
 	lastSnap *mvcc.Snapshot

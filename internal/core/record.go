@@ -1,0 +1,53 @@
+package core
+
+import (
+	"tell/internal/mvcc"
+	"tell/internal/relational"
+)
+
+// TxnRecorder observes the transaction history a PN produces: begins with
+// their snapshots, reads with the version they resolved to, and outcomes
+// with the committed write set. internal/histcheck implements it and checks
+// the recorded history offline for snapshot-isolation anomalies.
+//
+// Recording is off (nil) by default and every hook is a single nil check,
+// so the production path pays nothing. Implementations must be safe for
+// concurrent use: multiple activities on one PN record interleaved.
+type TxnRecorder interface {
+	// RecBegin reports a started transaction and its snapshot descriptor.
+	// The snapshot is a private clone.
+	RecBegin(tid uint64, snap *mvcc.Snapshot)
+	// RecRead reports a record read: versionTID is the version the
+	// snapshot resolved to (0 when the key had no record), found is
+	// whether a live (non-deleted) row was returned. Reads served from
+	// the transaction's own write buffer are not reported.
+	RecRead(tid uint64, key []byte, versionTID uint64, found bool)
+	// RecCommit reports a successful commit and its write set (nil for
+	// read-only transactions).
+	RecCommit(tid uint64, writes []WriteRec)
+	// RecAbort reports an abort, whether manual or conflict-induced.
+	RecAbort(tid uint64)
+}
+
+// WriteRec is one committed write as seen by the TxnRecorder.
+type WriteRec struct {
+	// Key is the record key (table id + rid).
+	Key []byte
+	// BaseVersion is the version (tid) the write replaced — the row
+	// visible in the writer's snapshot when it buffered the write. 0 for
+	// inserts.
+	BaseVersion uint64
+	// Row is the new row; nil for deletes.
+	Row relational.Row
+	// Insert marks a fresh insert.
+	Insert bool
+}
+
+// SetRecorder installs (or, with nil, removes) a transaction recorder.
+// Install before running transactions; swapping mid-flight records a torn
+// history.
+func (pn *PN) SetRecorder(r TxnRecorder) {
+	pn.mu.Lock()
+	pn.rec = r
+	pn.mu.Unlock()
+}

@@ -54,6 +54,7 @@ type writeIntent struct {
 	oldRow   relational.Row
 	baseRec  *mvcc.Record // record as read; nil for inserts
 	baseStmp uint64       // LL stamp at read; 0 for inserts
+	baseVTID uint64       // visible version (tid) replaced; 0 for inserts
 }
 
 // Txn is one transaction executing on a PN under snapshot isolation.
@@ -67,6 +68,8 @@ type Txn struct {
 	// (§4.1 scenario 1: the record carried a version newer than the
 	// snapshot when we tried to write it). Commit will abort.
 	doomed bool
+	// rec is the history recorder captured at Begin (nil = off).
+	rec TxnRecorder
 
 	reads  map[string]*readEntry
 	writes map[string]*writeIntent
@@ -83,12 +86,17 @@ func (pn *PN) Begin(ctx env.Ctx) (*Txn, error) {
 	}
 	pn.mu.Lock()
 	pn.lastSnap = res.Snap.Clone()
+	rec := pn.rec
 	pn.mu.Unlock()
+	if rec != nil {
+		rec.RecBegin(res.TID, res.Snap.Clone())
+	}
 	return &Txn{
 		pn:     pn,
 		tid:    res.TID,
 		snap:   res.Snap,
 		lav:    res.Lav,
+		rec:    rec,
 		reads:  make(map[string]*readEntry),
 		writes: make(map[string]*writeIntent),
 	}, nil
@@ -170,7 +178,17 @@ func (t *Txn) Read(ctx env.Ctx, table *TableInfo, rid uint64) (relational.Row, b
 	if err != nil {
 		return nil, false, err
 	}
-	return t.decodeVisible(table, re)
+	row, found, err := t.decodeVisible(table, re)
+	if t.rec != nil && err == nil {
+		var vtid uint64
+		if re.rec != nil {
+			if v, ok := re.rec.Visible(t.snap); ok {
+				vtid = v.TID // deleted versions count: the read observed them
+			}
+		}
+		t.rec.RecRead(t.tid, key, vtid, found)
+	}
+	return row, found, err
 }
 
 // Insert buffers a new row and returns its rid. The write is applied at
@@ -254,9 +272,21 @@ func (t *Txn) write(ctx env.Ctx, table *TableInfo, rid uint64, newRow relational
 	// §4.1, scenario 1: another transaction already applied a version we
 	// cannot see. Writing would lose its update (the LL stamp is current,
 	// so the store-conditional alone would not catch it). Conflict now.
-	if latest := re.rec.Latest(); latest != nil && !t.snap.Contains(latest.TID) {
-		t.doomed = true
-		return false, ErrConflict
+	// Every version must be checked, not just the highest tid: with
+	// several commit managers handing out disjoint tid ranges, commit
+	// order does not follow tid order, so an invisible version can sit
+	// below the visible one.
+	if !t.pn.cfg.SkipWriteValidation {
+		for i := range re.rec.Versions {
+			if vt := re.rec.Versions[i].TID; vt != t.tid && !t.snap.Contains(vt) {
+				t.doomed = true
+				return false, ErrConflict
+			}
+		}
+	}
+	var baseVTID uint64
+	if v, ok := re.rec.Visible(t.snap); ok {
+		baseVTID = v.TID
 	}
 	w := &writeIntent{
 		table:    table,
@@ -266,6 +296,7 @@ func (t *Txn) write(ctx env.Ctx, table *TableInfo, rid uint64, newRow relational
 		oldRow:   oldRow,
 		baseRec:  re.rec,
 		baseStmp: re.stamp,
+		baseVTID: baseVTID,
 	}
 	t.writes[ks] = w
 	t.order = append(t.order, ks)
@@ -283,6 +314,9 @@ func (t *Txn) Abort(ctx env.Ctx) error {
 	t.pn.mu.Lock()
 	t.pn.aborts++
 	t.pn.mu.Unlock()
+	if t.rec != nil {
+		t.rec.RecAbort(t.tid)
+	}
 	return t.pn.cm.Aborted(ctx, t.tid)
 }
 
@@ -307,6 +341,9 @@ func (t *Txn) Commit(ctx env.Ctx) error {
 		t.pn.mu.Lock()
 		t.pn.commits++
 		t.pn.mu.Unlock()
+		if t.rec != nil {
+			t.rec.RecCommit(t.tid, nil)
+		}
 		return t.pn.cm.Committed(ctx, t.tid)
 	}
 
@@ -352,8 +389,14 @@ func (t *Txn) Commit(ctx env.Ctx) error {
 			}
 		}
 		newRecs[i] = rec
+		code := wire.OpCondPut
+		if t.pn.cfg.SkipWriteValidation {
+			// Negative-control mode: blind writes, no LL/SC conflict
+			// detection. See Config.SkipWriteValidation.
+			code = wire.OpPut
+		}
 		ops = append(ops, wire.Op{
-			Code:  wire.OpCondPut,
+			Code:  code,
 			Key:   w.key,
 			Val:   rec.Encode(),
 			Stamp: w.baseStmp,
@@ -373,6 +416,18 @@ func (t *Txn) Commit(ctx env.Ctx) error {
 			applied = append(applied, i)
 			// Remember the new stamp for buffer write-through.
 			t.writes[t.order[i]].baseStmp = res.Stamp
+		case wire.StatusConflict:
+			// A conditional put that was retried after a lost response is
+			// indistinguishable from a genuine write-write conflict: the
+			// first attempt may have applied, moving the stamp so the
+			// retry fails. Read the record back — if our own version is
+			// there, the update applied and this is no conflict. First-try
+			// conflicts are unambiguous and skip the read-back.
+			if res.Retried && t.ownVersionApplied(ctx, t.order[i]) {
+				applied = append(applied, i)
+			} else {
+				conflict = true
+			}
 		default:
 			conflict = true
 		}
@@ -422,6 +477,19 @@ func (t *Txn) Commit(ctx env.Ctx) error {
 	t.pn.mu.Lock()
 	t.pn.commits++
 	t.pn.mu.Unlock()
+	if t.rec != nil {
+		wrs := make([]WriteRec, 0, len(t.order))
+		for _, ks := range t.order {
+			w := t.writes[ks]
+			wrs = append(wrs, WriteRec{
+				Key:         w.key,
+				BaseVersion: w.baseVTID,
+				Row:         w.newRow,
+				Insert:      w.isInsert,
+			})
+		}
+		t.rec.RecCommit(t.tid, wrs)
+	}
 	return t.pn.cm.Committed(ctx, t.tid)
 }
 
@@ -430,6 +498,9 @@ func (t *Txn) finishAbort(ctx env.Ctx) {
 	t.pn.mu.Lock()
 	t.pn.aborts++
 	t.pn.mu.Unlock()
+	if t.rec != nil {
+		t.rec.RecAbort(t.tid)
+	}
 	t.pn.cm.Aborted(ctx, t.tid)
 }
 
@@ -440,6 +511,28 @@ func (t *Txn) rollbackApplied(ctx env.Ctx, applied []int) {
 		w := t.writes[t.order[i]]
 		RollbackVersion(ctx, t.pn.sc, w.key, t.tid)
 	}
+}
+
+// ownVersionApplied reads a record back after a conditional-put conflict
+// and reports whether this transaction's version is already present — the
+// signature of a retried apply whose first response was lost in transit.
+// The current stamp is captured so a later rollback still targets the
+// record correctly.
+func (t *Txn) ownVersionApplied(ctx env.Ctx, ks string) bool {
+	w := t.writes[ks]
+	raw, stamp, err := t.pn.sc.Get(ctx, w.key)
+	if err != nil {
+		return false
+	}
+	rec, err := mvcc.Decode(raw)
+	if err != nil {
+		return false
+	}
+	if _, ok := rec.Get(t.tid); !ok {
+		return false
+	}
+	w.baseStmp = stamp
+	return true
 }
 
 // RollbackVersion removes version tid from the record at key, deleting the

@@ -9,12 +9,13 @@ import (
 	"tell/internal/env"
 	"tell/internal/fdblike"
 	"tell/internal/sim"
+	"tell/internal/testutil"
 	"tell/internal/tpcc"
 )
 
 func runFDB(t *testing.T, nodes, terminals, txns int, cfg tpcc.Config) (*tpcc.Result, *fdblike.Engine, *baseline.Dataset) {
 	t.Helper()
-	k := sim.NewKernel(23)
+	k := sim.NewKernel(testutil.Seed(t, 23))
 	envr := env.NewSim(k)
 	ds := baseline.NewDataset(cfg)
 	var enodes []env.Node

@@ -207,22 +207,24 @@ func TestRecordVisibleDeleteMarker(t *testing.T) {
 	}
 }
 
-func TestWithVersionKeepsDescendingOrder(t *testing.T) {
+func TestWithVersionKeepsApplyOrder(t *testing.T) {
+	// Versions are ordered by application, newest first — NOT by tid: with
+	// several commit managers a later committer can carry a smaller tid.
 	rec := NewRecord(10, []byte("a"))
 	rec = rec.WithVersion(30, false, []byte("c"))
-	rec = rec.WithVersion(20, false, []byte("b"))
+	rec = rec.WithVersion(20, false, []byte("b")) // smaller tid, applied last
 	tids := []uint64{rec.Versions[0].TID, rec.Versions[1].TID, rec.Versions[2].TID}
-	if tids[0] != 30 || tids[1] != 20 || tids[2] != 10 {
+	if tids[0] != 20 || tids[1] != 30 || tids[2] != 10 {
 		t.Fatalf("order = %v", tids)
 	}
-	// Replacing an existing version keeps one copy.
-	rec = rec.WithVersion(20, false, []byte("b2"))
-	if len(rec.Versions) != 3 {
-		t.Fatalf("len = %d", len(rec.Versions))
+	// Replacing an existing version keeps one copy in place.
+	rec = rec.WithVersion(30, false, []byte("c2"))
+	if len(rec.Versions) != 3 || rec.Versions[1].TID != 30 {
+		t.Fatalf("rec = %v", rec)
 	}
-	v, _ := rec.Get(20)
-	if string(v.Data) != "b2" {
-		t.Fatalf("v20 = %q", v.Data)
+	v, _ := rec.Get(30)
+	if string(v.Data) != "c2" {
+		t.Fatalf("v30 = %q", v.Data)
 	}
 }
 

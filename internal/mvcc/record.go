@@ -19,7 +19,12 @@ type Version struct {
 // Record is the serialized set of all versions of a row, stored as a single
 // key-value pair (§5.1): one read returns every version, and one atomic
 // conditional write both applies an update and detects write-write
-// conflicts. Versions are kept sorted by descending TID.
+// conflicts. Versions are kept in apply order, newest first. Apply order is
+// serialized by the storage node's LL/SC stamps and therefore equals commit
+// order per key; with a single commit manager it coincides with descending
+// TID, but with several managers handing out disjoint tid ranges a later
+// committer can carry a smaller tid, so list position — not TID — is the
+// version order.
 type Record struct {
 	Versions []Version
 }
@@ -63,9 +68,10 @@ func NewRecord(tid uint64, data []byte) *Record {
 	return &Record{Versions: []Version{{TID: tid, Data: data}}}
 }
 
-// Visible returns the version the snapshot may read: the version with the
-// highest version number v ∈ V ∩ V* (§4.2). ok is false when no version is
-// visible or the visible version is a delete marker.
+// Visible returns the version the snapshot may read: the newest committed
+// version v ∈ V ∩ V* (§4.2; the scan is in apply order, so the first member
+// of the snapshot is the newest the snapshot may see). ok is false when no
+// version is visible or the visible version is a delete marker.
 func (rec *Record) Visible(snap *Snapshot) (v *Version, ok bool) {
 	for i := range rec.Versions {
 		if snap.Contains(rec.Versions[i].TID) {
@@ -78,7 +84,7 @@ func (rec *Record) Visible(snap *Snapshot) (v *Version, ok bool) {
 	return nil, false
 }
 
-// Latest returns the version with the highest TID.
+// Latest returns the most recently applied version.
 func (rec *Record) Latest() *Version {
 	if len(rec.Versions) == 0 {
 		return nil
@@ -97,23 +103,22 @@ func (rec *Record) Get(tid uint64) (*Version, bool) {
 }
 
 // WithVersion returns a copy of the record with version tid set to data,
-// inserted in descending-TID position (replacing an existing tid version).
+// prepended as the newest applied version (an existing tid version is
+// replaced in place, preserving its position).
 func (rec *Record) WithVersion(tid uint64, deleted bool, data []byte) *Record {
-	out := &Record{Versions: make([]Version, 0, len(rec.Versions)+1)}
-	inserted := false
 	nv := Version{TID: tid, Deleted: deleted, Data: data}
+	out := &Record{Versions: make([]Version, 0, len(rec.Versions)+1)}
+	replaced := false
 	for _, v := range rec.Versions {
-		switch {
-		case v.TID == tid:
-			continue // replaced
-		case !inserted && v.TID < tid:
+		if v.TID == tid {
 			out.Versions = append(out.Versions, nv)
-			inserted = true
+			replaced = true
+			continue
 		}
 		out.Versions = append(out.Versions, v)
 	}
-	if !inserted {
-		out.Versions = append(out.Versions, nv)
+	if !replaced {
+		out.Versions = append([]Version{nv}, out.Versions...)
 	}
 	return out
 }
@@ -132,40 +137,42 @@ func (rec *Record) WithoutVersion(tid uint64) (*Record, bool) {
 }
 
 // GC removes versions that no current or future transaction can read,
-// given the lowest active version number (§5.4): with C = {x ∈ V : x ≤ lav},
-// the collectable set is G = C \ {max(C)}. It returns the pruned record and
-// whether anything was removed. If the sole surviving version is a delete
-// marker that is itself ≤ lav, empty is true: the whole record (and its
-// index entries) can be removed.
+// given the lowest active version number (§5.4). The paper states the
+// collectable set over a tid-ordered list as G = C \ {max(C)} with
+// C = {x ∈ V : x ≤ lav}; with apply-ordered versions the equivalent rule is
+// positional: the survivor is the newest-applied version with TID ≤ lav
+// (see SurvivorIdx), and everything applied before it is unreadable — any
+// reader scanning from the head stops at the survivor or earlier, because
+// TID ≤ lav puts the survivor in every current and future snapshot. It
+// returns the pruned record and whether anything was removed. If the sole
+// surviving version is a delete marker, empty is true: the whole record
+// (and its index entries) can be removed.
 func (rec *Record) GC(lav uint64) (pruned *Record, changed, empty bool) {
-	maxC := uint64(0)
-	found := false
-	for i := range rec.Versions {
-		if rec.Versions[i].TID <= lav {
-			if !found || rec.Versions[i].TID > maxC {
-				maxC = rec.Versions[i].TID
-				found = true
-			}
-		}
-	}
-	if !found {
+	i := rec.SurvivorIdx(lav)
+	if i < 0 {
 		return rec, false, false
 	}
-	out := &Record{Versions: make([]Version, 0, len(rec.Versions))}
-	for _, v := range rec.Versions {
-		if v.TID <= lav && v.TID != maxC {
-			changed = true
-			continue
-		}
-		out.Versions = append(out.Versions, v)
-	}
-	if len(out.Versions) == 1 && out.Versions[0].Deleted && out.Versions[0].TID <= lav {
+	out := &Record{Versions: append([]Version(nil), rec.Versions[:i+1]...)}
+	if len(out.Versions) == 1 && out.Versions[0].Deleted {
 		return out, true, true
 	}
-	if !changed {
+	if i == len(rec.Versions)-1 {
 		return rec, false, false
 	}
 	return out, true, false
+}
+
+// SurvivorIdx returns the position of the oldest version GC must keep: the
+// first (newest-applied) version with TID ≤ lav. Every version applied
+// before it is unreachable by any current or future snapshot. Returns -1
+// when no version is ≤ lav yet.
+func (rec *Record) SurvivorIdx(lav uint64) int {
+	for i := range rec.Versions {
+		if rec.Versions[i].TID <= lav {
+			return i
+		}
+	}
+	return -1
 }
 
 // String renders the record for debugging.

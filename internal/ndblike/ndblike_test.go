@@ -9,12 +9,13 @@ import (
 	"tell/internal/env"
 	"tell/internal/ndblike"
 	"tell/internal/sim"
+	"tell/internal/testutil"
 	"tell/internal/tpcc"
 )
 
 func runNDB(t *testing.T, mix tpcc.Mix, nodes, terminals, txns int, cfg tpcc.Config) (*tpcc.Result, *ndblike.Engine, *baseline.Dataset) {
 	t.Helper()
-	k := sim.NewKernel(19)
+	k := sim.NewKernel(testutil.Seed(t, 19))
 	envr := env.NewSim(k)
 	ds := baseline.NewDataset(cfg)
 	var enodes []env.Node

@@ -11,6 +11,7 @@ import (
 	"tell/internal/relational"
 	"tell/internal/sim"
 	"tell/internal/store"
+	"tell/internal/testutil"
 	"tell/internal/transport"
 )
 
@@ -24,7 +25,7 @@ type qRig struct {
 
 func newQRig(t *testing.T) *qRig {
 	t.Helper()
-	k := sim.NewKernel(9)
+	k := sim.NewKernel(testutil.Seed(t, 9))
 	envr := env.NewSim(k)
 	net := transport.NewSimNet(k, transport.InfiniBand())
 	cl, err := store.NewCluster(envr, net, store.ClusterConfig{NumNodes: 2})

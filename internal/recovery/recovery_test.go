@@ -12,6 +12,7 @@ import (
 	"tell/internal/relational"
 	"tell/internal/sim"
 	"tell/internal/store"
+	"tell/internal/testutil"
 	"tell/internal/transport"
 	"tell/internal/txlog"
 )
@@ -28,7 +29,7 @@ type rig struct {
 
 func newRig(t *testing.T, nPNs int) *rig {
 	t.Helper()
-	k := sim.NewKernel(31)
+	k := sim.NewKernel(testutil.Seed(t, 31))
 	envr := env.NewSim(k)
 	net := transport.NewSimNet(k, transport.InfiniBand())
 	cl, err := store.NewCluster(envr, net, store.ClusterConfig{NumNodes: 3})

@@ -386,6 +386,7 @@ func (c *Client) Exec(ctx env.Ctx, ops []wire.Op) ([]wire.Result, error) {
 			continue
 		}
 		for k, i := range retryIdx {
+			subResults[k].Retried = true
 			results[i] = subResults[k]
 		}
 	}
@@ -472,6 +473,25 @@ func (c *Client) CounterAdd(ctx env.Ctx, key []byte, delta int64) (int64, error)
 // when reverse is set). It fans out to every partition master and merges.
 // Scans bypass the batcher: they carry bulk payloads (§5.2).
 func (c *Client) Scan(ctx env.Ctx, lo, hi []byte, limit int, reverse bool) ([]wire.Pair, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if attempt > 0 {
+			ctx.Sleep(c.RetryDelay)
+			if err := c.refreshMap(ctx); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		pairs, err := c.scanOnce(ctx, lo, hi, limit, reverse)
+		if err == nil {
+			return pairs, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+func (c *Client) scanOnce(ctx env.Ctx, lo, hi []byte, limit int, reverse bool) ([]wire.Pair, error) {
 	pm, err := c.getMap(ctx)
 	if err != nil {
 		return nil, err

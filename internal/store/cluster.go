@@ -126,6 +126,16 @@ func (c *Cluster) NewClient(node env.Node) *Client {
 // Node returns the storage node serving addr.
 func (c *Cluster) Node(addr string) *Node { return c.byAddr[addr] }
 
+// Addrs returns the addresses of all storage nodes, spares included, in
+// creation order (sn0, sn1, ...). Fault injectors use it to pick targets.
+func (c *Cluster) Addrs() []string {
+	addrs := make([]string, len(c.Nodes))
+	for i, n := range c.Nodes {
+		addrs[i] = n.Addr()
+	}
+	return addrs
+}
+
 // BulkLoad installs a key directly on its master and replicas, bypassing
 // the RPC path. Only for dataset population before an experiment starts.
 func (c *Cluster) BulkLoad(key, val []byte) error {

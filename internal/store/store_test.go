@@ -8,6 +8,7 @@ import (
 	"tell/internal/env"
 	"tell/internal/sim"
 	"tell/internal/store"
+	"tell/internal/testutil"
 	"tell/internal/transport"
 	"tell/internal/wire"
 )
@@ -24,7 +25,7 @@ type harness struct {
 
 func newHarness(t *testing.T, cfg store.ClusterConfig) *harness {
 	t.Helper()
-	k := sim.NewKernel(7)
+	k := sim.NewKernel(testutil.Seed(t, 7))
 	envr := env.NewSim(k)
 	net := transport.NewSimNet(k, transport.InfiniBand())
 	cl, err := store.NewCluster(envr, net, cfg)

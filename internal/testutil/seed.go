@@ -1,0 +1,37 @@
+// Package testutil holds helpers shared by the repository's test suites.
+package testutil
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// SeedEnv is the environment variable that overrides every sim-based
+// test's RNG seed, replaying a failure deterministically:
+//
+//	TELL_SEED=12345 go test ./internal/chaos -run TestName
+const SeedEnv = "TELL_SEED"
+
+// Seed returns the simulation seed for a test: $TELL_SEED when set,
+// otherwise def. Whatever the source, a failing test logs the seed so the
+// exact run — kernel event order, fault schedule, message casualties —
+// replays with TELL_SEED=<seed>.
+func Seed(t testing.TB, def int64) int64 {
+	t.Helper()
+	seed := def
+	if s := os.Getenv(SeedEnv); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("testutil: bad %s=%q: %v", SeedEnv, s, err)
+		}
+		seed = v
+		t.Logf("testutil: seed %d from %s", seed, SeedEnv)
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("testutil: replay this failure with %s=%d", SeedEnv, seed)
+		}
+	})
+	return seed
+}

@@ -6,6 +6,7 @@ import (
 
 	"tell/internal/env"
 	"tell/internal/sim"
+	"tell/internal/testutil"
 	"tell/internal/tpcc"
 )
 
@@ -43,7 +44,7 @@ func (f *fakeEngine) StockLevel(ctx env.Ctx, in *tpcc.StockLevelInput) (bool, er
 }
 
 func TestDriverAccounting(t *testing.T) {
-	k := sim.NewKernel(5)
+	k := sim.NewKernel(testutil.Seed(t, 5))
 	envr := env.NewSim(k)
 	node := envr.NewNode("driver", 4)
 	eng := &fakeEngine{delay: time.Millisecond}
@@ -98,7 +99,7 @@ func TestDriverAccounting(t *testing.T) {
 }
 
 func TestDriverStopsAllTerminals(t *testing.T) {
-	k := sim.NewKernel(5)
+	k := sim.NewKernel(testutil.Seed(t, 5))
 	envr := env.NewSim(k)
 	node := envr.NewNode("driver", 4)
 	eng := &fakeEngine{delay: 100 * time.Microsecond}

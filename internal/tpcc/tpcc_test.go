@@ -12,6 +12,7 @@ import (
 	"tell/internal/relational"
 	"tell/internal/sim"
 	"tell/internal/store"
+	"tell/internal/testutil"
 	"tell/internal/tpcc"
 	"tell/internal/transport"
 )
@@ -30,7 +31,7 @@ type rig struct {
 
 func newRig(t *testing.T, nPNs int, cfg tpcc.Config) *rig {
 	t.Helper()
-	k := sim.NewKernel(77)
+	k := sim.NewKernel(testutil.Seed(t, 77))
 	envr := env.NewSim(k)
 	net := transport.NewSimNet(k, transport.InfiniBand())
 	cl, err := store.NewCluster(envr, net, store.ClusterConfig{NumNodes: 2})

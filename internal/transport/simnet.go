@@ -8,6 +8,26 @@ import (
 	"tell/internal/sim"
 )
 
+// Fault is what a fault injector does to one message leg (request or
+// response). The zero value is a clean delivery.
+type Fault struct {
+	// Drop loses the message: a dropped request never reaches the
+	// handler, a dropped response leaves the client to time out.
+	Drop bool
+	// Delay is added on top of the link's modelled transfer time.
+	Delay time.Duration
+	// Duplicate delivers the message twice. A duplicated request runs
+	// the handler twice (the first response wins); a duplicated response
+	// arrives twice at the client (the second copy is discarded).
+	Duplicate bool
+}
+
+// FaultFn inspects one message leg between two endpoints and returns the
+// fault to apply. payload is the encoded message, so injectors can target
+// specific protocols via wire.PeekKind. It runs on the kernel goroutine and
+// must not block.
+type FaultFn func(src, dst string, payload []byte) Fault
+
 // SimNet is the simulated cluster network. Message delivery advances virtual
 // time by the network class's latency plus size/bandwidth; handlers execute
 // as simulated activities on the destination node, so their ctx.Work calls
@@ -21,6 +41,9 @@ type SimNet struct {
 	// DropFn, if set, drops messages between the given addresses,
 	// modelling a network partition.
 	DropFn func(src, dst string) bool
+	// fault, if set, is consulted per message leg (internal/chaos
+	// installs it via SetFaultFn).
+	fault FaultFn
 
 	stats Stats
 }
@@ -56,6 +79,16 @@ func (n *SimNet) Stats() Stats { return n.stats }
 // down endpoint time out, as do responses from handlers that were running
 // when the endpoint went down.
 func (n *SimNet) SetDown(addr string, down bool) { n.down[addr] = down }
+
+// SetFaultFn installs (or, with nil, removes) a per-message fault injector.
+func (n *SimNet) SetFaultFn(f FaultFn) { n.fault = f }
+
+func (n *SimNet) faultFor(src, dst string, payload []byte) Fault {
+	if n.fault == nil {
+		return Fault{}
+	}
+	return n.fault(src, dst, payload)
+}
 
 // Listen registers h as the server for addr on the given node.
 func (n *SimNet) Listen(addr string, node env.Node, h Handler) error {
@@ -113,24 +146,54 @@ func (c *simConn) RoundTrip(ctx env.Ctx, req []byte) ([]byte, error) {
 
 	fut := sim.NewFuture(n.k)
 	// Request travels to the server.
-	n.k.After(n.class.TransferTime(len(req)), func() {
-		ep, ok := n.eps[c.dst]
-		if !ok || n.down[c.dst] {
-			return // lost; client times out
-		}
-		// The handler runs as an activity on the serving node.
-		ep.node.Go("handler", func(hctx env.Ctx) {
-			resp := ep.h(hctx, req)
-			if n.down[c.dst] || n.down[c.src.Name()] {
-				return // server or client died meanwhile
+	deliver := func(extra time.Duration) {
+		n.k.After(n.class.TransferTime(len(req))+extra, func() {
+			ep, ok := n.eps[c.dst]
+			if !ok || n.down[c.dst] {
+				return // lost; client times out
 			}
-			// Response travels back to the client.
-			n.k.After(n.class.TransferTime(len(resp)), func() {
-				n.stats.BytesRecv += uint64(len(resp))
-				fut.Set(resp)
+			// The handler runs as an activity on the serving node.
+			ep.node.Go("handler", func(hctx env.Ctx) {
+				resp := ep.h(hctx, req)
+				if n.down[c.dst] || n.down[c.src.Name()] {
+					return // server or client died meanwhile
+				}
+				rf := n.faultFor(c.dst, c.src.Name(), resp)
+				if rf.Drop {
+					n.stats.Dropped++
+					return // lost response; client times out
+				}
+				// Response travels back to the client. With duplicated
+				// responses the first arrival wins; later copies are
+				// discarded (the reply future is write-once).
+				respond := func() {
+					n.k.After(n.class.TransferTime(len(resp))+rf.Delay, func() {
+						if fut.IsSet() {
+							return
+						}
+						n.stats.BytesRecv += uint64(len(resp))
+						fut.Set(resp)
+					})
+				}
+				respond()
+				if rf.Duplicate {
+					n.stats.Duplicated++
+					respond()
+				}
 			})
 		})
-	})
+	}
+	qf := n.faultFor(c.src.Name(), c.dst, req)
+	if qf.Drop {
+		n.stats.Dropped++
+		ctx.Sleep(n.timeout)
+		return nil, ErrTimeout
+	}
+	deliver(qf.Delay)
+	if qf.Duplicate {
+		n.stats.Duplicated++
+		deliver(qf.Delay)
+	}
 
 	v, ok := fut.GetTimeout(simProc(ctx), n.timeout)
 	if !ok {

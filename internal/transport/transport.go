@@ -85,4 +85,8 @@ type Stats struct {
 	Requests  uint64
 	BytesSent uint64
 	BytesRecv uint64
+	// Dropped and Duplicated count message legs affected by an installed
+	// fault injector (simnet only).
+	Dropped    uint64
+	Duplicated uint64
 }

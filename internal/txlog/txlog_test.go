@@ -8,13 +8,14 @@ import (
 	"tell/internal/env"
 	"tell/internal/sim"
 	"tell/internal/store"
+	"tell/internal/testutil"
 	"tell/internal/transport"
 	"tell/internal/txlog"
 )
 
 func runWithLog(t *testing.T, fn func(ctx env.Ctx, l *txlog.Log)) {
 	t.Helper()
-	k := sim.NewKernel(5)
+	k := sim.NewKernel(testutil.Seed(t, 5))
 	envr := env.NewSim(k)
 	net := transport.NewSimNet(k, transport.InfiniBand())
 	sc, err := store.NewCluster(envr, net, store.ClusterConfig{NumNodes: 3})

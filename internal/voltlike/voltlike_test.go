@@ -8,6 +8,7 @@ import (
 	"tell/internal/baseline"
 	"tell/internal/env"
 	"tell/internal/sim"
+	"tell/internal/testutil"
 	"tell/internal/tpcc"
 	"tell/internal/voltlike"
 )
@@ -16,7 +17,7 @@ import (
 // result.
 func runMix(t *testing.T, mix tpcc.Mix, nodes, terminals, txns int, cfg tpcc.Config) *tpcc.Result {
 	t.Helper()
-	k := sim.NewKernel(13)
+	k := sim.NewKernel(testutil.Seed(t, 13))
 	envr := env.NewSim(k)
 	ds := baseline.NewDataset(cfg)
 	var enodes []env.Node
@@ -68,7 +69,7 @@ func TestVoltlikeShardableBeatsStandard(t *testing.T) {
 }
 
 func TestVoltlikeConsistencyPreserved(t *testing.T) {
-	k := sim.NewKernel(17)
+	k := sim.NewKernel(testutil.Seed(t, 17))
 	envr := env.NewSim(k)
 	cfg := tpcc.Config{Warehouses: 4, Scale: 0.02, Seed: 5}
 	ds := baseline.NewDataset(cfg)

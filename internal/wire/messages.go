@@ -141,6 +141,11 @@ type Result struct {
 	Stamp  uint64 // Get/Put/CondPut: cell stamp after the operation
 	Count  int64  // CounterAdd: counter value after the add
 	Pairs  []Pair // Scan
+	// Retried is a client-side annotation (never serialized): the result
+	// came from a retry, so a previous attempt may have been applied and
+	// its response lost. Conditional writes reporting a conflict here are
+	// ambiguous and must be read back.
+	Retried bool
 }
 
 // StoreRequest is a batch of operations addressed to one storage node. The
