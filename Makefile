@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test test-race fuzz-short vet
+.PHONY: test test-race fuzz-short vet lint ci
 
 test:
 	$(GO) test ./...
@@ -15,3 +15,18 @@ fuzz-short:
 
 vet:
 	$(GO) vet ./...
+
+# tellvet: the determinism analyzer suite (see DESIGN.md §6). Exits
+# non-zero on any unsuppressed finding.
+lint:
+	$(GO) run ./cmd/tellvet ./...
+
+# Everything CI runs, in order (race on the fast packages only).
+ci:
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/wire ./internal/env ./internal/sim \
+		./internal/metrics ./internal/btree ./internal/lint
+	$(GO) vet ./...
+	$(MAKE) lint
+	$(GO) test ./internal/wire -run=FuzzRoundTrip

@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"tell/internal/env"
 	"tell/internal/exp"
 )
 
@@ -26,7 +27,7 @@ func main() {
 		scale   = flag.Float64("scale", 0.05, "per-warehouse row-count scale (1.0 = spec)")
 		warmup  = flag.Int("warmup", 200, "warm-up transactions before measurement")
 		measure = flag.Int("measure", 2000, "measured transactions per configuration")
-		seed    = flag.Int64("seed", 42, "random seed (runs are deterministic per seed)")
+		seed    = flag.Int64("seed", env.SeedFromEnv(42), "random seed (runs are deterministic per seed; $TELL_SEED overrides the default)")
 	)
 	flag.Parse()
 

@@ -41,7 +41,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tellcli: -manager and -cms are required")
 		os.Exit(2)
 	}
-	envr := env.NewReal(time.Now().UnixNano())
+	// TELL_SEED pins the shell's RNG for reproducible sessions.
+	envr := env.NewReal(env.SeedFromEnv(time.Now().UnixNano()))
 	tr := transport.NewTCPNet()
 	node := envr.NewNode("tellcli", 4)
 	sc := store.NewClient(envr, node, tr, *manager)

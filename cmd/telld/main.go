@@ -42,7 +42,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	envr := env.NewReal(time.Now().UnixNano())
+	// TELL_SEED pins the daemon's RNG for reproducible runs; without it
+	// the seed is arbitrary (real deployments need no replayability).
+	envr := env.NewReal(env.SeedFromEnv(time.Now().UnixNano()))
 	tr := transport.NewTCPNet()
 	node := envr.NewNode(*listen, 4)
 

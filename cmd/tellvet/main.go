@@ -1,0 +1,282 @@
+// Command tellvet runs the tell determinism-and-invariant analyzer suite
+// (internal/lint) over Go packages.
+//
+// Standalone (the `make lint` path):
+//
+//	tellvet ./...
+//	tellvet -list
+//	tellvet -only maporder ./internal/store
+//
+// It exits 0 when no diagnostics survive suppression, 1 when findings are
+// reported, 2 on usage or load errors.
+//
+// As a go vet tool:
+//
+//	go vet -vettool=$(go env GOPATH)/bin/tellvet ./...
+//
+// go vet drives vettools through the unitchecker protocol: the tool is
+// invoked once per package with a JSON config file argument (and with
+// -V=full to fingerprint the tool). tellvet implements that protocol
+// directly — see unitcheckerMain — so it needs no golang.org/x/tools
+// dependency there either.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tell/internal/lint"
+)
+
+func main() {
+	// The unitchecker protocol: `go vet` first probes the tool with
+	// -V=full and -flags, then runs it with a single *.cfg argument.
+	if len(os.Args) == 2 {
+		if os.Args[1] == "-V=full" || os.Args[1] == "-V" {
+			// The version fingerprints the tool for go vet's action
+			// cache; bump it when analyzer behavior changes.
+			fmt.Printf("%s version tellvet-1.0\n", os.Args[0])
+			return
+		}
+		if os.Args[1] == "-flags" {
+			// JSON inventory of tool flags settable via `go vet -<flag>`;
+			// tellvet exposes none in vettool mode.
+			fmt.Println("[]")
+			return
+		}
+	}
+	// `go vet -json` forwards -json ahead of the cfg argument.
+	jsonOut := false
+	var rest []string
+	for _, a := range os.Args[1:] {
+		if a == "-json" {
+			jsonOut = true
+			continue
+		}
+		rest = append(rest, a)
+	}
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		os.Exit(unitcheckerMain(rest[0], jsonOut))
+	}
+	os.Exit(standaloneMain())
+}
+
+func standaloneMain() int {
+	fs := flag.NewFlagSet("tellvet", flag.ExitOnError)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: tellvet [-list] [-only names] packages...\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+
+	analyzers := lint.Default()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		var chosen []*lint.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "tellvet: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			chosen = append(chosen, a)
+		}
+		analyzers = chosen
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tellvet:", err)
+		return 2
+	}
+	pkgs, err := lint.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tellvet:", err)
+		return 2
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tellvet:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(relativize(wd, d))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "tellvet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+func relativize(wd string, d lint.Diagnostic) string {
+	s := d.String()
+	if rel, err := filepath.Rel(wd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		s = fmt.Sprintf("%s:%d:%d: %s: %s", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	return s
+}
+
+// vetConfig mirrors the JSON schema go vet writes for -vettool binaries
+// (x/tools' unitchecker.Config).
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	Standard     map[string]bool
+	PackageVetx  map[string]string
+	VetxOnly     bool
+	VetxOutput   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheckerMain analyzes one package as directed by a go vet config file.
+// Diagnostics go to stderr as file:line:col: text (exit 2 on findings), or
+// — under `go vet -json` — to stdout as the JSON object go vet expects
+// (exit 0, matching x/tools' unitchecker). Test files are skipped for
+// parity with standalone mode: _test.go code may use real time and
+// goroutines freely.
+func unitcheckerMain(cfgPath string, jsonOut bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tellvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "tellvet: parsing vet config:", err)
+		return 1
+	}
+	// tellvet keeps no cross-package facts, but go vet requires the vetx
+	// output file to exist.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0666); err != nil {
+			fmt.Fprintln(os.Stderr, "tellvet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tellvet:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		// A pure test package (external _test variant): nothing to check.
+		if jsonOut {
+			fmt.Printf("{%q: {}}\n", cfg.ImportPath)
+		}
+		return 0
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if p, ok := cfg.ImportMap[path]; ok {
+			path = p
+		}
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, cfg.Compiler, lookup)
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tconf := types.Config{Importer: imp}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "tellvet:", err)
+		return 1
+	}
+
+	pkg := &lint.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, lint.Default())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tellvet:", err)
+		return 1
+	}
+
+	if jsonOut {
+		// go vet -json output: {"pkg": {"analyzer": [{posn, message}]}}.
+		type jsonDiag struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		byAnalyzer := map[string][]jsonDiag{}
+		for _, d := range diags {
+			byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
+				Posn:    fmt.Sprintf("%s:%d:%d", d.Pos.Filename, d.Pos.Line, d.Pos.Column),
+				Message: d.Message,
+			})
+		}
+		out, err := json.MarshalIndent(map[string]map[string][]jsonDiag{cfg.ImportPath: byAnalyzer}, "", "\t")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tellvet:", err)
+			return 1
+		}
+		os.Stdout.Write(out)
+		os.Stdout.Write([]byte("\n"))
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n",
+			d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

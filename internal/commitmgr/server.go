@@ -12,6 +12,7 @@
 package commitmgr
 
 import (
+	"slices"
 	"sync"
 	"time"
 
@@ -405,13 +406,20 @@ func (s *Server) syncLoop(ctx env.Ctx) {
 func (s *Server) closeIdleRange(ctx env.Ctx) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	// Expire transactions that never reported back (see ActiveTTL).
+	// Expire transactions that never reported back (see ActiveTTL). The
+	// expired tids join fin in sorted order so its interval structure is
+	// identical across runs.
 	now := ctx.Now()
+	var expired []uint64
 	for tid, a := range s.active {
 		if now-a.at > s.ActiveTTL {
-			delete(s.active, tid)
-			s.fin.Add(tid)
+			expired = append(expired, tid)
 		}
+	}
+	slices.Sort(expired)
+	for _, tid := range expired {
+		delete(s.active, tid)
+		s.fin.Add(tid)
 	}
 	if s.issuedThisTick {
 		s.issuedThisTick = false
@@ -523,6 +531,9 @@ func (s *Server) recoverDeadPeers(ctx env.Ctx) {
 	for p := range s.deadPeers {
 		dead = append(dead, p)
 	}
+	// Recovery issues log and storage requests per dead peer; keep that
+	// order independent of map iteration.
+	slices.Sort(dead)
 	finBase := s.fin.Base
 	s.mu.Unlock()
 	if len(dead) == 0 {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"tell/internal/det"
 	"tell/internal/env"
 	"tell/internal/mvcc"
 	"tell/internal/relational"
@@ -190,8 +191,11 @@ func (b *sharedBuffer) writeThrough(key string, rec *mvcc.Record, stamp uint64, 
 func (b *sharedBuffer) invalidateUnit(unit string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for _, e := range b.byUnit[unit] {
-		b.removeLocked(e)
+	// Sorted walk: removal order shapes the LRU list, which decides later
+	// evictions — simulation-visible state.
+	m := b.byUnit[unit]
+	for _, k := range det.Keys(m) {
+		b.removeLocked(m[k])
 	}
 	delete(b.byUnit, unit)
 }

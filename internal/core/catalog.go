@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"tell/internal/btree"
+	"tell/internal/det"
 	"tell/internal/env"
 	"tell/internal/relational"
 	"tell/internal/store"
@@ -128,13 +129,9 @@ func (c *Catalog) open(s *relational.TableSchema) *TableInfo {
 	return t
 }
 
-// Tables lists the names this catalog has opened.
+// Tables lists the names this catalog has opened, in sorted order.
 func (c *Catalog) Tables() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	var names []string
-	for n := range c.tables {
-		names = append(names, n)
-	}
-	return names
+	return det.Keys(c.tables)
 }

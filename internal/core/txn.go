@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"tell/internal/det"
 	"tell/internal/env"
 	"tell/internal/mvcc"
 	"tell/internal/relational"
@@ -583,10 +584,10 @@ func (t *Txn) maintainIndexes(ctx env.Ctx) error {
 		ctx.Work(t.pn.cfg.Costs.IndexOp)
 		if w.isInsert {
 			ops = append(ops, t.pkInsertOp(w.table, w.table.PKKey(w.newRow), w.rid))
-			for name, tree := range w.table.Sec {
+			for _, name := range det.Keys(w.table.Sec) {
 				ix := t.secSchema(w.table, name)
 				key := relational.AppendRid(relational.IndexKeyFromRow(w.newRow, ix.Cols), w.rid)
-				ops = append(ops, t.secInsertOp(tree, key, w.rid))
+				ops = append(ops, t.secInsertOp(w.table.Sec[name], key, w.rid))
 			}
 			continue
 		}
@@ -594,7 +595,8 @@ func (t *Txn) maintainIndexes(ctx env.Ctx) error {
 			continue // deletes leave entries for the reader GC
 		}
 		// Updates: insert entries only for changed indexed keys.
-		for name, tree := range w.table.Sec {
+		for _, name := range det.Keys(w.table.Sec) {
+			tree := w.table.Sec[name]
 			ix := t.secSchema(w.table, name)
 			oldKey := relational.IndexKeyFromRow(w.oldRow, ix.Cols)
 			newKey := relational.IndexKeyFromRow(w.newRow, ix.Cols)
@@ -693,8 +695,9 @@ func (t *Txn) writeVersionSets(ctx env.Ctx) error {
 		w := t.writes[ks]
 		units[string(versionSetKey(w.table.Schema.ID, w.rid, t.pn.cfg.CacheUnitSize))] = true
 	}
-	ops := make([]wire.Op, 0, len(t.order))
-	for u := range units {
+	unitKeys := det.Keys(units)
+	ops := make([]wire.Op, 0, len(unitKeys))
+	for _, u := range unitKeys {
 		ops = append(ops, wire.Op{Code: wire.OpPut, Key: []byte(u), Val: encodeVS(vm)})
 	}
 	res, err := t.pn.sc.Exec(ctx, ops)
@@ -708,7 +711,7 @@ func (t *Txn) writeVersionSets(ctx env.Ctx) error {
 	}
 	// Invalidate our own buffered units too.
 	if t.pn.shared != nil {
-		for u := range units {
+		for _, u := range unitKeys {
 			t.pn.shared.invalidateUnit(u)
 		}
 	}

@@ -1,0 +1,29 @@
+package env
+
+import (
+	"os"
+	"strconv"
+)
+
+// SeedEnv is the environment variable that overrides the RNG seed of any
+// entrypoint that builds an environment — experiment runners, benchmarks,
+// the command-line tools and the sim-based test suites all consult it, so
+// one variable replays an entire run:
+//
+//	TELL_SEED=12345 tellbench fig5
+const SeedEnv = "TELL_SEED"
+
+// SeedFromEnv returns $TELL_SEED when set to a valid integer, otherwise
+// def. Malformed values fall back to def rather than aborting: a daemon
+// must not refuse to start over a bad convenience variable.
+func SeedFromEnv(def int64) int64 {
+	s := os.Getenv(SeedEnv)
+	if s == "" {
+		return def
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return def
+	}
+	return v
+}

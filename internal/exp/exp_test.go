@@ -1,9 +1,11 @@
 package exp
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
+	"tell/internal/testutil"
 	"tell/internal/tpcc"
 	"tell/internal/transport"
 )
@@ -173,6 +175,32 @@ func TestDeterministicRuns(t *testing.T) {
 	}
 	if a.NetRequests != b.NetRequests {
 		t.Fatalf("request counts diverged: %d != %d", a.NetRequests, b.NetRequests)
+	}
+}
+
+// TestByteIdenticalSummary is the strict form of TestDeterministicRuns:
+// the fully rendered run summary — every formatted metric, latency
+// percentiles included — must be byte-for-byte identical across two runs
+// with the same seed. Any surviving map-order, wall-clock or global-rand
+// dependency shows up here even when the headline numbers happen to agree.
+func TestByteIdenticalSummary(t *testing.T) {
+	opt := quickOpt()
+	opt.Seed = testutil.Seed(t, 7)
+	render := func(run *TellRun) string {
+		return fmt.Sprintf("%v net=%d req, %d bytes batch=%.4f abort=%.6f",
+			run.Result, run.NetRequests, run.NetBytes, run.BatchFactor, run.AbortRate)
+	}
+	params := TellParams{PNs: 2, SNs: 3, CMs: 2, ReplicationFactor: 2}
+	a, err := RunTell(opt, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTell(opt, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa, sb := render(a), render(b); sa != sb {
+		t.Fatalf("summaries diverged for seed %d:\n  %s\n  %s", opt.Seed, sa, sb)
 	}
 }
 

@@ -55,7 +55,8 @@ func (o *Options) Defaults() {
 		o.TerminalsPerWorker = 2
 	}
 	if o.Seed == 0 {
-		o.Seed = 42
+		// TELL_SEED replays a whole experiment run; 42 otherwise.
+		o.Seed = env.SeedFromEnv(42)
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"sync"
 
 	"tell/internal/core"
+	"tell/internal/det"
 	"tell/internal/mvcc"
 	"tell/internal/relational"
 )
@@ -276,7 +277,10 @@ func (h *History) Check() *Report {
 	type writer struct{ tid, base uint64 }
 	byKey := make(map[string][]writer)
 	inserts := make(map[string][]uint64)
-	for tid, ws := range h.writes {
+	// Walk transactions in tid order so the per-key writer and insert
+	// lists (and through them the anomaly report) are deterministic.
+	for _, tid := range det.Keys(h.writes) {
+		ws := h.writes[tid]
 		if h.status[tid] != 'c' {
 			continue
 		}
@@ -290,7 +294,8 @@ func (h *History) Check() *Report {
 			byKey[k] = append(byKey[k], writer{tid: tid, base: w.BaseVersion})
 		}
 	}
-	for k, ws := range byKey {
+	for _, k := range det.Keys(byKey) {
+		ws := byKey[k]
 		sort.Slice(ws, func(i, j int) bool { return ws[i].tid < ws[j].tid })
 		byBase := make(map[uint64]uint64) // base → first committed tid seen
 		for _, w := range ws {
@@ -305,7 +310,8 @@ func (h *History) Check() *Report {
 			byBase[w.base] = w.tid
 		}
 	}
-	for k, tids := range inserts {
+	for _, k := range det.Keys(inserts) {
+		tids := inserts[k]
 		if len(tids) > 1 {
 			sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
 			rep.add(Anomaly{

@@ -1,0 +1,222 @@
+// Package lint is tellvet's analyzer suite: static checks that keep the
+// engine deterministic under the discrete-event simulator (internal/sim).
+//
+// The whole evaluation methodology of this repository rests on replayable
+// simulation — a seed fully determines the event order, fault schedule and
+// results. That property is destroyed silently by wall-clock reads, global
+// math/rand, map-iteration order leaking into simulation-visible state, or
+// goroutines that bypass the kernel's cooperative scheduler. The analyzers
+// here make those hazards compile-time (well, vet-time) errors instead of
+// code-review conventions:
+//
+//	nowallclock  — no time.Now/Since/Sleep/... in sim-executed packages
+//	seededrand   — no global math/rand functions; randomness is seed-threaded
+//	maporder     — no map iteration feeding simulation-visible state unsorted
+//	nogoroutine  — no raw `go` statements; processes spawn via env/sim
+//	wirecomplete — every exported wire message field is encoded AND decoded
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Reportf) so the suite could be ported to the upstream
+// driver, but it is self-contained: the only dependencies are the standard
+// library and the `go` tool itself (for export data, see load.go).
+//
+// # Suppression
+//
+// A finding is silenced with a justified annotation:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed on the offending line, on the line directly above it, or — to
+// exempt a whole file (for example a real-clock transport that never runs
+// under the kernel) — in the file header before the package clause. The
+// reason is mandatory; an allow without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. The shape follows
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in diagnostics and in
+	// //lint:allow annotations.
+	Name string
+	// Doc is a one-paragraph description.
+	Doc string
+	// Applies reports whether the analyzer should run over the package
+	// with the given import path. nil means every package.
+	Applies func(importPath string) bool
+	// Run analyzes one package, reporting findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzed package to an analyzer, and its diagnostics
+// back.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// ObjectOf returns the object denoted by identifier id, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.TypesInfo.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// AllowDirective is the comment prefix of a suppression annotation.
+const AllowDirective = "//lint:allow"
+
+// allow is one parsed //lint:allow annotation.
+type allow struct {
+	analyzer string
+	reason   string
+	file     string
+	line     int
+	// fileScope exempts the whole file (annotation above the package
+	// clause).
+	fileScope bool
+	used      bool
+}
+
+// parseAllows extracts the suppression annotations of one file. Malformed
+// annotations (no analyzer, or no reason) are reported as diagnostics of
+// the pseudo-analyzer "lintdirective".
+func parseAllows(fset *token.FileSet, f *ast.File, report func(Diagnostic)) []*allow {
+	var allows []*allow
+	pkgLine := fset.Position(f.Package).Line
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, AllowDirective) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimPrefix(c.Text, AllowDirective)
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				report(Diagnostic{
+					Analyzer: "lintdirective",
+					Pos:      pos,
+					Message:  fmt.Sprintf("malformed %s: want %q", AllowDirective, AllowDirective+" <analyzer> <reason>"),
+				})
+				continue
+			}
+			allows = append(allows, &allow{
+				analyzer:  fields[0],
+				reason:    strings.Join(fields[1:], " "),
+				file:      pos.Filename,
+				line:      pos.Line,
+				fileScope: pos.Line < pkgLine,
+			})
+		}
+	}
+	return allows
+}
+
+// Run applies the analyzers to the packages and returns the surviving
+// (unsuppressed) diagnostics, sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	collect := func(d Diagnostic) { raw = append(raw, d) }
+
+	var allows []*allow
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			allows = append(allows, parseAllows(pkg.Fset, f, collect)...)
+		}
+	}
+
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(pkg.ImportPath) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				report:    collect,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+
+	kept := raw[:0]
+	for _, d := range raw {
+		if !suppressed(d, allows) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}
+
+// suppressed reports whether d is covered by an allow annotation: same
+// analyzer and either file scope or on the diagnostic's line / the line
+// above it.
+func suppressed(d Diagnostic, allows []*allow) bool {
+	if d.Analyzer == "lintdirective" {
+		return false
+	}
+	for _, a := range allows {
+		if a.analyzer != d.Analyzer || a.file != d.Pos.Filename {
+			continue
+		}
+		if a.fileScope || a.line == d.Pos.Line || a.line == d.Pos.Line-1 {
+			a.used = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,340 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` statements over maps whose iteration order can
+// leak into simulation-visible state. Go randomizes map iteration on
+// purpose; any result slice, emitted message, blocking call or
+// order-sensitive accumulation produced inside such a loop therefore
+// differs run to run, which breaks the simulator's same-seed ⇒ same-history
+// guarantee.
+//
+// Order-insensitive bodies are allowed: writes into another map keyed by
+// the loop variables, integer-typed commutative accumulation (n++, n += v),
+// deletes, and reads. Everything else inside a map range is reported:
+//
+//   - appending to a slice declared outside the loop — unless the slice is
+//     visibly sorted later in the same function (the canonical
+//     collect-keys-then-sort idiom);
+//   - statement-level calls (method or function calls whose result is
+//     discarded are effects: message emission, ctx.Sleep/Work, metric
+//     recording) and channel sends;
+//   - any other write to state declared outside the loop (plain
+//     assignment, float or string accumulation — float addition is not
+//     associative, so even a "sum" differs with order).
+//
+// The fix is to iterate deterministically (collect keys, sort, then loop)
+// or, when order provably cannot matter, annotate with
+// //lint:allow maporder <reason>.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration feeding simulation-visible state (result slices, emitted messages, " +
+		"blocking calls, order-sensitive accumulation) without sorting",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if t := pass.TypeOf(rng.X); t == nil || !isMap(t) {
+					return true
+				}
+				checkMapRange(pass, fn.Body, rng)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange inspects the body of one range-over-map for
+// order-sensitive effects. funcBody is the enclosing function, searched
+// for sort calls that launder collected slices.
+func checkMapRange(pass *Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	body := rng.Body
+	outer := func(e ast.Expr) (types.Object, bool) { return outerBase(pass, body, e) }
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map range is checked on its own; its body's
+			// findings should not be double-reported here.
+			if s != rng {
+				if t := pass.TypeOf(s.X); t != nil && isMap(t) {
+					return false
+				}
+			}
+		case *ast.IfStmt:
+			// `if v < best { best = v }` is a pure min/max reduction:
+			// its result is the same in any iteration order.
+			if isMinMaxReduction(pass, s, outer) {
+				return false
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, funcBody, rng, s, outer)
+		case *ast.IncDecStmt:
+			if obj, isOuter := outer(s.X); isOuter && !isIntegerObj(pass, s.X) {
+				pass.Reportf(s.Pos(),
+					"%s is modified in map-iteration order; sort the keys first or use an integer accumulator", objName(obj))
+			}
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				checkStmtCall(pass, call)
+			}
+		case *ast.SendStmt:
+			pass.Reportf(s.Pos(),
+				"channel send inside map iteration emits in nondeterministic order; sort the keys first")
+		}
+		return true
+	})
+}
+
+// checkAssign handles assignments inside a map-range body. Allowed:
+// definitions of loop-local variables, writes into maps indexed by
+// loop-derived keys, and integer commutative accumulation.
+func checkAssign(pass *Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt, s *ast.AssignStmt,
+	outer func(ast.Expr) (types.Object, bool)) {
+
+	for i, lhs := range s.Lhs {
+		obj, isOuter := outer(lhs)
+		if !isOuter {
+			continue
+		}
+		// append to an outer slice: the collect-then-sort idiom is fine,
+		// an unsorted result slice is not.
+		if i < len(s.Rhs) && len(s.Lhs) == len(s.Rhs) {
+			if call, ok := s.Rhs[i].(*ast.CallExpr); ok && isBuiltin(pass, call, "append") {
+				if !sortedAfter(pass, funcBody, rng, obj) {
+					pass.Reportf(s.Pos(),
+						"%s is appended to in map-iteration order and never sorted; sort the keys first or sort the slice before use", objName(obj))
+				}
+				continue
+			}
+		}
+		// m[k] = v into an outer map, keyed by something loop-derived:
+		// distinct keys, order-free.
+		if ix, ok := unparen(lhs).(*ast.IndexExpr); ok {
+			if t := pass.TypeOf(ix.X); t != nil && isMap(t) && usesLoopVar(pass, rng, ix.Index) {
+				continue
+			}
+		}
+		// Integer accumulation commutes exactly.
+		if s.Tok != token.ASSIGN && s.Tok != token.DEFINE && isIntegerObj(pass, lhs) {
+			continue
+		}
+		what := "assigned"
+		if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+			what = "accumulated (non-integer accumulation is order-sensitive)"
+		}
+		pass.Reportf(s.Pos(), "%s is %s in map-iteration order; sort the keys first", objName(obj), what)
+	}
+}
+
+// checkStmtCall flags statement-level calls: a call whose result is
+// discarded is (almost always) an effect, and effects inside a map range
+// happen in nondeterministic order. delete and the ranged map's own
+// cleanup are exempt; panics are exempt (they fire at most once).
+func checkStmtCall(pass *Pass, call *ast.CallExpr) {
+	if isBuiltin(pass, call, "delete") || isBuiltin(pass, call, "panic") {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s executes its effect in map-iteration order; iterate over sorted keys instead", callName(call))
+}
+
+// isMinMaxReduction matches `if x OP y { lhs = rhs }` where OP is an
+// ordering comparison, the condition reads the assigned variable, and the
+// assignment is the if-body's only statement. Such a reduction computes the
+// extremum of the values seen, which no iteration order can change.
+func isMinMaxReduction(pass *Pass, s *ast.IfStmt, outer func(ast.Expr) (types.Object, bool)) bool {
+	if s.Else != nil || s.Init != nil || len(s.Body.List) != 1 {
+		return false
+	}
+	cond, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch cond.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return false
+	}
+	assign, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || assign.Tok != token.ASSIGN || len(assign.Lhs) != 1 {
+		return false
+	}
+	obj, isOuter := outer(assign.Lhs[0])
+	if !isOuter || obj == nil {
+		return false
+	}
+	return refersTo(pass, cond.X, obj) || refersTo(pass, cond.Y, obj)
+}
+
+// sortedAfter reports whether obj (a slice collected inside the range) is
+// passed to a sort-like call later in the enclosing function — any call
+// whose name contains "sort" (sort.Slice, slices.Sort, a sortPairs helper)
+// with obj among its arguments.
+func sortedAfter(pass *Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if !strings.Contains(strings.ToLower(callName(call)), "sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if refersTo(pass, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// outerBase unwraps an lvalue to its base object and reports whether that
+// object is declared outside body (and therefore survives the loop).
+func outerBase(pass *Pass, body *ast.BlockStmt, e ast.Expr) (types.Object, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			// For s.field the mutated state lives in s; but prefer
+			// reporting the field object when the base is a package name.
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := pass.ObjectOf(id).(*types.PkgName); isPkg {
+					e = x.Sel
+					continue
+				}
+			}
+			e = x.X
+		case *ast.Ident:
+			if x.Name == "_" {
+				return nil, false
+			}
+			obj := pass.ObjectOf(x)
+			if obj == nil {
+				return nil, false
+			}
+			if _, isVar := obj.(*types.Var); !isVar {
+				return nil, false
+			}
+			declaredInside := obj.Pos() >= body.Pos() && obj.Pos() <= body.End()
+			return obj, !declaredInside
+		default:
+			return nil, false
+		}
+	}
+}
+
+// usesLoopVar reports whether e references a variable defined by the range
+// statement's Key/Value or any variable declared inside its body.
+func usesLoopVar(pass *Pass, rng *ast.RangeStmt, e ast.Expr) bool {
+	used := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		if obj.Pos() >= rng.Pos() && obj.Pos() <= rng.Body.End() {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}
+
+func isIntegerObj(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isBuiltin(pass *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.ObjectOf(id).(*types.Builtin)
+	return ok
+}
+
+func refersTo(pass *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+func callName(call *ast.CallExpr) string {
+	switch f := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if id, ok := f.X.(*ast.Ident); ok {
+			return id.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "call"
+}
+
+func objName(obj types.Object) string {
+	if obj == nil {
+		return "state"
+	}
+	return obj.Name()
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

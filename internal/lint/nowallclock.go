@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the package time functions that read or act on the
+// machine's real clock. Conversions, constants and arithmetic on
+// time.Duration/time.Time values are fine — only acquiring wall-clock time
+// (or timers driven by it) is banned.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"AfterFunc": true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// NoWallClock forbids wall-clock time in sim-executed packages. Under the
+// discrete-event kernel, time is virtual: activities must read it from
+// env.Ctx.Now / env.Env.Now and sleep via env.Ctx.Sleep, so that a given
+// seed replays the identical schedule. One time.Now in engine code silently
+// couples results to the host machine.
+var NoWallClock = &Analyzer{
+	Name: "nowallclock",
+	Doc: "forbid time.Now/Since/Sleep/After/NewTicker/NewTimer in sim-executed packages; " +
+		"use the env virtual clock (env.Ctx.Now, env.Ctx.Sleep)",
+	Run: runNoWallClock,
+}
+
+func runNoWallClock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := pkgLevelFunc(pass, sel, "time")
+			if fn == nil || !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wall clock and breaks deterministic replay; use the env virtual clock (env.Ctx.Now/Sleep)",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// pkgLevelFunc resolves sel to a package-level function of the package with
+// import path pkgPath, or returns nil. Methods (which have a receiver) do
+// not match, so rng.Intn is distinct from rand.Intn.
+func pkgLevelFunc(pass *Pass, sel *ast.SelectorExpr, pkgPath string) *types.Func {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if pn, ok := pass.ObjectOf(id).(*types.PkgName); !ok || pn.Imported().Path() != pkgPath {
+		return nil
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Type().(*types.Signature).Recv() != nil {
+		return nil
+	}
+	return fn
+}

@@ -1,0 +1,61 @@
+package lint
+
+import "strings"
+
+// enginePrefix is the import-path prefix of sim-executed code.
+const enginePrefix = "tell/internal/"
+
+// engineExempt names the internal packages that are, by design, outside
+// the simulated world and may use real time, goroutines and scheduling:
+//
+//	env      — provides the real/virtual clock split itself
+//	sim      — is the kernel (its goroutines ARE the scheduling mechanism)
+//	testutil — test-only helpers (seed plumbing)
+//	lint     — this tool
+var engineExempt = map[string]bool{
+	"env":      true,
+	"sim":      true,
+	"testutil": true,
+	"lint":     true,
+}
+
+// EnginePackage reports whether importPath holds sim-executed engine code,
+// the scope of the determinism analyzers. Everything under tell/internal/
+// is in scope except the exempt substrate packages; cmd/, examples/ and
+// the embedded public API (package tell) run only on the real environment.
+func EnginePackage(importPath string) bool {
+	rest, ok := strings.CutPrefix(importPath, enginePrefix)
+	if !ok {
+		return false
+	}
+	top, _, _ := strings.Cut(rest, "/")
+	return !engineExempt[top]
+}
+
+// Default returns the tellvet analyzer suite with its repository scoping
+// applied: the determinism analyzers run over engine packages, the wire
+// completeness check over the wire codec.
+func Default() []*Analyzer {
+	scoped := func(a *Analyzer, applies func(string) bool) *Analyzer {
+		b := *a
+		b.Applies = applies
+		return &b
+	}
+	return []*Analyzer{
+		scoped(NoWallClock, EnginePackage),
+		scoped(SeededRand, EnginePackage),
+		scoped(MapOrder, EnginePackage),
+		scoped(NoGoroutine, EnginePackage),
+		scoped(WireComplete, func(path string) bool { return path == "tell/internal/wire" }),
+	}
+}
+
+// ByName returns the analyzer with the given name from Default(), or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Default() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

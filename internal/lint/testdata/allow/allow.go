@@ -1,0 +1,20 @@
+package allow
+
+import "time"
+
+// Suppressed by an allow on the offending line.
+func sameLine() time.Duration {
+	return time.Since(time.Unix(0, 0)) //lint:allow nowallclock fixture: intentional wall-clock read
+}
+
+// Suppressed by an allow on the line above.
+func lineAbove() {
+	//lint:allow nowallclock fixture: the sleep is intentional
+	time.Sleep(time.Millisecond)
+}
+
+// An allow naming a different analyzer does not suppress.
+func wrongAnalyzer() time.Duration {
+	//lint:allow nogoroutine fixture: names the wrong analyzer
+	return time.Since(time.Unix(0, 0)) // want "time.Since reads the wall clock"
+}

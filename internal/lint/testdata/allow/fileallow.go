@@ -1,0 +1,13 @@
+// This file models a component that only runs on the real environment, so
+// the whole file is exempted by an allow above the package clause.
+//
+//lint:allow nowallclock fixture: file-scope exemption
+
+package allow
+
+import "time"
+
+func wholeFile() time.Duration {
+	time.Sleep(time.Millisecond)
+	return time.Since(time.Unix(0, 0))
+}

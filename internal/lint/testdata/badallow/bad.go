@@ -1,0 +1,10 @@
+package badallow
+
+import "time"
+
+// A directive without the mandatory reason is itself a finding and
+// suppresses nothing.
+func malformed() {
+	//lint:allow nowallclock
+	time.Sleep(0)
+}

@@ -1,0 +1,92 @@
+package maporder
+
+import "sort"
+
+// Appending to an outer slice in map order without a later sort leaks the
+// iteration order into the result.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "appended to in map-iteration order and never sorted"
+	}
+	return keys
+}
+
+// The canonical collect-then-sort idiom is allowed.
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// A statement-level call inside the loop is an effect executed in map order.
+func emit(m map[string]int, send func(string)) {
+	for k := range m {
+		send(k) // want "send executes its effect in map-iteration order"
+	}
+}
+
+func sendCh(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want "channel send inside map iteration emits in nondeterministic order"
+	}
+}
+
+// Float accumulation is order-sensitive: addition is not associative.
+func sumFloats(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "non-integer accumulation is order-sensitive"
+	}
+	return sum
+}
+
+// Plain assignment keeps whichever key the runtime visited last.
+func lastKey(m map[string]int) string {
+	last := ""
+	for k := range m {
+		last = k // want "last is assigned in map-iteration order"
+	}
+	return last
+}
+
+// Integer accumulation commutes exactly: allowed.
+func sumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Writing into another map keyed by the loop variable is order-free.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// A pure min/max reduction yields the same extremum in any order.
+func minVal(m map[string]int) int {
+	best := 1 << 30
+	for _, v := range m {
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Deleting from the ranged map is the sanctioned cleanup idiom.
+func drop(m map[string]int, bad func(string) bool) {
+	for k := range m {
+		if bad(k) {
+			delete(m, k)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package nogoroutine
+
+func spawn(fn func()) {
+	go fn() // want "raw goroutine bypasses the DES kernel"
+}
+
+func spawnClosure(n int) {
+	go func() { // want "raw goroutine bypasses the DES kernel"
+		_ = n * 2
+	}()
+}
+
+// Direct and deferred calls are fine; only the go keyword escapes the
+// kernel's scheduler.
+func fine(fn func()) {
+	defer fn()
+	fn()
+}

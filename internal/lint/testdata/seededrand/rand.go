@@ -1,0 +1,25 @@
+package seededrand
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func draw() int {
+	return rand.Intn(10) // want "rand.Intn draws from the process-global source"
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "rand.Shuffle draws from the process-global source"
+}
+
+func drawV2() int {
+	return randv2.IntN(10) // want "rand.IntN draws from the process-global source"
+}
+
+// Constructing an explicitly seeded generator is the sanctioned pattern;
+// methods on the resulting *rand.Rand are not package-level draws.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}

@@ -1,0 +1,35 @@
+package wirecomplete
+
+// Msg has one complete field, one field in neither codec path, one that is
+// encoded but dropped by the decoder, and one the decoder expects but the
+// encoder never writes.
+type Msg struct {
+	A int
+	B int // want "field Msg.B is in neither the encode nor the decode path"
+	C int // want "field Msg.C is encoded but never decoded"
+	D int // want "field Msg.D is decoded but never encoded"
+}
+
+func (m *Msg) Encode() []byte {
+	return []byte{byte(m.A), byte(m.C)}
+}
+
+func DecodeMsg(b []byte) *Msg {
+	return &Msg{A: int(b[0]), D: int(b[1])}
+}
+
+// Ack round-trips completely: no findings.
+type Ack struct {
+	Code uint8
+}
+
+func (a *Ack) Encode() []byte { return []byte{a.Code} }
+
+func DecodeAck(b []byte) *Ack { return &Ack{Code: b[0]} }
+
+// Options is not a wire message — no Encode method and no codec references
+// — so its fields are ignored.
+type Options struct {
+	Verbose bool
+	Depth   int
+}

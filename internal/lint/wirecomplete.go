@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WireComplete verifies that every exported field of a wire-format message
+// struct is referenced by both the encode side and the decode side of the
+// package's codec. A field that is encoded but never decoded (or added to
+// the struct but wired into neither) is silently dropped on the wire: the
+// round-trip fuzz target cannot see it because both directions agree on the
+// truncated form. This analyzer catches it structurally.
+//
+// Conventions (those of internal/wire): the encode side is every method
+// named Encode plus every function whose name starts with "encode"; the
+// decode side is every function whose name starts with "Decode" or
+// "decode". A struct participates in the codec when at least one of its
+// exported fields is referenced on either side or it has an Encode method;
+// structs outside the codec (option bags, helpers) are ignored.
+//
+// Intentionally unserialized fields (client-side annotations) carry a
+// //lint:allow wirecomplete <reason> on their declaration line.
+var WireComplete = &Analyzer{
+	Name: "wirecomplete",
+	Doc: "verify every exported field of wire message structs is referenced by both the " +
+		"encode and decode functions, catching silently-dropped fields",
+	Run: runWireComplete,
+}
+
+func runWireComplete(pass *Pass) error {
+	encodeRefs := map[*types.Var]bool{} // struct fields referenced on the encode side
+	decodeRefs := map[*types.Var]bool{}
+	hasEncode := map[*types.Named]bool{} // named struct types with an Encode method
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			name := fn.Name.Name
+			isMethod := fn.Recv != nil
+			var side map[*types.Var]bool
+			switch {
+			case isMethod && name == "Encode",
+				!isMethod && strings.HasPrefix(name, "encode"),
+				!isMethod && strings.HasPrefix(name, "Encode"):
+				side = encodeRefs
+			case strings.HasPrefix(name, "Decode"), strings.HasPrefix(name, "decode"):
+				side = decodeRefs
+			default:
+				continue
+			}
+			if isMethod && name == "Encode" {
+				if named := receiverNamed(pass, fn); named != nil {
+					hasEncode[named] = true
+				}
+			}
+			collectFieldRefs(pass, fn.Body, side)
+		}
+	}
+
+	// Check each exported struct type declared in this package.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				checkMessageStruct(pass, ts, st, encodeRefs, decodeRefs, hasEncode)
+			}
+		}
+	}
+	return nil
+}
+
+func checkMessageStruct(pass *Pass, ts *ast.TypeSpec, st *ast.StructType,
+	encodeRefs, decodeRefs map[*types.Var]bool, hasEncode map[*types.Named]bool) {
+
+	// Gather this struct's exported field objects.
+	type fieldDecl struct {
+		obj  *types.Var
+		name *ast.Ident
+	}
+	var fields []fieldDecl
+	for _, fld := range st.Fields.List {
+		for _, name := range fld.Names {
+			if !name.IsExported() {
+				continue
+			}
+			if v, ok := pass.ObjectOf(name).(*types.Var); ok {
+				fields = append(fields, fieldDecl{obj: v, name: name})
+			}
+		}
+	}
+	if len(fields) == 0 {
+		return
+	}
+
+	inCodec := false
+	if named, ok := pass.ObjectOf(ts.Name).Type().(*types.Named); ok && hasEncode[named] {
+		inCodec = true
+	}
+	for _, fd := range fields {
+		if encodeRefs[fd.obj] || decodeRefs[fd.obj] {
+			inCodec = true
+		}
+	}
+	if !inCodec {
+		return
+	}
+
+	for _, fd := range fields {
+		switch {
+		case !encodeRefs[fd.obj] && !decodeRefs[fd.obj]:
+			pass.Reportf(fd.name.Pos(),
+				"field %s.%s is in neither the encode nor the decode path: it is silently dropped on the wire",
+				ts.Name.Name, fd.name.Name)
+		case !encodeRefs[fd.obj]:
+			pass.Reportf(fd.name.Pos(),
+				"field %s.%s is decoded but never encoded: senders always transmit the zero value",
+				ts.Name.Name, fd.name.Name)
+		case !decodeRefs[fd.obj]:
+			pass.Reportf(fd.name.Pos(),
+				"field %s.%s is encoded but never decoded: receivers silently drop it",
+				ts.Name.Name, fd.name.Name)
+		}
+	}
+}
+
+// collectFieldRefs records every struct-field object referenced in body:
+// selector expressions (m.Field, incl. through pointers and slice
+// elements) and keyed composite-literal fields (&T{Field: v}).
+func collectFieldRefs(pass *Pass, body *ast.BlockStmt, into map[*types.Var]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				if v, ok := sel.Obj().(*types.Var); ok && v.IsField() {
+					into[v] = true
+				}
+			}
+		case *ast.KeyValueExpr:
+			if id, ok := x.Key.(*ast.Ident); ok {
+				if v, ok := pass.ObjectOf(id).(*types.Var); ok && v.IsField() {
+					into[v] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func receiverNamed(pass *Pass, fn *ast.FuncDecl) *types.Named {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return nil
+	}
+	t := pass.TypeOf(fn.Recv.List[0].Type)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

@@ -217,11 +217,13 @@ func (s *Summary) Names() []string {
 	return names
 }
 
-// Total returns a histogram merging all names.
+// Total returns a histogram merging all names. The merge walks names in
+// sorted order: float accumulation is not associative, so map order would
+// make the totals differ bit-for-bit between identical runs.
 func (s *Summary) Total() *Histogram {
 	t := &Histogram{}
-	for _, h := range s.hists {
-		t.Merge(h)
+	for _, n := range s.Names() {
+		t.Merge(s.hists[n])
 	}
 	return t
 }

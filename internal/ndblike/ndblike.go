@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"tell/internal/baseline"
+	"tell/internal/det"
 	"tell/internal/env"
 	"tell/internal/tpcc"
 )
@@ -214,21 +215,22 @@ func (e *Engine) transact(ctx env.Ctx, t tpcc.TxType, input any) (bool, error) {
 	}
 	sort.Slice(reqs, func(i, j int) bool { return reqs[i].key < reqs[j].key })
 
-	// Row accesses travel to their data nodes in batches.
+	// Row accesses travel to their data nodes in batches, visited in
+	// sorted order: the sleeps below are scheduling points, so the visit
+	// order is simulation-visible.
 	dnRows := make(map[int]int)
 	for _, r := range reqs {
 		dnRows[e.dataNodeOf(r.key)]++
 	}
-	var participants []int
-	for dn, rows := range dnRows {
-		participants = append(participants, dn)
+	participants := det.Keys(dnRows)
+	for _, dn := range participants {
+		rows := dnRows[dn]
 		batches := (rows + c.RowsPerBatch - 1) / c.RowsPerBatch
 		for b := 0; b < batches; b++ {
 			ctx.Sleep(c.NetRTT)
 		}
 		ctx.Work(time.Duration(rows) * c.PerRow)
 	}
-	sort.Ints(participants)
 
 	var held []string
 	abort := func() {

@@ -15,6 +15,7 @@ import (
 
 	"tell/internal/commitmgr"
 	"tell/internal/core"
+	"tell/internal/det"
 	"tell/internal/env"
 	"tell/internal/store"
 	"tell/internal/transport"
@@ -107,9 +108,11 @@ func (m *Manager) monitor(ctx env.Ctx) {
 			m.mu.Unlock()
 			return
 		}
+		// Ping in sorted address order; the probe sequence is
+		// simulation-visible (each ping is an RPC).
 		var targets []string
-		for addr, dead := range m.pns {
-			if !dead {
+		for _, addr := range det.Keys(m.pns) {
+			if !m.pns[addr] {
 				targets = append(targets, addr)
 			}
 		}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"tell/internal/det"
 	"tell/internal/env"
 	"tell/internal/transport"
 	"tell/internal/wire"
@@ -87,11 +88,13 @@ func (c *Client) SetBatching(on bool) { c.batching = on }
 func (c *Client) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, b := range c.batchers {
-		b.q.Close()
+	// Closing wakes blocked batcher activities; do it in sorted order so
+	// the kernel sees the same wake-up sequence every run.
+	for _, addr := range det.Keys(c.batchers) {
+		c.batchers[addr].q.Close()
 	}
-	for _, conn := range c.conns {
-		conn.Close()
+	for _, addr := range det.Keys(c.conns) {
+		c.conns[addr].Close()
 	}
 }
 
@@ -310,8 +313,10 @@ func (c *Client) execBatch(ctx env.Ctx, ops []wire.Op) ([]wire.Result, error) {
 	}
 	// Non-batching path: one request per destination carrying only this
 	// call's ops (still grouped per destination, as a single transaction
-	// would do on its own).
-	for _, d := range directs {
+	// would do on its own). Destinations go out in sorted order so request
+	// emission is deterministic.
+	for _, addr := range det.Keys(directs) {
+		d := directs[addr]
 		req := &wire.StoreRequest{Epoch: pm.Epoch}
 		for _, i := range d.indices {
 			req.Ops = append(req.Ops, ops[i])

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"tell/internal/det"
 	"tell/internal/env"
 	"tell/internal/transport"
 	"tell/internal/wire"
@@ -164,9 +165,12 @@ func (sn *Node) handleStore(ctx env.Ctx, raw []byte) []byte {
 	for i := range req.Ops {
 		sn.execOp(&req.Ops[i], &resp.Results[i], muts)
 	}
-	// Snapshot replica targets under the lock.
+	// Snapshot replica targets under the lock, in sorted partition order:
+	// the jobs become replication messages, whose emission order must not
+	// depend on map iteration.
 	var jobs []replJob
-	for pid, ms := range muts {
+	for _, pid := range det.Keys(muts) {
+		ms := muts[pid]
 		var part *Partition
 		for j := range sn.masters {
 			if sn.masters[j].ID == pid {

@@ -5,13 +5,15 @@ import (
 	"os"
 	"strconv"
 	"testing"
+
+	"tell/internal/env"
 )
 
 // SeedEnv is the environment variable that overrides every sim-based
 // test's RNG seed, replaying a failure deterministically:
 //
 //	TELL_SEED=12345 go test ./internal/chaos -run TestName
-const SeedEnv = "TELL_SEED"
+const SeedEnv = env.SeedEnv
 
 // Seed returns the simulation seed for a test: $TELL_SEED when set,
 // otherwise def. Whatever the source, a failing test logs the seed so the

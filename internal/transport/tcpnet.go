@@ -1,3 +1,11 @@
+// This file is the real-TCP transport behind cmd/telld and cmd/tellcli. It
+// never executes under the DES kernel, so the determinism analyzers are
+// waived for the whole file:
+//
+//lint:allow nogoroutine real-network transport; connection handling needs real goroutines and never runs under the sim kernel
+//lint:allow nowallclock real-network transport; round-trip timeouts are genuine wall-clock deadlines
+//lint:allow maporder real-network transport; in-flight-request teardown order is not simulation-visible
+
 package transport
 
 import (

@@ -145,6 +145,7 @@ type Result struct {
 	// came from a retry, so a previous attempt may have been applied and
 	// its response lost. Conditional writes reporting a conflict here are
 	// ambiguous and must be read back.
+	//lint:allow wirecomplete client-side annotation, deliberately kept off the wire
 	Retried bool
 }
 
