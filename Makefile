@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test test-race fuzz-short vet lint ci
+.PHONY: test test-race fuzz-short vet lint golden-trace ci
 
 test:
 	$(GO) test ./...
@@ -21,6 +21,14 @@ vet:
 lint:
 	$(GO) run ./cmd/tellvet ./...
 
+# Golden-trace determinism: the same seed must produce byte-identical
+# trace files across two independent small TPC-C runs.
+golden-trace:
+	TELL_SEED=7 $(GO) run ./cmd/tellbench -wh 2 -scale 0.02 -warmup 20 -measure 150 -trace /tmp/tell-trace-a.json
+	TELL_SEED=7 $(GO) run ./cmd/tellbench -wh 2 -scale 0.02 -warmup 20 -measure 150 -trace /tmp/tell-trace-b.json
+	cmp /tmp/tell-trace-a.json /tmp/tell-trace-b.json
+	rm -f /tmp/tell-trace-a.json /tmp/tell-trace-b.json
+
 # Everything CI runs, in order (race on the fast packages only).
 ci:
 	$(GO) build ./...
@@ -30,3 +38,4 @@ ci:
 	$(GO) vet ./...
 	$(MAKE) lint
 	$(GO) test ./internal/wire -run=FuzzRoundTrip
+	$(MAKE) golden-trace

@@ -8,6 +8,7 @@
 //	tellbench -list
 //	tellbench fig5 fig10
 //	tellbench -wh 32 -measure 5000 all
+//	tellbench -trace trace.json -breakdown
 package main
 
 import (
@@ -22,12 +23,14 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		wh      = flag.Int("wh", 16, "TPC-C warehouses")
-		scale   = flag.Float64("scale", 0.05, "per-warehouse row-count scale (1.0 = spec)")
-		warmup  = flag.Int("warmup", 200, "warm-up transactions before measurement")
-		measure = flag.Int("measure", 2000, "measured transactions per configuration")
-		seed    = flag.Int64("seed", env.SeedFromEnv(42), "random seed (runs are deterministic per seed; $TELL_SEED overrides the default)")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		wh        = flag.Int("wh", 16, "TPC-C warehouses")
+		scale     = flag.Float64("scale", 0.05, "per-warehouse row-count scale (1.0 = spec)")
+		warmup    = flag.Int("warmup", 200, "warm-up transactions before measurement")
+		measure   = flag.Int("measure", 2000, "measured transactions per configuration")
+		seed      = flag.Int64("seed", env.SeedFromEnv(42), "random seed (runs are deterministic per seed; $TELL_SEED overrides the default)")
+		traceFile = flag.String("trace", "", "run one traced TPC-C deployment and write a Chrome trace_event JSON to FILE (load at ui.perfetto.dev)")
+		breakdown = flag.Bool("breakdown", false, "with or without -trace: print the per-transaction-type latency breakdown of a traced run")
 	)
 	flag.Parse()
 
@@ -38,6 +41,22 @@ func main() {
 		}
 		return
 	}
+	opt := exp.Options{
+		Warehouses: *wh,
+		Scale:      *scale,
+		Warmup:     *warmup,
+		Measure:    *measure,
+		Seed:       *seed,
+	}
+	if *traceFile != "" || *breakdown {
+		if err := runTraced(opt, *traceFile, *breakdown); err != nil {
+			fmt.Fprintf(os.Stderr, "trace run failed: %v\n", err)
+			os.Exit(1)
+		}
+		if len(flag.Args()) == 0 {
+			return
+		}
+	}
 	ids := flag.Args()
 	if len(ids) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: tellbench [flags] <experiment>... | all  (use -list to enumerate)")
@@ -45,13 +64,6 @@ func main() {
 	}
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = exp.Names()
-	}
-	opt := exp.Options{
-		Warehouses: *wh,
-		Scale:      *scale,
-		Warmup:     *warmup,
-		Measure:    *measure,
-		Seed:       *seed,
 	}
 	for _, id := range ids {
 		fn, ok := reg[id]
@@ -68,4 +80,38 @@ func main() {
 		fmt.Println(table)
 		fmt.Printf("(%s completed in %v of real time)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runTraced executes one traced Tell deployment run (2 PNs, 3 SNs, 2 CMs —
+// enough nodes to exercise cross-node flow stitching) and emits the
+// requested artifacts: a Perfetto-loadable trace file, a latency-breakdown
+// table, or both.
+func runTraced(opt exp.Options, file string, breakdown bool) error {
+	opt.Trace = true
+	run, err := exp.RunTell(opt, exp.TellParams{PNs: 2, SNs: 3, CMs: 2})
+	if err != nil {
+		return err
+	}
+	if file != "" {
+		f, err := os.Create(file)
+		if err != nil {
+			return err
+		}
+		if err := run.Trace.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d events", file, len(run.Trace.Events()))
+		if d := run.Trace.Dropped(); d > 0 {
+			fmt.Printf(", %d dropped", d)
+		}
+		fmt.Println(") — open at ui.perfetto.dev")
+	}
+	if breakdown {
+		fmt.Println(exp.BreakdownTable(run.Trace, "Latency breakdown (traced run)"))
+	}
+	return nil
 }

@@ -10,6 +10,7 @@
 //	insert <table> <v1> <v2> ...
 //	get <table> <pk values...>
 //	scan <table>
+//	stats <addr>
 //	tables
 //	help | quit
 package main
@@ -29,6 +30,7 @@ import (
 	"tell/internal/relational"
 	"tell/internal/store"
 	"tell/internal/transport"
+	"tell/internal/wire"
 )
 
 func main() {
@@ -51,7 +53,7 @@ func main() {
 		commitmgr.NewClient(envr, node, tr, cmAddrs))
 	ctx, _ := env.DetachedCtx(node)
 
-	cli := &cli{pn: pn, ctx: ctx, tables: make(map[string]*core.TableInfo)}
+	cli := &cli{pn: pn, ctx: ctx, tr: tr, node: node, tables: make(map[string]*core.TableInfo)}
 	fmt.Println("tell shell — 'help' for commands")
 	sc_ := bufio.NewScanner(os.Stdin)
 	for {
@@ -75,6 +77,8 @@ func main() {
 type cli struct {
 	pn     *core.PN
 	ctx    env.Ctx
+	tr     transport.Transport
+	node   env.Node
 	tables map[string]*core.TableInfo
 }
 
@@ -98,6 +102,7 @@ func (c *cli) run(line string) error {
 		fmt.Println("insert <table> <v1> <v2> ...")
 		fmt.Println("get <table> <pk values...>")
 		fmt.Println("scan <table>")
+		fmt.Println("stats <addr>   # live telemetry snapshot from a daemon")
 		fmt.Println("quit")
 		return nil
 	case "create":
@@ -108,6 +113,8 @@ func (c *cli) run(line string) error {
 		return c.get(fields[1:])
 	case "scan":
 		return c.scan(fields[1:])
+	case "stats":
+		return c.stats(fields[1:])
 	default:
 		return fmt.Errorf("unknown command %q", fields[0])
 	}
@@ -291,6 +298,41 @@ func (c *cli) scan(args []string) error {
 	})
 	fmt.Printf("(%d rows)\n", n)
 	return err
+}
+
+// stats fetches and pretty-prints a live telemetry snapshot from one
+// daemon (storage node or commit manager): handler-latency classes from its
+// metrics summary plus operation and trace counters.
+func (c *cli) stats(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: stats <addr>")
+	}
+	conn, err := c.tr.Dial(c.node, args[0])
+	if err != nil {
+		return err
+	}
+	raw, err := conn.RoundTrip(c.ctx, wire.EncodeStatsReq())
+	if err != nil {
+		return err
+	}
+	snap, err := wire.DecodeStatsSnapshot(raw)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("node %s  uptime %s\n", snap.Node, time.Duration(snap.UptimeNs).Round(time.Millisecond))
+	if len(snap.Classes) > 0 {
+		fmt.Printf("  %-12s %10s %12s %12s %12s\n", "class", "count", "mean", "p99", "max")
+		for _, cl := range snap.Classes {
+			fmt.Printf("  %-12s %10d %12s %12s %12s\n", cl.Name, cl.Count,
+				time.Duration(cl.MeanNs).Round(time.Microsecond),
+				time.Duration(cl.P99Ns).Round(time.Microsecond),
+				time.Duration(cl.MaxNs).Round(time.Microsecond))
+		}
+	}
+	for _, ct := range snap.Counters {
+		fmt.Printf("  %-28s %d\n", ct.Name, ct.Value)
+	}
+	return nil
 }
 
 func formatRow(row relational.Row) string {

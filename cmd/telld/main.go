@@ -22,6 +22,7 @@ import (
 	"tell/internal/commitmgr"
 	"tell/internal/env"
 	"tell/internal/store"
+	"tell/internal/trace"
 	"tell/internal/transport"
 )
 
@@ -45,6 +46,9 @@ func main() {
 	// TELL_SEED pins the daemon's RNG for reproducible runs; without it
 	// the seed is arbitrary (real deployments need no replayability).
 	envr := env.NewReal(env.SeedFromEnv(time.Now().UnixNano()))
+	// Counters-only telemetry: running totals for `tellcli stats`, no
+	// event buffering (full traces come from the simulator).
+	env.SetTracer(envr, trace.NewCounters(envr.Now))
 	tr := transport.NewTCPNet()
 	node := envr.NewNode(*listen, 4)
 

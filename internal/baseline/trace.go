@@ -1,0 +1,32 @@
+package baseline
+
+import (
+	"time"
+
+	"tell/internal/env"
+	"tell/internal/trace"
+)
+
+// The baseline engines model their networks and coordination as explicit
+// Sleep calls rather than transport messages, so latency attribution cannot
+// ride on the transport layer the way it does for Tell. These helpers let
+// the engines charge those sleeps and measured waits into the driving
+// transaction's breakdown with no allocation when tracing is off.
+
+// SleepNet advances time by d and charges it to the network component.
+func SleepNet(ctx env.Ctx, d time.Duration) {
+	ctx.Sleep(d)
+	ctx.Trace().Agg.Add(trace.CompNetwork, d)
+}
+
+// SleepRemote advances time by d and charges it to the remote component
+// (coordination or work performed on the engine's behalf elsewhere).
+func SleepRemote(ctx env.Ctx, d time.Duration) {
+	ctx.Sleep(d)
+	ctx.Trace().Agg.Add(trace.CompRemote, d)
+}
+
+// Charge adds an already-measured duration to the given component.
+func Charge(ctx env.Ctx, c trace.Comp, d time.Duration) {
+	ctx.Trace().Agg.Add(c, d)
+}

@@ -353,6 +353,10 @@ func (t *Tree) splitLeafAndInsert(ctx env.Ctx, path []pathEntry, nl *node, stamp
 		}
 		return false, err
 	}
+	if sc := ctx.Trace(); sc.R.Enabled() {
+		sc.R.Instant(sc.Span, ctx.Node().Name(), "btree-split-leaf",
+			int64(left.id), int64(rightID))
+	}
 	// 3. Post the separator to the parent level. Readers already work via
 	// the B-link pointer; this step only restores fast routing.
 	if err := t.insertSeparator(ctx, path, len(path)-2, sep, rightID, left.id); err != nil {
@@ -467,6 +471,10 @@ func (t *Tree) splitInner(ctx env.Ctx, path []pathEntry, pathIdx int, np *node, 
 		return err
 	}
 	t.invalidate(left.id)
+	if sc := ctx.Trace(); sc.R.Enabled() {
+		sc.R.Instant(sc.Span, ctx.Node().Name(), "btree-split-inner",
+			int64(left.id), int64(rightID))
+	}
 	return t.insertSeparator(ctx, path, pathIdx-1, promoted, rightID, left.id)
 }
 
@@ -521,6 +529,10 @@ func (t *Tree) growRoot(ctx env.Ctx, sep []byte, leftID, rightID uint64) error {
 		t.mu.Lock()
 		t.root = &nrp
 		t.mu.Unlock()
+		if sc := ctx.Trace(); sc.R.Enabled() {
+			sc.R.Instant(sc.Span, ctx.Node().Name(), "btree-grow-root",
+				int64(newRootID), int64(newRoot.level))
+		}
 		return nil
 	}
 	return ErrRetriesExhausted

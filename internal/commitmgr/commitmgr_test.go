@@ -11,6 +11,7 @@ import (
 	"tell/internal/store"
 	"tell/internal/testutil"
 	"tell/internal/transport"
+	"tell/internal/wire"
 )
 
 // cmHarness wires a store cluster plus n commit managers on the simulator.
@@ -332,5 +333,49 @@ func TestInterleavedTidsUniqueAndBaseAdvances(t *testing.T) {
 			t.Fatalf("descriptor carries %d bits; base stalled", len(r.Snap.Members()))
 		}
 		c0.Committed(ctx, r.TID)
+	})
+}
+
+// TestStatsSnapshot: a KindStatsReq against a commit manager must return a
+// snapshot reflecting the starts it has served.
+func TestStatsSnapshot(t *testing.T) {
+	h := newCMHarness(t, 1)
+	h.run(t, func(ctx env.Ctx) {
+		for i := 0; i < 3; i++ {
+			if _, err := h.client.Start(ctx); err != nil {
+				t.Fatalf("start: %v", err)
+			}
+		}
+		conn, err := h.net.Dial(h.pn, "cm0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := conn.RoundTrip(ctx, wire.EncodeStatsReq())
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := wire.DecodeStatsSnapshot(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Node != "cm0" {
+			t.Fatalf("node %q", snap.Node)
+		}
+		var startCount uint64
+		for _, c := range snap.Classes {
+			if c.Name == "start" {
+				startCount = c.Count
+			}
+		}
+		if startCount != 3 {
+			t.Fatalf("start class count %d, want 3", startCount)
+		}
+		counters := map[string]int64{}
+		for _, c := range snap.Counters {
+			counters[c.Name] = c.Value
+		}
+		if counters["cm/starts"] != 3 {
+			t.Fatalf("cm/starts = %d", counters["cm/starts"])
+		}
 	})
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"tell/internal/env"
+	"tell/internal/metrics"
 	"tell/internal/mvcc"
 	"tell/internal/store"
 	"tell/internal/transport"
@@ -109,6 +110,7 @@ type Server struct {
 
 	stopped bool
 	starts  uint64
+	lat     *metrics.Summary // handler latency per request class
 }
 
 // New creates a commit manager. id must be unique across the fleet; addr is
@@ -136,6 +138,7 @@ func New(id, addr string, envr env.Full, node env.Node, tr transport.Transport, 
 		StalePeerTicks: 5000,
 		RecoveryGrace:  100 * time.Millisecond,
 		RecoveryEvery:  100,
+		lat:            metrics.NewSummary(),
 	}
 }
 
@@ -175,13 +178,19 @@ func (s *Server) handle(ctx env.Ctx, raw []byte) []byte {
 	if wire.PeekKind(raw) == wire.KindPing {
 		return []byte{byte(wire.KindPong)}
 	}
+	if wire.PeekKind(raw) == wire.KindStatsReq {
+		return s.handleStats(ctx)
+	}
 	r := wire.NewReader(raw)
 	if wire.Kind(r.Byte()) != wire.KindCMReq {
 		return ackResp(wire.StatusError)
 	}
+	began := ctx.Now()
 	switch cmSub(r.Byte()) {
 	case cmStart:
-		return s.handleStart(ctx)
+		resp := s.handleStart(ctx)
+		s.recordLat("start", ctx.Now()-began)
+		return resp
 	case cmFinished:
 		tid := r.Uvarint()
 		committed := r.Bool()
@@ -189,9 +198,43 @@ func (s *Server) handle(ctx env.Ctx, raw []byte) []byte {
 			return ackResp(wire.StatusError)
 		}
 		s.finish(tid, committed)
+		s.recordLat("finish", ctx.Now()-began)
 		return ackResp(wire.StatusOK)
 	}
 	return ackResp(wire.StatusError)
+}
+
+func (s *Server) recordLat(class string, d time.Duration) {
+	s.mu.Lock()
+	s.lat.Record(class, d)
+	s.mu.Unlock()
+}
+
+// handleStats serves a telemetry snapshot: per-class handler-latency digests
+// plus start counts, the current lav, and any trace-recorder counters.
+func (s *Server) handleStats(ctx env.Ctx) []byte {
+	snap := &wire.StatsSnapshot{Node: s.id, UptimeNs: int64(ctx.Now())}
+	s.mu.Lock()
+	for _, name := range s.lat.Names() {
+		h := s.lat.Get(name)
+		snap.Classes = append(snap.Classes, wire.StatsClass{
+			Name:   name,
+			Count:  h.Count(),
+			MeanNs: int64(h.Mean()),
+			P99Ns:  int64(h.Percentile(99)),
+			MaxNs:  int64(h.Max()),
+		})
+	}
+	snap.Counters = append(snap.Counters,
+		wire.StatsCounter{Name: "cm/starts", Value: int64(s.starts)},
+		wire.StatsCounter{Name: "cm/active", Value: int64(len(s.active))},
+		wire.StatsCounter{Name: "cm/lav", Value: int64(s.lavLocked())},
+	)
+	s.mu.Unlock()
+	for _, c := range env.Tracer(s.envr).Counters() {
+		snap.Counters = append(snap.Counters, wire.StatsCounter{Name: "trace/" + c.Name, Value: c.Value})
+	}
+	return snap.Encode()
 }
 
 // peerIndex returns this manager's position in the (sorted) fleet and the
@@ -385,6 +428,12 @@ func (s *Server) syncLoop(ctx env.Ctx) {
 		}
 		s.closeIdleRange(ctx)
 		s.pushState(ctx)
+		if sc := ctx.Trace(); sc.R.Enabled() {
+			s.mu.Lock()
+			tick, lav := s.syncTick, s.lavLocked()
+			s.mu.Unlock()
+			sc.R.Instant(0, s.node.Name(), "epoch", int64(tick), int64(lav))
+		}
 		if len(s.Peers) > 1 {
 			s.pullPeers(ctx)
 			s.mu.Lock()

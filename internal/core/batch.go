@@ -7,6 +7,7 @@ import (
 	"tell/internal/env"
 	"tell/internal/mvcc"
 	"tell/internal/relational"
+	"tell/internal/trace"
 	"tell/internal/wire"
 )
 
@@ -122,11 +123,28 @@ func (t *Txn) LookupRids(ctx env.Ctx, table *TableInfo, pkVals [][]relational.Va
 			futs[i].Set(nil)
 		})
 	}
+	waitFutures(ctx, futs)
+	ctx.Work(time.Duration(len(pkVals)) * t.pn.cfg.Costs.IndexOp)
+	return rids, firstErr
+}
+
+// waitFutures blocks on all futures and charges the wait to the remote
+// component of the driving transaction's breakdown: the sub-activities run
+// with their own contexts (no aggregator), so from the caller's viewpoint
+// this is time spent waiting on remote work.
+func waitFutures(ctx env.Ctx, futs []env.Future) {
+	sc := ctx.Trace()
+	if sc.Agg == nil {
+		for _, f := range futs {
+			f.Get(ctx)
+		}
+		return
+	}
+	t0 := ctx.Now()
 	for _, f := range futs {
 		f.Get(ctx)
 	}
-	ctx.Work(time.Duration(len(pkVals)) * t.pn.cfg.Costs.IndexOp)
-	return rids, firstErr
+	sc.Agg.Add(trace.CompRemote, ctx.Now()-t0)
 }
 
 // ReadMany resolves primary keys to visible rows with batched traffic:
@@ -196,9 +214,7 @@ func (t *Txn) parallelIndexOps(ctx env.Ctx, ops []func(env.Ctx) error) error {
 			futs[i].Set(nil)
 		})
 	}
-	for _, f := range futs {
-		f.Get(ctx)
-	}
+	waitFutures(ctx, futs)
 	if dupErr != nil {
 		return dupErr
 	}

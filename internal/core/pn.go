@@ -9,6 +9,7 @@ import (
 	"tell/internal/mvcc"
 	"tell/internal/relational"
 	"tell/internal/store"
+	"tell/internal/trace"
 	"tell/internal/transport"
 	"tell/internal/txlog"
 	"tell/internal/wire"
@@ -198,20 +199,33 @@ func (pn *PN) StartWorkers() {
 	}
 }
 
-// job is one queued unit of work with a completion future.
+// job is one queued unit of work with a completion future. The submitter's
+// tracing scope rides along so the worker attributes its time (and spans)
+// to the submitting transaction.
 type job struct {
 	fn   func(ctx env.Ctx)
 	done env.Future
+	sc   trace.Scope
+	enq  time.Duration // submission time, for queue-wait attribution
 }
 
 func (pn *PN) workerLoop(ctx env.Ctx) {
+	sc := ctx.Trace()
 	for {
 		v, ok := pn.jobs.Get(ctx)
 		if !ok {
 			return
 		}
 		j := v.(*job)
-		j.fn(ctx)
+		if j.sc.R != nil {
+			saved := *sc
+			*sc = j.sc
+			j.sc.Agg.Add(trace.CompPoolWait, ctx.Now()-j.enq)
+			j.fn(ctx)
+			*sc = saved
+		} else {
+			j.fn(ctx)
+		}
 		j.done.Set(nil)
 	}
 }
@@ -220,6 +234,11 @@ func (pn *PN) workerLoop(ctx env.Ctx) {
 // This is how terminals drive the PN (§6.1's synchronous processing model).
 func (pn *PN) Execute(ctx env.Ctx, fn func(ctx env.Ctx)) {
 	j := &job{fn: fn, done: pn.envr.NewFuture()}
+	if sc := ctx.Trace(); sc.R != nil {
+		j.sc = *sc
+		j.enq = ctx.Now()
+		sc.R.Counter(pn.node.Name(), "jobqueue", int64(pn.jobs.Len()+1))
+	}
 	pn.jobs.Put(j)
 	j.done.Get(ctx)
 }

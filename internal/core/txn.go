@@ -3,14 +3,25 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"tell/internal/det"
 	"tell/internal/env"
 	"tell/internal/mvcc"
 	"tell/internal/relational"
 	"tell/internal/store"
+	"tell/internal/trace"
 	"tell/internal/txlog"
 	"tell/internal/wire"
+)
+
+// Abort reason codes carried on "abort" trace instants (Arg2).
+const (
+	AbortUser int64 = iota
+	AbortWriteConflict
+	AbortCommitConflict
+	AbortDuplicateKey
+	AbortError
 )
 
 // Transaction errors.
@@ -80,10 +91,18 @@ type Txn struct {
 // Begin starts a transaction: it contacts the commit manager for a tid,
 // snapshot descriptor and lav (§4.3 step 1).
 func (pn *PN) Begin(ctx env.Ctx) (*Txn, error) {
+	sc := ctx.Trace()
+	var bstart time.Duration
+	if sc.R.Enabled() {
+		bstart = ctx.Now()
+	}
 	ctx.Work(pn.cfg.Costs.Begin)
 	res, err := pn.cm.Start(ctx)
 	if err != nil {
 		return nil, err
+	}
+	if sc.R.Enabled() {
+		sc.R.Span(0, sc.Span, pn.node.Name(), "begin", bstart, int64(res.TID), 0)
 	}
 	pn.mu.Lock()
 	pn.lastSnap = res.Snap.Clone()
@@ -180,6 +199,13 @@ func (t *Txn) Read(ctx env.Ctx, table *TableInfo, rid uint64) (relational.Row, b
 		return nil, false, err
 	}
 	row, found, err := t.decodeVisible(table, re)
+	if sc := ctx.Trace(); sc.R.Enabled() {
+		var f int64
+		if found {
+			f = 1
+		}
+		sc.R.Instant(sc.Span, t.pn.node.Name(), "read", int64(rid), f)
+	}
 	if t.rec != nil && err == nil {
 		var vtid uint64
 		if re.rec != nil {
@@ -281,9 +307,16 @@ func (t *Txn) write(ctx env.Ctx, table *TableInfo, rid uint64, newRow relational
 		for i := range re.rec.Versions {
 			if vt := re.rec.Versions[i].TID; vt != t.tid && !t.snap.Contains(vt) {
 				t.doomed = true
+				if sc := ctx.Trace(); sc.R.Enabled() {
+					sc.R.Instant(sc.Span, t.pn.node.Name(), "abort",
+						int64(t.tid), AbortWriteConflict)
+				}
 				return false, ErrConflict
 			}
 		}
+	}
+	if sc := ctx.Trace(); sc.R.Enabled() {
+		sc.R.Instant(sc.Span, t.pn.node.Name(), "write", int64(rid), 0)
 	}
 	var baseVTID uint64
 	if v, ok := re.rec.Visible(t.snap); ok {
@@ -311,6 +344,9 @@ func (t *Txn) Abort(ctx env.Ctx) error {
 	if t.state != StateRunning {
 		return ErrTxnDone
 	}
+	if sc := ctx.Trace(); sc.R.Enabled() {
+		sc.R.Instant(sc.Span, t.pn.node.Name(), "abort", int64(t.tid), AbortUser)
+	}
 	t.state = StateAborted
 	t.pn.mu.Lock()
 	t.pn.aborts++
@@ -332,9 +368,21 @@ func (t *Txn) Commit(ctx env.Ctx) error {
 	if t.state != StateRunning {
 		return ErrTxnDone
 	}
+	sc := ctx.Trace()
+	if sc.R.Enabled() {
+		cstart := ctx.Now()
+		defer func() {
+			var committed int64
+			if t.state == StateCommitted {
+				committed = 1
+			}
+			sc.R.Span(0, sc.Span, t.pn.node.Name(), "txn-commit", cstart,
+				int64(t.tid), committed)
+		}()
+	}
 	if t.doomed {
 		// A conflict was detected while running; nothing was applied.
-		t.finishAbort(ctx)
+		t.finishAbort(ctx, AbortWriteConflict)
 		return ErrConflict
 	}
 	if len(t.writes) == 0 {
@@ -403,10 +451,12 @@ func (t *Txn) Commit(ctx env.Ctx) error {
 			Stamp: w.baseStmp,
 		})
 	}
+	if sc.R.Enabled() {
+		sc.R.Instant(sc.Span, t.pn.node.Name(), "validate", int64(t.tid), int64(len(ops)))
+	}
 	results, err := t.pn.sc.Exec(ctx, ops)
 	if err != nil {
-		t.rollbackApplied(ctx, nil) // nothing known applied; best effort
-		t.finishAbort(ctx)
+		t.abortConflict(ctx, sc, nil, AbortError) // nothing known applied; best effort
 		return err
 	}
 	applied := make([]int, 0, len(results))
@@ -434,8 +484,7 @@ func (t *Txn) Commit(ctx env.Ctx) error {
 		}
 	}
 	if conflict {
-		t.rollbackApplied(ctx, applied)
-		t.finishAbort(ctx)
+		t.abortConflict(ctx, sc, applied, AbortCommitConflict)
 		return ErrConflict
 	}
 
@@ -443,14 +492,12 @@ func (t *Txn) Commit(ctx env.Ctx) error {
 	// reflect the updates").
 	if err := t.maintainIndexes(ctx); err != nil {
 		if err == ErrDuplicateKey {
-			t.rollbackApplied(ctx, applied)
-			t.finishAbort(ctx)
+			t.abortConflict(ctx, sc, applied, AbortDuplicateKey)
 			return ErrDuplicateKey
 		}
 		// Index infrastructure failure: record data is applied, so the
 		// safest course is still abort-with-rollback.
-		t.rollbackApplied(ctx, applied)
-		t.finishAbort(ctx)
+		t.abortConflict(ctx, sc, applied, AbortError)
 		return err
 	}
 
@@ -470,8 +517,7 @@ func (t *Txn) Commit(ctx env.Ctx) error {
 		// The flag could not be set (store unavailable). The updates are
 		// applied; recovery would roll this transaction back, so report
 		// failure and abort bookkeeping-wise.
-		t.rollbackApplied(ctx, applied)
-		t.finishAbort(ctx)
+		t.abortConflict(ctx, sc, applied, AbortError)
 		return err
 	}
 	t.state = StateCommitted
@@ -494,7 +540,10 @@ func (t *Txn) Commit(ctx env.Ctx) error {
 	return t.pn.cm.Committed(ctx, t.tid)
 }
 
-func (t *Txn) finishAbort(ctx env.Ctx) {
+func (t *Txn) finishAbort(ctx env.Ctx, reason int64) {
+	if sc := ctx.Trace(); sc.R.Enabled() {
+		sc.R.Instant(sc.Span, t.pn.node.Name(), "abort", int64(t.tid), reason)
+	}
 	t.state = StateAborted
 	t.pn.mu.Lock()
 	t.pn.aborts++
@@ -503,6 +552,20 @@ func (t *Txn) finishAbort(ctx env.Ctx) {
 		t.rec.RecAbort(t.tid)
 	}
 	t.pn.cm.Aborted(ctx, t.tid)
+}
+
+// abortConflict rolls back the applied updates and finishes the abort,
+// charging all time the cleanup consumes (rollback round trips, commit
+// manager notification) to the conflict component of the transaction's
+// latency breakdown.
+func (t *Txn) abortConflict(ctx env.Ctx, sc *trace.Scope, applied []int, reason int64) {
+	if sc.Agg != nil {
+		prev := sc.Agg.Redirect
+		sc.Agg.Redirect = trace.CompConflict
+		defer func() { sc.Agg.Redirect = prev }()
+	}
+	t.rollbackApplied(ctx, applied)
+	t.finishAbort(ctx, reason)
 }
 
 // rollbackApplied reverts the applied subset of this transaction's updates:

@@ -14,6 +14,8 @@ package env
 import (
 	"math/rand"
 	"time"
+
+	"tell/internal/trace"
 )
 
 // Env creates nodes and tells time.
@@ -55,6 +57,35 @@ type Ctx interface {
 	// Rand returns the environment's random source. Under simulation it
 	// is deterministic per seed.
 	Rand() *rand.Rand
+	// Trace returns this activity's tracing scope. The pointer is always
+	// non-nil and owned by the activity; Scope.R is nil when tracing is
+	// disabled (every trace hook is a no-op on a nil recorder, so callers
+	// never need to check).
+	Trace() *trace.Scope
+}
+
+// Tracing is implemented by environments that can carry a trace recorder.
+// Both Env implementations in this package do.
+type Tracing interface {
+	SetTracer(*trace.Recorder)
+	Tracer() *trace.Recorder
+}
+
+// SetTracer installs r as e's trace recorder. Contexts created after the
+// call carry the recorder in their Scope; install before spawning nodes
+// and activities. A no-op for environments without tracing support.
+func SetTracer(e Env, r *trace.Recorder) {
+	if t, ok := e.(Tracing); ok {
+		t.SetTracer(r)
+	}
+}
+
+// Tracer returns e's trace recorder, or nil if none is installed.
+func Tracer(e Env) *trace.Recorder {
+	if t, ok := e.(Tracing); ok {
+		return t.Tracer()
+	}
+	return nil
 }
 
 // Queue is an unbounded FIFO usable across activities. Put never blocks.

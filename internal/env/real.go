@@ -4,12 +4,15 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"tell/internal/trace"
 )
 
 // realEnv is the production environment: activities are goroutines, Sleep is
 // time.Sleep, Work is free, queues and futures are channel/condvar based.
 type realEnv struct {
 	start time.Time
+	tr    *trace.Recorder
 	mu    sync.Mutex
 	rng   *rand.Rand
 }
@@ -19,6 +22,9 @@ type realEnv struct {
 func NewReal(seed int64) Full {
 	return &realEnv{start: time.Now(), rng: rand.New(rand.NewSource(seed))}
 }
+
+func (e *realEnv) SetTracer(r *trace.Recorder) { e.tr = r }
+func (e *realEnv) Tracer() *trace.Recorder     { return e.tr }
 
 func (e *realEnv) Now() time.Duration { return time.Since(e.start) }
 
@@ -40,7 +46,7 @@ func (n *realNode) Cores() int           { return n.cores }
 func (n *realNode) Utilization() float64 { return 0 }
 
 func (n *realNode) Go(name string, fn func(ctx Ctx)) {
-	go fn(&realCtx{node: n})
+	go fn(&realCtx{node: n, sc: trace.Scope{R: n.env.tr}})
 }
 
 // DetachedCtx returns an execution context for synchronous calls into the
@@ -49,19 +55,21 @@ func (n *realNode) Go(name string, fn func(ctx Ctx)) {
 // with Node.Go so the kernel can schedule them).
 func DetachedCtx(n Node) (Ctx, bool) {
 	if rn, ok := n.(*realNode); ok {
-		return &realCtx{node: rn}, true
+		return &realCtx{node: rn, sc: trace.Scope{R: rn.env.tr}}, true
 	}
 	return nil, false
 }
 
 type realCtx struct {
 	node *realNode
+	sc   trace.Scope
 }
 
 func (c *realCtx) Node() Node                     { return c.node }
 func (c *realCtx) Now() time.Duration             { return c.node.env.Now() }
 func (c *realCtx) Sleep(d time.Duration)          { time.Sleep(d) }
 func (c *realCtx) Work(time.Duration)             {}
+func (c *realCtx) Trace() *trace.Scope            { return &c.sc }
 func (c *realCtx) Go(name string, fn func(c Ctx)) { c.node.Go(name, fn) }
 
 func (c *realCtx) Rand() *rand.Rand {

@@ -5,21 +5,32 @@ import (
 	"time"
 
 	"tell/internal/sim"
+	"tell/internal/trace"
 )
 
 // simEnv adapts the discrete-event simulator to the Env interfaces.
 type simEnv struct {
-	k *sim.Kernel
+	k  *sim.Kernel
+	tr *trace.Recorder
 }
 
 // NewSim wraps kernel k as an environment. The caller drives the simulation
 // by calling k.Run (or RunFor/RunUntil) after spawning activities.
 func NewSim(k *sim.Kernel) Full { return &simEnv{k: k} }
 
+func (e *simEnv) SetTracer(r *trace.Recorder) { e.tr = r }
+func (e *simEnv) Tracer() *trace.Recorder     { return e.tr }
+
 func (e *simEnv) Now() time.Duration { return e.k.Now().Duration() }
 
 func (e *simEnv) NewNode(name string, cores int) Node {
-	return &simNode{env: e, name: name, cores: cores, cpu: sim.NewResource(e.k, cores)}
+	n := &simNode{env: e, name: name, cores: cores, cpu: sim.NewResource(e.k, cores)}
+	// Per-core busy intervals feed the trace's core tracks and the node
+	// utilization series. CoreRun is a no-op on a nil recorder.
+	n.cpu.OnUse = func(unit int, start, end sim.Time) {
+		e.tr.CoreRun(n.name, unit, start.Duration(), end.Duration())
+	}
+	return n
 }
 
 func (e *simEnv) NewQueue() Queue   { return &simQueue{q: sim.NewQueue(e.k)} }
@@ -37,22 +48,49 @@ func (n *simNode) Cores() int           { return n.cores }
 func (n *simNode) Utilization() float64 { return n.cpu.Utilization() }
 
 func (n *simNode) Go(name string, fn func(ctx Ctx)) {
+	n.goScoped(name, trace.Scope{R: n.env.tr}, fn)
+}
+
+// goScoped spawns an activity whose context starts with the given tracing
+// scope (recorder + causal parent span; never the latency aggregator).
+func (n *simNode) goScoped(name string, sc trace.Scope, fn func(ctx Ctx)) {
 	n.env.k.Go(n.name+"/"+name, func(p *sim.Proc) {
-		fn(&simCtx{node: n, p: p})
+		fn(&simCtx{node: n, p: p, sc: sc})
 	})
 }
 
 type simCtx struct {
 	node *simNode
 	p    *sim.Proc
+	sc   trace.Scope
 }
 
-func (c *simCtx) Node() Node                       { return c.node }
-func (c *simCtx) Now() time.Duration               { return c.p.Now().Duration() }
-func (c *simCtx) Sleep(d time.Duration)            { c.p.Sleep(d) }
-func (c *simCtx) Work(d time.Duration)             { c.node.cpu.Use(c.p, d) }
-func (c *simCtx) Go(name string, fn func(ctx Ctx)) { c.node.Go(name, fn) }
-func (c *simCtx) Rand() *rand.Rand                 { return c.node.env.k.Rand() }
+func (c *simCtx) Node() Node            { return c.node }
+func (c *simCtx) Now() time.Duration    { return c.p.Now().Duration() }
+func (c *simCtx) Sleep(d time.Duration) { c.p.Sleep(d) }
+func (c *simCtx) Trace() *trace.Scope   { return &c.sc }
+
+func (c *simCtx) Work(d time.Duration) {
+	if c.sc.Agg == nil {
+		c.node.cpu.Use(c.p, d)
+		return
+	}
+	// Split the elapsed time into CPU service and core-queue wait for the
+	// transaction this activity is driving.
+	t0 := c.p.Now()
+	c.node.cpu.Use(c.p, d)
+	c.sc.Agg.Add(trace.CompService, d)
+	c.sc.Agg.Add(trace.CompCoreWait, c.p.Now().Sub(t0)-d)
+}
+
+func (c *simCtx) Go(name string, fn func(ctx Ctx)) {
+	// Children inherit the recorder and causal parent, but not the
+	// aggregator: a transaction's time is only attributed from the one
+	// context driving it, so parallel sub-activities can't double-count.
+	c.node.goScoped(name, trace.Scope{R: c.sc.R, Span: c.sc.Span}, fn)
+}
+
+func (c *simCtx) Rand() *rand.Rand { return c.node.env.k.Rand() }
 
 // proc extracts the sim process from a simulated Ctx. Simulation-only
 // components (for example the simulated network) use it to block callers.

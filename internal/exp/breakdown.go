@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tell/internal/trace"
+)
+
+// Breakdown — per-transaction-type latency decomposition from a traced run.
+// The trace layer attributes every blocking wait of a transaction to one
+// component (network, CPU service, core/queue wait, conflict, retry, remote
+// service); under the simulator the attribution is exhaustive, so the
+// residual "other" column stays near zero and the components explain the
+// end-to-end latency the paper's Table 4 reports.
+func Breakdown(opt Options) (*Table, error) {
+	opt.Trace = true
+	run, err := RunTell(opt, TellParams{PNs: 2, SNs: 3, CMs: 2})
+	if err != nil {
+		return nil, err
+	}
+	t := BreakdownTable(run.Trace, "Latency breakdown (write-intensive, 2 PNs, 3 SNs, RF1)")
+	t.ID = "breakdown"
+	return t, nil
+}
+
+// BreakdownTable renders a recorder's per-type latency breakdown plus
+// per-node utilization notes. Means are per transaction, in milliseconds.
+func BreakdownTable(rec *trace.Recorder, title string) *Table {
+	t := &Table{
+		ID:    "breakdown",
+		Title: title,
+		Header: []string{"type", "count", "aborts", "e2e mean",
+			"service", "core-wait", "queue-wait", "network", "remote", "conflict", "retry", "other"},
+	}
+	for _, b := range rec.Breakdowns() {
+		if b.Count == 0 {
+			continue
+		}
+		n := float64(b.Count)
+		mean := func(d time.Duration) string { return ms(float64(d) / n) }
+		cells := []string{b.Type, fmt.Sprint(b.Count), fmt.Sprint(b.Aborts), mean(b.E2E)}
+		for c := trace.Comp(0); c < trace.NComps; c++ {
+			cells = append(cells, mean(b.Comp[c]))
+		}
+		cells = append(cells, mean(b.Other()))
+		t.AddRow(cells...)
+	}
+	if util := rec.MeanUtilization(); len(util) > 0 {
+		var parts []string
+		for _, u := range util {
+			parts = append(parts, fmt.Sprintf("%s %.0f%%", u.Node, 100*u.Points[0].V))
+		}
+		t.Note("utilization: %s", strings.Join(parts, ", "))
+	}
+	if qd := meanCounter(rec, "jobqueue"); len(qd) > 0 {
+		t.Note("mean job-queue depth: %s", strings.Join(qd, ", "))
+	}
+	if d := rec.Dropped(); d > 0 {
+		t.Note("trace buffer overflow: %d events dropped", d)
+	}
+	return t
+}
+
+// meanCounter summarizes a counter's overall per-node mean from the
+// QueueDepth series.
+func meanCounter(rec *trace.Recorder, name string) []string {
+	var out []string
+	for _, s := range rec.QueueDepth(name, 100*time.Millisecond) {
+		var sum float64
+		var n int
+		for _, p := range s.Points {
+			if p.V > 0 {
+				sum += p.V
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		out = append(out, fmt.Sprintf("%s %.1f", s.Node, sum/float64(n)))
+	}
+	return out
+}

@@ -126,7 +126,7 @@ func TestTableFormatting(t *testing.T) {
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
 	for _, id := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-		"table3", "table4", "table5", "sec631", "sec633"} {
+		"table3", "table4", "table5", "sec631", "sec633", "breakdown"} {
 		if reg[id] == nil {
 			t.Fatalf("experiment %s missing from registry", id)
 		}

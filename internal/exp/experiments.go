@@ -448,6 +448,7 @@ func Registry() map[string]func(Options) (*Table, error) {
 		"ablation-tidrange":    AblationTidRange,
 		"ablation-granularity": AblationGranularity,
 		"ext-pushdown":         ExtPushdown,
+		"breakdown":            Breakdown,
 	}
 }
 

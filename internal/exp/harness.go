@@ -18,6 +18,7 @@ import (
 	"tell/internal/sim"
 	"tell/internal/store"
 	"tell/internal/tpcc"
+	"tell/internal/trace"
 	"tell/internal/transport"
 	"tell/internal/voltlike"
 )
@@ -35,6 +36,9 @@ type Options struct {
 	// occurs, as the paper's terminal counts did.
 	TerminalsPerWorker int
 	Seed               int64
+	// Trace records a full deterministic event trace of the run; the
+	// recorder comes back on TellRun.Trace (or from RunBaselineTraced).
+	Trace bool
 }
 
 // Defaults fills zero fields.
@@ -127,6 +131,8 @@ type TellRun struct {
 	NetBytes    uint64
 	// BatchFactor is ops per storage request achieved by the batcher.
 	BatchFactor float64
+	// Trace is the event recorder, non-nil when Options.Trace was set.
+	Trace *trace.Recorder
 }
 
 // RunTell executes one full Tell deployment run.
@@ -135,6 +141,13 @@ func RunTell(opt Options, p TellParams) (*TellRun, error) {
 	p.defaults()
 	k := sim.NewKernel(opt.Seed)
 	envr := env.NewSim(k)
+	var rec *trace.Recorder
+	if opt.Trace {
+		// Install before any node exists so every activity sees the
+		// recorder in its scope.
+		rec = trace.New(envr.Now)
+		env.SetTracer(envr, rec)
+	}
 	net := transport.NewSimNet(k, p.Network)
 
 	cluster, err := store.NewCluster(envr, net, store.ClusterConfig{
@@ -224,7 +237,7 @@ func RunTell(opt Options, p TellParams) (*TellRun, error) {
 		return nil, fmt.Errorf("exp: run did not complete within the virtual deadline")
 	}
 
-	out := &TellRun{Result: res, AbortRate: res.AbortRate()}
+	out := &TellRun{Result: res, AbortRate: res.AbortRate(), Trace: rec}
 	st := net.Stats()
 	out.NetRequests = st.Requests
 	out.NetBytes = st.BytesSent + st.BytesRecv
@@ -280,6 +293,13 @@ func (p BaselineParams) Cores() int {
 
 // RunBaseline executes one comparison-system run.
 func RunBaseline(opt Options, p BaselineParams) (*tpcc.Result, error) {
+	res, _, err := RunBaselineTraced(opt, p)
+	return res, err
+}
+
+// RunBaselineTraced is RunBaseline returning the trace recorder as well
+// (nil unless opt.Trace is set).
+func RunBaselineTraced(opt Options, p BaselineParams) (*tpcc.Result, *trace.Recorder, error) {
 	opt.Defaults()
 	if p.Nodes <= 0 {
 		p.Nodes = 3
@@ -292,6 +312,11 @@ func RunBaseline(opt Options, p BaselineParams) (*tpcc.Result, error) {
 	}
 	k := sim.NewKernel(opt.Seed)
 	envr := env.NewSim(k)
+	var rec *trace.Recorder
+	if opt.Trace {
+		rec = trace.New(envr.Now)
+		env.SetTracer(envr, rec)
+	}
 	ds := baseline.NewDataset(opt.tpccConfig())
 	var nodes []env.Node
 	for i := 0; i < p.Nodes; i++ {
@@ -316,11 +341,11 @@ func RunBaseline(opt Options, p BaselineParams) (*tpcc.Result, error) {
 		res = drv.Run(ctx, envr, driverNode, opt.Warmup, opt.Measure)
 	})
 	if err := k.RunUntil(sim.Time(6 * time.Hour)); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	k.Shutdown()
 	if res == nil {
-		return nil, fmt.Errorf("exp: baseline run did not complete")
+		return nil, nil, fmt.Errorf("exp: baseline run did not complete")
 	}
-	return res, nil
+	return res, rec, nil
 }

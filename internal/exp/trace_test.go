@@ -1,0 +1,196 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"tell/internal/trace"
+)
+
+func tracedRun(t *testing.T) *TellRun {
+	t.Helper()
+	opt := quickOpt()
+	opt.Trace = true
+	run, err := RunTell(opt, TellParams{PNs: 2, SNs: 3, CMs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Trace == nil {
+		t.Fatal("no recorder on traced run")
+	}
+	return run
+}
+
+// TestByteIdenticalTrace: the full exported trace — every span, flow,
+// core-run interval, in recorded order — must be byte-for-byte identical
+// across two runs with the same seed. This is the golden-trace determinism
+// check the CI step replays with tellbench.
+func TestByteIdenticalTrace(t *testing.T) {
+	var bufs [2]bytes.Buffer
+	for i := range bufs {
+		run := tracedRun(t)
+		if err := run.Trace.WriteChromeTrace(&bufs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bufs[0].Len() == 0 {
+		t.Fatal("empty trace")
+	}
+	if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+		t.Fatalf("traces diverged: %d vs %d bytes", bufs[0].Len(), bufs[1].Len())
+	}
+	t.Logf("trace: %d bytes, identical across runs", bufs[0].Len())
+}
+
+// TestTraceStitchesAcrossNodes: following causal links (span Parent ids and
+// message flow ids) from one transaction's root span must reach spans on at
+// least three distinct nodes — terminal, processing node, and a storage or
+// commit-manager node.
+func TestTraceStitchesAcrossNodes(t *testing.T) {
+	run := tracedRun(t)
+	events := run.Trace.Events()
+
+	// children[p] lists the events whose causal parent is span/flow p; a
+	// MsgRecv shares the flow id of its MsgSend, so indexing recv events by
+	// their own ID chains the arrival node into the flow.
+	children := make(map[trace.SpanID][]*trace.Event)
+	for i := range events {
+		e := &events[i]
+		if e.Parent != 0 {
+			children[e.Parent] = append(children[e.Parent], e)
+		}
+		if e.Kind == trace.KindMsgRecv {
+			children[e.ID] = append(children[e.ID], e)
+		}
+	}
+
+	best := 0
+	for i := range events {
+		e := &events[i]
+		if e.Kind != trace.KindSpan || e.Parent != 0 {
+			continue
+		}
+		nodes := map[string]bool{e.Node: true}
+		seen := map[trace.SpanID]bool{}
+		queue := []trace.SpanID{e.ID}
+		for len(queue) > 0 {
+			id := queue[0]
+			queue = queue[1:]
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			for _, c := range children[id] {
+				nodes[c.Node] = true
+				if c.ID != 0 && c.ID != id {
+					queue = append(queue, c.ID)
+				}
+			}
+		}
+		if len(nodes) > best {
+			best = len(nodes)
+		}
+		if best >= 3 {
+			break
+		}
+	}
+	if best < 3 {
+		t.Fatalf("no transaction's spans stitch across ≥3 nodes (best %d)", best)
+	}
+	t.Logf("transaction spans reach %d nodes", best)
+}
+
+// TestBreakdownSumsToE2E: the attributed components of every transaction
+// type must explain its end-to-end latency — |other| ≤ 1% of e2e, the
+// acceptance bound. Under the simulator attribution is exhaustive (time
+// only advances in attributed waits), so the residual is rounding only.
+func TestBreakdownSumsToE2E(t *testing.T) {
+	run := tracedRun(t)
+	bds := run.Trace.Breakdowns()
+	if len(bds) == 0 {
+		t.Fatal("no breakdowns recorded")
+	}
+	for _, b := range bds {
+		if b.Count == 0 {
+			continue
+		}
+		other := b.Other()
+		if other < 0 {
+			other = -other
+		}
+		if b.E2E > 0 && float64(other) > 0.01*float64(b.E2E) {
+			t.Errorf("%s: |other| %v exceeds 1%% of e2e %v (sum %v over %d txns)",
+				b.Type, other, b.E2E, b.Sum(), b.Count)
+		}
+		t.Logf("%s: n=%d e2e=%v attributed=%v other=%.3f%%",
+			b.Type, b.Count, b.E2E, b.Sum(), 100*float64(b.Other())/float64(b.E2E))
+	}
+}
+
+// TestTracingDoesNotChangeResults: recording a trace must not perturb the
+// simulation — virtual-time results are identical with tracing on and off.
+func TestTracingDoesNotChangeResults(t *testing.T) {
+	opt := quickOpt()
+	plain, err := RunTell(opt, TellParams{PNs: 2, SNs: 3, CMs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Trace = true
+	traced, err := RunTell(opt, TellParams{PNs: 2, SNs: 3, CMs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Result.TpmC() != traced.Result.TpmC() ||
+		plain.Result.Elapsed != traced.Result.Elapsed ||
+		plain.NetRequests != traced.NetRequests {
+		t.Fatalf("tracing perturbed the run: %v vs %v", plain.Result, traced.Result)
+	}
+}
+
+// TestBreakdownTableRenders: the breakdown experiment table has the
+// component columns and a row per transaction type observed.
+func TestBreakdownTableRenders(t *testing.T) {
+	run := tracedRun(t)
+	tbl := BreakdownTable(run.Trace, "test")
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	if len(tbl.Header) != 4+int(trace.NComps)+1 {
+		t.Fatalf("header: %v", tbl.Header)
+	}
+	t.Logf("\n%s", tbl)
+}
+
+// TestBaselineTraceBreakdowns: the three comparison engines attribute their
+// latency too, within the same 1% residual bound.
+func TestBaselineTraceBreakdowns(t *testing.T) {
+	opt := quickOpt()
+	opt.Trace = true
+	for _, kind := range []BaselineKind{Voltlike, NDBlike, FDBlike} {
+		res, rec, err := RunBaselineTraced(opt, BaselineParams{Kind: kind, Nodes: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if res.TotalCommitted() == 0 {
+			t.Fatalf("%v: nothing committed", kind)
+		}
+		bds := rec.Breakdowns()
+		if len(bds) == 0 {
+			t.Fatalf("%v: no breakdowns", kind)
+		}
+		var e2e, attributed time.Duration
+		for _, b := range bds {
+			e2e += b.E2E
+			attributed += b.Sum()
+		}
+		other := e2e - attributed
+		if other < 0 {
+			other = -other
+		}
+		if float64(other) > 0.01*float64(e2e) {
+			t.Errorf("%v: |other| %v exceeds 1%% of e2e %v", kind, other, e2e)
+		}
+		t.Logf("%v: e2e=%v attributed=%v", kind, e2e, attributed)
+	}
+}

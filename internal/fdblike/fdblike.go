@@ -18,6 +18,7 @@ import (
 	"tell/internal/baseline"
 	"tell/internal/env"
 	"tell/internal/tpcc"
+	"tell/internal/trace"
 )
 
 // Costs parameterize the model.
@@ -87,9 +88,13 @@ type procNode struct {
 	jobs env.Queue
 }
 
+// job carries the submitting transaction's tracing scope so the worker's
+// time is attributed to it (sc/enq mirror the voltlike partition jobs).
 type job struct {
 	fn   func(ctx env.Ctx)
 	done env.Future
+	sc   trace.Scope
+	enq  time.Duration
 }
 
 // New builds the engine: proc workers on the given nodes plus dedicated
@@ -115,13 +120,22 @@ func New(cfg Config, envr env.Full, ds *baseline.Dataset, nodes []env.Node, sequ
 		e.procs = append(e.procs, pn)
 		for w := 0; w < cfg.Workers; w++ {
 			n.Go("fdb-worker", func(ctx env.Ctx) {
+				sc := ctx.Trace()
 				for {
 					v, ok := pn.jobs.Get(ctx)
 					if !ok {
 						return
 					}
 					j := v.(*job)
-					j.fn(ctx)
+					if j.sc.R != nil {
+						saved := *sc
+						*sc = j.sc
+						j.sc.Agg.Add(trace.CompPoolWait, ctx.Now()-j.enq)
+						j.fn(ctx)
+						*sc = saved
+					} else {
+						j.fn(ctx)
+					}
 					j.done.Set(nil)
 				}
 			})
@@ -146,6 +160,10 @@ func (e *Engine) run(ctx env.Ctx, t tpcc.TxType, input any) (bool, error) {
 	var ok bool
 	j := &job{done: e.envr.NewFuture()}
 	j.fn = func(wctx env.Ctx) { ok = e.transact(wctx, t, input) }
+	if sc := ctx.Trace(); sc.R != nil {
+		j.sc = *sc
+		j.enq = ctx.Now()
+	}
 	pn.jobs.Put(j)
 	j.done.Get(ctx)
 	return ok, nil
@@ -158,7 +176,7 @@ func (e *Engine) transact(ctx env.Ctx, t tpcc.TxType, input any) bool {
 	ctx.Work(c.SQLOverhead)
 
 	// 1. Read version from the single sequencer (RTT + sequencer CPU).
-	ctx.Sleep(c.SequencerRTT)
+	baseline.SleepNet(ctx, c.SequencerRTT)
 	e.seqWork(ctx, time.Microsecond)
 	e.mu.Lock()
 	readVersion := e.version
@@ -168,16 +186,18 @@ func (e *Engine) transact(ctx env.Ctx, t tpcc.TxType, input any) bool {
 	// aggressive batching).
 	reads, writes := baseline.AccessSet(e.ds, t, input)
 	for range reads {
-		ctx.Sleep(c.PerRowRead)
+		baseline.SleepRemote(ctx, c.PerRowRead)
 	}
 	for range writes {
-		ctx.Sleep(c.PerRowRead) // writes read the row first
+		baseline.SleepRemote(ctx, c.PerRowRead) // writes read the row first
 	}
 	ctx.Work(time.Duration(len(reads)+len(writes)) * c.StoragePerRow)
 
 	if !baseline.IsWrite(t) {
 		// Read-only transactions read at a snapshot and need no commit.
+		roStart := ctx.Now()
 		e.state.Lock(ctx)
+		baseline.Charge(ctx, trace.CompConflict, ctx.Now()-roStart)
 		res := baseline.Exec(e.ds, t, input)
 		e.state.Unlock()
 		return res.OK
@@ -185,10 +205,12 @@ func (e *Engine) transact(ctx env.Ctx, t tpcc.TxType, input any) bool {
 
 	// 3. Commit through the central resolver: validate the read and
 	// write sets against versions committed after our read version.
-	ctx.Sleep(c.ResolverRTT)
+	baseline.SleepNet(ctx, c.ResolverRTT)
 	e.resolverWork(ctx, time.Duration(len(reads)+len(writes))*c.ResolverPerKey)
 
+	commitStart := ctx.Now()
 	e.state.Lock(ctx)
+	baseline.Charge(ctx, trace.CompConflict, ctx.Now()-commitStart)
 	conflict := false
 	e.mu.Lock()
 	for _, k := range append(append([]string{}, reads...), writes...) {
@@ -224,11 +246,13 @@ func (e *Engine) resolverWork(ctx env.Ctx, d time.Duration) { e.remoteWork(ctx, 
 // service-time component of a centralised service under load.
 func (e *Engine) remoteWork(ctx env.Ctx, node env.Node, d time.Duration) {
 	done := e.envr.NewFuture()
+	t0 := ctx.Now()
 	node.Go("svc", func(sctx env.Ctx) {
 		sctx.Work(d)
 		done.Set(nil)
 	})
 	done.Get(ctx)
+	baseline.Charge(ctx, trace.CompRemote, ctx.Now()-t0)
 }
 
 // --- tpcc.Engine implementation ---

@@ -153,8 +153,9 @@ func (h *Histogram) String() string {
 		float64(h.Percentile(99.9))/float64(time.Millisecond))
 }
 
-// Counter is a monotonically increasing event count with a start time, from
-// which rates are derived.
+// Counter is a monotonically increasing event count. It carries no time
+// component; rates come from pairing its value with an externally measured
+// interval via PerSecond or PerMinute.
 type Counter struct {
 	n uint64
 }

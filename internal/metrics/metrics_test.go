@@ -120,6 +120,36 @@ func TestHistogramPercentileProperty(t *testing.T) {
 	}
 }
 
+// TestHistogramBucketBoundaryAccuracy pins the bucket-resolution bound. At
+// 128 buckets per decade one bucket spans a factor of 10^(1/128) ≈ 1.0181,
+// and Percentile reports the upper boundary of the bucket holding the exact
+// quantile sample, so the reported value must lie in
+// [exact, exact·10^(1/128)] — a relative error of at most ~1.82%. The
+// samples are log-spaced so every decade (and thus every bucket width) is
+// exercised evenly.
+func TestHistogramBucketBoundaryAccuracy(t *testing.T) {
+	h := &Histogram{}
+	const n = 4096
+	samples := make([]float64, n) // ascending by construction
+	for i := 0; i < n; i++ {
+		// Four decades: 10µs .. 100ms.
+		d := time.Duration(1e4 * math.Pow(10, 4*float64(i)/n))
+		h.Record(d)
+		samples[i] = float64(d)
+	}
+	oneBucket := math.Pow(10, 1.0/bucketsPerDec)
+	for _, p := range []float64{10, 25, 50, 75, 90, 95, 99, 99.9} {
+		got := float64(h.Percentile(p))
+		exact := samples[int(math.Ceil(p/100*n))-1]
+		// Tiny slack for float rounding at exact bucket boundaries.
+		if got < exact*0.9999 || got > exact*oneBucket*1.0001 {
+			t.Errorf("p%v = %v vs exact %v: rel err %+.3f%%, one-bucket bound %.3f%%",
+				p, time.Duration(got), time.Duration(exact),
+				100*(got/exact-1), 100*(oneBucket-1))
+		}
+	}
+}
+
 func TestRates(t *testing.T) {
 	if got := PerMinute(600, time.Minute); got != 600 {
 		t.Fatalf("PerMinute = %v", got)

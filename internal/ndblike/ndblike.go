@@ -21,6 +21,7 @@ import (
 	"tell/internal/det"
 	"tell/internal/env"
 	"tell/internal/tpcc"
+	"tell/internal/trace"
 )
 
 // Costs parameterize the model.
@@ -124,13 +125,22 @@ func New(cfg Config, envr env.Full, ds *baseline.Dataset, nodes []env.Node) *Eng
 		e.sqlNodes = append(e.sqlNodes, sn)
 		for w := 0; w < cfg.SQLWorkers; w++ {
 			n.Go("sql-worker", func(ctx env.Ctx) {
+				sc := ctx.Trace()
 				for {
 					v, ok := sn.jobs.Get(ctx)
 					if !ok {
 						return
 					}
 					j := v.(*job)
-					j.fn(ctx)
+					if j.sc.R != nil {
+						saved := *sc
+						*sc = j.sc
+						j.sc.Agg.Add(trace.CompPoolWait, ctx.Now()-j.enq)
+						j.fn(ctx)
+						*sc = saved
+					} else {
+						j.fn(ctx)
+					}
 					j.done.Set(nil)
 				}
 			})
@@ -139,9 +149,13 @@ func New(cfg Config, envr env.Full, ds *baseline.Dataset, nodes []env.Node) *Eng
 	return e
 }
 
+// job carries the submitting transaction's tracing scope so the worker's
+// time is attributed to it (sc/enq mirror the voltlike partition jobs).
 type job struct {
 	fn   func(ctx env.Ctx)
 	done env.Future
+	sc   trace.Scope
+	enq  time.Duration
 }
 
 // LockWaits returns how many lock acquisitions had to wait.
@@ -181,6 +195,10 @@ func (e *Engine) run(ctx env.Ctx, t tpcc.TxType, input any) (bool, error) {
 	var err error
 	j := &job{done: e.envr.NewFuture()}
 	j.fn = func(wctx env.Ctx) { ok, err = e.transact(wctx, t, input) }
+	if sc := ctx.Trace(); sc.R != nil {
+		j.sc = *sc
+		j.enq = ctx.Now()
+	}
 	sn.jobs.Put(j)
 	j.done.Get(ctx)
 	return ok, err
@@ -227,7 +245,7 @@ func (e *Engine) transact(ctx env.Ctx, t tpcc.TxType, input any) (bool, error) {
 		rows := dnRows[dn]
 		batches := (rows + c.RowsPerBatch - 1) / c.RowsPerBatch
 		for b := 0; b < batches; b++ {
-			ctx.Sleep(c.NetRTT)
+			baseline.SleepNet(ctx, c.NetRTT)
 		}
 		ctx.Work(time.Duration(rows) * c.PerRow)
 	}
@@ -239,7 +257,9 @@ func (e *Engine) transact(ctx env.Ctx, t tpcc.TxType, input any) (bool, error) {
 		}
 	}
 	for _, r := range reqs {
+		lockStart := ctx.Now()
 		waited, ok := e.locks.lock(ctx, r.key, r.excl, c.LockWaitTimeout)
+		baseline.Charge(ctx, trace.CompConflict, ctx.Now()-lockStart)
 		if waited {
 			e.mu.Lock()
 			e.lockWaits++
@@ -257,7 +277,9 @@ func (e *Engine) transact(ctx env.Ctx, t tpcc.TxType, input any) (bool, error) {
 
 	// Execute under the locks. The body is pure CPU, made atomic by the
 	// state locker; its cost is charged afterwards.
+	stateStart := ctx.Now()
 	e.state.Lock(ctx)
+	baseline.Charge(ctx, trace.CompConflict, ctx.Now()-stateStart)
 	res := baseline.Exec(e.ds, t, input)
 	e.state.Unlock()
 	nr, nw := res.RowAccessCount()
@@ -272,12 +294,12 @@ func (e *Engine) transact(ctx env.Ctx, t tpcc.TxType, input any) (bool, error) {
 		}
 		for i := 0; i < rounds; i++ {
 			for range participants {
-				ctx.Sleep(c.NetRTT)
+				baseline.SleepNet(ctx, c.NetRTT)
 			}
 		}
 		for range participants {
 			for rf := 1; rf < e.cfg.ReplicationFactor; rf++ {
-				ctx.Sleep(c.ReplicaRTT)
+				baseline.SleepNet(ctx, c.ReplicaRTT)
 			}
 		}
 	}

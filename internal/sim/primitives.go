@@ -10,6 +10,7 @@ type waiter struct {
 	ok       bool
 	done     bool // delivered or timed out; skip on later delivery attempts
 	timedOut bool
+	unit     int // resource unit handed over by a releasing process
 }
 
 // wakeNow schedules w's process to resume at the current virtual time.
@@ -184,6 +185,11 @@ type Resource struct {
 	waiters []*waiter
 	busy    time.Duration // accumulated busy time across all units
 	last    Time          // last accounting instant
+	free    []int         // free unit indices (LIFO; unit 0 preferred)
+
+	// OnUse, when set, observes every completed Use interval: unit was
+	// busy over [start, end). Tracing hooks per-core run tracks here.
+	OnUse func(unit int, start, end Time)
 }
 
 // NewResource returns a resource with n units.
@@ -191,7 +197,11 @@ func NewResource(k *Kernel, n int) *Resource {
 	if n <= 0 {
 		panic("sim: resource must have at least one unit")
 	}
-	return &Resource{k: k, total: n}
+	r := &Resource{k: k, total: n, free: make([]int, n)}
+	for i := range r.free {
+		r.free[i] = n - 1 - i
+	}
+	return r
 }
 
 func (r *Resource) account() {
@@ -200,21 +210,25 @@ func (r *Resource) account() {
 	r.last = now
 }
 
-// Acquire blocks p until a unit is available and takes it.
-func (r *Resource) Acquire(p *Proc) {
+// Acquire blocks p until a unit is available and takes it, returning the
+// unit's index.
+func (r *Resource) Acquire(p *Proc) int {
 	if r.inUse < r.total {
 		r.account()
 		r.inUse++
-		return
+		u := r.free[len(r.free)-1]
+		r.free = r.free[:len(r.free)-1]
+		return u
 	}
 	w := &waiter{p: p}
 	r.waiters = append(r.waiters, w)
 	p.block()
 	// The releasing process transferred its unit to us; inUse unchanged.
+	return w.unit
 }
 
-// Release returns a unit to the pool, handing it to the first waiter if any.
-func (r *Resource) Release() {
+// Release returns unit to the pool, handing it to the first waiter if any.
+func (r *Resource) Release(unit int) {
 	for len(r.waiters) > 0 {
 		w := r.waiters[0]
 		r.waiters = r.waiters[1:]
@@ -222,19 +236,25 @@ func (r *Resource) Release() {
 			continue
 		}
 		w.done = true
+		w.unit = unit
 		r.k.wakeNow(w)
 		return
 	}
 	r.account()
 	r.inUse--
+	r.free = append(r.free, unit)
 }
 
 // Use occupies one unit for d of virtual time: the canonical way to charge
 // CPU work to a simulated machine.
 func (r *Resource) Use(p *Proc, d time.Duration) {
-	r.Acquire(p)
+	u := r.Acquire(p)
+	start := p.Now()
 	p.Sleep(d)
-	r.Release()
+	r.Release(u)
+	if r.OnUse != nil {
+		r.OnUse(u, start, p.Now())
+	}
 }
 
 // Utilization returns the fraction of total capacity that has been busy

@@ -10,6 +10,7 @@ import (
 
 	"tell/internal/det"
 	"tell/internal/env"
+	"tell/internal/trace"
 	"tell/internal/transport"
 	"tell/internal/wire"
 )
@@ -183,16 +184,23 @@ func (c *Client) conn(addr string) (transport.Conn, error) {
 	return conn, nil
 }
 
-// batchReply carries one op's outcome through a future.
+// batchReply carries one op's outcome through a future, along with the
+// timing split the batcher observed (zero when untraced).
 type batchReply struct {
-	res wire.Result
-	err error
+	res   wire.Result
+	err   error
+	qwait time.Duration // time queued before the batch left
+	net   time.Duration // modelled wire time of the carrying batch
 }
 
-// pendingOp is one queued operation inside a batcher.
+// pendingOp is one queued operation inside a batcher. The submitting
+// transaction's span rides along so the batch's network flow is parented
+// on a real transaction (the first op's span wins for the whole batch).
 type pendingOp struct {
-	op  wire.Op
-	fut env.Future
+	op   wire.Op
+	fut  env.Future
+	span trace.SpanID
+	enq  time.Duration
 }
 
 // batcher serializes traffic to one storage node: while one request is in
@@ -250,10 +258,27 @@ func (b *batcher) send(ctx env.Ctx, batch []*pendingOp) {
 	b.c.nOps += uint64(len(batch))
 	b.c.mu.Unlock()
 
+	// Parent this batch's network flow on the first traced op's span, so
+	// the exported trace stitches the transaction to the storage node even
+	// though the round trip runs on the batcher's own activity.
+	sc := ctx.Trace()
+	var sendAt time.Duration
+	if sc.R.Enabled() {
+		sc.Span = 0
+		for _, p := range batch {
+			if p.span != 0 {
+				sc.Span = p.span
+				break
+			}
+		}
+		sendAt = ctx.Now()
+	}
+
 	conn, err := b.c.conn(b.addr)
 	if err == nil {
+		enc := req.Encode()
 		var raw []byte
-		raw, err = conn.RoundTrip(ctx, req.Encode())
+		raw, err = conn.RoundTrip(ctx, enc)
 		if err == nil {
 			var resp *wire.StoreResponse
 			resp, err = wire.DecodeStoreResponse(raw)
@@ -261,8 +286,19 @@ func (b *batcher) send(ctx env.Ctx, batch []*pendingOp) {
 				if len(resp.Results) != len(batch) {
 					err = fmt.Errorf("store: %d results for %d ops", len(resp.Results), len(batch))
 				} else {
+					var net time.Duration
+					if sc.R.Enabled() {
+						if tt, ok := conn.(transport.TransferTimer); ok {
+							net = tt.TransferTime(len(enc)) + tt.TransferTime(len(raw))
+						}
+					}
 					for i, p := range batch {
-						p.fut.Set(batchReply{res: resp.Results[i]})
+						rep := batchReply{res: resp.Results[i]}
+						if sc.R.Enabled() {
+							rep.qwait = sendAt - p.enq
+							rep.net = net
+						}
+						p.fut.Set(rep)
 					}
 					return
 				}
@@ -297,6 +333,10 @@ func (c *Client) execBatch(ctx env.Ctx, ops []wire.Op) ([]wire.Result, error) {
 		}
 		if c.batching {
 			p := &pendingOp{op: ops[i], fut: c.envr.NewFuture()}
+			if sc := ctx.Trace(); sc.R != nil {
+				p.span = sc.Span
+				p.enq = ctx.Now()
+			}
 			futs[i] = p.fut
 			c.batcherFor(part.Master).q.Put(p)
 		} else {
@@ -342,16 +382,46 @@ func (c *Client) execBatch(ctx env.Ctx, ops []wire.Op) ([]wire.Result, error) {
 			}
 		}
 	}
+	sc := ctx.Trace()
+	var waitStart, maxQwait, maxNet time.Duration
+	waiting := false
 	for i, f := range futs {
 		if f == nil {
 			continue
 		}
+		if sc.Agg != nil && !waiting {
+			waiting = true
+			waitStart = ctx.Now()
+		}
 		rep := f.Get(ctx).(batchReply)
+		if rep.qwait > maxQwait {
+			maxQwait = rep.qwait
+		}
+		if rep.net > maxNet {
+			maxNet = rep.net
+		}
 		if rep.err != nil {
 			results[i] = wire.Result{Status: wire.StatusUnavailable}
 		} else {
 			results[i] = rep.res
 		}
+	}
+	if waiting {
+		// Split the blocked time using what the batchers observed: queue
+		// wait before the batch left, modelled wire time of the carrying
+		// batches, and the remainder as remote service. Concurrent batches
+		// overlap, so each bound is the per-batch maximum, clamped to the
+		// actually blocked time.
+		total := ctx.Now() - waitStart
+		if maxQwait > total {
+			maxQwait = total
+		}
+		if maxNet > total-maxQwait {
+			maxNet = total - maxQwait
+		}
+		sc.Agg.Add(trace.CompPoolWait, maxQwait)
+		sc.Agg.Add(trace.CompNetwork, maxNet)
+		sc.Agg.Add(trace.CompRemote, total-maxQwait-maxNet)
 	}
 	return results, nil
 }
@@ -366,7 +436,11 @@ func (c *Client) Exec(ctx env.Ctx, ops []wire.Op) ([]wire.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Retry loop for re-routable failures.
+	// Retry loop for re-routable failures. All time spent retrying —
+	// backoff sleeps, map refreshes, the retried requests themselves — is
+	// charged to the retry component of the transaction's breakdown.
+	sc := ctx.Trace()
+	retrying := false
 	for attempt := 0; attempt < c.Retries; attempt++ {
 		var retryIdx []int
 		for i := range results {
@@ -376,7 +450,11 @@ func (c *Client) Exec(ctx env.Ctx, ops []wire.Op) ([]wire.Result, error) {
 			}
 		}
 		if len(retryIdx) == 0 {
-			return results, nil
+			break
+		}
+		if !retrying && sc.Agg != nil && sc.Agg.Redirect < 0 {
+			retrying = true
+			sc.Agg.Redirect = trace.CompRetry
 		}
 		ctx.Sleep(c.RetryDelay)
 		if err := c.refreshMap(ctx); err != nil {
@@ -394,6 +472,9 @@ func (c *Client) Exec(ctx env.Ctx, ops []wire.Op) ([]wire.Result, error) {
 			subResults[k].Retried = true
 			results[i] = subResults[k]
 		}
+	}
+	if retrying {
+		sc.Agg.Redirect = -1
 	}
 	return results, nil
 }
@@ -535,14 +616,18 @@ func (c *Client) scanOnce(ctx env.Ctx, lo, hi []byte, limit int, reverse bool) (
 			futs[i].Set(scanOut{pairs: resp.Results[0].Pairs})
 		})
 	}
+	sc := ctx.Trace()
+	t0 := ctx.Now()
 	var all []wire.Pair
 	for _, f := range futs {
 		out := f.Get(ctx).(scanOut)
 		if out.err != nil {
+			sc.Agg.Add(trace.CompRemote, ctx.Now()-t0)
 			return nil, out.err
 		}
 		all = append(all, out.pairs...)
 	}
+	sc.Agg.Add(trace.CompRemote, ctx.Now()-t0)
 	if reverse {
 		sort.Slice(all, func(i, j int) bool { return bytes.Compare(all[i].Key, all[j].Key) > 0 })
 	} else {
@@ -622,14 +707,18 @@ func (c *Client) scanFilteredOnce(ctx env.Ctx, lo, hi []byte, spec *ScanSpec, li
 			futs[i].Set(scanOut{pairs: resp.Results[0].Pairs})
 		})
 	}
+	sc := ctx.Trace()
+	t0 := ctx.Now()
 	var all []wire.Pair
 	for _, f := range futs {
 		out := f.Get(ctx).(scanOut)
 		if out.err != nil {
+			sc.Agg.Add(trace.CompRemote, ctx.Now()-t0)
 			return nil, out.err
 		}
 		all = append(all, out.pairs...)
 	}
+	sc.Agg.Add(trace.CompRemote, ctx.Now()-t0)
 	sort.Slice(all, func(i, j int) bool { return bytes.Compare(all[i].Key, all[j].Key) < 0 })
 	if limit > 0 && len(all) > limit {
 		all = all[:limit]

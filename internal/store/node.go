@@ -7,6 +7,7 @@ import (
 
 	"tell/internal/det"
 	"tell/internal/env"
+	"tell/internal/metrics"
 	"tell/internal/transport"
 	"tell/internal/wire"
 )
@@ -57,6 +58,7 @@ type Node struct {
 
 	// stats
 	nGets, nWrites, nScans uint64
+	lat                    *metrics.Summary // handler latency per request class
 }
 
 // NewNode creates a storage node serving addr on the given execution node.
@@ -73,6 +75,7 @@ func NewNode(addr string, envr env.Full, n env.Node, tr transport.Transport, cos
 		pmap:    &PartitionMap{},
 		conns:   make(map[string]transport.Conn),
 		deadRep: make(map[string]bool),
+		lat:     metrics.NewSummary(),
 	}
 	return sn
 }
@@ -130,19 +133,58 @@ func (sn *Node) masterOf(h uint64) (*Partition, bool) {
 	return nil, false
 }
 
-// handle dispatches one incoming message.
+// handle dispatches one incoming message and records the handler latency
+// under the request-class name (served by `tellcli stats`).
 func (sn *Node) handle(ctx env.Ctx, req []byte) []byte {
+	start := ctx.Now()
+	var class string
+	var resp []byte
 	switch wire.PeekKind(req) {
 	case wire.KindStoreReq:
-		return sn.handleStore(ctx, req)
+		class, resp = "store", sn.handleStore(ctx, req)
 	case wire.KindReplicate:
-		return sn.handleReplicate(ctx, req)
+		class, resp = "replicate", sn.handleReplicate(ctx, req)
 	case wire.KindMetaReq:
-		return sn.handleMeta(ctx, req)
+		class, resp = "meta", sn.handleMeta(ctx, req)
 	case wire.KindPing:
-		return []byte{byte(wire.KindPong)}
+		class, resp = "ping", []byte{byte(wire.KindPong)}
+	case wire.KindStatsReq:
+		return sn.handleStats(ctx)
+	default:
+		return (&wire.StoreResponse{Status: wire.StatusError}).Encode()
 	}
-	return (&wire.StoreResponse{Status: wire.StatusError}).Encode()
+	sn.mu.Lock()
+	sn.lat.Record(class, ctx.Now()-start)
+	sn.mu.Unlock()
+	return resp
+}
+
+// handleStats serves a telemetry snapshot: per-class handler-latency digests
+// plus operation counts and any trace-recorder counters.
+func (sn *Node) handleStats(ctx env.Ctx) []byte {
+	snap := &wire.StatsSnapshot{Node: sn.addr, UptimeNs: int64(ctx.Now())}
+	sn.mu.Lock()
+	for _, name := range sn.lat.Names() {
+		h := sn.lat.Get(name)
+		snap.Classes = append(snap.Classes, wire.StatsClass{
+			Name:   name,
+			Count:  h.Count(),
+			MeanNs: int64(h.Mean()),
+			P99Ns:  int64(h.Percentile(99)),
+			MaxNs:  int64(h.Max()),
+		})
+	}
+	snap.Counters = append(snap.Counters,
+		wire.StatsCounter{Name: "ops/gets", Value: int64(sn.nGets)},
+		wire.StatsCounter{Name: "ops/writes", Value: int64(sn.nWrites)},
+		wire.StatsCounter{Name: "ops/scans", Value: int64(sn.nScans)},
+		wire.StatsCounter{Name: "store/keys", Value: int64(sn.mt.len())},
+	)
+	sn.mu.Unlock()
+	for _, c := range env.Tracer(sn.envr).Counters() {
+		snap.Counters = append(snap.Counters, wire.StatsCounter{Name: "trace/" + c.Name, Value: c.Value})
+	}
+	return snap.Encode()
 }
 
 // handleStore executes a client batch: run every op against the memtable,

@@ -629,3 +629,50 @@ func TestUnknownOpCodeReturnsError(t *testing.T) {
 		}
 	})
 }
+
+// TestStatsSnapshot: after some traffic, a KindStatsReq must return a
+// snapshot with per-class latency digests and operation counters that
+// reflect the requests served.
+func TestStatsSnapshot(t *testing.T) {
+	h := newHarness(t, store.ClusterConfig{NumNodes: 1})
+	defer h.close()
+	h.run(t, func(ctx env.Ctx) {
+		if _, err := h.client.Put(ctx, []byte("k"), []byte("v")); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		if _, _, err := h.client.Get(ctx, []byte("k")); err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		conn, _ := h.net.Dial(h.pn, "sn0")
+		raw, err := conn.RoundTrip(ctx, wire.EncodeStatsReq())
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := wire.DecodeStatsSnapshot(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Node != "sn0" || snap.UptimeNs <= 0 {
+			t.Fatalf("snapshot header: %+v", snap)
+		}
+		var storeCount uint64
+		for _, c := range snap.Classes {
+			if c.Name == "store" {
+				storeCount = c.Count
+				if c.MaxNs < c.MeanNs || c.P99Ns < c.MeanNs {
+					t.Fatalf("inconsistent digest: %+v", c)
+				}
+			}
+		}
+		if storeCount < 2 {
+			t.Fatalf("store class count %d, want >= 2 (put+get)", storeCount)
+		}
+		counters := map[string]int64{}
+		for _, c := range snap.Counters {
+			counters[c.Name] = c.Value
+		}
+		if counters["ops/gets"] < 1 || counters["ops/writes"] < 1 || counters["store/keys"] < 1 {
+			t.Fatalf("counters: %v", counters)
+		}
+	})
+}

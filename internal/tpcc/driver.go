@@ -8,6 +8,7 @@ import (
 
 	"tell/internal/env"
 	"tell/internal/metrics"
+	"tell/internal/trace"
 )
 
 // Result is the outcome of one benchmark run.
@@ -142,9 +143,26 @@ func (d *Driver) terminal(ctx env.Ctx, id int) {
 			break
 		}
 		txType, input := gen.Next()
+		sc := ctx.Trace()
+		if sc.R.Enabled() {
+			// Root the transaction's trace: a fresh top-level span on the
+			// terminal node, plus the aggregator every layer below charges
+			// latency components into.
+			sc.Span = sc.R.NewID()
+			sc.Agg = trace.NewTxnAgg()
+		}
 		begin := ctx.Now()
 		committed, err := d.issue(ctx, engine, txType, input)
 		elapsed := ctx.Now() - begin
+		if sc.R.Enabled() {
+			var c int64
+			if committed {
+				c = 1
+			}
+			sc.R.Span(sc.Span, 0, ctx.Node().Name(), txType.String(), begin, int64(id), c)
+			sc.R.RecordTxn(txType.String(), committed, elapsed, sc.Agg)
+			sc.Span, sc.Agg = 0, nil
+		}
 		if err != nil {
 			// Infrastructure failure: stop this terminal; the run can
 			// still complete on the others.

@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WriteChromeTrace renders the event log as Chrome trace_event JSON, the
+// format Perfetto and chrome://tracing load directly. One process per node
+// (pid assigned by sorted node name), with threads for each core, a lane
+// set for overlapping spans (greedy first-fit, so nested spans stack like
+// a flame graph), an instant/message track, and counter tracks. Message
+// sends/receives are joined by flow arrows ("s"/"f" events sharing a flow
+// id), so a transaction can be followed hop by hop across nodes.
+//
+// The output is deterministic: JSON is written field by field (no map
+// iteration), nodes are sorted, and timestamps come from the virtual
+// clock, so same-seed runs produce byte-identical files.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	events := r.Events()
+
+	// pid per node, sorted by name for stable numbering.
+	nodeSet := make(map[string]bool)
+	for _, e := range events {
+		if e.Node != "" {
+			nodeSet[e.Node] = true
+		}
+	}
+	nodes := make([]string, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	pid := make(map[string]int, len(nodes))
+	for i, n := range nodes {
+		pid[n] = i + 1
+	}
+
+	// Greedy lane allocation per node so overlapping spans land on
+	// distinct tids. Spans are processed in start order; a span takes the
+	// first lane whose previous occupant has ended.
+	type spanLane struct{ lanes []time.Duration } // per-lane end time
+	laneOf := make(map[SpanID]int, len(events))
+	byNode := make(map[string]*spanLane)
+	type spanRef struct {
+		idx int
+		at  time.Duration
+		id  SpanID
+	}
+	var spans []spanRef
+	for i, e := range events {
+		if e.Kind == KindSpan {
+			spans = append(spans, spanRef{idx: i, at: e.At, id: e.ID})
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].at != spans[j].at {
+			return spans[i].at < spans[j].at
+		}
+		return spans[i].id < spans[j].id
+	})
+	for _, s := range spans {
+		e := events[s.idx]
+		sl := byNode[e.Node]
+		if sl == nil {
+			sl = &spanLane{}
+			byNode[e.Node] = sl
+		}
+		lane := -1
+		for li, end := range sl.lanes {
+			if end <= e.At {
+				lane = li
+				break
+			}
+		}
+		if lane < 0 {
+			lane = len(sl.lanes)
+			sl.lanes = append(sl.lanes, 0)
+		}
+		sl.lanes[lane] = e.At + e.Dur
+		laneOf[e.ID] = lane
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, "[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(line)
+	}
+
+	// Tid layout within a node's process:
+	//   1..N      core busy tracks
+	//   msgTid    message sends/receives + flow endpoints
+	//   instTid   instant markers
+	//   laneTid+k span lanes
+	const (
+		msgTid  = 98
+		instTid = 99
+		laneTid = 100
+	)
+
+	// Process and thread name metadata, in sorted-node order.
+	for _, n := range nodes {
+		p := pid[n]
+		emit(fmt.Sprintf(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":%s}}`, p, quote(n)))
+		emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"msgs"}}`, p, msgTid))
+		emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"events"}}`, p, instTid))
+	}
+
+	for _, e := range events {
+		p := pid[e.Node]
+		switch e.Kind {
+		case KindSpan:
+			tid := laneTid + laneOf[e.ID]
+			emit(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":%s,"args":{"id":%d,"parent":%d,"a1":%d,"a2":%d}}`,
+				p, tid, usec(e.At), usec(e.Dur), quote(e.Name), e.ID, e.Parent, e.Arg1, e.Arg2))
+		case KindInstant:
+			emit(fmt.Sprintf(`{"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"name":%s,"args":{"parent":%d,"a1":%d,"a2":%d}}`,
+				p, instTid, usec(e.At), quote(e.Name), e.Parent, e.Arg1, e.Arg2))
+		case KindMsgSend:
+			// A zero-width slice to anchor the outgoing flow arrow.
+			emit(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":1,"name":%s,"args":{"flow":%d,"bytes":%d,"parent":%d}}`,
+				p, msgTid, usec(e.At), quote("send:"+e.Name), e.ID, e.Arg1, e.Parent))
+			emit(fmt.Sprintf(`{"ph":"s","pid":%d,"tid":%d,"ts":%s,"id":%d,"name":"msg","cat":"net"}`,
+				p, msgTid, usec(e.At), e.ID))
+		case KindMsgRecv:
+			emit(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":1,"name":"recv","args":{"flow":%d,"bytes":%d}}`,
+				p, msgTid, usec(e.At), e.ID, e.Arg1))
+			emit(fmt.Sprintf(`{"ph":"f","bp":"e","pid":%d,"tid":%d,"ts":%s,"id":%d,"name":"msg","cat":"net"}`,
+				p, msgTid, usec(e.At), e.ID))
+		case KindCoreRun:
+			emit(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":"run"}`,
+				p, int(e.Arg1)+1, usec(e.At), usec(e.Dur)))
+		case KindCounter:
+			emit(fmt.Sprintf(`{"ph":"C","pid":%d,"ts":%s,"name":%s,"args":{"v":%d}}`,
+				p, usec(e.At), quote(e.Name), e.Arg1))
+		}
+	}
+	if _, err := io.WriteString(bw, "\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// usec renders a duration as trace_event microseconds with nanosecond
+// precision ("12.345").
+func usec(d time.Duration) string {
+	ns := d.Nanoseconds()
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)
+}
+
+// quote JSON-escapes a name string. Names are node names and short
+// literals, so only the basic escapes matter.
+func quote(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(&b, `\u%04x`, r)
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

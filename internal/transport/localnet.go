@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"tell/internal/env"
+	"tell/internal/trace"
 )
 
 // LocalNet delivers messages in-process on real goroutines. It is the
@@ -63,11 +64,12 @@ func (n *LocalNet) Listen(addr string, node env.Node, h Handler) error {
 
 // Dial opens a connection from node to addr.
 func (n *LocalNet) Dial(node env.Node, addr string) (Conn, error) {
-	return &localConn{net: n, dst: addr}, nil
+	return &localConn{net: n, src: node, dst: addr}, nil
 }
 
 type localConn struct {
 	net    *LocalNet
+	src    env.Node
 	dst    string
 	closed bool
 }
@@ -95,15 +97,47 @@ func (c *localConn) RoundTrip(ctx env.Ctx, req []byte) ([]byte, error) {
 	if !ok || isDown {
 		return nil, ErrUnreachable
 	}
+	sc := ctx.Trace()
+	var srcName string
+	var t0 time.Duration
+	if sc.R.Enabled() {
+		srcName = nodeName(c.src)
+		t0 = ctx.Now()
+	}
 	if n.latency > 0 {
 		ctx.Sleep(n.latency)
 	}
+	flow := sc.R.MsgSend(sc.Span, srcName, c.dst, int64(len(req)))
 	// The handler runs inline on the caller's goroutine but against the
 	// serving node's context, so Node() reports correctly. Under the real
 	// environment Work is free, so no accounting is lost.
-	resp := ep.h(detachedCtx{ctx: ctx, node: ep.node}, req)
+	hctx := &detachedCtx{ctx: ctx, node: ep.node}
+	var hstart time.Duration
+	if sc.R.Enabled() {
+		sc.R.MsgRecv(flow, c.dst, int64(len(req)))
+		hstart = ctx.Now()
+		hctx.sc = trace.Scope{R: sc.R, Span: sc.R.NewID()}
+	}
+	resp := ep.h(hctx, req)
+	if sc.R.Enabled() {
+		sc.R.Span(hctx.sc.Span, flow, c.dst, "handler", hstart,
+			int64(len(req)), int64(len(resp)))
+		rflow := sc.R.MsgSend(hctx.sc.Span, c.dst, srcName, int64(len(resp)))
+		defer sc.R.MsgRecv(rflow, srcName, int64(len(resp)))
+	}
 	if n.latency > 0 {
 		ctx.Sleep(n.latency)
+	}
+	if sc.Agg != nil {
+		// Wire time is the injected latency (both legs); everything else
+		// in the round trip is remote service.
+		total := ctx.Now() - t0
+		net := 2 * n.latency
+		if net > total {
+			net = total
+		}
+		sc.Agg.Add(trace.CompNetwork, net)
+		sc.Agg.Add(trace.CompRemote, total-net)
 	}
 	n.statsMu.Lock()
 	n.stats.BytesRecv += uint64(len(resp))
@@ -111,16 +145,26 @@ func (c *localConn) RoundTrip(ctx env.Ctx, req []byte) ([]byte, error) {
 	return resp, nil
 }
 
+// nodeName tolerates the nil source node of pre-instrumentation dials.
+func nodeName(n env.Node) string {
+	if n == nil {
+		return "?"
+	}
+	return n.Name()
+}
+
 // detachedCtx runs a handler on the caller's goroutine while reporting the
 // serving node as its home.
 type detachedCtx struct {
 	ctx  env.Ctx
 	node env.Node
+	sc   trace.Scope
 }
 
-func (d detachedCtx) Node() env.Node               { return d.node }
-func (d detachedCtx) Now() time.Duration           { return d.ctx.Now() }
-func (d detachedCtx) Sleep(dur time.Duration)      { d.ctx.Sleep(dur) }
-func (d detachedCtx) Work(time.Duration)           {}
-func (d detachedCtx) Go(n string, f func(env.Ctx)) { d.node.Go(n, f) }
-func (d detachedCtx) Rand() *rand.Rand             { return d.ctx.Rand() }
+func (d *detachedCtx) Node() env.Node               { return d.node }
+func (d *detachedCtx) Now() time.Duration           { return d.ctx.Now() }
+func (d *detachedCtx) Sleep(dur time.Duration)      { d.ctx.Sleep(dur) }
+func (d *detachedCtx) Work(time.Duration)           {}
+func (d *detachedCtx) Trace() *trace.Scope          { return &d.sc }
+func (d *detachedCtx) Go(n string, f func(env.Ctx)) { d.node.Go(n, f) }
+func (d *detachedCtx) Rand() *rand.Rand             { return d.ctx.Rand() }

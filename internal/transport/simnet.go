@@ -6,6 +6,7 @@ import (
 
 	"tell/internal/env"
 	"tell/internal/sim"
+	"tell/internal/trace"
 )
 
 // Fault is what a fault injector does to one message leg (request or
@@ -129,6 +130,16 @@ func (c *simConn) reachable() bool {
 	return ok
 }
 
+// TransferTime reports the modelled wire time for a payload of b bytes on
+// this connection's link (the transport.TransferTimer interface).
+func (c *simConn) TransferTime(b int) time.Duration { return c.net.class.TransferTime(b) }
+
+// simReply carries a response and its trace flow id back to the client.
+type simReply struct {
+	data []byte
+	flow trace.SpanID
+}
+
 // RoundTrip sends req to the destination endpoint and blocks the calling
 // activity until the response has travelled back.
 func (c *simConn) RoundTrip(ctx env.Ctx, req []byte) ([]byte, error) {
@@ -139,11 +150,19 @@ func (c *simConn) RoundTrip(ctx env.Ctx, req []byte) ([]byte, error) {
 	n.stats.Requests++
 	n.stats.BytesSent += uint64(len(req))
 
+	sc := ctx.Trace()
+	var t0 time.Duration
+	if sc.Agg != nil {
+		t0 = ctx.Now()
+	}
+
 	if !c.reachable() {
 		ctx.Sleep(n.timeout)
+		sc.Agg.Add(trace.CompNetwork, n.timeout)
 		return nil, ErrTimeout
 	}
 
+	flow := sc.R.MsgSend(sc.Span, c.src.Name(), c.dst, int64(len(req)))
 	fut := sim.NewFuture(n.k)
 	// Request travels to the server.
 	deliver := func(extra time.Duration) {
@@ -154,6 +173,15 @@ func (c *simConn) RoundTrip(ctx env.Ctx, req []byte) ([]byte, error) {
 			}
 			// The handler runs as an activity on the serving node.
 			ep.node.Go("handler", func(hctx env.Ctx) {
+				hsc := hctx.Trace()
+				var hstart time.Duration
+				var hspan trace.SpanID
+				if hsc.R.Enabled() {
+					hsc.R.MsgRecv(flow, c.dst, int64(len(req)))
+					hstart = hctx.Now()
+					hspan = hsc.R.NewID()
+					hsc.Span = hspan // handlers parent their spans here
+				}
 				resp := ep.h(hctx, req)
 				if n.down[c.dst] || n.down[c.src.Name()] {
 					return // server or client died meanwhile
@@ -162,6 +190,12 @@ func (c *simConn) RoundTrip(ctx env.Ctx, req []byte) ([]byte, error) {
 				if rf.Drop {
 					n.stats.Dropped++
 					return // lost response; client times out
+				}
+				var rflow trace.SpanID
+				if hsc.R.Enabled() {
+					hsc.R.Span(hspan, flow, c.dst, "handler", hstart,
+						int64(len(req)), int64(len(resp)))
+					rflow = hsc.R.MsgSend(hspan, c.dst, c.src.Name(), int64(len(resp)))
 				}
 				// Response travels back to the client. With duplicated
 				// responses the first arrival wins; later copies are
@@ -172,7 +206,7 @@ func (c *simConn) RoundTrip(ctx env.Ctx, req []byte) ([]byte, error) {
 							return
 						}
 						n.stats.BytesRecv += uint64(len(resp))
-						fut.Set(resp)
+						fut.Set(simReply{data: resp, flow: rflow})
 					})
 				}
 				respond()
@@ -187,6 +221,7 @@ func (c *simConn) RoundTrip(ctx env.Ctx, req []byte) ([]byte, error) {
 	if qf.Drop {
 		n.stats.Dropped++
 		ctx.Sleep(n.timeout)
+		sc.Agg.Add(trace.CompNetwork, n.timeout)
 		return nil, ErrTimeout
 	}
 	deliver(qf.Delay)
@@ -197,9 +232,23 @@ func (c *simConn) RoundTrip(ctx env.Ctx, req []byte) ([]byte, error) {
 
 	v, ok := fut.GetTimeout(simProc(ctx), n.timeout)
 	if !ok {
+		sc.Agg.Add(trace.CompNetwork, ctx.Now()-t0)
 		return nil, ErrTimeout
 	}
-	return v.([]byte), nil
+	rep := v.(simReply)
+	sc.R.MsgRecv(rep.flow, c.src.Name(), int64(len(rep.data)))
+	if sc.Agg != nil {
+		// Split the round trip into wire time and remote service (handler
+		// execution + remote queueing), clamped to the measured total.
+		total := ctx.Now() - t0
+		net := n.class.TransferTime(len(req)) + n.class.TransferTime(len(rep.data))
+		if net > total {
+			net = total
+		}
+		sc.Agg.Add(trace.CompNetwork, net)
+		sc.Agg.Add(trace.CompRemote, total-net)
+	}
+	return rep.data, nil
 }
 
 // simProc extracts the simulation process behind ctx; SimNet only works

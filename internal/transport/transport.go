@@ -29,6 +29,13 @@ type Conn interface {
 	Close() error
 }
 
+// TransferTimer is implemented by connections whose link models wire time
+// as a function of payload size (the simulated network). Tracing uses it
+// to split a round trip into network and remote-service components.
+type TransferTimer interface {
+	TransferTime(bytes int) time.Duration
+}
+
 // Transport connects named endpoints.
 type Transport interface {
 	// Listen registers a handler serving addr on the given node.

@@ -16,6 +16,7 @@ import (
 	"tell/internal/baseline"
 	"tell/internal/env"
 	"tell/internal/tpcc"
+	"tell/internal/trace"
 )
 
 // Costs model the per-transaction CPU and coordination parameters.
@@ -90,10 +91,14 @@ type partition struct {
 	jobs env.Queue
 }
 
-// partitionJob is one unit of serial work.
+// partitionJob is one unit of serial work. sc/enq carry the submitting
+// transaction's tracing scope so the executor's work is attributed to it
+// and its queue wait is measured.
 type partitionJob struct {
 	fn   func(ctx env.Ctx)
 	done env.Future
+	sc   trace.Scope
+	enq  time.Duration
 }
 
 // New builds the engine: partitions spread over nodes (6 per node, as the
@@ -130,13 +135,22 @@ func (e *Engine) partitionOf(w int) *partition {
 }
 
 func (p *partition) run(ctx env.Ctx) {
+	sc := ctx.Trace()
 	for {
 		v, ok := p.jobs.Get(ctx)
 		if !ok {
 			return
 		}
 		j := v.(*partitionJob)
-		j.fn(ctx)
+		if j.sc.R != nil {
+			saved := *sc
+			*sc = j.sc
+			j.sc.Agg.Add(trace.CompPoolWait, ctx.Now()-j.enq)
+			j.fn(ctx)
+			*sc = saved
+		} else {
+			j.fn(ctx)
+		}
 		j.done.Set(nil)
 	}
 }
@@ -144,6 +158,10 @@ func (p *partition) run(ctx env.Ctx) {
 // submit runs fn serially on the partition and waits.
 func (p *partition) submit(ctx env.Ctx, fn func(ctx env.Ctx)) {
 	j := &partitionJob{fn: fn, done: p.eng.envr.NewFuture()}
+	if sc := ctx.Trace(); sc.R != nil {
+		j.sc = *sc
+		j.enq = ctx.Now()
+	}
 	p.jobs.Put(j)
 	j.done.Get(ctx)
 }
@@ -160,7 +178,7 @@ func (e *Engine) exec(ctx env.Ctx, warehouses []int, writes bool, fn func(ctx en
 		e.mu.Unlock()
 		p := parts[0]
 		// Client → partition network hop.
-		ctx.Sleep(c.NetLatency)
+		baseline.SleepNet(ctx, c.NetLatency)
 		var ok bool
 		p.submit(ctx, func(pctx env.Ctx) {
 			pctx.Work(c.ProcOverhead)
@@ -169,7 +187,7 @@ func (e *Engine) exec(ctx env.Ctx, warehouses []int, writes bool, fn func(ctx en
 				e.replicate(pctx)
 			}
 		})
-		ctx.Sleep(c.NetLatency)
+		baseline.SleepNet(ctx, c.NetLatency)
 		return ok, nil
 	}
 
@@ -180,7 +198,9 @@ func (e *Engine) exec(ctx env.Ctx, warehouses []int, writes bool, fn func(ctx en
 	e.mu.Lock()
 	e.multiTx++
 	e.mu.Unlock()
+	lockStart := ctx.Now()
 	e.multi.Lock(ctx)
+	baseline.Charge(ctx, trace.CompConflict, ctx.Now()-lockStart)
 	defer e.multi.Unlock()
 
 	all := e.parts
@@ -201,13 +221,15 @@ func (e *Engine) exec(ctx env.Ctx, warehouses []int, writes bool, fn func(ctx en
 	}
 	// Coordinator: one network round per partition to acquire.
 	for range all {
-		ctx.Sleep(c.NetLatency)
+		baseline.SleepNet(ctx, c.NetLatency)
 	}
+	stallStart := ctx.Now()
 	for _, a := range arrived {
 		a.Get(ctx)
 	}
+	baseline.Charge(ctx, trace.CompRemote, ctx.Now()-stallStart)
 	// All partitions stalled: safe to touch their state directly.
-	ctx.Sleep(c.MultiPartitionOverhead)
+	baseline.SleepRemote(ctx, c.MultiPartitionOverhead)
 	ctx.Work(c.ProcOverhead * time.Duration(len(parts)))
 	ok := fn(ctx)
 	if ok && writes {
@@ -215,7 +237,7 @@ func (e *Engine) exec(ctx env.Ctx, warehouses []int, writes bool, fn func(ctx en
 	}
 	// Release (one hop per partition).
 	for range all {
-		ctx.Sleep(c.NetLatency)
+		baseline.SleepNet(ctx, c.NetLatency)
 	}
 	release.Set(nil)
 	return ok, nil
@@ -224,7 +246,7 @@ func (e *Engine) exec(ctx env.Ctx, warehouses []int, writes bool, fn func(ctx en
 // replicate charges the synchronous K-safety replication round trips.
 func (e *Engine) replicate(ctx env.Ctx) {
 	for r := 1; r < e.cfg.ReplicationFactor; r++ {
-		ctx.Sleep(e.cfg.Costs.ReplicationRTT)
+		baseline.SleepNet(ctx, e.cfg.Costs.ReplicationRTT)
 	}
 }
 

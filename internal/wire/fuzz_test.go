@@ -33,6 +33,10 @@ func FuzzRoundTrip(f *testing.F) {
 		{Key: []byte("d"), Deleted: true, Stamp: 7},
 	}}).Encode())
 	f.Add((&ReplicateResponse{Status: StatusOK}).Encode())
+	f.Add((&StatsSnapshot{Node: "sn0", UptimeNs: 12345,
+		Classes:  []StatsClass{{Name: "store", Count: 9, MeanNs: 1200, P99Ns: 5000, MaxNs: 9000}},
+		Counters: []StatsCounter{{Name: "sn0/gets", Value: 42}, {Name: "sn0/writes", Value: -1}},
+	}).Encode())
 	// A few corrupt variants: truncated, kind-swapped, bit-flipped.
 	f.Add([]byte{byte(KindStoreReq)})
 	f.Add([]byte{byte(KindStoreResp), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
@@ -77,6 +81,16 @@ func FuzzRoundTrip(f *testing.F) {
 			}
 			if e2 := m2.Encode(); !bytes.Equal(e1, e2) {
 				t.Fatalf("ReplicateResponse fixpoint: % x != % x", e1, e2)
+			}
+		}
+		if m, err := DecodeStatsSnapshot(data); err == nil {
+			e1 := m.Encode()
+			m2, err := DecodeStatsSnapshot(e1)
+			if err != nil {
+				t.Fatalf("re-decode StatsSnapshot: %v", err)
+			}
+			if e2 := m2.Encode(); !bytes.Equal(e1, e2) {
+				t.Fatalf("StatsSnapshot fixpoint: % x != % x", e1, e2)
 			}
 		}
 	})

@@ -18,6 +18,8 @@ const (
 	KindMetaResp
 	KindPing
 	KindPong
+	KindStatsReq
+	KindStatsResp
 )
 
 // PeekKind returns the kind byte of an encoded message.

@@ -1,0 +1,89 @@
+package wire
+
+import "fmt"
+
+// This file defines the stats protocol: a one-byte request any daemon role
+// answers with a snapshot of its handler-latency summary and telemetry
+// counters. tellcli's `stats` subcommand is the consumer.
+
+// StatsClass is the digest of one latency class (a named histogram) in a
+// stats snapshot. Durations travel as nanoseconds.
+type StatsClass struct {
+	Name   string
+	Count  uint64
+	MeanNs int64
+	P99Ns  int64
+	MaxNs  int64
+}
+
+// StatsCounter is one named running total.
+type StatsCounter struct {
+	Name  string
+	Value int64
+}
+
+// StatsSnapshot is a daemon's point-in-time telemetry: latency classes from
+// its metrics.Summary plus trace-recorder counters. UptimeNs is the env
+// clock at snapshot time.
+type StatsSnapshot struct {
+	Node     string
+	UptimeNs int64
+	Classes  []StatsClass
+	Counters []StatsCounter
+}
+
+// EncodeStatsReq builds the (payload-free) stats request.
+func EncodeStatsReq() []byte { return []byte{byte(KindStatsReq)} }
+
+// Encode serializes the snapshot.
+func (m *StatsSnapshot) Encode() []byte {
+	w := NewWriter(64 + 32*(len(m.Classes)+len(m.Counters)))
+	w.Byte(byte(KindStatsResp))
+	w.String(m.Node)
+	w.Varint(m.UptimeNs)
+	w.Uvarint(uint64(len(m.Classes)))
+	for i := range m.Classes {
+		c := &m.Classes[i]
+		w.String(c.Name)
+		w.Uvarint(c.Count)
+		w.Varint(c.MeanNs)
+		w.Varint(c.P99Ns)
+		w.Varint(c.MaxNs)
+	}
+	w.Uvarint(uint64(len(m.Counters)))
+	for i := range m.Counters {
+		w.String(m.Counters[i].Name)
+		w.Varint(m.Counters[i].Value)
+	}
+	return w.Bytes()
+}
+
+// DecodeStatsSnapshot parses an encoded StatsSnapshot.
+func DecodeStatsSnapshot(b []byte) (*StatsSnapshot, error) {
+	r := NewReader(b)
+	if k := Kind(r.Byte()); k != KindStatsResp {
+		return nil, fmt.Errorf("wire: kind %d is not a stats response", k)
+	}
+	m := &StatsSnapshot{Node: r.String(), UptimeNs: r.Varint()}
+	n := r.Count(5)
+	if n > 0 {
+		m.Classes = make([]StatsClass, n)
+	}
+	for i := range m.Classes {
+		c := &m.Classes[i]
+		c.Name = r.String()
+		c.Count = r.Uvarint()
+		c.MeanNs = r.Varint()
+		c.P99Ns = r.Varint()
+		c.MaxNs = r.Varint()
+	}
+	nc := r.Count(2)
+	if nc > 0 {
+		m.Counters = make([]StatsCounter, nc)
+	}
+	for i := range m.Counters {
+		m.Counters[i].Name = r.String()
+		m.Counters[i].Value = r.Varint()
+	}
+	return m, r.Close()
+}

@@ -257,6 +257,7 @@ func TestDecodeGarbageNeverPanics(t *testing.T) {
 		DecodeStoreResponse(b)
 		DecodeReplicateRequest(b)
 		DecodeReplicateResponse(b)
+		DecodeStatsSnapshot(b)
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
