@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test test-race fuzz-short vet lint golden-trace ci
+.PHONY: test test-race fuzz-short vet lint bench-smoke golden-trace ci
 
 test:
 	$(GO) test ./...
@@ -21,6 +21,12 @@ vet:
 lint:
 	$(GO) run ./cmd/tellvet ./...
 
+# Allocation guards for the pooled wire hot path: the AllocsPerRun tests
+# pin encode/decode at zero steady-state allocations, and every benchmark
+# runs for one iteration so a broken hot path fails fast in CI.
+bench-smoke:
+	$(GO) test ./internal/wire -run 'ZeroAlloc|PutBufRejects' -bench . -benchtime 1x
+
 # Golden-trace determinism: the same seed must produce byte-identical
 # trace files across two independent small TPC-C runs.
 golden-trace:
@@ -38,4 +44,5 @@ ci:
 	$(GO) vet ./...
 	$(MAKE) lint
 	$(GO) test ./internal/wire -run=FuzzRoundTrip
+	$(MAKE) bench-smoke
 	$(MAKE) golden-trace

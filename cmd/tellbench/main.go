@@ -92,6 +92,10 @@ func runTraced(opt exp.Options, file string, breakdown bool) error {
 	if err != nil {
 		return err
 	}
+	// Per-transaction message budget of the run (the commit-path coalescing
+	// work targets CM msgs/txn < 2; see ablation-coalesce).
+	fmt.Printf("network per committed txn: %.2f CM msgs, %.1f msgs, %.1f KB (abort rate %.2f%%)\n",
+		run.CMMsgsPerTxn, run.MsgsPerTxn, run.BytesPerTxn/1024, 100*run.AbortRate)
 	if file != "" {
 		f, err := os.Create(file)
 		if err != nil {

@@ -8,6 +8,7 @@ import (
 
 	"tell/internal/env"
 	"tell/internal/mvcc"
+	"tell/internal/trace"
 	"tell/internal/transport"
 	"tell/internal/wire"
 )
@@ -15,33 +16,118 @@ import (
 // ErrUnavailable means no commit manager could be reached.
 var ErrUnavailable = errors.New("commitmgr: no commit manager available")
 
+// ErrClosed means the client was closed.
+var ErrClosed = errors.New("commitmgr: client closed")
+
 // Client is the PN-side interface to the commit-manager fleet. If the
 // current manager becomes unreachable, the client switches to the next one
 // (§4.4.3: "if a commit manager becomes unavailable, PNs automatically
 // switch to the next one").
+//
+// By default the client coalesces the commit path: all Start and
+// Committed/Aborted calls funnel through one sender activity that packs
+// whatever is pending — up to MaxGroup starts plus the buffered finish
+// notifications — into a single grouped round trip sharing one descriptor
+// fetch, delta-encoded against the last descriptor acknowledged. While one
+// request is in flight the next group accumulates, so under load the
+// protocol self-paces toward large groups and steady-state CM messages per
+// transaction drop well below the 2 (one start, one finished) of the split
+// protocol. Every call still blocks until its operation is acknowledged, so
+// ordering guarantees are unchanged: when Committed returns, a subsequent
+// Start anywhere sees the commit (modulo multi-manager sync lag, as
+// before). Set Coalesce=false for the original one-RPC-per-call protocol.
 type Client struct {
 	envr env.Full
 	node env.Node
 	tr   transport.Transport
 
-	// Retries per manager before moving on.
+	// Retries per request before giving up (after rotating through the
+	// whole fleet each attempt).
 	Retries int
+	// Coalesce enables the grouped protocol (see type comment).
+	Coalesce bool
+	// DeltaSnapshots lets the manager send descriptor deltas instead of
+	// full bitsets. Only meaningful with Coalesce.
+	DeltaSnapshots bool
+	// MaxGroup caps how many concurrent Start calls share one request.
+	MaxGroup int
+	// FinFlush is how long a group holding only finish notifications waits
+	// for a Start to piggyback on before going out alone. Zero sends
+	// fin-only groups immediately (lowest commit latency, one more
+	// message); at the default each finish can wait a few network round
+	// trips for company.
+	FinFlush time.Duration
 
-	mu    sync.Mutex
-	addrs []string
-	cur   int
-	conns map[string]transport.Conn
+	mu     sync.Mutex
+	addrs  []string
+	cur    int
+	conns  map[string]transport.Conn
+	closed bool
+	// Coalescer state. Only the sender activity performs grouped RPCs and
+	// touches the delta-descriptor cache; the mutex covers what crosses
+	// activities (connection map, stats counters, closed flag).
+	startQ   env.Queue
+	senderOn bool
+	lastSrv  string
+	lastSeq  uint64
+	lastSnap *mvcc.Snapshot
+	nMsgs    uint64
+	nStarts  uint64
+	nFins    uint64
 }
 
-// NewClient creates a client that talks to the managers at addrs.
+// NewClient creates a client that talks to the managers at addrs. The
+// coalesced protocol is on by default.
 func NewClient(envr env.Full, node env.Node, tr transport.Transport, addrs []string) *Client {
 	return &Client{
-		envr:    envr,
-		node:    node,
-		tr:      tr,
-		Retries: 2,
-		addrs:   append([]string(nil), addrs...),
-		conns:   make(map[string]transport.Conn),
+		envr:           envr,
+		node:           node,
+		tr:             tr,
+		Retries:        2,
+		Coalesce:       true,
+		DeltaSnapshots: true,
+		MaxGroup:       16,
+		FinFlush:       100 * time.Microsecond,
+		addrs:          append([]string(nil), addrs...),
+		conns:          make(map[string]transport.Conn),
+	}
+}
+
+// Msgs returns how many CM round trips this client has issued.
+func (c *Client) Msgs() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nMsgs
+}
+
+// Started returns how many transaction starts this client has served.
+func (c *Client) Started() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nStarts
+}
+
+// FinsSent returns how many finish notifications were acknowledged.
+func (c *Client) FinsSent() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nFins
+}
+
+// Close shuts the coalescer down. Operations already queued are still
+// served (the sender drains the queue before exiting); new calls fail with
+// ErrClosed.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	q := c.startQ
+	c.mu.Unlock()
+	if q != nil {
+		q.Close()
 	}
 }
 
@@ -60,12 +146,15 @@ func (c *Client) conn(addr string) (transport.Conn, error) {
 }
 
 // roundTrip tries the current manager, rotating through the fleet on
-// failure.
-func (c *Client) roundTrip(ctx env.Ctx, req []byte) ([]byte, error) {
+// failure. It returns the connection that served the request so callers can
+// model its wire time.
+func (c *Client) roundTrip(ctx env.Ctx, req []byte) ([]byte, transport.Conn, error) {
 	c.mu.Lock()
 	n := len(c.addrs)
 	start := c.cur
+	c.nMsgs++
 	c.mu.Unlock()
+	ctx.Trace().R.CounterAdd(nodeLabel(c.node), "cm/msgs", 1)
 	for i := 0; i < n; i++ {
 		addr := c.addrs[(start+i)%n]
 		conn, err := c.conn(addr)
@@ -81,9 +170,16 @@ func (c *Client) roundTrip(ctx env.Ctx, req []byte) ([]byte, error) {
 			c.cur = (start + i) % n
 			c.mu.Unlock()
 		}
-		return resp, nil
+		return resp, conn, nil
 	}
-	return nil, ErrUnavailable
+	return nil, nil, ErrUnavailable
+}
+
+func nodeLabel(n env.Node) string {
+	if n == nil {
+		return "?"
+	}
+	return n.Name()
 }
 
 // StartResult is everything a transaction receives at begin (§4.2).
@@ -93,16 +189,356 @@ type StartResult struct {
 	Lav  uint64
 }
 
+// startWaiter is one coalesced Start call parked on the sender queue; its
+// future resolves to a startOutcome. span/enq mirror the store batcher's
+// pendingOp: the submitting transaction's span parents the group's network
+// flow, and enq feeds the blocked-time attribution.
+type startWaiter struct {
+	fut  env.Future
+	span trace.SpanID
+	enq  time.Duration
+}
+
+// finWaiter is one coalesced Committed/Aborted call; its future resolves to
+// a finOutcome.
+type finWaiter struct {
+	note FinNote
+	fut  env.Future
+	span trace.SpanID
+	enq  time.Duration
+}
+
+// rpcTiming is the timing split the sender observed for one grouped round
+// trip (zero when untraced): queue wait before the request left, and the
+// modelled wire time; the waiter books the rest of its blocked time as
+// remote service.
+type rpcTiming struct {
+	qwait time.Duration
+	net   time.Duration
+}
+
+// startOutcome is what a startWaiter's future resolves to.
+type startOutcome struct {
+	res StartResult
+	err error
+	t   rpcTiming
+}
+
+// finOutcome is what a finWaiter's future resolves to.
+type finOutcome struct {
+	err error
+	t   rpcTiming
+}
+
 // Start begins a new transaction.
 func (c *Client) Start(ctx env.Ctx) (StartResult, error) {
+	if !c.Coalesce {
+		return c.startSolo(ctx)
+	}
+	w := &startWaiter{fut: c.envr.NewFuture(), span: ctx.Trace().Span, enq: ctx.Now()}
+	if err := c.enqueue(w); err != nil {
+		return StartResult{}, err
+	}
+	sc := ctx.Trace()
+	var waitStart time.Duration
+	if sc.Agg != nil {
+		waitStart = ctx.Now()
+	}
+	out := w.fut.Get(ctx).(startOutcome)
+	if sc.Agg != nil {
+		attributeWait(sc, ctx.Now()-waitStart, out.t)
+	}
+	return out.res, out.err
+}
+
+// attributeWait splits time blocked on the coalescer into the components
+// the sender observed: queue wait before the group left, modelled wire
+// time, and the remainder as remote service (same split as the store
+// batcher's waiter side).
+func attributeWait(sc *trace.Scope, total time.Duration, t rpcTiming) {
+	q, net := t.qwait, t.net
+	if q > total {
+		q = total
+	}
+	if net > total-q {
+		net = total - q
+	}
+	sc.Agg.Add(trace.CompPoolWait, q)
+	sc.Agg.Add(trace.CompNetwork, net)
+	sc.Agg.Add(trace.CompRemote, total-q-net)
+}
+
+// Committed reports a successful commit (setCommitted, §4.2). Under the
+// coalesced protocol the notification piggybacks on the next grouped
+// request; the call still blocks until the manager acknowledges it.
+func (c *Client) Committed(ctx env.Ctx, tid uint64) error {
+	if !c.Coalesce {
+		return c.finished(ctx, tid, true)
+	}
+	return c.finGrouped(ctx, tid, true)
+}
+
+// Aborted reports an abort after rollback (setAborted, §4.2). See Committed
+// for coalesced-delivery semantics.
+func (c *Client) Aborted(ctx env.Ctx, tid uint64) error {
+	if !c.Coalesce {
+		return c.finished(ctx, tid, false)
+	}
+	return c.finGrouped(ctx, tid, false)
+}
+
+func (c *Client) finGrouped(ctx env.Ctx, tid uint64, committed bool) error {
+	w := &finWaiter{
+		note: FinNote{TID: tid, Committed: committed},
+		fut:  c.envr.NewFuture(),
+		span: ctx.Trace().Span,
+		enq:  ctx.Now(),
+	}
+	if err := c.enqueue(w); err != nil {
+		return err
+	}
+	sc := ctx.Trace()
+	var waitStart time.Duration
+	if sc.Agg != nil {
+		waitStart = ctx.Now()
+	}
+	out := w.fut.Get(ctx).(finOutcome)
+	if sc.Agg != nil {
+		attributeWait(sc, ctx.Now()-waitStart, out.t)
+	}
+	return out.err
+}
+
+// enqueue parks w on the sender queue, starting the sender on first use.
+func (c *Client) enqueue(w any) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if c.startQ == nil {
+		c.startQ = c.envr.NewQueue()
+	}
+	q := c.startQ
+	spawn := !c.senderOn
+	c.senderOn = true
+	c.mu.Unlock()
+	if spawn {
+		c.node.Go("cm-sender", c.senderLoop)
+	}
+	q.Put(w)
+	return nil
+}
+
+// senderLoop is the only activity that issues grouped RPCs: it drains the
+// queue into one bounded group and sends a single request for all of it.
+// Requests self-pace — while one round trip is in flight the next group
+// accumulates.
+func (c *Client) senderLoop(ctx env.Ctx) {
+	for {
+		v, ok := c.startQ.Get(ctx)
+		if !ok {
+			return
+		}
+		starts, fins := c.collectGroup(ctx, v)
+		c.sendGroup(ctx, starts, fins)
+	}
+}
+
+// collectGroup greedily drains the queue into one group, starting from
+// first. A group holding only finish notifications lingers up to FinFlush
+// for a Start to share the round trip with.
+func (c *Client) collectGroup(ctx env.Ctx, first any) (starts []*startWaiter, fins []*finWaiter) {
+	max := c.MaxGroup
+	if max < 1 {
+		max = 1
+	}
+	add := func(v any) {
+		switch w := v.(type) {
+		case *startWaiter:
+			starts = append(starts, w)
+		case *finWaiter:
+			fins = append(fins, w)
+		}
+	}
+	add(first)
+	drain := func() {
+		for len(starts) < max && len(fins) < maxGroupFins && c.startQ.Len() > 0 {
+			v, ok := c.startQ.Get(ctx)
+			if !ok {
+				return
+			}
+			add(v)
+		}
+	}
+	drain()
+	if len(starts) == 0 && c.FinFlush > 0 {
+		deadline := ctx.Now() + c.FinFlush
+		for len(starts) == 0 && len(fins) < maxGroupFins {
+			rem := deadline - ctx.Now()
+			if rem <= 0 {
+				break
+			}
+			v, ok, timedOut := c.startQ.GetTimeout(ctx, rem)
+			if timedOut || !ok {
+				break
+			}
+			add(v)
+			drain()
+		}
+	}
+	return starts, fins
+}
+
+// sendGroup issues one grouped request and resolves every waiter.
+func (c *Client) sendGroup(ctx env.Ctx, starts []*startWaiter, fins []*finWaiter) {
+	notes := make([]FinNote, len(fins))
+	for i, f := range fins {
+		notes[i] = f.note
+	}
+	// Parent the group's network flow on the first traced waiter's span so
+	// the exported trace stitches transactions to the manager even though
+	// the round trip runs on the sender's own activity.
+	sc := ctx.Trace()
+	if sc.R.Enabled() {
+		sc.Span = 0
+		for _, w := range starts {
+			if w.span != 0 {
+				sc.Span = w.span
+				break
+			}
+		}
+		if sc.Span == 0 {
+			for _, f := range fins {
+				if f.span != 0 {
+					sc.Span = f.span
+					break
+				}
+			}
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if attempt > 0 {
+			ctx.Sleep(time.Millisecond)
+		}
+		req := c.buildGroupReq(len(starts), notes)
+		var sendAt time.Duration
+		if sc.R.Enabled() {
+			sendAt = ctx.Now()
+		}
+		raw, conn, err := c.roundTrip(ctx, req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := DecodeStartGroupResp(raw)
+		if err == nil && resp.Status != wire.StatusOK {
+			err = fmt.Errorf("commitmgr: grouped start failed: %v", resp.Status)
+		}
+		if err == nil {
+			var results []StartResult
+			results, err = c.applyGroupResp(resp, len(starts))
+			if err == nil {
+				var net time.Duration
+				if sc.R.Enabled() {
+					if tt, ok := conn.(transport.TransferTimer); ok {
+						net = tt.TransferTime(len(req)) + tt.TransferTime(len(raw))
+					}
+				}
+				c.mu.Lock()
+				c.nStarts += uint64(len(starts))
+				c.nFins += uint64(len(fins))
+				c.mu.Unlock()
+				for i, w := range starts {
+					out := startOutcome{res: results[i]}
+					if sc.R.Enabled() {
+						out.t = rpcTiming{qwait: sendAt - w.enq, net: net}
+					}
+					w.fut.Set(out)
+				}
+				for _, f := range fins {
+					out := finOutcome{}
+					if sc.R.Enabled() {
+						out.t = rpcTiming{qwait: sendAt - f.enq, net: net}
+					}
+					f.fut.Set(out)
+				}
+				return
+			}
+		}
+		// Any failure invalidates the ack chain: the manager may have
+		// advanced its per-client sequence on a response we failed to
+		// apply, so force a full descriptor on the retry. (Re-sending the
+		// finish notes is safe — finish is idempotent on the manager.)
+		lastErr = err
+		c.resetDeltaState()
+	}
+	if lastErr == nil {
+		lastErr = ErrUnavailable
+	}
+	for _, w := range starts {
+		w.fut.Set(startOutcome{err: lastErr})
+	}
+	for _, f := range fins {
+		f.fut.Set(finOutcome{err: lastErr})
+	}
+}
+
+func (c *Client) buildGroupReq(count int, fins []FinNote) []byte {
+	req := StartGroupReq{Client: nodeLabel(c.node), Count: uint64(count), Fins: fins}
+	if c.DeltaSnapshots {
+		req.AckServer, req.AckSeq = c.lastSrv, c.lastSeq
+	}
+	return req.Encode()
+}
+
+// applyGroupResp reconstructs the shared descriptor (resolving a delta
+// against the cached base) and fans it out, one clone per waiter.
+func (c *Client) applyGroupResp(resp *StartGroupResp, want int) ([]StartResult, error) {
+	if len(resp.TIDs) != want {
+		return nil, fmt.Errorf("commitmgr: got %d tids, want %d", len(resp.TIDs), want)
+	}
+	var snap *mvcc.Snapshot
+	if resp.Full {
+		snap = resp.Snap
+	} else {
+		if c.lastSnap == nil || c.lastSrv != resp.Server {
+			return nil, fmt.Errorf("commitmgr: delta response without matching base descriptor")
+		}
+		applied, err := resp.Delta.Apply(c.lastSnap)
+		if err != nil {
+			return nil, err
+		}
+		snap = applied
+	}
+	if resp.Seq != 0 {
+		c.lastSrv, c.lastSeq, c.lastSnap = resp.Server, resp.Seq, snap
+	}
+	out := make([]StartResult, want)
+	for i := range out {
+		out[i] = StartResult{TID: resp.TIDs[i], Snap: snap.Clone(), Lav: resp.Lav}
+	}
+	return out, nil
+}
+
+func (c *Client) resetDeltaState() {
+	c.lastSrv, c.lastSeq, c.lastSnap = "", 0, nil
+}
+
+// startSolo is the split protocol: one start RPC per transaction.
+func (c *Client) startSolo(ctx env.Ctx) (StartResult, error) {
 	req := []byte{byte(wire.KindCMReq), byte(cmStart)}
 	for attempt := 0; ; attempt++ {
-		raw, err := c.roundTrip(ctx, req)
+		raw, _, err := c.roundTrip(ctx, req)
 		if err != nil {
 			return StartResult{}, err
 		}
 		res, err := decodeStartResp(raw)
 		if err == nil {
+			c.mu.Lock()
+			c.nStarts++
+			c.mu.Unlock()
 			return res, nil
 		}
 		if attempt >= c.Retries {
@@ -134,23 +570,14 @@ func decodeStartResp(raw []byte) (StartResult, error) {
 	return StartResult{TID: tid, Snap: snap, Lav: lav}, nil
 }
 
-// Committed reports a successful commit (setCommitted, §4.2).
-func (c *Client) Committed(ctx env.Ctx, tid uint64) error {
-	return c.finished(ctx, tid, true)
-}
-
-// Aborted reports an abort after rollback (setAborted, §4.2).
-func (c *Client) Aborted(ctx env.Ctx, tid uint64) error {
-	return c.finished(ctx, tid, false)
-}
-
+// finished is the split protocol's one-RPC-per-outcome notification.
 func (c *Client) finished(ctx env.Ctx, tid uint64, committed bool) error {
 	w := wire.NewWriter(16)
 	w.Byte(byte(wire.KindCMReq))
 	w.Byte(byte(cmFinished))
 	w.Uvarint(tid)
 	w.Bool(committed)
-	raw, err := c.roundTrip(ctx, w.Bytes())
+	raw, _, err := c.roundTrip(ctx, w.Bytes())
 	if err != nil {
 		return err
 	}
@@ -160,5 +587,8 @@ func (c *Client) finished(ctx env.Ctx, tid uint64, committed bool) error {
 	if st := wire.Status(r.Byte()); st != wire.StatusOK {
 		return fmt.Errorf("commitmgr: finished(%d) failed: %v", tid, st)
 	}
+	c.mu.Lock()
+	c.nFins++
+	c.mu.Unlock()
 	return nil
 }

@@ -88,6 +88,11 @@ type Server struct {
 	peerRange map[string][2]uint64
 	deadPeers map[string]bool
 	syncTick  int
+	// clients remembers, per grouped-protocol client, the last descriptor
+	// sent and its sequence number, so the next response can ship a delta
+	// (§4.2 descriptors change little between consecutive starts). Soft
+	// state: losing it merely forces a full retransmit.
+	clients map[string]*clientDescState
 
 	// ActiveTTL expires transactions that never reported an outcome (a
 	// processing node that died before writing its first log entry, so
@@ -110,7 +115,10 @@ type Server struct {
 
 	stopped bool
 	starts  uint64
-	lat     *metrics.Summary // handler latency per request class
+	// deltas/fulls count grouped responses by descriptor form (telemetry
+	// for the delta-encoding hit rate; gap or fail-over forces a full).
+	deltas, fulls uint64
+	lat           *metrics.Summary // handler latency per request class
 }
 
 // New creates a commit manager. id must be unique across the fleet; addr is
@@ -134,6 +142,7 @@ func New(id, addr string, envr env.Full, node env.Node, tr transport.Transport, 
 		peerStale:      make(map[string]int),
 		peerRange:      make(map[string][2]uint64),
 		deadPeers:      make(map[string]bool),
+		clients:        make(map[string]*clientDescState),
 		ActiveTTL:      30 * time.Second,
 		StalePeerTicks: 5000,
 		RecoveryGrace:  100 * time.Millisecond,
@@ -191,6 +200,14 @@ func (s *Server) handle(ctx env.Ctx, raw []byte) []byte {
 		resp := s.handleStart(ctx)
 		s.recordLat("start", ctx.Now()-began)
 		return resp
+	case cmStartGroup:
+		req, err := DecodeStartGroupReq(raw)
+		if err != nil {
+			return (&StartGroupResp{Status: wire.StatusError}).Encode()
+		}
+		resp := s.handleStartGroup(ctx, req)
+		s.recordLat("start-group", ctx.Now()-began)
+		return resp
 	case cmFinished:
 		tid := r.Uvarint()
 		committed := r.Bool()
@@ -229,6 +246,8 @@ func (s *Server) handleStats(ctx env.Ctx) []byte {
 		wire.StatsCounter{Name: "cm/starts", Value: int64(s.starts)},
 		wire.StatsCounter{Name: "cm/active", Value: int64(len(s.active))},
 		wire.StatsCounter{Name: "cm/lav", Value: int64(s.lavLocked())},
+		wire.StatsCounter{Name: "cm/deltas", Value: int64(s.deltas)},
+		wire.StatsCounter{Name: "cm/fulls", Value: int64(s.fulls)},
 	)
 	s.mu.Unlock()
 	for _, c := range env.Tracer(s.envr).Counters() {
@@ -302,6 +321,125 @@ func (s *Server) handleStart(ctx env.Ctx) []byte {
 	snap.EncodeTo(w)
 	w.Uvarint(lav)
 	return w.Bytes()
+}
+
+// clientDescState is the per-client descriptor memory behind delta
+// encoding: the last snapshot sent and its sequence number.
+type clientDescState struct {
+	seq  uint64
+	snap *mvcc.Snapshot
+}
+
+// handleStartGroup serves the coalesced protocol: apply the piggybacked
+// finish notifications, allocate one tid per requested start, and answer
+// with a single shared descriptor — as a delta against the client's last
+// acknowledged one when the ack chain is intact, full otherwise.
+func (s *Server) handleStartGroup(ctx env.Ctx, req *StartGroupReq) []byte {
+	// Cost model: same base as a split start plus a small per-item charge
+	// for the extra tids and folded finishes.
+	ctx.Work(500*time.Nanosecond + time.Duration(int(req.Count)+len(req.Fins))*100*time.Nanosecond)
+
+	// Finishes first, so the descriptor handed out reflects them: a client
+	// whose commit rides this request must see its own transaction in the
+	// next snapshot it receives.
+	if len(req.Fins) > 0 {
+		s.mu.Lock()
+		for _, f := range req.Fins {
+			delete(s.active, f.TID)
+			s.fin.Add(f.TID)
+			if f.Committed {
+				s.comm.Add(f.TID)
+			}
+		}
+		s.advanceLocked()
+		s.mu.Unlock()
+	}
+
+	// Allocate Count tids, refilling the range as needed (same synchronous
+	// discipline as handleStart: the lock never spans the counter RPC).
+	tids := make([]uint64, 0, req.Count)
+	for uint64(len(tids)) < req.Count {
+		s.mu.Lock()
+		step := uint64(1)
+		if s.Interleaved {
+			_, n := s.peerIndex()
+			step = uint64(n)
+		}
+		for s.nextTid <= s.tidEnd && uint64(len(tids)) < req.Count {
+			tids = append(tids, s.nextTid)
+			s.nextTid += step
+		}
+		done := uint64(len(tids)) >= req.Count
+		s.mu.Unlock()
+		if done {
+			break
+		}
+		if err := s.refillRange(ctx); err != nil {
+			s.closeTids(tids)
+			return (&StartGroupResp{Status: wire.StatusUnavailable}).Encode()
+		}
+		s.mu.Lock()
+		empty := s.nextTid > s.tidEnd
+		s.mu.Unlock()
+		if empty {
+			s.closeTids(tids)
+			return (&StartGroupResp{Status: wire.StatusUnavailable}).Encode()
+		}
+	}
+
+	resp := &StartGroupResp{Status: wire.StatusOK, TIDs: tids, Server: s.id, Full: true}
+	now := ctx.Now()
+	s.mu.Lock()
+	if len(tids) > 0 {
+		s.issuedThisTick = true
+	}
+	s.starts += uint64(len(tids))
+	snap := s.comm.Clone()
+	for _, tid := range tids {
+		s.active[tid] = activeTx{base: snap.Base, at: now}
+	}
+	resp.Lav = s.lavLocked()
+	ent := s.clients[req.Client]
+	if ent != nil && req.AckSeq != 0 && req.AckServer == s.id && req.AckSeq == ent.seq {
+		// Ack chain intact: the client still holds the descriptor we last
+		// sent, so ship only the difference — unless the descriptor moved
+		// so much that the delta would not actually save bytes.
+		if d := mvcc.Diff(ent.snap, snap); d != nil && d.EncodedSize() < snap.Size() {
+			resp.Full = false
+			resp.Delta = d
+		}
+	}
+	if resp.Full {
+		resp.Snap = snap
+		s.fulls++
+	} else {
+		s.deltas++
+	}
+	if req.Client != "" {
+		seq := uint64(1)
+		if ent != nil {
+			seq = ent.seq + 1
+		}
+		s.clients[req.Client] = &clientDescState{seq: seq, snap: snap}
+		resp.Seq = seq
+	}
+	s.mu.Unlock()
+	return resp.Encode()
+}
+
+// closeTids finishes tids that were pulled from the range but can no longer
+// be issued (the rest of their group's allocation failed). Left open they
+// would pin the global base forever.
+func (s *Server) closeTids(tids []uint64) {
+	if len(tids) == 0 {
+		return
+	}
+	s.mu.Lock()
+	for _, tid := range tids {
+		s.fin.Add(tid)
+	}
+	s.advanceLocked()
+	s.mu.Unlock()
 }
 
 // refillRange reserves fresh tids. Contiguous mode bumps the shared store
@@ -713,4 +851,7 @@ type cmSub byte
 const (
 	cmStart cmSub = iota + 1
 	cmFinished
+	// cmStartGroup is the coalesced protocol: starts, finish notifications
+	// and a (possibly delta-encoded) descriptor in one round trip.
+	cmStartGroup
 )

@@ -474,7 +474,7 @@ func (t *Txn) Commit(ctx env.Ctx) error {
 			// retry fails. Read the record back — if our own version is
 			// there, the update applied and this is no conflict. First-try
 			// conflicts are unambiguous and skip the read-back.
-			if res.Retried && t.ownVersionApplied(ctx, t.order[i]) {
+			if res.WasRetried() && t.ownVersionApplied(ctx, t.order[i]) {
 				applied = append(applied, i)
 			} else {
 				conflict = true
@@ -512,7 +512,12 @@ func (t *Txn) Commit(ctx env.Ctx) error {
 		}
 	}
 
-	// 4. Commit flag, then the commit manager.
+	// 4. Commit flag, then the commit manager. Committed() blocks until
+	// the manager has acknowledged the finish — under the coalesced CM
+	// protocol the note rides in a grouped message shared with other
+	// workers' starts and finishes, but the visibility guarantee is
+	// unchanged: any transaction started after Commit() returns sees this
+	// one as committed.
 	if err := t.pn.log.MarkCommitted(ctx, t.tid); err != nil {
 		// The flag could not be set (store unavailable). The updates are
 		// applied; recovery would roll this transaction back, so report

@@ -383,6 +383,59 @@ func AblationBatching(opt Options) (*Table, error) {
 	return t, nil
 }
 
+// AblationCoalesce — the commit-path message-coalescing ladder: grouped CM
+// operations (finish piggybacking + shared descriptor fetches), delta-encoded
+// snapshot descriptors, and adaptive store batching are enabled one at a
+// time, then the adaptive batch window is swept. The headline column is CM
+// round trips per committed transaction: the split protocol pays ≥ 2 (one
+// start, one finished), the grouped protocol a fraction of that.
+func AblationCoalesce(opt Options) (*Table, error) {
+	t := &Table{
+		ID:    "ablation-coalesce",
+		Title: "Ablation: commit-path coalescing (write-intensive, 4 PNs, 2 CMs, RF1)",
+		Header: []string{"config", "TpmC", "abort", "CM msgs/txn",
+			"msgs/txn", "KB/txn"},
+	}
+	type step struct {
+		label string
+		p     TellParams
+	}
+	// A quarter of the one-way link latency: small enough against the
+	// round trip that lingering gains messages without costing throughput.
+	win := transport.InfiniBand().Latency / 4
+	base := TellParams{PNs: 4, SNs: 5, CMs: 2, BatchWindow: win}
+	steps := []step{
+		{"all off (split CM, greedy batch)", TellParams{PNs: 4, SNs: 5, CMs: 2,
+			NoCMCoalesce: true, NoDeltaSnapshots: true, NoAdaptiveBatch: true}},
+		{"+grouped CM ops", TellParams{PNs: 4, SNs: 5, CMs: 2,
+			NoDeltaSnapshots: true, NoAdaptiveBatch: true}},
+		{"+delta snapshots", TellParams{PNs: 4, SNs: 5, CMs: 2,
+			NoAdaptiveBatch: true}},
+		{"+adaptive batching (all on)", base},
+	}
+	for _, s := range steps {
+		run, err := RunTell(opt, s.p)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(s.label, f0(run.Result.TpmC()), pct(run.AbortRate),
+			f2(run.CMMsgsPerTxn), f1(run.MsgsPerTxn), f1(run.BytesPerTxn/1024))
+	}
+	// Batch-window sweep with everything on.
+	for _, w := range []time.Duration{25 * time.Microsecond, 400 * time.Microsecond} {
+		p := base
+		p.BatchWindow = w
+		run, err := RunTell(opt, p)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("window "+w.String(), f0(run.Result.TpmC()), pct(run.AbortRate),
+			f2(run.CMMsgsPerTxn), f1(run.MsgsPerTxn), f1(run.BytesPerTxn/1024))
+	}
+	t.Note("grouped CM ops fold finish() into the next start() and share descriptor fetches; target is CM msgs/txn < 2 with an unchanged abort rate")
+	return t, nil
+}
+
 // AblationIndexCache — B+tree inner-node caching on/off (§5.3.1).
 func AblationIndexCache(opt Options) (*Table, error) {
 	t := &Table{
@@ -444,6 +497,7 @@ func Registry() map[string]func(Options) (*Table, error) {
 		"sec631":               Sec631,
 		"sec633":               Sec633,
 		"ablation-batching":    AblationBatching,
+		"ablation-coalesce":    AblationCoalesce,
 		"ablation-indexcache":  AblationIndexCache,
 		"ablation-tidrange":    AblationTidRange,
 		"ablation-granularity": AblationGranularity,

@@ -85,6 +85,19 @@ type TellParams struct {
 	// InterleavedTids switches the commit managers to the interleaved
 	// allocation scheme (§4.2 future work).
 	InterleavedTids bool
+	// BatchWindow sets the store client's adaptive batching window (how
+	// long a sender may linger to widen a batch under load). 0 batches
+	// greedily — the client's nonzero default targets real kernel-TCP
+	// links, not the simulated fabrics; NoAdaptiveBatch forces greedy
+	// draining regardless.
+	BatchWindow     time.Duration
+	NoAdaptiveBatch bool
+	// NoCMCoalesce reverts the commit-manager client to the split
+	// protocol: one start RPC and one finished RPC per transaction.
+	NoCMCoalesce bool
+	// NoDeltaSnapshots makes every grouped CM response carry the full
+	// snapshot descriptor instead of a delta against the last acked one.
+	NoDeltaSnapshots bool
 }
 
 func (p *TellParams) defaults() {
@@ -131,6 +144,17 @@ type TellRun struct {
 	NetBytes    uint64
 	// BatchFactor is ops per storage request achieved by the batcher.
 	BatchFactor float64
+	// CMMsgs is the number of commit-manager round trips issued by all
+	// processing nodes; CMMsgsPerTxn divides by committed transactions
+	// (the split protocol costs ≥ 2, the coalesced one a fraction of
+	// that — the target of the ablation-coalesce experiment).
+	CMMsgs       uint64
+	CMMsgsPerTxn float64
+	// MsgsPerTxn and BytesPerTxn are total network round trips and bytes
+	// (both directions) per committed transaction (§6.6 reports network
+	// cost; these make the per-transaction message budget visible).
+	MsgsPerTxn  float64
+	BytesPerTxn float64
 	// Trace is the event recorder, non-nil when Options.Trace was set.
 	Trace *trace.Recorder
 }
@@ -185,6 +209,7 @@ func RunTell(opt Options, p TellParams) (*TellRun, error) {
 	// Processing nodes.
 	var pns []*core.PN
 	var clients []*store.Client
+	var cmClients []*commitmgr.Client
 	for i := 0; i < p.PNs; i++ {
 		name := fmt.Sprintf("pn%d", i)
 		node := envr.NewNode(name, 4)
@@ -192,19 +217,33 @@ func RunTell(opt Options, p TellParams) (*TellRun, error) {
 		if p.NoBatching {
 			sc.SetBatching(false)
 		}
+		// The deadline window only pays when it is small against the
+		// link round trip; on the simulated microsecond-scale fabrics
+		// the client's kernel-TCP default would dominate commit latency
+		// (and mask effects an experiment isolates, e.g. replication
+		// cost), so the harness batches greedily unless the experiment
+		// sets a window (ablation-coalesce sweeps it).
+		sc.BatchWindow = p.BatchWindow
+		if p.NoAdaptiveBatch {
+			sc.BatchWindow = 0
+		}
 		// Each PN talks primarily to "its" commit manager, spreading CM
 		// load, with the rest as fail-over targets.
 		order := append([]string{cmAddrs[i%len(cmAddrs)]}, cmAddrs...)
+		cmc := commitmgr.NewClient(envr, node, net, order)
+		cmc.Coalesce = !p.NoCMCoalesce
+		cmc.DeltaSnapshots = !p.NoDeltaSnapshots
 		pn := core.New(core.Config{
 			ID:              name,
 			Workers:         p.Workers,
 			Buffer:          p.Buffer,
 			CacheUnitSize:   p.CacheUnitSize,
 			CacheIndexInner: !p.NoIndexCache,
-		}, envr, node, net, sc, commitmgr.NewClient(envr, node, net, order))
+		}, envr, node, net, sc, cmc)
 		pn.StartWorkers()
 		pns = append(pns, pn)
 		clients = append(clients, sc)
+		cmClients = append(cmClients, cmc)
 	}
 
 	// Terminals.
@@ -248,6 +287,14 @@ func RunTell(opt Options, p TellParams) (*TellRun, error) {
 	}
 	if batches > 0 {
 		out.BatchFactor = float64(ops) / float64(batches)
+	}
+	for _, cmc := range cmClients {
+		out.CMMsgs += cmc.Msgs()
+	}
+	if committed := res.TotalCommitted(); committed > 0 {
+		out.CMMsgsPerTxn = float64(out.CMMsgs) / float64(committed)
+		out.MsgsPerTxn = float64(out.NetRequests) / float64(committed)
+		out.BytesPerTxn = float64(out.NetBytes) / float64(committed)
 	}
 	return out, nil
 }

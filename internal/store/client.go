@@ -43,6 +43,17 @@ type Client struct {
 
 	// MaxBatch bounds how many ops one request may carry.
 	MaxBatch int
+	// BatchWindow bounds how long a sender may linger, after draining the
+	// queue, to let concurrent transactions widen the batch. The actual
+	// wait adapts to load: it scales with an EWMA of recent batch sizes,
+	// reaching BatchWindow once batches average a quarter of MaxBatch and
+	// collapsing to zero when traffic is sparse, so idle workloads pay no
+	// added latency. 0 disables lingering (the legacy greedy-drain
+	// trigger: send as soon as the queue is empty). The window only pays
+	// when it is small against the link round trip — the default suits
+	// kernel-TCP networks; the experiment harness derives it from the
+	// simulated link latency instead (a quarter of one-way).
+	BatchWindow time.Duration
 	// Senders is how many requests may be in flight per storage node
 	// (pipelined batching): one sender would serialize all traffic to a
 	// node behind a single round trip.
@@ -66,17 +77,18 @@ type Client struct {
 // node used as the lookup service. Batching is enabled by default.
 func NewClient(envr env.Full, node env.Node, tr transport.Transport, mgrAddr string) *Client {
 	return &Client{
-		envr:       envr,
-		node:       node,
-		tr:         tr,
-		mgrAddr:    mgrAddr,
-		MaxBatch:   64,
-		Senders:    4,
-		Retries:    10,
-		RetryDelay: 2 * time.Millisecond,
-		conns:      make(map[string]transport.Conn),
-		batchers:   make(map[string]*batcher),
-		batching:   true,
+		envr:        envr,
+		node:        node,
+		tr:          tr,
+		mgrAddr:     mgrAddr,
+		MaxBatch:    64,
+		BatchWindow: 20 * time.Microsecond,
+		Senders:     4,
+		Retries:     10,
+		RetryDelay:  2 * time.Millisecond,
+		conns:       make(map[string]transport.Conn),
+		batchers:    make(map[string]*batcher),
+		batching:    true,
 	}
 }
 
@@ -210,6 +222,45 @@ type batcher struct {
 	c    *Client
 	addr string
 	q    env.Queue
+
+	mu sync.Mutex
+	// sizeEWMA8 is an exponentially weighted moving average of batch sizes
+	// in fixed-point (×8): after observing size n it becomes
+	// ewma - ewma/8 + n. Senders read it to decide how long to linger.
+	sizeEWMA8 uint64
+}
+
+// observe folds a sent batch's size into the load estimate.
+func (b *batcher) observe(n int) {
+	b.mu.Lock()
+	b.sizeEWMA8 += uint64(n) - b.sizeEWMA8/8
+	b.mu.Unlock()
+}
+
+// window returns how long a sender should linger for more operations after
+// the queue runs dry: zero when adaptive batching is off or recent batches
+// averaged under two ops (idle — lingering would only add latency), scaling
+// linearly up to BatchWindow as average size approaches MaxBatch/4.
+func (b *batcher) window() time.Duration {
+	bw := b.c.BatchWindow
+	if bw <= 0 {
+		return 0
+	}
+	b.mu.Lock()
+	e8 := b.sizeEWMA8
+	b.mu.Unlock()
+	if e8 < 16 { // average batch < 2 ops
+		return 0
+	}
+	full8 := uint64(b.c.MaxBatch) * 8 // EWMA value meaning "batches are full"
+	if full8 == 0 {
+		return 0
+	}
+	scaled := e8 * 4 // full window at a quarter of MaxBatch
+	if scaled > full8 {
+		scaled = full8
+	}
+	return time.Duration(uint64(bw) * scaled / full8)
 }
 
 func (c *Client) batcherFor(addr string) *batcher {
@@ -231,6 +282,9 @@ func (c *Client) batcherFor(addr string) *batcher {
 }
 
 func (b *batcher) run(ctx env.Ctx) {
+	// One response struct per sender, reused across batches: DecodeFrom
+	// overwrites it in place, so steady state decodes without allocating.
+	var resp wire.StoreResponse
 	for {
 		v, ok := b.q.Get(ctx)
 		if !ok {
@@ -241,11 +295,33 @@ func (b *batcher) run(ctx env.Ctx) {
 			v, _ := b.q.Get(ctx)
 			batch = append(batch, v.(*pendingOp))
 		}
-		b.send(ctx, batch)
+		// Adaptive deadline window: when recent traffic suggests more ops
+		// are coming, hold the batch briefly so concurrent transactions
+		// can widen it instead of paying their own round trip.
+		if w := b.window(); w > 0 && len(batch) < b.c.MaxBatch {
+			deadline := ctx.Now() + w
+			for len(batch) < b.c.MaxBatch {
+				rem := deadline - ctx.Now()
+				if rem <= 0 {
+					break
+				}
+				v, ok, timedOut := b.q.GetTimeout(ctx, rem)
+				if timedOut || !ok {
+					break
+				}
+				batch = append(batch, v.(*pendingOp))
+				for b.q.Len() > 0 && len(batch) < b.c.MaxBatch {
+					v, _ := b.q.Get(ctx)
+					batch = append(batch, v.(*pendingOp))
+				}
+			}
+		}
+		b.observe(len(batch))
+		b.send(ctx, batch, &resp)
 	}
 }
 
-func (b *batcher) send(ctx env.Ctx, batch []*pendingOp) {
+func (b *batcher) send(ctx env.Ctx, batch []*pendingOp, resp *wire.StoreResponse) {
 	req := &wire.StoreRequest{Ops: make([]wire.Op, len(batch))}
 	for i, p := range batch {
 		req.Ops[i] = p.op
@@ -280,8 +356,7 @@ func (b *batcher) send(ctx env.Ctx, batch []*pendingOp) {
 		var raw []byte
 		raw, err = conn.RoundTrip(ctx, enc)
 		if err == nil {
-			var resp *wire.StoreResponse
-			resp, err = wire.DecodeStoreResponse(raw)
+			err = resp.DecodeFrom(raw)
 			if err == nil {
 				if len(resp.Results) != len(batch) {
 					err = fmt.Errorf("store: %d results for %d ops", len(resp.Results), len(batch))
@@ -469,7 +544,7 @@ func (c *Client) Exec(ctx env.Ctx, ops []wire.Op) ([]wire.Result, error) {
 			continue
 		}
 		for k, i := range retryIdx {
-			subResults[k].Retried = true
+			subResults[k].MarkRetried()
 			results[i] = subResults[k]
 		}
 	}

@@ -128,6 +128,10 @@ func (c *localConn) RoundTrip(ctx env.Ctx, req []byte) ([]byte, error) {
 	if n.latency > 0 {
 		ctx.Sleep(n.latency)
 	}
+	if sc.R.Enabled() {
+		sc.R.CounterAdd(srcName, "net/msgs", 1)
+		sc.R.CounterAdd(srcName, "net/bytes", int64(len(req)+len(resp)))
+	}
 	if sc.Agg != nil {
 		// Wire time is the injected latency (both legs); everything else
 		// in the round trip is remote service.

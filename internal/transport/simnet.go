@@ -237,6 +237,10 @@ func (c *simConn) RoundTrip(ctx env.Ctx, req []byte) ([]byte, error) {
 	}
 	rep := v.(simReply)
 	sc.R.MsgRecv(rep.flow, c.src.Name(), int64(len(rep.data)))
+	if sc.R.Enabled() {
+		sc.R.CounterAdd(c.src.Name(), "net/msgs", 1)
+		sc.R.CounterAdd(c.src.Name(), "net/bytes", int64(len(req)+len(rep.data)))
+	}
 	if sc.Agg != nil {
 		// Split the round trip into wire time and remote service (handler
 		// execution + remote queueing), clamped to the measured total.

@@ -17,12 +17,17 @@ import (
 	"time"
 
 	"tell/internal/env"
+	"tell/internal/trace"
+	"tell/internal/wire"
 )
 
 // TCPNet carries requests over real TCP connections. Frames are
-// [uint32 length][uint64 request id][payload]; responses echo the request
-// id, so a single connection multiplexes many in-flight requests. This is
-// the transport behind cmd/telld and cmd/tellcli.
+// [uint32 length][uint64 request id][uint64 trace flow][payload]; responses
+// echo the request id, so a single connection multiplexes many in-flight
+// requests. The flow field carries the sender's trace message id across the
+// wire, so a process that records traces can stitch handler spans to the
+// requesting transaction exactly like simnet and localnet do. This is the
+// transport behind cmd/telld and cmd/tellcli.
 type TCPNet struct {
 	// Timeout bounds each round trip (default 10s).
 	Timeout time.Duration
@@ -58,34 +63,46 @@ func (t *TCPNet) Close() error {
 	return err
 }
 
-const maxFrame = 64 << 20 // 64 MiB sanity bound on a single frame
+const (
+	maxFrame    = 64 << 20 // 64 MiB sanity bound on a single frame
+	frameHdrLen = 20       // u32 length + u64 request id + u64 trace flow
+)
 
-func writeFrame(w io.Writer, id uint64, payload []byte) error {
-	hdr := make([]byte, 12)
-	binary.LittleEndian.PutUint32(hdr, uint32(len(payload)))
-	binary.LittleEndian.PutUint64(hdr[4:], id)
-	if _, err := w.Write(hdr); err != nil {
+// framer owns the preallocated header scratch for one direction of one
+// connection, so steady-state frame I/O allocates nothing beyond the
+// payload. A framer must not be shared between concurrent writers (callers
+// serialize on the connection's write mutex) or concurrent readers (each
+// read loop owns its own).
+type framer struct {
+	hdr [frameHdrLen]byte
+}
+
+func (f *framer) writeFrame(w io.Writer, id, flow uint64, payload []byte) error {
+	binary.LittleEndian.PutUint32(f.hdr[:], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(f.hdr[4:], id)
+	binary.LittleEndian.PutUint64(f.hdr[12:], flow)
+	if _, err := w.Write(f.hdr[:]); err != nil {
 		return err
 	}
 	_, err := w.Write(payload)
 	return err
 }
 
-func readFrame(r io.Reader) (id uint64, payload []byte, err error) {
-	hdr := make([]byte, 12)
-	if _, err := io.ReadFull(r, hdr); err != nil {
-		return 0, nil, err
+func (f *framer) readFrame(r io.Reader) (id, flow uint64, payload []byte, err error) {
+	if _, err := io.ReadFull(r, f.hdr[:]); err != nil {
+		return 0, 0, nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr)
+	n := binary.LittleEndian.Uint32(f.hdr[:])
 	if n > maxFrame {
-		return 0, nil, fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", n)
+		return 0, 0, nil, fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", n)
 	}
-	id = binary.LittleEndian.Uint64(hdr[4:])
+	id = binary.LittleEndian.Uint64(f.hdr[4:])
+	flow = binary.LittleEndian.Uint64(f.hdr[12:])
 	payload = make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
-	return id, payload, nil
+	return id, flow, payload, nil
 }
 
 // Listen binds a real TCP listener on addr (host:port) and serves requests
@@ -125,8 +142,10 @@ func (t *TCPNet) acceptLoop(l net.Listener, node env.Node, h Handler) {
 func (t *TCPNet) serveConn(c net.Conn, node env.Node, h Handler) {
 	defer c.Close()
 	var wmu sync.Mutex
+	var rf, wf framer // rf owned by this loop; wf guarded by wmu
+	peer := c.RemoteAddr().String()
 	for {
-		id, payload, err := readFrame(c)
+		id, flow, payload, err := rf.readFrame(c)
 		if err != nil {
 			return
 		}
@@ -135,12 +154,44 @@ func (t *TCPNet) serveConn(c net.Conn, node env.Node, h Handler) {
 		t.stats.BytesRecv += uint64(len(payload))
 		t.statsMu.Unlock()
 		node.Go("tcp-handler", func(ctx env.Ctx) {
-			resp := h(ctx, payload)
-			wmu.Lock()
-			defer wmu.Unlock()
-			if err := writeFrame(c, id, resp); err != nil {
-				c.Close()
+			// Mirror the simnet/localnet handler instrumentation: receive
+			// the request on the flow the client stamped into the frame,
+			// run the handler under its own span parented on that flow,
+			// then send the response back on a fresh flow that the client
+			// will receive. The ids only stitch into one trace when client
+			// and server share a process (tests, single-binary clusters);
+			// across real processes they are still recorded and harmless.
+			sc := ctx.Trace()
+			srvName := nodeName(node)
+			var hstart time.Duration
+			var hspan trace.SpanID
+			if sc.R.Enabled() {
+				sc.R.MsgRecv(trace.SpanID(flow), srvName, int64(len(payload)))
+				hstart = ctx.Now()
+				hspan = sc.R.NewID()
+				sc.Span = hspan // handlers parent their spans here
 			}
+			resp := h(ctx, payload)
+			var rflow uint64
+			if sc.R.Enabled() {
+				sc.R.Span(hspan, trace.SpanID(flow), srvName, "handler", hstart,
+					int64(len(payload)), int64(len(resp)))
+				rflow = uint64(sc.R.MsgSend(hspan, srvName, peer, int64(len(resp))))
+				sc.R.CounterAdd(srvName, "net/msgs", 1)
+				sc.R.CounterAdd(srvName, "net/bytes", int64(len(payload)+len(resp)))
+			}
+			wmu.Lock()
+			err := wf.writeFrame(c, id, rflow, resp)
+			wmu.Unlock()
+			if err != nil {
+				c.Close()
+				return
+			}
+			// The response bytes are on the socket and the handler has
+			// relinquished ownership (Handler contract), so the buffer can
+			// be recycled into the encoder pool. Tiny shared literals are
+			// rejected by PutBuf's capacity band.
+			wire.PutBuf(resp)
 		})
 	}
 }
@@ -153,22 +204,33 @@ func (t *TCPNet) Dial(node env.Node, addr string) (Conn, error) {
 	}
 	tc := &tcpConn{
 		net:     t,
+		src:     node,
+		dst:     addr,
 		conn:    c,
-		pending: make(map[uint64]chan []byte),
+		pending: make(map[uint64]chan tcpReply),
 	}
 	go tc.readLoop()
 	return tc, nil
 }
 
+// tcpReply carries a response and its trace flow id back to the waiter.
+type tcpReply struct {
+	flow uint64
+	data []byte
+}
+
 type tcpConn struct {
 	net  *TCPNet
+	src  env.Node
+	dst  string
 	conn net.Conn
 
-	wmu sync.Mutex // serializes frame writes
+	wmu sync.Mutex // serializes frame writes; wf's scratch lives under it
+	wf  framer
 
 	mu      sync.Mutex
 	nextID  uint64
-	pending map[uint64]chan []byte
+	pending map[uint64]chan tcpReply
 	closed  bool
 }
 
@@ -184,8 +246,9 @@ func (c *tcpConn) Close() error {
 }
 
 func (c *tcpConn) readLoop() {
+	var rf framer // owned by this loop
 	for {
-		id, payload, err := readFrame(c.conn)
+		id, flow, payload, err := rf.readFrame(c.conn)
 		if err != nil {
 			c.Close()
 			return
@@ -197,7 +260,7 @@ func (c *tcpConn) readLoop() {
 		}
 		c.mu.Unlock()
 		if ok {
-			ch <- payload
+			ch <- tcpReply{flow: flow, data: payload}
 		}
 	}
 }
@@ -210,7 +273,7 @@ func (c *tcpConn) RoundTrip(ctx env.Ctx, req []byte) ([]byte, error) {
 	}
 	c.nextID++
 	id := c.nextID
-	ch := make(chan []byte, 1)
+	ch := make(chan tcpReply, 1)
 	c.pending[id] = ch
 	c.mu.Unlock()
 
@@ -218,8 +281,16 @@ func (c *tcpConn) RoundTrip(ctx env.Ctx, req []byte) ([]byte, error) {
 	c.net.stats.BytesSent += uint64(len(req))
 	c.net.statsMu.Unlock()
 
+	sc := ctx.Trace()
+	var srcName string
+	var flow trace.SpanID
+	if sc.R.Enabled() {
+		srcName = nodeName(c.src)
+		flow = sc.R.MsgSend(sc.Span, srcName, c.dst, int64(len(req)))
+	}
+
 	c.wmu.Lock()
-	err := writeFrame(c.conn, id, req)
+	err := c.wf.writeFrame(c.conn, id, uint64(flow), req)
 	c.wmu.Unlock()
 	if err != nil {
 		c.forget(id)
@@ -231,11 +302,16 @@ func (c *tcpConn) RoundTrip(ctx env.Ctx, req []byte) ([]byte, error) {
 		timeout = 10 * time.Second
 	}
 	select {
-	case resp, ok := <-ch:
+	case rep, ok := <-ch:
 		if !ok {
 			return nil, ErrClosed
 		}
-		return resp, nil
+		if sc.R.Enabled() {
+			sc.R.MsgRecv(trace.SpanID(rep.flow), srcName, int64(len(rep.data)))
+			sc.R.CounterAdd(srcName, "net/msgs", 1)
+			sc.R.CounterAdd(srcName, "net/bytes", int64(len(req)+len(rep.data)))
+		}
+		return rep.data, nil
 	case <-time.After(timeout):
 		c.forget(id)
 		return nil, ErrTimeout

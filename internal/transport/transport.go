@@ -19,7 +19,11 @@ import (
 
 // Handler processes one request and returns the encoded response. Handlers
 // run on the serving node's execution context and should charge CPU via
-// ctx.Work for simulation fidelity.
+// ctx.Work for simulation fidelity. The returned response is relinquished
+// to the transport: a handler must not retain or reuse its bytes after
+// returning (real-network transports recycle large response buffers into
+// the wire encoder pool once written; small shared literals are safe
+// because the pool rejects them).
 type Handler func(ctx env.Ctx, req []byte) []byte
 
 // Conn is a client connection to one remote address.

@@ -143,13 +143,20 @@ type Result struct {
 	Stamp  uint64 // Get/Put/CondPut: cell stamp after the operation
 	Count  int64  // CounterAdd: counter value after the add
 	Pairs  []Pair // Scan
-	// Retried is a client-side annotation (never serialized): the result
+	// retried is a client-side annotation (never serialized): the result
 	// came from a retry, so a previous attempt may have been applied and
 	// its response lost. Conditional writes reporting a conflict here are
-	// ambiguous and must be read back.
-	//lint:allow wirecomplete client-side annotation, deliberately kept off the wire
-	Retried bool
+	// ambiguous and must be read back. Unexported so the wirecomplete
+	// analyzer can prove every exported field crosses the wire.
+	retried bool
 }
+
+// MarkRetried flags the result as coming from a retried request.
+func (r *Result) MarkRetried() { r.retried = true }
+
+// WasRetried reports whether the result came from a retried request, making
+// a Conflict status ambiguous (the first attempt may have been applied).
+func (r *Result) WasRetried() bool { return r.retried }
 
 // StoreRequest is a batch of operations addressed to one storage node. The
 // paper's aggressive batching (§5.1) means a request routinely carries
@@ -168,16 +175,18 @@ type StoreResponse struct {
 	Results []Result
 }
 
-// Encode serializes the request.
+// Encode serializes the request. The buffer comes from the encode pool;
+// hand it to PutBuf when its bytes are dead to close the loop (optional —
+// see pool.go for the ownership rules).
 func (m *StoreRequest) Encode() []byte {
-	w := NewWriter(64 + 32*len(m.Ops))
+	w := GetWriter()
 	w.Byte(byte(KindStoreReq))
 	w.Uvarint(m.Epoch)
 	w.Uvarint(uint64(len(m.Ops)))
 	for i := range m.Ops {
 		encodeOp(w, &m.Ops[i])
 	}
-	return w.Bytes()
+	return w.Finish()
 }
 
 func encodeOp(w *Writer, op *Op) {
@@ -236,22 +245,39 @@ func decodeOp(r *Reader, op *Op) {
 
 // DecodeStoreRequest parses an encoded StoreRequest.
 func DecodeStoreRequest(b []byte) (*StoreRequest, error) {
-	r := NewReader(b)
-	if k := Kind(r.Byte()); k != KindStoreReq {
-		return nil, fmt.Errorf("wire: kind %d is not a store request", k)
+	m := new(StoreRequest)
+	if err := m.DecodeFrom(b); err != nil {
+		return nil, err
 	}
-	m := &StoreRequest{Epoch: r.Uvarint()}
-	n := r.Count(2)
-	m.Ops = make([]Op, n)
-	for i := range m.Ops {
-		decodeOp(r, &m.Ops[i])
-	}
-	return m, r.Close()
+	return m, nil
 }
 
-// Encode serializes the response.
+// DecodeFrom parses b into m, reusing m's Ops slice when it has capacity.
+// Decoded slices alias b; reuse is only safe once the previous message's
+// fields are no longer referenced.
+func (m *StoreRequest) DecodeFrom(b []byte) error {
+	var r Reader
+	r.Reset(b)
+	if k := Kind(r.Byte()); k != KindStoreReq {
+		return fmt.Errorf("wire: kind %d is not a store request", k)
+	}
+	m.Epoch = r.Uvarint()
+	n := r.Count(2)
+	if cap(m.Ops) >= n {
+		m.Ops = m.Ops[:n]
+	} else {
+		m.Ops = make([]Op, n)
+	}
+	for i := range m.Ops {
+		m.Ops[i] = Op{}
+		decodeOp(&r, &m.Ops[i])
+	}
+	return r.Close()
+}
+
+// Encode serializes the response into a pool-backed buffer (see pool.go).
 func (m *StoreResponse) Encode() []byte {
-	w := NewWriter(64)
+	w := GetWriter()
 	w.Byte(byte(KindStoreResp))
 	w.Byte(byte(m.Status))
 	w.Uvarint(m.Epoch)
@@ -269,19 +295,38 @@ func (m *StoreResponse) Encode() []byte {
 			w.Uvarint(p.Stamp)
 		}
 	}
-	return w.Bytes()
+	return w.Finish()
 }
 
 // DecodeStoreResponse parses an encoded StoreResponse.
 func DecodeStoreResponse(b []byte) (*StoreResponse, error) {
-	r := NewReader(b)
-	if k := Kind(r.Byte()); k != KindStoreResp {
-		return nil, fmt.Errorf("wire: kind %d is not a store response", k)
+	m := new(StoreResponse)
+	if err := m.DecodeFrom(b); err != nil {
+		return nil, err
 	}
-	m := &StoreResponse{Status: Status(r.Byte()), Epoch: r.Uvarint()}
+	return m, nil
+}
+
+// DecodeFrom parses b into m, reusing m's Results slice when it has
+// capacity. The store client decodes one response per batch round trip into
+// a long-lived struct this way, which removes the per-batch Results
+// allocation. Decoded slices alias b.
+func (m *StoreResponse) DecodeFrom(b []byte) error {
+	var r Reader
+	r.Reset(b)
+	if k := Kind(r.Byte()); k != KindStoreResp {
+		return fmt.Errorf("wire: kind %d is not a store response", k)
+	}
+	m.Status = Status(r.Byte())
+	m.Epoch = r.Uvarint()
 	n := r.Count(5)
-	m.Results = make([]Result, n)
+	if cap(m.Results) >= n {
+		m.Results = m.Results[:n]
+	} else {
+		m.Results = make([]Result, n)
+	}
 	for i := range m.Results {
+		m.Results[i] = Result{}
 		res := &m.Results[i]
 		res.Status = Status(r.Byte())
 		res.Val = r.BytesN()
@@ -297,7 +342,7 @@ func DecodeStoreResponse(b []byte) (*StoreResponse, error) {
 			}
 		}
 	}
-	return m, r.Close()
+	return r.Close()
 }
 
 // Mutation is one applied write shipped from a partition master to its
@@ -318,9 +363,9 @@ type ReplicateRequest struct {
 	Mutations   []Mutation
 }
 
-// Encode serializes the replication request.
+// Encode serializes the replication request into a pool-backed buffer.
 func (m *ReplicateRequest) Encode() []byte {
-	w := NewWriter(64 + 32*len(m.Mutations))
+	w := GetWriter()
 	w.Byte(byte(KindReplicate))
 	w.Uvarint(m.PartitionID)
 	w.Uvarint(uint64(len(m.Mutations)))
@@ -333,7 +378,7 @@ func (m *ReplicateRequest) Encode() []byte {
 		w.Bool(mu.Counter)
 		w.Varint(mu.CtrVal)
 	}
-	return w.Bytes()
+	return w.Finish()
 }
 
 // DecodeReplicateRequest parses an encoded ReplicateRequest.

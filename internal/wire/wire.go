@@ -81,6 +81,14 @@ type Reader struct {
 // NewReader returns a reader over buf.
 func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
 
+// Reset re-targets the reader at buf, clearing position and error so a
+// stack-allocated Reader can be reused across messages without allocating.
+func (r *Reader) Reset(buf []byte) {
+	r.buf = buf
+	r.off = 0
+	r.err = nil
+}
+
 // Err returns the first decoding error, if any.
 func (r *Reader) Err() error { return r.err }
 
