@@ -1,12 +1,18 @@
 GO ?= go
 
-.PHONY: test test-race fuzz-short vet lint bench-smoke golden-trace ci
+.PHONY: test test-race chaos-race fuzz-short vet lint bench-smoke golden-trace ci
 
 test:
 	$(GO) test ./...
 
 test-race:
 	$(GO) test -race ./...
+
+# The bank chaos matrix under the race detector: fault injection + retries +
+# dedup exercise every cross-node locking path, which is exactly where a
+# data race would hide.
+chaos-race:
+	$(GO) test -race ./internal/chaos -run TestBankChaosMatrix
 
 # Short continuous-fuzzing session for the wire codecs; the regular test
 # run only replays the corpus.
@@ -41,6 +47,7 @@ ci:
 	$(GO) test ./...
 	$(GO) test -race ./internal/wire ./internal/env ./internal/sim \
 		./internal/metrics ./internal/btree ./internal/lint
+	$(MAKE) chaos-race
 	$(GO) vet ./...
 	$(MAKE) lint
 	$(GO) test ./internal/wire -run=FuzzRoundTrip

@@ -118,7 +118,7 @@ func bootstrapStorage(envr env.Full, node env.Node, tr transport.Transport, sn *
 				manager, m.Epoch, len(m.Partitions))
 			return
 		}
-		time.Sleep(time.Second)
+		ctx.Sleep(time.Second)
 	}
 }
 

@@ -73,6 +73,7 @@ func main() {
 
 	// Analytics: periodic revenue-by-region aggregation over live data.
 	for round := 1; round <= 4; round++ {
+		//lint:allow retrysleep fixed-cadence snapshot window between analytics rounds, not a retry
 		time.Sleep(50 * time.Millisecond)
 		tx, err := olap.Begin()
 		if err != nil {

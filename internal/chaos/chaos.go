@@ -70,7 +70,12 @@ type Event struct {
 
 // MessageFaults is a random per-message fault source. Probabilities are
 // evaluated independently per message leg (request and response count
-// separately) against the injector's seeded RNG.
+// separately) against the injector's seeded RNG. A duplicated leg's extra
+// copy is passed through the injector again by the transport — so
+// duplication composes with drop and delay (the duplicate itself can be
+// lost or delayed) — with the copy's own Duplicate verdict ignored, which
+// bounds every leg at one extra delivery. The extra draw happens exactly
+// when a duplication fires, so schedules stay seed-stable.
 type MessageFaults struct {
 	// DropProb loses the leg entirely.
 	DropProb float64

@@ -118,6 +118,15 @@ func bankScenarios(at time.Duration) []scenario {
 		{"flaky-network", 0, func(r *rig) chaos.Plan {
 			return chaos.FlakyNetwork(0.005, 0.005, 200*time.Microsecond)
 		}},
+		// Duplication aimed squarely at the mutating kinds: exactly-once must
+		// hold when store writes and grouped CM starts are replayed by the
+		// network on top of client-level retries.
+		{"dup-mutations", 0, func(r *rig) chaos.Plan {
+			return chaos.DupMutations(0, 0.02, 200*time.Microsecond)
+		}},
+		{"drop-dup-mutations", 0, func(r *rig) chaos.Plan {
+			return chaos.DupMutations(0.01, 0.02, 200*time.Microsecond)
+		}},
 		{"replica-lag", 0, func(r *rig) chaos.Plan { return chaos.ReplicaLag(2 * time.Millisecond) }},
 		{"replica-lag-failover", 50 * time.Millisecond, func(r *rig) chaos.Plan {
 			return chaos.ReplicaLagWithFailover("sn1", 50*time.Millisecond, 2*time.Millisecond)

@@ -71,6 +71,25 @@ func FlakyNetwork(dropProb, dupProb float64, maxDelay time.Duration) Plan {
 	}
 }
 
+// DupMutations drops and duplicates only the mutating message kinds: store
+// requests (writes ride wire.KindStoreReq) and commit-manager traffic
+// (grouped transaction starts ride wire.KindCMReq). A duplicated store write
+// or StartGroup that re-executes would double-apply money or leak a second
+// tid allocation — this plan exists to prove the idempotency-token dedup
+// actually delivers exactly-once under duplication + retry.
+func DupMutations(dropProb, dupProb float64, maxDelay time.Duration) Plan {
+	return Plan{
+		Name: "dup-mutations",
+		Msg: []MessageFaults{{
+			DropProb:  dropProb,
+			DupProb:   dupProb,
+			DelayProb: 0.05,
+			MaxDelay:  maxDelay,
+			Kinds:     []wire.Kind{wire.KindStoreReq, wire.KindCMReq},
+		}},
+	}
+}
+
 // ReplicaLag delays every master→replica mutation stream, so replicas trail
 // their masters; a failover promotes a replica that may be mid-catch-up.
 func ReplicaLag(maxDelay time.Duration) Plan {

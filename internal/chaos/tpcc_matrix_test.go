@@ -24,6 +24,12 @@ func tpccScenarios(at time.Duration) []scenario {
 		{"flaky-network", 0, func(r *rig) chaos.Plan {
 			return chaos.FlakyNetwork(0.003, 0.003, 200*time.Microsecond)
 		}},
+		// Duplicate + drop the mutating kinds only (store writes, grouped CM
+		// starts): the TPC-C consistency check (d_next_o_id vs max(o_id))
+		// would catch a double-applied NewOrder immediately.
+		{"dup-mutations", 0, func(r *rig) chaos.Plan {
+			return chaos.DupMutations(0.005, 0.015, 200*time.Microsecond)
+		}},
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"tell/internal/env"
 	"tell/internal/mvcc"
+	"tell/internal/resil"
 	"tell/internal/trace"
 	"tell/internal/transport"
 	"tell/internal/wire"
@@ -57,12 +58,22 @@ type Client struct {
 	// message); at the default each finish can wait a few network round
 	// trips for company.
 	FinFlush time.Duration
+	// Resil drives grouped-request retries: capped backoff with seeded
+	// jitter, resending the identical bytes each attempt so the manager's
+	// dedup window can replay rather than re-execute. No circuit breaker —
+	// roundTrip already rotates through the whole fleet per attempt.
+	Resil *resil.Retrier
 
 	mu     sync.Mutex
 	addrs  []string
 	cur    int
 	conns  map[string]transport.Conn
 	closed bool
+	// cmSeq numbers grouped requests for the dedup token; clientID names
+	// this client instance in tokens and descriptor-delta tracking (unique
+	// per instance so two clients on one node cannot collide).
+	cmSeq    uint64
+	clientID string
 	// Coalescer state. Only the sender activity performs grouped RPCs and
 	// touches the delta-descriptor cache; the mutex covers what crosses
 	// activities (connection map, stats counters, closed flag).
@@ -74,6 +85,21 @@ type Client struct {
 	nMsgs    uint64
 	nStarts  uint64
 	nFins    uint64
+}
+
+// cmClientInstances numbers client instances for token identity. Clients
+// are created during deterministic setup, so the numbering is reproducible.
+var (
+	cmClientInstMu sync.Mutex
+	cmClientInst   uint64
+)
+
+func nextCMClientID(node string) string {
+	cmClientInstMu.Lock()
+	cmClientInst++
+	n := cmClientInst
+	cmClientInstMu.Unlock()
+	return fmt.Sprintf("%s#%d", node, n)
 }
 
 // NewClient creates a client that talks to the managers at addrs. The
@@ -88,9 +114,20 @@ func NewClient(envr env.Full, node env.Node, tr transport.Transport, addrs []str
 		DeltaSnapshots: true,
 		MaxGroup:       16,
 		FinFlush:       100 * time.Microsecond,
+		Resil:          resil.NewRetrier(),
 		addrs:          append([]string(nil), addrs...),
 		conns:          make(map[string]transport.Conn),
+		clientID:       nextCMClientID(nodeLabel(node)),
 	}
+}
+
+// nextSeq issues the next grouped-request idempotency token.
+func (c *Client) nextSeq() uint64 {
+	c.mu.Lock()
+	c.cmSeq++
+	s := c.cmSeq
+	c.mu.Unlock()
+	return s
 }
 
 // Msgs returns how many CM round trips this client has issued.
@@ -417,76 +454,88 @@ func (c *Client) sendGroup(ctx env.Ctx, starts []*startWaiter, fins []*finWaiter
 			}
 		}
 	}
-	var lastErr error
-	for attempt := 0; attempt <= c.Retries; attempt++ {
-		if attempt > 0 {
-			ctx.Sleep(time.Millisecond)
-		}
-		req := c.buildGroupReq(len(starts), notes)
-		var sendAt time.Duration
+	// Build the request ONCE, with a fresh idempotency token: every retry
+	// resends the identical bytes, so a manager that already executed the
+	// group replays its cached response (same tids, same descriptor, same
+	// sequence number — the ack chain survives a lost response). Rebuilding
+	// per attempt would change the ack fields and break that identity.
+	req := c.buildGroupReq(len(starts), notes)
+	var sendAt time.Duration
+	var raw []byte
+	var conn transport.Conn
+	var results []StartResult
+	err := c.Resil.Do(ctx, resil.ClassCM, cmFleet, func(int) error {
 		if sc.R.Enabled() {
 			sendAt = ctx.Now()
 		}
-		raw, conn, err := c.roundTrip(ctx, req)
-		if err != nil {
-			lastErr = err
-			continue
+		var rtErr error
+		raw, conn, rtErr = c.roundTrip(ctx, req)
+		if rtErr != nil {
+			return rtErr
 		}
-		resp, err := DecodeStartGroupResp(raw)
-		if err == nil && resp.Status != wire.StatusOK {
-			err = fmt.Errorf("commitmgr: grouped start failed: %v", resp.Status)
+		resp, rtErr := DecodeStartGroupResp(raw)
+		if rtErr != nil {
+			return resil.Permanent(rtErr)
 		}
-		if err == nil {
-			var results []StartResult
-			results, err = c.applyGroupResp(resp, len(starts))
-			if err == nil {
-				var net time.Duration
-				if sc.R.Enabled() {
-					if tt, ok := conn.(transport.TransferTimer); ok {
-						net = tt.TransferTime(len(req)) + tt.TransferTime(len(raw))
-					}
-				}
-				c.mu.Lock()
-				c.nStarts += uint64(len(starts))
-				c.nFins += uint64(len(fins))
-				c.mu.Unlock()
-				for i, w := range starts {
-					out := startOutcome{res: results[i]}
-					if sc.R.Enabled() {
-						out.t = rpcTiming{qwait: sendAt - w.enq, net: net}
-					}
-					w.fut.Set(out)
-				}
-				for _, f := range fins {
-					out := finOutcome{}
-					if sc.R.Enabled() {
-						out.t = rpcTiming{qwait: sendAt - f.enq, net: net}
-					}
-					f.fut.Set(out)
-				}
-				return
+		if resp.Status != wire.StatusOK {
+			// Unavailable (racing duplicate, tid range exhausted) and
+			// Overload (shed by admission control) are transient: back off
+			// and resend the same bytes.
+			return fmt.Errorf("commitmgr: grouped start failed: %v", resp.Status)
+		}
+		results, rtErr = c.applyGroupResp(resp, len(starts))
+		if rtErr != nil {
+			return resil.Permanent(rtErr)
+		}
+		return nil
+	})
+	if err == nil {
+		var net time.Duration
+		if sc.R.Enabled() {
+			if tt, ok := conn.(transport.TransferTimer); ok {
+				net = tt.TransferTime(len(req)) + tt.TransferTime(len(raw))
 			}
 		}
-		// Any failure invalidates the ack chain: the manager may have
-		// advanced its per-client sequence on a response we failed to
-		// apply, so force a full descriptor on the retry. (Re-sending the
-		// finish notes is safe — finish is idempotent on the manager.)
-		lastErr = err
-		c.resetDeltaState()
+		c.mu.Lock()
+		c.nStarts += uint64(len(starts))
+		c.nFins += uint64(len(fins))
+		c.mu.Unlock()
+		for i, w := range starts {
+			out := startOutcome{res: results[i]}
+			if sc.R.Enabled() {
+				out.t = rpcTiming{qwait: sendAt - w.enq, net: net}
+			}
+			w.fut.Set(out)
+		}
+		for _, f := range fins {
+			out := finOutcome{}
+			if sc.R.Enabled() {
+				out.t = rpcTiming{qwait: sendAt - f.enq, net: net}
+			}
+			f.fut.Set(out)
+		}
+		return
 	}
-	if lastErr == nil {
-		lastErr = ErrUnavailable
-	}
+	// Out of attempts. The ack chain may be mid-step (a manager could have
+	// advanced its per-client sequence on a response we never applied), so
+	// force a full descriptor next time. (The unapplied finish notes are
+	// safe to re-send later — finish is idempotent on the manager.)
+	c.resetDeltaState()
 	for _, w := range starts {
-		w.fut.Set(startOutcome{err: lastErr})
+		w.fut.Set(startOutcome{err: err})
 	}
 	for _, f := range fins {
-		f.fut.Set(finOutcome{err: lastErr})
+		f.fut.Set(finOutcome{err: err})
 	}
 }
 
+// cmFleet is the breaker/schedule label for grouped requests: roundTrip
+// rotates through every manager per attempt, so retries are per-fleet, not
+// per-endpoint.
+const cmFleet = "cm-fleet"
+
 func (c *Client) buildGroupReq(count int, fins []FinNote) []byte {
-	req := StartGroupReq{Client: nodeLabel(c.node), Count: uint64(count), Fins: fins}
+	req := StartGroupReq{Client: c.clientID, Seq: c.nextSeq(), Count: uint64(count), Fins: fins}
 	if c.DeltaSnapshots {
 		req.AckServer, req.AckSeq = c.lastSrv, c.lastSeq
 	}

@@ -32,9 +32,15 @@ type FinNote struct {
 // StartGroupReq asks for Count transaction starts and delivers pending
 // finish notifications in the same message.
 type StartGroupReq struct {
-	// Client is a stable identity for descriptor delta tracking ("" opts
-	// out: the response always carries the full descriptor).
+	// Client is a stable identity for descriptor delta tracking and
+	// exactly-once dedup ("" opts out: the response always carries the
+	// full descriptor and duplicates may re-execute).
 	Client string
+	// Seq is the idempotency token for this request (0 = none). Retries
+	// resend the identical bytes; the manager executes each (Client, Seq)
+	// at most once and replays the cached response to duplicates, so a
+	// retried group cannot leak a second tid allocation.
+	Seq uint64
 	// AckServer/AckSeq identify the last descriptor this client applied:
 	// the id of the manager that sent it and its per-client sequence
 	// number. The manager sends a delta only when both match its own
@@ -54,6 +60,7 @@ func (m *StartGroupReq) Encode() []byte {
 	w.Byte(byte(wire.KindCMReq))
 	w.Byte(byte(cmStartGroup))
 	w.String(m.Client)
+	w.Uvarint(m.Seq)
 	w.String(m.AckServer)
 	w.Uvarint(m.AckSeq)
 	w.Uvarint(m.Count)
@@ -73,6 +80,7 @@ func DecodeStartGroupReq(raw []byte) (*StartGroupReq, error) {
 	}
 	m := &StartGroupReq{
 		Client:    r.String(),
+		Seq:       r.Uvarint(),
 		AckServer: r.String(),
 		AckSeq:    r.Uvarint(),
 		Count:     r.Uvarint(),

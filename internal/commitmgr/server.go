@@ -19,6 +19,7 @@ import (
 	"tell/internal/env"
 	"tell/internal/metrics"
 	"tell/internal/mvcc"
+	"tell/internal/resil"
 	"tell/internal/store"
 	"tell/internal/transport"
 	"tell/internal/txlog"
@@ -113,6 +114,14 @@ type Server struct {
 	// while some peer is presumed dead.
 	RecoveryEvery int
 
+	// dedup is the exactly-once window for grouped starts: a retried
+	// StartGroupReq replays its cached response instead of allocating a
+	// second batch of tids (which would pin the lav until ActiveTTL).
+	dedup *resil.Window
+	// gate is the admission controller: past the inflight bound, requests
+	// shed with StatusOverload instead of queueing without limit.
+	gate *resil.Gate
+
 	stopped bool
 	starts  uint64
 	// deltas/fulls count grouped responses by descriptor form (telemetry
@@ -143,6 +152,8 @@ func New(id, addr string, envr env.Full, node env.Node, tr transport.Transport, 
 		peerRange:      make(map[string][2]uint64),
 		deadPeers:      make(map[string]bool),
 		clients:        make(map[string]*clientDescState),
+		dedup:          resil.NewWindow(256),
+		gate:           resil.NewGate(envr, 256, time.Millisecond),
 		ActiveTTL:      30 * time.Second,
 		StalePeerTicks: 5000,
 		RecoveryGrace:  100 * time.Millisecond,
@@ -153,6 +164,13 @@ func New(id, addr string, envr env.Full, node env.Node, tr transport.Transport, 
 
 // Addr returns the server's address.
 func (s *Server) Addr() string { return s.addr }
+
+// Sheds returns how many requests the admission gate rejected.
+func (s *Server) Sheds() uint64 { return s.gate.Sheds() }
+
+// Replays returns how many duplicate grouped starts were answered from the
+// dedup window instead of re-executing.
+func (s *Server) Replays() uint64 { return s.dedup.Replays() }
 
 // Starts returns how many transactions this manager has started.
 func (s *Server) Starts() uint64 {
@@ -190,6 +208,21 @@ func (s *Server) handle(ctx env.Ctx, raw []byte) []byte {
 	if wire.PeekKind(raw) == wire.KindStatsReq {
 		return s.handleStats(ctx)
 	}
+	// Admission control: shed rather than queue without bound (pings and
+	// stats above bypass — the failure detector must see an overloaded
+	// manager as alive).
+	if !s.gate.Enter(ctx) {
+		if len(raw) >= 2 && cmSub(raw[1]) == cmStartGroup {
+			return (&StartGroupResp{Status: wire.StatusOverload}).Encode()
+		}
+		return ackResp(wire.StatusOverload)
+	}
+	resp := s.handleCM(ctx, raw)
+	s.gate.Exit()
+	return resp
+}
+
+func (s *Server) handleCM(ctx env.Ctx, raw []byte) []byte {
 	r := wire.NewReader(raw)
 	if wire.Kind(r.Byte()) != wire.KindCMReq {
 		return ackResp(wire.StatusError)
@@ -205,7 +238,7 @@ func (s *Server) handle(ctx env.Ctx, raw []byte) []byte {
 		if err != nil {
 			return (&StartGroupResp{Status: wire.StatusError}).Encode()
 		}
-		resp := s.handleStartGroup(ctx, req)
+		resp := s.startGroupDedup(ctx, req)
 		s.recordLat("start-group", ctx.Now()-began)
 		return resp
 	case cmFinished:
@@ -248,6 +281,8 @@ func (s *Server) handleStats(ctx env.Ctx) []byte {
 		wire.StatsCounter{Name: "cm/lav", Value: int64(s.lavLocked())},
 		wire.StatsCounter{Name: "cm/deltas", Value: int64(s.deltas)},
 		wire.StatsCounter{Name: "cm/fulls", Value: int64(s.fulls)},
+		wire.StatsCounter{Name: "resil/replays", Value: int64(s.dedup.Replays())},
+		wire.StatsCounter{Name: "resil/sheds", Value: int64(s.gate.Sheds())},
 	)
 	s.mu.Unlock()
 	for _, c := range env.Tracer(s.envr).Counters() {
@@ -321,6 +356,35 @@ func (s *Server) handleStart(ctx env.Ctx) []byte {
 	snap.EncodeTo(w)
 	w.Uvarint(lav)
 	return w.Bytes()
+}
+
+// startGroupDedup is the exactly-once wrapper around handleStartGroup. A
+// grouped start is NOT idempotent — re-executing allocates fresh tids (left
+// active until ActiveTTL, pinning the lav) and advances the per-client
+// descriptor sequence — so duplicates of a completed request replay the
+// cached response byte-identically, and duplicates racing the in-flight
+// original are refused with a retryable status. Failed executions release
+// the token so the client's retry runs fresh.
+func (s *Server) startGroupDedup(ctx env.Ctx, req *StartGroupReq) []byte {
+	tokened := req.Client != "" && req.Seq != 0
+	if tokened {
+		cached, st := s.dedup.Begin(req.Client, req.Seq)
+		switch st {
+		case resil.StateReplay:
+			return cached
+		case resil.StateInFlight, resil.StateStale:
+			return (&StartGroupResp{Status: wire.StatusUnavailable}).Encode()
+		}
+	}
+	resp := s.handleStartGroup(ctx, req)
+	if tokened {
+		if len(resp) >= 3 && wire.Status(resp[2]) == wire.StatusOK {
+			s.dedup.Commit(req.Client, req.Seq, resp) // Commit clones
+		} else {
+			s.dedup.Abort(req.Client, req.Seq)
+		}
+	}
+	return resp
 }
 
 // clientDescState is the per-client descriptor memory behind delta

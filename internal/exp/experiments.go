@@ -436,6 +436,72 @@ func AblationCoalesce(opt Options) (*Table, error) {
 	return t, nil
 }
 
+// AblationResilience — the RPC resilience layer under injected network
+// faults: a sweep of drop/duplicate/delay rates on every message leg, with
+// deadlines, deterministic retries, exactly-once dedup and overload
+// shedding absorbing them below the engine. The headline claim: at 1% drop
+// + 1% dup, goodput (committed transactions per second) stays within 10% of
+// the fault-free baseline, and the retry schedule digest is reproducible
+// from TELL_SEED alone.
+func AblationResilience(opt Options) (*Table, error) {
+	t := &Table{
+		ID: "ablation-resilience",
+		Title: "Ablation: RPC resilience under network faults " +
+			"(write-intensive, 4 PNs, 2 CMs, RF2)",
+		Header: []string{"faults", "Tps", "goodput", "p99", "retries/txn",
+			"replays", "sheds", "retry hash"},
+	}
+	type step struct {
+		label                string
+		drop, dup, delayProb float64
+	}
+	steps := []step{
+		{"none (baseline)", 0, 0, 0},
+		{"0.5% drop", 0.005, 0, 0},
+		{"1% drop", 0.01, 0, 0},
+		{"1% dup", 0, 0.01, 0},
+		{"1% drop + 1% dup", 0.01, 0.01, 0},
+		{"1% drop + 1% dup + 5% delay", 0.01, 0.01, 0.05},
+		{"2% drop + 2% dup", 0.02, 0.02, 0},
+	}
+	// The timeout sits just above the fabric's per-RPC p99 (~tens of µs on
+	// the simulated InfiniBand) instead of a conservative multiple: a false
+	// timeout is harmless — the retry carries the same idempotency token
+	// and the server's dedup window replays the cached response — so the
+	// cost of a dropped leg is one timeout plus one short backoff.
+	base := TellParams{
+		PNs: 4, SNs: 5, CMs: 2, ReplicationFactor: 2, Workers: 48,
+		NetTimeout: 150 * time.Microsecond,
+		MaxDelay:   100 * time.Microsecond,
+	}
+	var baseline float64
+	for i, s := range steps {
+		p := base
+		p.DropProb, p.DupProb, p.DelayProb = s.drop, s.dup, s.delayProb
+		run, err := RunTell(opt, p)
+		if err != nil {
+			return nil, err
+		}
+		if run.Anomalies > 0 {
+			return nil, fmt.Errorf("ablation-resilience: %d snapshot-isolation anomalies under %q", run.Anomalies, s.label)
+		}
+		tps := run.Result.Tps()
+		if i == 0 {
+			baseline = tps
+		}
+		goodput := 1.0
+		if baseline > 0 {
+			goodput = tps / baseline
+		}
+		t.AddRow(s.label, f0(tps), pct(goodput),
+			run.Result.Latency.Total().Percentile(0.99).String(),
+			f2(run.RetriesPerTxn), fmt.Sprint(run.Replays),
+			fmt.Sprint(run.Sheds), fmt.Sprintf("%016x", run.RetryHash))
+	}
+	t.Note("goodput is Tps relative to the fault-free baseline; 'replays' are dedup-window cache hits (a duplicate or retried write answered without re-executing); the retry hash is the merged digest of every client's retry schedule — identical across runs with the same TELL_SEED; every faulted run is checked by the offline SI history checker and had zero anomalies")
+	return t, nil
+}
+
 // AblationIndexCache — B+tree inner-node caching on/off (§5.3.1).
 func AblationIndexCache(opt Options) (*Table, error) {
 	t := &Table{
@@ -498,6 +564,7 @@ func Registry() map[string]func(Options) (*Table, error) {
 		"sec633":               Sec633,
 		"ablation-batching":    AblationBatching,
 		"ablation-coalesce":    AblationCoalesce,
+		"ablation-resilience":  AblationResilience,
 		"ablation-indexcache":  AblationIndexCache,
 		"ablation-tidrange":    AblationTidRange,
 		"ablation-granularity": AblationGranularity,

@@ -10,11 +10,14 @@ import (
 	"time"
 
 	"tell/internal/baseline"
+	"tell/internal/chaos"
 	"tell/internal/commitmgr"
 	"tell/internal/core"
 	"tell/internal/env"
 	"tell/internal/fdblike"
+	"tell/internal/histcheck"
 	"tell/internal/ndblike"
+	"tell/internal/resil"
 	"tell/internal/sim"
 	"tell/internal/store"
 	"tell/internal/tpcc"
@@ -98,6 +101,19 @@ type TellParams struct {
 	// NoDeltaSnapshots makes every grouped CM response carry the full
 	// snapshot descriptor instead of a delta against the last acked one.
 	NoDeltaSnapshots bool
+	// Fault injection (ablation-resilience): per-message-leg probabilities
+	// applied to every kind for the whole run. All zero means no injector
+	// is installed.
+	DropProb, DupProb, DelayProb float64
+	MaxDelay                     time.Duration
+	// NetTimeout overrides the simulated network's round-trip timeout.
+	// Under fault injection the 50ms default would turn every dropped leg
+	// into a 50ms stall and drown the retry policy's own deadlines; the
+	// resilience experiments use ~2ms.
+	NetTimeout time.Duration
+	// Admission caps each storage node's concurrently admitted requests
+	// (the overload gate); 0 keeps the node default.
+	Admission int
 }
 
 func (p *TellParams) defaults() {
@@ -157,6 +173,24 @@ type TellRun struct {
 	BytesPerTxn float64
 	// Trace is the event recorder, non-nil when Options.Trace was set.
 	Trace *trace.Recorder
+	// Resilience counters (ablation-resilience). Retries counts transport-
+	// level retries scheduled by every store and CM client; RetryHash is the
+	// merged deterministic digest of those schedules — with the same
+	// TELL_SEED two runs must produce identical hashes. Sheds and Replays
+	// are summed over storage nodes and commit managers; Drops/Dups/Delays
+	// are the injector's fault counts (zero when no faults configured).
+	Retries       uint64
+	RetryHash     uint64
+	RetriesPerTxn float64
+	Sheds         uint64
+	Replays       uint64
+	Drops         uint64
+	Dups          uint64
+	Delays        uint64
+	// Anomalies is the number of snapshot-isolation violations found by the
+	// offline history checker; it is recorded only on fault-injected runs
+	// (zero otherwise) and must always be zero.
+	Anomalies int
 }
 
 // RunTell executes one full Tell deployment run.
@@ -173,6 +207,9 @@ func RunTell(opt Options, p TellParams) (*TellRun, error) {
 		env.SetTracer(envr, rec)
 	}
 	net := transport.NewSimNet(k, p.Network)
+	if p.NetTimeout > 0 {
+		net.SetTimeout(p.NetTimeout)
+	}
 
 	cluster, err := store.NewCluster(envr, net, store.ClusterConfig{
 		NumNodes:          p.SNs,
@@ -184,9 +221,41 @@ func RunTell(opt Options, p TellParams) (*TellRun, error) {
 	if _, err := tpcc.Load(cluster, opt.tpccConfig()); err != nil {
 		return nil, err
 	}
+	if p.Admission > 0 {
+		for _, addr := range cluster.Addrs() {
+			cluster.Node(addr).SetAdmission(p.Admission, time.Millisecond)
+		}
+	}
+	if p.NetTimeout > 0 {
+		// Scale backoffs with the tightened timeout everywhere, including
+		// the storage nodes' synchronous replication shipping.
+		for _, addr := range cluster.Addrs() {
+			cluster.Node(addr).SetRetryPolicies(resil.FastPolicies(p.NetTimeout))
+		}
+	}
+	// Fault injection goes in after loading (the workload, not the bulk
+	// load, is what the resilience ablation stresses). Faulted runs also
+	// record the full transaction history and check it for isolation
+	// anomalies: a resilience number from a run that silently lost or
+	// double-applied a write would be worthless.
+	var inj *chaos.Injector
+	var hist *histcheck.History
+	if p.DropProb > 0 || p.DupProb > 0 || p.DelayProb > 0 {
+		inj = chaos.Install(k, net, chaos.Plan{
+			Name: "resilience-faults",
+			Msg: []chaos.MessageFaults{{
+				DropProb:  p.DropProb,
+				DupProb:   p.DupProb,
+				DelayProb: p.DelayProb,
+				MaxDelay:  p.MaxDelay,
+			}},
+		}, opt.Seed)
+		hist = histcheck.New()
+	}
 
 	// Commit managers.
 	var cmIDs, cmAddrs []string
+	var cms []*commitmgr.Server
 	for i := 0; i < p.CMs; i++ {
 		cmIDs = append(cmIDs, fmt.Sprintf("cm%d", i))
 	}
@@ -203,6 +272,7 @@ func RunTell(opt Options, p TellParams) (*TellRun, error) {
 		if err := cm.Start(); err != nil {
 			return nil, err
 		}
+		cms = append(cms, cm)
 		cmAddrs = append(cmAddrs, addr)
 	}
 
@@ -231,6 +301,10 @@ func RunTell(opt Options, p TellParams) (*TellRun, error) {
 		// load, with the rest as fail-over targets.
 		order := append([]string{cmAddrs[i%len(cmAddrs)]}, cmAddrs...)
 		cmc := commitmgr.NewClient(envr, node, net, order)
+		if p.NetTimeout > 0 {
+			sc.Resil.Policies = resil.FastPolicies(p.NetTimeout)
+			cmc.Resil.Policies = resil.FastPolicies(p.NetTimeout)
+		}
 		cmc.Coalesce = !p.NoCMCoalesce
 		cmc.DeltaSnapshots = !p.NoDeltaSnapshots
 		pn := core.New(core.Config{
@@ -240,6 +314,9 @@ func RunTell(opt Options, p TellParams) (*TellRun, error) {
 			CacheUnitSize:   p.CacheUnitSize,
 			CacheIndexInner: !p.NoIndexCache,
 		}, envr, node, net, sc, cmc)
+		if hist != nil {
+			pn.SetRecorder(hist)
+		}
 		pn.StartWorkers()
 		pns = append(pns, pn)
 		clients = append(clients, sc)
@@ -295,6 +372,34 @@ func RunTell(opt Options, p TellParams) (*TellRun, error) {
 		out.CMMsgsPerTxn = float64(out.CMMsgs) / float64(committed)
 		out.MsgsPerTxn = float64(out.NetRequests) / float64(committed)
 		out.BytesPerTxn = float64(out.NetBytes) / float64(committed)
+	}
+	// Resilience counters: merge every client-side retry schedule into one
+	// fleet-level digest, and sum server-side shed/replay counts.
+	var retriers []*resil.Retrier
+	for _, sc := range clients {
+		retriers = append(retriers, sc.Resil)
+	}
+	for _, cmc := range cmClients {
+		retriers = append(retriers, cmc.Resil)
+	}
+	out.RetryHash, out.Retries = resil.MergeSchedule(retriers)
+	for _, addr := range cluster.Addrs() {
+		sn := cluster.Node(addr)
+		out.Sheds += sn.Sheds()
+		out.Replays += sn.Replays()
+	}
+	for _, cm := range cms {
+		out.Sheds += cm.Sheds()
+		out.Replays += cm.Replays()
+	}
+	if committed := res.TotalCommitted(); committed > 0 {
+		out.RetriesPerTxn = float64(out.Retries) / float64(committed)
+	}
+	if inj != nil {
+		out.Drops, out.Dups, out.Delays = inj.Stats()
+	}
+	if hist != nil {
+		out.Anomalies = len(hist.Check().Anomalies)
 	}
 	return out, nil
 }

@@ -14,6 +14,8 @@
 //	maporder     — no map iteration feeding simulation-visible state unsorted
 //	nogoroutine  — no raw `go` statements; processes spawn via env/sim
 //	wirecomplete — every exported wire message field is encoded AND decoded
+//	retrysleep   — no time.Sleep-paced retry loops in real-env code (cmd/,
+//	               examples/, the public API); pacing goes through env/resil
 //
 // The framework deliberately mirrors golang.org/x/tools/go/analysis
 // (Analyzer, Pass, Reportf) so the suite could be ported to the upstream

@@ -119,6 +119,10 @@ func TestWireCompleteFixture(t *testing.T) {
 	runFixture(t, WireComplete, "wirecomplete")
 }
 
+func TestRetrySleepFixture(t *testing.T) {
+	runFixture(t, RetrySleep, "retrysleep", "time")
+}
+
 // TestAllowFixture exercises the suppression paths: same-line allow,
 // line-above allow, whole-file allow, and an allow naming the wrong
 // analyzer (which must not suppress).

@@ -32,9 +32,21 @@ func EnginePackage(importPath string) bool {
 	return !engineExempt[top]
 }
 
+// RealEnvPackage reports whether importPath holds code that runs only on
+// the real environment: the public API, the command binaries and the
+// examples. The determinism analyzers do not apply there, but retrysleep
+// does — a retry loop pacing itself with a bare time.Sleep bypasses both
+// env's clock and resil's deterministic backoff.
+func RealEnvPackage(importPath string) bool {
+	return importPath == "tell" ||
+		strings.HasPrefix(importPath, "tell/cmd/") ||
+		strings.HasPrefix(importPath, "tell/examples/")
+}
+
 // Default returns the tellvet analyzer suite with its repository scoping
 // applied: the determinism analyzers run over engine packages, the wire
-// completeness check over the wire codec.
+// completeness check over the wire codec, and the retry-pacing check over
+// the real-environment packages.
 func Default() []*Analyzer {
 	scoped := func(a *Analyzer, applies func(string) bool) *Analyzer {
 		b := *a
@@ -47,6 +59,7 @@ func Default() []*Analyzer {
 		scoped(MapOrder, EnginePackage),
 		scoped(NoGoroutine, EnginePackage),
 		scoped(WireComplete, func(path string) bool { return path == "tell/internal/wire" }),
+		scoped(RetrySleep, RealEnvPackage),
 	}
 }
 

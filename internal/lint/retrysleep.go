@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// RetrySleep forbids time.Sleep inside a for loop in the real-environment
+// packages (cmd/, examples/, the public API) that nowallclock does not
+// cover. A loop body that sleeps is, in this codebase, almost always a
+// retry or polling loop — and a bare time.Sleep there is invisible to the
+// simulator and to the resilience layer's deterministic backoff schedule.
+// Retry pacing must go through env (ctx.Sleep on a detached context) or
+// through internal/resil, whose backoff is seeded and replayable. A sleep
+// that is genuinely not retry pacing (a fixed-cadence measurement window,
+// say) is suppressed with //lint:allow retrysleep <reason>.
+var RetrySleep = &Analyzer{
+	Name: "retrysleep",
+	Doc: "forbid time.Sleep inside for loops outside the engine; retry pacing must use " +
+		"env (ctx.Sleep) or internal/resil backoff so schedules stay deterministic",
+	Run: runRetrySleep,
+}
+
+func runRetrySleep(pass *Pass) error {
+	for _, f := range pass.Files {
+		var walk func(n ast.Node, loopDepth int)
+		walk = func(n ast.Node, loopDepth int) {
+			switch n := n.(type) {
+			case nil:
+				return
+			case *ast.FuncLit:
+				// A closure starts a fresh scope: its body runs when the
+				// closure is called, not per iteration of an enclosing loop.
+				walk(n.Body, 0)
+				return
+			case *ast.ForStmt:
+				walk(n.Init, loopDepth)
+				walk(n.Cond, loopDepth)
+				walk(n.Post, loopDepth)
+				walk(n.Body, loopDepth+1)
+				return
+			case *ast.RangeStmt:
+				walk(n.Body, loopDepth+1)
+				return
+			case *ast.CallExpr:
+				if loopDepth > 0 {
+					if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+						if fn := pkgLevelFunc(pass, sel, "time"); fn != nil && fn.Name() == "Sleep" {
+							pass.Reportf(sel.Pos(),
+								"time.Sleep in a loop is undeclared retry pacing; use env's ctx.Sleep or internal/resil backoff")
+						}
+					}
+				}
+			}
+			// Generic descent for every other node kind.
+			ast.Inspect(n, func(c ast.Node) bool {
+				if c == n {
+					return true
+				}
+				walk(c, loopDepth)
+				return false
+			})
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				walk(fd.Body, 0)
+			}
+		}
+	}
+	return nil
+}

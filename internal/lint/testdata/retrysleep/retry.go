@@ -1,0 +1,66 @@
+package retrysleep
+
+import "time"
+
+// A classic bootstrap retry loop pacing itself with a bare sleep.
+func retryLoop(try func() error) {
+	for {
+		if try() == nil {
+			return
+		}
+		time.Sleep(time.Second) // want "time.Sleep in a loop is undeclared retry pacing"
+	}
+}
+
+// Range loops count too.
+func rangeLoop(addrs []string, dial func(string) error) {
+	for _, a := range addrs {
+		for dial(a) != nil {
+			time.Sleep(time.Millisecond) // want "time.Sleep in a loop is undeclared retry pacing"
+		}
+	}
+}
+
+// A sleep outside any loop is not retry pacing.
+func oneShot() {
+	time.Sleep(time.Millisecond)
+}
+
+// A closure defined inside a loop starts a fresh scope: its body does not
+// run per iteration just because its definition site is inside one.
+func closureInLoop(spawn func(func())) {
+	for i := 0; i < 3; i++ {
+		spawn(func() {
+			time.Sleep(time.Millisecond)
+		})
+	}
+}
+
+// A loop inside a closure is still a loop.
+func loopInClosure() func() {
+	return func() {
+		for i := 0; i < 3; i++ {
+			time.Sleep(time.Millisecond) // want "time.Sleep in a loop is undeclared retry pacing"
+		}
+	}
+}
+
+// Methods named Sleep are not time.Sleep.
+type pacer struct{}
+
+func (pacer) Sleep(time.Duration) {}
+
+func methodSleep(p pacer) {
+	for i := 0; i < 3; i++ {
+		p.Sleep(time.Millisecond)
+	}
+}
+
+// A justified fixed-cadence sleep is suppressed with an allow.
+func measured(sample func()) {
+	for i := 0; i < 4; i++ {
+		//lint:allow retrysleep fixture: fixed-cadence measurement window, not a retry
+		time.Sleep(100 * time.Millisecond)
+		sample()
+	}
+}

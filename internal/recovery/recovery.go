@@ -17,6 +17,7 @@ import (
 	"tell/internal/core"
 	"tell/internal/det"
 	"tell/internal/env"
+	"tell/internal/resil"
 	"tell/internal/store"
 	"tell/internal/transport"
 	"tell/internal/txlog"
@@ -35,6 +36,11 @@ type Manager struct {
 	// PingInterval and FailAfter tune the failure detector.
 	PingInterval time.Duration
 	FailAfter    int
+
+	// retr pins probes to the single-attempt ping policy: a transport-level
+	// retry inside one probe would count several misses per window and
+	// destroy the FailAfter calibration.
+	retr *resil.Retrier
 
 	mu      sync.Mutex
 	pns     map[string]bool // addr → declared dead
@@ -60,6 +66,7 @@ func NewManager(envr env.Full, node env.Node, tr transport.Transport, sc *store.
 		sc:           sc,
 		cm:           cm,
 		log:          txlog.New(sc),
+		retr:         resil.NewRetrier(),
 		PingInterval: 5 * time.Millisecond,
 		FailAfter:    3,
 		pns:          make(map[string]bool),
@@ -126,8 +133,17 @@ func (m *Manager) monitor(ctx env.Ctx) {
 				m.mu.Unlock()
 				continue
 			}
+			if m.pns[addr] {
+				// Already declared dead while this round was in flight. An
+				// endpoint the chaos layer has both partitioned and crashed
+				// fails for two reasons, but it is one failure: never let
+				// a late probe count a second miss or queue a second
+				// recovery.
+				m.mu.Unlock()
+				continue
+			}
 			m.misses[addr]++
-			failed := m.misses[addr] >= m.FailAfter && !m.pns[addr]
+			failed := m.misses[addr] >= m.FailAfter
 			m.mu.Unlock()
 			if failed {
 				m.declareFailed(ctx, addr)
@@ -142,8 +158,19 @@ func (m *Manager) ping(ctx env.Ctx, addr string) bool {
 	if conn == nil {
 		return false
 	}
-	resp, err := conn.RoundTrip(ctx, []byte{byte(wire.KindPing)})
-	return err == nil && wire.PeekKind(resp) == wire.KindPong
+	// ClassPing allows exactly one attempt: one probe, one verdict. (The
+	// Do wrapper still brackets the probe so its outcome enters the
+	// deterministic retry schedule hash with the rest of the RPC paths.)
+	alive := false
+	_ = m.retr.Do(ctx, resil.ClassPing, addr, func(int) error {
+		resp, err := conn.RoundTrip(ctx, []byte{byte(wire.KindPing)})
+		if err != nil {
+			return err
+		}
+		alive = wire.PeekKind(resp) == wire.KindPong
+		return nil
+	})
+	return alive
 }
 
 func (m *Manager) conn(addr string) transport.Conn {
@@ -161,10 +188,17 @@ func (m *Manager) conn(addr string) transport.Conn {
 }
 
 // declareFailed queues the node for recovery; one recovery process handles
-// the queue (and can therefore absorb multiple concurrent failures).
+// the queue (and can therefore absorb multiple concurrent failures). It is
+// idempotent: a node can only be declared dead once per Watch, no matter how
+// many overlapping fault conditions (crash, partition) made probes fail.
 func (m *Manager) declareFailed(ctx env.Ctx, addr string) {
 	m.mu.Lock()
+	if m.pns[addr] {
+		m.mu.Unlock()
+		return
+	}
 	m.pns[addr] = true
+	m.misses[addr] = 0 // a future re-Watch starts from a clean counter
 	m.pendingQ = append(m.pendingQ, addr)
 	launch := !m.recovering
 	m.recovering = true

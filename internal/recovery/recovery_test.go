@@ -226,6 +226,53 @@ func TestFailureDetectorTriggersRecovery(t *testing.T) {
 	})
 }
 
+// TestCrashDuringPartitionDeclaredDeadOnce is the regression test for the
+// failure detector double-count: an endpoint that is partitioned away from
+// the management node AND crashed inside the same detection window fails its
+// probes for two reasons, but it is one failure — the detector must declare
+// it dead (and run recovery) exactly once, even after the partition heals
+// while the node stays down.
+func TestCrashDuringPartitionDeclaredDeadOnce(t *testing.T) {
+	r := newRig(t, 2)
+	r.mgr.Start()
+	var recoveredCount int
+	r.mgr.OnRecovered = func(pn string, n int) {
+		if pn == "pn1" {
+			recoveredCount++
+		}
+	}
+	r.run(t, func(ctx env.Ctx) {
+		pn0 := r.pns[0]
+		table, _ := pn0.Catalog().CreateTable(ctx, schema())
+		setup, _ := pn0.Begin(ctx)
+		rid, _ := setup.Insert(ctx, table, relational.Row{relational.I64(1), relational.I64(7)})
+		setup.Commit(ctx)
+		var deadTid uint64
+		crashMidCommit(t, ctx, r.pns[1], table, rid, &deadTid)
+
+		// Partition pn1 away from the management node, then crash it while
+		// the partition is still in force: both conditions overlap the same
+		// detection window.
+		r.net.DropFn = func(src, dst string) bool {
+			return (src == "pn-mgmt" && dst == "pn1") || (src == "pn1" && dst == "pn-mgmt")
+		}
+		ctx.Sleep(20 * time.Millisecond) // a few missed pings into the window
+		r.net.SetDown("pn1", true)
+		ctx.Sleep(500 * time.Millisecond)
+		// Heal the partition with the node still crashed: probes keep
+		// failing, but the verdict must not be re-issued.
+		r.net.DropFn = nil
+		ctx.Sleep(500 * time.Millisecond)
+
+		if recoveredCount != 1 {
+			t.Fatalf("pn1 recovered %d times, want exactly 1", recoveredCount)
+		}
+		if r.mgr.Recoveries() != 1 {
+			t.Fatalf("Recoveries = %d, want 1", r.mgr.Recoveries())
+		}
+	})
+}
+
 func TestRecoveryHandlesMultipleFailures(t *testing.T) {
 	r := newRig(t, 3)
 	r.mgr.Start()

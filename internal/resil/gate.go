@@ -1,0 +1,74 @@
+package resil
+
+import (
+	"sync"
+	"time"
+
+	"tell/internal/env"
+)
+
+// Gate is server-side admission control: a bounded pool of inflight slots
+// with a queue deadline. A handler calls Enter before doing work; if no
+// slot frees up within QueueDeadline the request is shed — the handler
+// answers a retryable overload status instead of joining an unbounded
+// queue. Shedding converts queue collapse under overload into fast
+// retryable failures the client's backoff spreads out.
+//
+// The slot pool is an env.Queue of tokens, so waiting for a slot is a
+// virtual-clock wait under simulation (never a spin, never wall time).
+type Gate struct {
+	// QueueDeadline is how long Enter waits for a slot before shedding.
+	QueueDeadline time.Duration
+
+	q env.Queue
+
+	mu    sync.Mutex
+	sheds uint64
+}
+
+// NewGate returns a gate admitting at most maxInflight concurrent holders,
+// shedding requests that wait longer than queueDeadline for a slot.
+func NewGate(f env.Factory, maxInflight int, queueDeadline time.Duration) *Gate {
+	if maxInflight <= 0 {
+		maxInflight = 64
+	}
+	g := &Gate{QueueDeadline: queueDeadline, q: f.NewQueue()}
+	for i := 0; i < maxInflight; i++ {
+		g.q.Put(struct{}{})
+	}
+	return g
+}
+
+// Enter acquires an inflight slot, reporting false (shed) if none frees up
+// within the queue deadline. On true the caller must Exit when done.
+func (g *Gate) Enter(ctx env.Ctx) bool {
+	if g == nil {
+		return true
+	}
+	_, ok, timedOut := g.q.GetTimeout(ctx, g.QueueDeadline)
+	if !ok || timedOut {
+		g.mu.Lock()
+		g.sheds++
+		g.mu.Unlock()
+		return false
+	}
+	return true
+}
+
+// Exit releases a slot acquired by Enter.
+func (g *Gate) Exit() {
+	if g == nil {
+		return
+	}
+	g.q.Put(struct{}{})
+}
+
+// Sheds returns how many requests were shed so far.
+func (g *Gate) Sheds() uint64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.sheds
+}

@@ -1,0 +1,239 @@
+package resil_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tell/internal/env"
+	"tell/internal/resil"
+	"tell/internal/sim"
+)
+
+// runSim spawns fn on a fresh simulated node and runs the kernel dry.
+func runSim(t *testing.T, seed int64, fn func(ctx env.Ctx, e env.Full)) {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	e := env.NewSim(k)
+	n := e.NewNode("n1", 4)
+	n.Go("test", func(ctx env.Ctx) { fn(ctx, e) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+}
+
+func TestRetrierRetriesUntilSuccess(t *testing.T) {
+	runSim(t, 1, func(ctx env.Ctx, e env.Full) {
+		r := resil.NewRetrier()
+		calls := 0
+		err := r.Do(ctx, resil.ClassRead, "sn0", func(attempt int) error {
+			if attempt != calls {
+				t.Errorf("attempt = %d, want %d", attempt, calls)
+			}
+			calls++
+			if calls < 3 {
+				return errors.New("transient")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Do: %v", err)
+		}
+		if calls != 3 {
+			t.Fatalf("calls = %d, want 3", calls)
+		}
+		if r.Retries() != 2 {
+			t.Fatalf("Retries = %d, want 2", r.Retries())
+		}
+		if ctx.Now() == 0 {
+			t.Fatal("no virtual time elapsed: backoff did not sleep")
+		}
+	})
+}
+
+func TestRetrierAttemptBudget(t *testing.T) {
+	runSim(t, 1, func(ctx env.Ctx, e env.Full) {
+		r := resil.NewRetrier()
+		r.Policies[resil.ClassWrite].Attempts = 3
+		calls := 0
+		fail := errors.New("down")
+		err := r.Do(ctx, resil.ClassWrite, "sn0", func(int) error {
+			calls++
+			return fail
+		})
+		if !errors.Is(err, fail) {
+			t.Fatalf("err = %v, want %v", err, fail)
+		}
+		if calls != 3 {
+			t.Fatalf("calls = %d, want 3", calls)
+		}
+	})
+}
+
+func TestRetrierPermanentStopsImmediately(t *testing.T) {
+	runSim(t, 1, func(ctx env.Ctx, e env.Full) {
+		r := resil.NewRetrier()
+		calls := 0
+		bad := errors.New("bad request")
+		err := r.Do(ctx, resil.ClassRead, "sn0", func(int) error {
+			calls++
+			return resil.Permanent(bad)
+		})
+		if !errors.Is(err, bad) {
+			t.Fatalf("err = %v, want %v", err, bad)
+		}
+		if resil.IsPermanent(err) {
+			t.Fatal("returned error still wrapped as permanent")
+		}
+		if calls != 1 {
+			t.Fatalf("calls = %d, want 1", calls)
+		}
+		if ctx.Now() != 0 {
+			t.Fatalf("permanent failure slept %v", ctx.Now())
+		}
+	})
+}
+
+func TestRetrierPingNeverRetries(t *testing.T) {
+	runSim(t, 1, func(ctx env.Ctx, e env.Full) {
+		r := resil.NewRetrier()
+		calls := 0
+		_ = r.Do(ctx, resil.ClassPing, "pn0", func(int) error {
+			calls++
+			return errors.New("lost")
+		})
+		if calls != 1 {
+			t.Fatalf("ping calls = %d, want 1 (a lost ping is information)", calls)
+		}
+		if r.Retries() != 0 {
+			t.Fatalf("ping scheduled %d retries", r.Retries())
+		}
+	})
+}
+
+func TestRetrierDeadlineBudget(t *testing.T) {
+	runSim(t, 1, func(ctx env.Ctx, e env.Full) {
+		r := resil.NewRetrier()
+		r.Policies[resil.ClassRead] = resil.Policy{
+			Attempts: 100, Deadline: 5 * time.Millisecond,
+			BaseBackoff: 2 * time.Millisecond, MaxBackoff: 2 * time.Millisecond,
+		}
+		calls := 0
+		_ = r.Do(ctx, resil.ClassRead, "sn0", func(int) error {
+			calls++
+			return errors.New("down")
+		})
+		// 2ms backoff into a 5ms budget: at most 2 backoffs fit, so at
+		// most 3 attempts — far below the 100-attempt cap.
+		if calls > 3 {
+			t.Fatalf("calls = %d, want <= 3 under the 5ms deadline", calls)
+		}
+	})
+}
+
+// TestRetrierScheduleDeterministic is the seed-reproducibility contract:
+// identical seeds give byte-identical retry schedules (same hash), and a
+// different seed moves the jitter, changing the hash.
+func TestRetrierScheduleDeterministic(t *testing.T) {
+	run := func(seed int64) (uint64, uint64) {
+		var hash, n uint64
+		runSim(t, seed, func(ctx env.Ctx, e env.Full) {
+			r := resil.NewRetrier()
+			for i := 0; i < 5; i++ {
+				calls := 0
+				_ = r.Do(ctx, resil.ClassWrite, "sn0", func(int) error {
+					calls++
+					if calls < 3 {
+						return errors.New("transient")
+					}
+					return nil
+				})
+			}
+			hash, n = r.ScheduleHash(), r.Retries()
+		})
+		return hash, n
+	}
+	h1, n1 := run(42)
+	h2, n2 := run(42)
+	if h1 != h2 || n1 != n2 {
+		t.Fatalf("same seed diverged: (%x,%d) vs (%x,%d)", h1, n1, h2, n2)
+	}
+	h3, _ := run(43)
+	if h3 == h1 {
+		t.Fatalf("different seeds produced the same schedule hash %x", h1)
+	}
+}
+
+func TestRetrierBreakerOpensAndRecovers(t *testing.T) {
+	runSim(t, 1, func(ctx env.Ctx, e env.Full) {
+		r := resil.NewRetrier()
+		r.Breakers = resil.NewBreakerSet(3, 10*time.Millisecond)
+		r.Policies[resil.ClassRead] = resil.Policy{Attempts: 1}
+
+		down := errors.New("down")
+		for i := 0; i < 3; i++ {
+			if err := r.Do(ctx, resil.ClassRead, "sn0", func(int) error { return down }); !errors.Is(err, down) {
+				t.Fatalf("err = %v", err)
+			}
+		}
+		if !r.Breakers.Open("sn0", ctx.Now()) {
+			t.Fatal("breaker not open after 3 consecutive failures")
+		}
+		// While open, Do fails fast without invoking fn.
+		calls := 0
+		err := r.Do(ctx, resil.ClassRead, "sn0", func(int) error { calls++; return nil })
+		if !errors.Is(err, resil.ErrCircuitOpen) || calls != 0 {
+			t.Fatalf("open breaker: err=%v calls=%d", err, calls)
+		}
+		// Another endpoint is unaffected.
+		if err := r.Do(ctx, resil.ClassRead, "sn1", func(int) error { return nil }); err != nil {
+			t.Fatalf("sn1: %v", err)
+		}
+		// After the cooldown one probe is admitted; success closes it.
+		ctx.Sleep(11 * time.Millisecond)
+		if err := r.Do(ctx, resil.ClassRead, "sn0", func(int) error { return nil }); err != nil {
+			t.Fatalf("half-open probe: %v", err)
+		}
+		if r.Breakers.Open("sn0", ctx.Now()) {
+			t.Fatal("breaker still open after successful probe")
+		}
+	})
+}
+
+func TestBreakerHalfOpenAdmitsOneProbe(t *testing.T) {
+	b := &resil.Breaker{Threshold: 1, Cooldown: 10 * time.Millisecond}
+	b.Failure(0)
+	if b.Allow(5 * time.Millisecond) {
+		t.Fatal("open breaker admitted a call inside the cooldown")
+	}
+	if !b.Allow(10 * time.Millisecond) {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	if b.Allow(11 * time.Millisecond) {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.Success()
+	if !b.Allow(12 * time.Millisecond) {
+		t.Fatal("closed breaker rejected a call")
+	}
+}
+
+func TestMergeSchedule(t *testing.T) {
+	runSim(t, 7, func(ctx env.Ctx, e env.Full) {
+		a, b := resil.NewRetrier(), resil.NewRetrier()
+		_ = a.Do(ctx, resil.ClassRead, "x", func(at int) error {
+			if at == 0 {
+				return errors.New("once")
+			}
+			return nil
+		})
+		hash, n := resil.MergeSchedule([]*resil.Retrier{a, b, nil})
+		if n != 1 {
+			t.Fatalf("merged retries = %d, want 1", n)
+		}
+		if hash != a.ScheduleHash()^b.ScheduleHash() {
+			t.Fatal("merged hash is not the XOR of member digests")
+		}
+	})
+}

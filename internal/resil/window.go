@@ -1,0 +1,226 @@
+package resil
+
+import (
+	"fmt"
+	"sync"
+
+	"tell/internal/det"
+	"tell/internal/wire"
+)
+
+// BeginState is the dedup verdict for an incoming (client, seq) token.
+type BeginState int
+
+const (
+	// StateNew: first sighting — process the request; the token is now
+	// in-flight and a concurrent duplicate will see StateInFlight until
+	// Commit or Abort.
+	StateNew BeginState = iota
+	// StateReplay: the request already completed — do not re-execute;
+	// Begin returned a copy of the cached response to send back.
+	StateReplay
+	// StateInFlight: another handler is executing this very request
+	// right now (a duplicate raced the original). The caller must answer
+	// with a retryable status and NOT execute.
+	StateInFlight
+	// StateStale: the token is older than the window floor and its
+	// cached response has been evicted. The original response was
+	// produced long ago; answer retryable-unavailable. With a window
+	// capacity larger than the client's maximum outstanding tokens this
+	// only happens to duplicates delayed far beyond any retry deadline.
+	StateStale
+)
+
+func (s BeginState) String() string {
+	switch s {
+	case StateNew:
+		return "new"
+	case StateReplay:
+		return "replay"
+	case StateInFlight:
+		return "inflight"
+	case StateStale:
+		return "stale"
+	}
+	return fmt.Sprintf("BeginState(%d)", int(s))
+}
+
+// Window is a bounded per-client dedup memory giving a server exactly-once
+// execution under duplicated and retried requests. Clients stamp mutating
+// requests with (clientID, seq); the server brackets execution between
+// Begin and Commit. Completed responses are cached (cloned — both the
+// stored copy and every replayed copy are private, because transports
+// recycle response buffers) and replayed byte-identically on duplicates.
+//
+// Per client at most Cap completed entries are kept; older entries are
+// evicted lowest-seq-first, raising that client's floor. The safety
+// invariant is Cap ≥ the client's maximum number of outstanding tokens,
+// which makes eviction of a token that might still be retried impossible.
+type Window struct {
+	// Cap is the per-client completed-entry capacity. <=0 means 256.
+	Cap int
+
+	mu      sync.Mutex
+	clients map[string]*clientWindow
+	replays uint64
+}
+
+type clientWindow struct {
+	floor    uint64            // seqs <= floor may have been evicted
+	done     map[uint64][]byte // seq -> cached encoded response
+	inflight map[uint64]struct{}
+}
+
+// NewWindow returns a dedup window keeping up to cap completed entries per
+// client.
+func NewWindow(cap int) *Window {
+	return &Window{Cap: cap, clients: make(map[string]*clientWindow)}
+}
+
+func (w *Window) cap() int {
+	if w.Cap <= 0 {
+		return 256
+	}
+	return w.Cap
+}
+
+func (w *Window) client(id string) *clientWindow {
+	c := w.clients[id]
+	if c == nil {
+		c = &clientWindow{done: make(map[uint64][]byte), inflight: make(map[uint64]struct{})}
+		w.clients[id] = c
+	}
+	return c
+}
+
+// Begin classifies an incoming token. Seq 0 is the reserved "no token"
+// value and always classifies as StateNew without entering the window
+// (the request is processed unprotected).
+func (w *Window) Begin(client string, seq uint64) (cached []byte, state BeginState) {
+	if seq == 0 || client == "" {
+		return nil, StateNew
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	c := w.client(client)
+	if resp, ok := c.done[seq]; ok {
+		w.replays++
+		return append([]byte(nil), resp...), StateReplay
+	}
+	if seq <= c.floor {
+		return nil, StateStale
+	}
+	if _, ok := c.inflight[seq]; ok {
+		return nil, StateInFlight
+	}
+	c.inflight[seq] = struct{}{}
+	return nil, StateNew
+}
+
+// Commit records the completed response for a token Begin classified as
+// StateNew. resp is cloned; the caller keeps ownership of its buffer.
+func (w *Window) Commit(client string, seq uint64, resp []byte) {
+	if seq == 0 || client == "" {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	c := w.client(client)
+	delete(c.inflight, seq)
+	c.done[seq] = append([]byte(nil), resp...)
+	if len(c.done) > w.cap() {
+		seqs := det.Keys(c.done)
+		for _, s := range seqs[:len(seqs)-w.cap()] {
+			delete(c.done, s)
+			if s > c.floor {
+				c.floor = s
+			}
+		}
+	}
+}
+
+// Abort releases a token Begin classified as StateNew without caching a
+// response — used when the request was not executed (shed, decode error)
+// so a retry must be allowed to run it.
+func (w *Window) Abort(client string, seq uint64) {
+	if seq == 0 || client == "" {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if c := w.clients[client]; c != nil {
+		delete(c.inflight, seq)
+	}
+}
+
+// Replays returns how many duplicate requests were answered from cache.
+func (w *Window) Replays() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.replays
+}
+
+// windowCodecVersion guards the serialized layout.
+const windowCodecVersion = 1
+
+// Encode serializes the window's completed state (floors and cached
+// responses; in-flight tokens are transient and skipped) for checkpointing.
+// Output is deterministic: clients and seqs are emitted in sorted order.
+func (w *Window) Encode() []byte {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	wr := wire.NewWriter(64)
+	wr.Byte(windowCodecVersion)
+	wr.Uvarint(uint64(w.Cap))
+	// Skip clients with no durable state so Encode∘Decode is a fixpoint.
+	ids := make([]string, 0, len(w.clients))
+	for _, id := range det.Keys(w.clients) {
+		c := w.clients[id]
+		if c.floor == 0 && len(c.done) == 0 {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	wr.Uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		c := w.clients[id]
+		wr.String(id)
+		wr.Uvarint(c.floor)
+		wr.Uvarint(uint64(len(c.done)))
+		for _, seq := range det.Keys(c.done) {
+			wr.Uvarint(seq)
+			wr.BytesN(c.done[seq])
+		}
+	}
+	return wr.Bytes()
+}
+
+// DecodeWindow parses a buffer produced by Encode. Cached responses are
+// cloned out of b, so the input buffer may be recycled afterwards.
+func DecodeWindow(b []byte) (*Window, error) {
+	r := wire.NewReader(b)
+	if v := r.Byte(); v != windowCodecVersion {
+		return nil, fmt.Errorf("resil: unknown window codec version %d", v)
+	}
+	w := NewWindow(int(r.Uvarint()))
+	nClients := r.Count(3)
+	for i := 0; i < nClients; i++ {
+		id := r.String()
+		floor := r.Uvarint()
+		nDone := r.Count(2)
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		c := w.client(id)
+		c.floor = floor
+		for j := 0; j < nDone; j++ {
+			seq := r.Uvarint()
+			resp := r.BytesN()
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			c.done[seq] = append([]byte(nil), resp...)
+		}
+	}
+	return w, r.Close()
+}

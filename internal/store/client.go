@@ -10,6 +10,7 @@ import (
 
 	"tell/internal/det"
 	"tell/internal/env"
+	"tell/internal/resil"
 	"tell/internal/trace"
 	"tell/internal/transport"
 	"tell/internal/wire"
@@ -62,20 +63,47 @@ type Client struct {
 	Retries int
 	// RetryDelay is slept between retries (virtual time under sim).
 	RetryDelay time.Duration
+	// Resil drives transport-level retries (identical request bytes,
+	// capped backoff with seeded jitter) and the per-endpoint circuit
+	// breaker. Write retries are safe because every write op carries an
+	// idempotency token the storage node dedups on.
+	Resil *resil.Retrier
 
 	mu       sync.Mutex
 	pmap     *PartitionMap
 	conns    map[string]transport.Conn
 	batchers map[string]*batcher
 	batching bool
+	seq      uint64 // idempotency-token sequence (per client, never reused)
+
+	// clientID names this client in idempotency tokens; unique per
+	// client instance so two clients on one node cannot collide.
+	clientID string
 
 	// Stats
 	nBatches, nOps uint64
 }
 
+// clientInstances numbers client instances for token identity. Clients are
+// created during deterministic setup, so the numbering is reproducible.
+var (
+	clientInstMu sync.Mutex
+	clientInst   uint64
+)
+
+func nextClientID(node string) string {
+	clientInstMu.Lock()
+	clientInst++
+	n := clientInst
+	clientInstMu.Unlock()
+	return fmt.Sprintf("%s#%d", node, n)
+}
+
 // NewClient creates a client on the given node. mgrAddr is the management
 // node used as the lookup service. Batching is enabled by default.
 func NewClient(envr env.Full, node env.Node, tr transport.Transport, mgrAddr string) *Client {
+	r := resil.NewRetrier()
+	r.Breakers = resil.NewBreakerSet(3, 10*time.Millisecond)
 	return &Client{
 		envr:        envr,
 		node:        node,
@@ -86,10 +114,21 @@ func NewClient(envr env.Full, node env.Node, tr transport.Transport, mgrAddr str
 		Senders:     4,
 		Retries:     10,
 		RetryDelay:  2 * time.Millisecond,
+		Resil:       r,
 		conns:       make(map[string]transport.Conn),
 		batchers:    make(map[string]*batcher),
 		batching:    true,
+		clientID:    nextClientID(node.Name()),
 	}
+}
+
+// nextSeq issues the next idempotency token for a write op.
+func (c *Client) nextSeq() uint64 {
+	c.mu.Lock()
+	c.seq++
+	s := c.seq
+	c.mu.Unlock()
+	return s
 }
 
 // SetBatching toggles cross-transaction request batching (the batching
@@ -132,11 +171,19 @@ func (c *Client) refreshMap(ctx env.Ctx) error {
 	if err != nil {
 		return err
 	}
-	raw, err := conn.RoundTrip(ctx, encodeMetaGetMap())
-	if err != nil {
-		return err
-	}
-	pm, err := decodeMapResp(raw)
+	var pm *PartitionMap
+	req := encodeMetaGetMap()
+	err = c.Resil.Do(ctx, resil.ClassMeta, c.mgrAddr, func(int) error {
+		raw, err := conn.RoundTrip(ctx, req)
+		if err != nil {
+			return err
+		}
+		pm, err = decodeMapResp(raw)
+		if err != nil {
+			return resil.Permanent(err)
+		}
+		return nil
+	})
 	if err != nil {
 		return err
 	}
@@ -321,8 +368,24 @@ func (b *batcher) run(ctx env.Ctx) {
 	}
 }
 
+// errOverload is the client-side face of wire.StatusOverload: the server's
+// admission gate shed the request before execution, so a backoff-and-resend
+// of the identical bytes is always safe.
+var errOverload = errors.New("store: server overloaded")
+
+// batchClass picks the retry policy for a batch: the write policy as soon
+// as one op mutates (tokens make that safe), the read policy otherwise.
+func batchClass(ops []wire.Op) resil.Class {
+	for i := range ops {
+		if ops[i].Code.IsWrite() {
+			return resil.ClassWrite
+		}
+	}
+	return resil.ClassRead
+}
+
 func (b *batcher) send(ctx env.Ctx, batch []*pendingOp, resp *wire.StoreResponse) {
-	req := &wire.StoreRequest{Ops: make([]wire.Op, len(batch))}
+	req := &wire.StoreRequest{Client: b.c.clientID, Ops: make([]wire.Op, len(batch))}
 	for i, p := range batch {
 		req.Ops[i] = p.op
 	}
@@ -352,31 +415,56 @@ func (b *batcher) send(ctx env.Ctx, batch []*pendingOp, resp *wire.StoreResponse
 
 	conn, err := b.c.conn(b.addr)
 	if err == nil {
+		// Encode once and retry the identical bytes: every attempt carries
+		// the same idempotency tokens, so the node executes each write at
+		// most once no matter how many copies arrive.
 		enc := req.Encode()
 		var raw []byte
-		raw, err = conn.RoundTrip(ctx, enc)
+		retried := false
+		err = b.c.Resil.Do(ctx, batchClass(req.Ops), b.addr, func(attempt int) error {
+			if attempt > 0 {
+				retried = true
+			}
+			var rtErr error
+			raw, rtErr = conn.RoundTrip(ctx, enc)
+			if rtErr != nil {
+				return rtErr
+			}
+			if rtErr = resp.DecodeFrom(raw); rtErr != nil {
+				return resil.Permanent(rtErr)
+			}
+			if resp.Status == wire.StatusOverload {
+				return errOverload
+			}
+			return nil
+		})
 		if err == nil {
-			err = resp.DecodeFrom(raw)
-			if err == nil {
-				if len(resp.Results) != len(batch) {
-					err = fmt.Errorf("store: %d results for %d ops", len(resp.Results), len(batch))
-				} else {
-					var net time.Duration
-					if sc.R.Enabled() {
-						if tt, ok := conn.(transport.TransferTimer); ok {
-							net = tt.TransferTime(len(enc)) + tt.TransferTime(len(raw))
-						}
+			if len(resp.Results) != len(batch) {
+				err = fmt.Errorf("store: %d results for %d ops", len(resp.Results), len(batch))
+			} else {
+				var net time.Duration
+				if sc.R.Enabled() {
+					if tt, ok := conn.(transport.TransferTimer); ok {
+						net = tt.TransferTime(len(enc)) + tt.TransferTime(len(raw))
 					}
-					for i, p := range batch {
-						rep := batchReply{res: resp.Results[i]}
-						if sc.R.Enabled() {
-							rep.qwait = sendAt - p.enq
-							rep.net = net
-						}
-						p.fut.Set(rep)
-					}
-					return
 				}
+				for i, p := range batch {
+					rep := batchReply{res: resp.Results[i]}
+					if retried {
+						// A previous attempt may have been applied with its
+						// response lost; conflicts are ambiguous (see
+						// Result.WasRetried). The dedup window resolves the
+						// outcome, but a fail-over loses it, so stay
+						// conservative.
+						rep.res.MarkRetried()
+					}
+					if sc.R.Enabled() {
+						rep.qwait = sendAt - p.enq
+						rep.net = net
+					}
+					p.fut.Set(rep)
+				}
+				return
 			}
 		}
 	}
@@ -397,6 +485,7 @@ func (c *Client) execBatch(ctx env.Ctx, ops []wire.Op) ([]wire.Result, error) {
 	futs := make([]env.Future, len(ops))
 	type direct struct {
 		addr    string
+		ops     []wire.Op
 		indices []int
 	}
 	var directs map[string]*direct
@@ -406,23 +495,37 @@ func (c *Client) execBatch(ctx env.Ctx, ops []wire.Op) ([]wire.Result, error) {
 			results[i] = wire.Result{Status: wire.StatusUnavailable}
 			continue
 		}
+		op, addr := ops[i], part.Master
+		// Circuit-broken master: route reads to a healthy replica rather
+		// than waiting out the breaker. Replication is synchronous, so a
+		// replica read observes every acknowledged write.
+		if op.Code == wire.OpGet && c.Resil.Breakers.Open(addr, ctx.Now()) {
+			for _, rep := range part.Replicas {
+				if !c.Resil.Breakers.Open(rep, ctx.Now()) {
+					op.Replica = true
+					addr = rep
+					break
+				}
+			}
+		}
 		if c.batching {
-			p := &pendingOp{op: ops[i], fut: c.envr.NewFuture()}
+			p := &pendingOp{op: op, fut: c.envr.NewFuture()}
 			if sc := ctx.Trace(); sc.R != nil {
 				p.span = sc.Span
 				p.enq = ctx.Now()
 			}
 			futs[i] = p.fut
-			c.batcherFor(part.Master).q.Put(p)
+			c.batcherFor(addr).q.Put(p)
 		} else {
 			if directs == nil {
 				directs = make(map[string]*direct)
 			}
-			d, ok := directs[part.Master]
+			d, ok := directs[addr]
 			if !ok {
-				d = &direct{addr: part.Master}
-				directs[part.Master] = d
+				d = &direct{addr: addr}
+				directs[addr] = d
 			}
+			d.ops = append(d.ops, op)
 			d.indices = append(d.indices, i)
 		}
 	}
@@ -432,10 +535,7 @@ func (c *Client) execBatch(ctx env.Ctx, ops []wire.Op) ([]wire.Result, error) {
 	// emission is deterministic.
 	for _, addr := range det.Keys(directs) {
 		d := directs[addr]
-		req := &wire.StoreRequest{Epoch: pm.Epoch}
-		for _, i := range d.indices {
-			req.Ops = append(req.Ops, ops[i])
-		}
+		req := &wire.StoreRequest{Epoch: pm.Epoch, Client: c.clientID, Ops: d.ops}
 		c.mu.Lock()
 		c.nBatches++
 		c.nOps += uint64(len(d.indices))
@@ -443,10 +543,29 @@ func (c *Client) execBatch(ctx env.Ctx, ops []wire.Op) ([]wire.Result, error) {
 		var resp *wire.StoreResponse
 		conn, err := c.conn(d.addr)
 		if err == nil {
-			var raw []byte
-			raw, err = conn.RoundTrip(ctx, req.Encode())
-			if err == nil {
-				resp, err = wire.DecodeStoreResponse(raw)
+			enc := req.Encode()
+			retried := false
+			err = c.Resil.Do(ctx, batchClass(req.Ops), d.addr, func(attempt int) error {
+				if attempt > 0 {
+					retried = true
+				}
+				raw, rtErr := conn.RoundTrip(ctx, enc)
+				if rtErr != nil {
+					return rtErr
+				}
+				resp, rtErr = wire.DecodeStoreResponse(raw)
+				if rtErr != nil {
+					return resil.Permanent(rtErr)
+				}
+				if resp.Status == wire.StatusOverload {
+					return errOverload
+				}
+				return nil
+			})
+			if err == nil && retried {
+				for k := range resp.Results {
+					resp.Results[k].MarkRetried()
+				}
 			}
 		}
 		for k, i := range d.indices {
@@ -507,6 +626,15 @@ func (c *Client) Exec(ctx env.Ctx, ops []wire.Op) ([]wire.Result, error) {
 	if len(ops) == 0 {
 		return nil, nil
 	}
+	// Stamp every write with an idempotency token before the first send.
+	// Tokens stay fixed across transport retries AND across the re-routing
+	// loop below, so no matter how often (or along which path) a write is
+	// resent, the owning node executes it at most once.
+	for i := range ops {
+		if ops[i].Code.IsWrite() && ops[i].Seq == 0 {
+			ops[i].Seq = c.nextSeq()
+		}
+	}
 	results, err := c.execBatch(ctx, ops)
 	if err != nil {
 		return nil, err
@@ -563,7 +691,7 @@ func statusErr(s wire.Status) error {
 		return ErrNotFound
 	case wire.StatusConflict:
 		return ErrConflict
-	case wire.StatusUnavailable, wire.StatusWrongPartition:
+	case wire.StatusUnavailable, wire.StatusWrongPartition, wire.StatusOverload:
 		return ErrUnavailable
 	}
 	return fmt.Errorf("store: status %v", s)
@@ -674,12 +802,21 @@ func (c *Client) scanOnce(ctx env.Ctx, lo, hi []byte, limit int, reverse bool) (
 				futs[i].Set(scanOut{err: err})
 				return
 			}
-			raw, err := conn.RoundTrip(sctx, req)
-			if err != nil {
-				futs[i].Set(scanOut{err: err})
-				return
-			}
-			resp, err := wire.DecodeStoreResponse(raw)
+			var resp *wire.StoreResponse
+			err = c.Resil.Do(sctx, resil.ClassRead, addr, func(int) error {
+				raw, rtErr := conn.RoundTrip(sctx, req)
+				if rtErr != nil {
+					return rtErr
+				}
+				resp, rtErr = wire.DecodeStoreResponse(raw)
+				if rtErr != nil {
+					return resil.Permanent(rtErr)
+				}
+				if resp.Status == wire.StatusOverload {
+					return errOverload
+				}
+				return nil
+			})
 			if err != nil {
 				futs[i].Set(scanOut{err: err})
 				return
@@ -765,12 +902,21 @@ func (c *Client) scanFilteredOnce(ctx env.Ctx, lo, hi []byte, spec *ScanSpec, li
 				futs[i].Set(scanOut{err: err})
 				return
 			}
-			raw, err := conn.RoundTrip(sctx, req)
-			if err != nil {
-				futs[i].Set(scanOut{err: err})
-				return
-			}
-			resp, err := wire.DecodeStoreResponse(raw)
+			var resp *wire.StoreResponse
+			err = c.Resil.Do(sctx, resil.ClassRead, addr, func(int) error {
+				raw, rtErr := conn.RoundTrip(sctx, req)
+				if rtErr != nil {
+					return rtErr
+				}
+				resp, rtErr = wire.DecodeStoreResponse(raw)
+				if rtErr != nil {
+					return resil.Permanent(rtErr)
+				}
+				if resp.Status == wire.StatusOverload {
+					return errOverload
+				}
+				return nil
+			})
 			if err != nil {
 				futs[i].Set(scanOut{err: err})
 				return

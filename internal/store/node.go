@@ -8,6 +8,7 @@ import (
 	"tell/internal/det"
 	"tell/internal/env"
 	"tell/internal/metrics"
+	"tell/internal/resil"
 	"tell/internal/transport"
 	"tell/internal/wire"
 )
@@ -56,6 +57,18 @@ type Node struct {
 	conns   map[string]transport.Conn
 	deadRep map[string]bool // replicas that timed out; skipped until reconfigured
 
+	// dedup is the exactly-once window: client write retries replay their
+	// cached results instead of re-executing (CounterAdd is not naturally
+	// idempotent, and a re-executed CondPut would observe its own stamp).
+	dedup *resil.Window
+	// gate is the admission controller for client batches: past the
+	// inflight bound, requests shed with StatusOverload instead of
+	// queueing without limit.
+	gate *resil.Gate
+	// retr retries replication sends (idempotent: replicas apply-if-newer
+	// by stamp) before declaring a replica dead.
+	retr *resil.Retrier
+
 	// stats
 	nGets, nWrites, nScans uint64
 	lat                    *metrics.Summary // handler latency per request class
@@ -75,10 +88,32 @@ func NewNode(addr string, envr env.Full, n env.Node, tr transport.Transport, cos
 		pmap:    &PartitionMap{},
 		conns:   make(map[string]transport.Conn),
 		deadRep: make(map[string]bool),
+		dedup:   resil.NewWindow(1024),
+		gate:    resil.NewGate(envr, 256, time.Millisecond),
+		retr:    resil.NewRetrier(),
 		lat:     metrics.NewSummary(),
 	}
 	return sn
 }
+
+// SetAdmission reconfigures the admission gate: at most maxInflight client
+// batches execute concurrently; arrivals beyond that wait up to queueDeadline
+// for a slot and are then shed with StatusOverload (experiments size this to
+// the offered load they model).
+func (sn *Node) SetAdmission(maxInflight int, queueDeadline time.Duration) {
+	sn.gate = resil.NewGate(sn.envr, maxInflight, queueDeadline)
+}
+
+// SetRetryPolicies replaces the node's retry policy table (replication
+// shipping). Call at setup time, before the node serves traffic.
+func (sn *Node) SetRetryPolicies(p [resil.NClasses]resil.Policy) { sn.retr.Policies = p }
+
+// Sheds returns how many client batches the admission gate rejected.
+func (sn *Node) Sheds() uint64 { return sn.gate.Sheds() }
+
+// Replays returns how many duplicate writes were answered from the dedup
+// window instead of re-executing.
+func (sn *Node) Replays() uint64 { return sn.dedup.Replays() }
 
 // Addr returns the node's serving address.
 func (sn *Node) Addr() string { return sn.addr }
@@ -141,7 +176,15 @@ func (sn *Node) handle(ctx env.Ctx, req []byte) []byte {
 	var resp []byte
 	switch wire.PeekKind(req) {
 	case wire.KindStoreReq:
-		class, resp = "store", sn.handleStore(ctx, req)
+		// Admission control: shed rather than queue without bound. The
+		// shed response is tiny and retryable, so overload degrades into
+		// client backoff instead of timeout storms.
+		if !sn.gate.Enter(ctx) {
+			class, resp = "store", (&wire.StoreResponse{Status: wire.StatusOverload}).Encode()
+		} else {
+			class, resp = "store", sn.handleStore(ctx, req)
+			sn.gate.Exit()
+		}
 	case wire.KindReplicate:
 		class, resp = "replicate", sn.handleReplicate(ctx, req)
 	case wire.KindMetaReq:
@@ -179,6 +222,8 @@ func (sn *Node) handleStats(ctx env.Ctx) []byte {
 		wire.StatsCounter{Name: "ops/writes", Value: int64(sn.nWrites)},
 		wire.StatsCounter{Name: "ops/scans", Value: int64(sn.nScans)},
 		wire.StatsCounter{Name: "store/keys", Value: int64(sn.mt.len())},
+		wire.StatsCounter{Name: "resil/replays", Value: int64(sn.dedup.Replays())},
+		wire.StatsCounter{Name: "resil/sheds", Value: int64(sn.gate.Sheds())},
 	)
 	sn.mu.Unlock()
 	for _, c := range env.Tracer(sn.envr).Counters() {
@@ -202,10 +247,36 @@ func (sn *Node) handleStore(ctx env.Ctx, raw []byte) []byte {
 	// Mutations produced by this batch, grouped by partition.
 	muts := make(map[uint64][]wire.Mutation)
 
+	// executed collects the indices of tokened writes this request actually
+	// ran; their outcomes enter the dedup window only after replication
+	// succeeded, so a replayed OK always implies a replicated write.
+	var executed []int
+
 	sn.mu.Lock()
 	resp.Epoch = sn.pmap.Epoch
 	for i := range req.Ops {
-		sn.execOp(&req.Ops[i], &resp.Results[i], muts)
+		op := &req.Ops[i]
+		if req.Client != "" && op.Seq != 0 && op.Code.IsWrite() {
+			cached, st := sn.dedup.Begin(req.Client, op.Seq)
+			switch st {
+			case resil.StateReplay:
+				// Duplicate of a completed write: answer from the cache,
+				// byte-identical to the original, without re-executing or
+				// re-replicating.
+				r := wire.NewReader(cached)
+				wire.DecodeResult(r, &resp.Results[i])
+				continue
+			case resil.StateInFlight, resil.StateStale:
+				// Racing duplicate (original still executing) or a token
+				// below the window floor: refuse rather than risk a double
+				// execution. Unavailable is retryable; by the retry the
+				// original has completed and replays.
+				resp.Results[i] = wire.Result{Status: wire.StatusUnavailable}
+				continue
+			}
+			executed = append(executed, i)
+		}
+		sn.execOp(op, &resp.Results[i], muts)
 	}
 	// Snapshot replica targets under the lock, in sorted partition order:
 	// the jobs become replication messages, whose emission order must not
@@ -254,6 +325,21 @@ func (sn *Node) handleStore(ctx env.Ctx, raw []byte) []byte {
 	}
 
 	sn.replicateAll(ctx, jobs)
+
+	// Seal executed tokens now that replication is done. WrongPartition
+	// means the op did not execute here — release the token so the client
+	// can retry against the real master after a map refresh.
+	for _, i := range executed {
+		if resp.Results[i].Status == wire.StatusWrongPartition {
+			sn.dedup.Abort(req.Client, req.Ops[i].Seq)
+			continue
+		}
+		w := wire.GetWriter()
+		wire.EncodeResult(w, &resp.Results[i])
+		b := w.Finish()
+		sn.dedup.Commit(req.Client, req.Ops[i].Seq, b) // Commit clones
+		wire.PutBuf(b)
+	}
 	return resp.Encode()
 }
 
@@ -293,15 +379,25 @@ func (sn *Node) replicateOne(ctx env.Ctx, addr string, req *wire.ReplicateReques
 		sn.markReplicaDead(addr)
 		return
 	}
-	raw, err := conn.RoundTrip(ctx, req.Encode())
+	// Resending a replication batch is safe without tokens: replicas apply
+	// mutations if-newer by stamp, so duplicates are no-ops. Retry transient
+	// losses before giving a replica up for dead — a single dropped message
+	// must not degrade the replication factor.
+	enc := req.Encode()
+	err = sn.retr.Do(ctx, resil.ClassReplicate, addr, func(int) error {
+		raw, rtErr := conn.RoundTrip(ctx, enc)
+		if rtErr != nil {
+			return rtErr
+		}
+		if _, rtErr = wire.DecodeReplicateResponse(raw); rtErr != nil {
+			return resil.Permanent(rtErr)
+		}
+		return nil
+	})
 	if err != nil {
-		// The replica is unreachable. The management node's failure
-		// detector will reconfigure; until then skip it so the
-		// partition stays available.
-		sn.markReplicaDead(addr)
-		return
-	}
-	if _, err := wire.DecodeReplicateResponse(raw); err != nil {
+		// The replica stayed unreachable through the retry budget. The
+		// management node's failure detector will reconfigure; until then
+		// skip it so the partition stays available.
 		sn.markReplicaDead(addr)
 	}
 }
@@ -346,25 +442,19 @@ func (sn *Node) execOp(op *wire.Op, res *wire.Result, muts map[uint64][]wire.Mut
 	h := KeyHash(op.Key)
 	part, ok := sn.masterOf(h)
 	if !ok {
+		// Replica reads: a client whose circuit breaker has opened on the
+		// master may ask a replica directly (op.Replica). Replication is
+		// synchronous, so the replica has every acknowledged write.
+		if op.Code == wire.OpGet && op.Replica && sn.replicaOf(h) {
+			sn.execGet(op, res)
+			return
+		}
 		res.Status = wire.StatusWrongPartition
 		return
 	}
 	switch op.Code {
 	case wire.OpGet:
-		sn.nGets++
-		c, ok := sn.mt.get(op.Key)
-		if !ok || c.dead {
-			res.Status = wire.StatusNotFound
-			return
-		}
-		res.Status = wire.StatusOK
-		res.Stamp = c.stamp
-		if c.isCtr {
-			res.Val = counterBytes(c.counter)
-			res.Count = c.counter
-		} else {
-			res.Val = c.val
-		}
+		sn.execGet(op, res)
 
 	case wire.OpPut:
 		sn.nWrites++
@@ -448,6 +538,41 @@ func (sn *Node) execOp(op *wire.Op, res *wire.Result, muts map[uint64][]wire.Mut
 	default:
 		res.Status = wire.StatusError
 	}
+}
+
+// execGet serves a point read from the memtable. Caller holds sn.mu.
+func (sn *Node) execGet(op *wire.Op, res *wire.Result) {
+	sn.nGets++
+	c, ok := sn.mt.get(op.Key)
+	if !ok || c.dead {
+		res.Status = wire.StatusNotFound
+		return
+	}
+	res.Status = wire.StatusOK
+	res.Stamp = c.stamp
+	if c.isCtr {
+		res.Val = counterBytes(c.counter)
+		res.Count = c.counter
+	} else {
+		res.Val = c.val
+	}
+}
+
+// replicaOf reports whether this node replicates the partition owning hash
+// h. Caller holds sn.mu.
+func (sn *Node) replicaOf(h uint64) bool {
+	for i := range sn.pmap.Partitions {
+		p := &sn.pmap.Partitions[i]
+		if !p.Owns(h) {
+			continue
+		}
+		for _, rep := range p.Replicas {
+			if rep == sn.addr {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // execScan returns pairs in [Key, EndKey) that this node masters, up to

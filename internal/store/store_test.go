@@ -676,3 +676,80 @@ func TestStatsSnapshot(t *testing.T) {
 		}
 	})
 }
+
+func TestOverloadShedsAndRetriesAbsorb(t *testing.T) {
+	// A node flooded past its admission bound must shed with
+	// StatusOverload rather than queue without bound, and the client's
+	// backoff retries must absorb every shed: no operation may fail.
+	h := newHarness(t, store.ClusterConfig{NumNodes: 1})
+	defer h.close()
+	// Direct (unbatched) sends so the workers produce genuinely
+	// concurrent requests; no breaker, so the test isolates the
+	// gate-shed / retry-absorb interaction.
+	h.client.SetBatching(false)
+	h.client.Resil.Breakers = nil
+	for _, addr := range h.cluster.Addrs() {
+		h.cluster.Node(addr).SetAdmission(1, 20*time.Microsecond)
+	}
+	const workers, puts = 16, 5
+	done := 0
+	for w := 0; w < workers; w++ {
+		w := w
+		h.pn.Go("worker", func(ctx env.Ctx) {
+			for i := 0; i < puts; i++ {
+				key := []byte(fmt.Sprintf("w%dk%d", w, i))
+				if _, err := h.client.Put(ctx, key, []byte("v")); err != nil {
+					t.Errorf("put under overload: %v", err)
+				}
+			}
+			done++
+			if done == workers {
+				h.k.Stop()
+			}
+		})
+	}
+	if err := h.k.RunUntil(sim.Time(60 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	var sheds uint64
+	for _, addr := range h.cluster.Addrs() {
+		sheds += h.cluster.Node(addr).Sheds()
+	}
+	if sheds == 0 {
+		t.Fatal("admission gate shed nothing; the flood never hit overload")
+	}
+}
+
+func TestCircuitOpenRoutesReadsToReplica(t *testing.T) {
+	// With the master's circuit breaker open, point reads must route to a
+	// synchronous replica instead of failing or waiting out the cooldown.
+	h := newHarness(t, store.ClusterConfig{NumNodes: 2, ReplicationFactor: 2})
+	defer h.close()
+	h.run(t, func(ctx env.Ctx) {
+		if _, err := h.client.Put(ctx, []byte("k"), []byte("v")); err != nil {
+			t.Errorf("put: %v", err)
+			return
+		}
+		pm, err := h.client.FetchMap(ctx)
+		if err != nil {
+			t.Errorf("fetch map: %v", err)
+			return
+		}
+		part, ok := pm.LookupKey([]byte("k"))
+		if !ok || len(part.Replicas) == 0 {
+			t.Errorf("no replica for key (have %+v)", part)
+			return
+		}
+		for i := 0; i < 8; i++ {
+			h.client.Resil.Breakers.Failure(part.Master, ctx.Now())
+		}
+		if !h.client.Resil.Breakers.Open(part.Master, ctx.Now()) {
+			t.Error("breaker did not open after consecutive failures")
+			return
+		}
+		val, _, err := h.client.Get(ctx, []byte("k"))
+		if err != nil || string(val) != "v" {
+			t.Errorf("get with master circuit open = %q, %v", val, err)
+		}
+	})
+}

@@ -19,7 +19,10 @@ type Fault struct {
 	Delay time.Duration
 	// Duplicate delivers the message twice. A duplicated request runs
 	// the handler twice (the first response wins); a duplicated response
-	// arrives twice at the client (the second copy is discarded).
+	// arrives twice at the client (the second copy is discarded). The
+	// duplicate leg is passed through the fault fn again — so a duplicate
+	// can itself be dropped or delayed — with its Duplicate verdict
+	// ignored, bounding each leg at one extra copy.
 	Duplicate bool
 }
 
@@ -200,8 +203,8 @@ func (c *simConn) RoundTrip(ctx env.Ctx, req []byte) ([]byte, error) {
 				// Response travels back to the client. With duplicated
 				// responses the first arrival wins; later copies are
 				// discarded (the reply future is write-once).
-				respond := func() {
-					n.k.After(n.class.TransferTime(len(resp))+rf.Delay, func() {
+				respond := func(extra time.Duration) {
+					n.k.After(n.class.TransferTime(len(resp))+extra, func() {
 						if fut.IsSet() {
 							return
 						}
@@ -209,10 +212,20 @@ func (c *simConn) RoundTrip(ctx env.Ctx, req []byte) ([]byte, error) {
 						fut.Set(simReply{data: resp, flow: rflow})
 					})
 				}
-				respond()
+				respond(rf.Delay)
 				if rf.Duplicate {
+					// The duplicate leg passes through the fault injector
+					// again so dup+drop and dup+delay compose; only its
+					// Duplicate verdict is ignored (one copy per leg, no
+					// duplication cascades). Seed-stable: the extra draw
+					// happens exactly when a duplication fires.
 					n.stats.Duplicated++
-					respond()
+					df := n.faultFor(c.dst, c.src.Name(), resp)
+					if df.Drop {
+						n.stats.Dropped++
+					} else {
+						respond(df.Delay)
+					}
 				}
 			})
 		})
@@ -226,8 +239,15 @@ func (c *simConn) RoundTrip(ctx env.Ctx, req []byte) ([]byte, error) {
 	}
 	deliver(qf.Delay)
 	if qf.Duplicate {
+		// As on the response leg: the duplicate request is itself subject
+		// to drop/delay faults (fresh draw), but never duplicates again.
 		n.stats.Duplicated++
-		deliver(qf.Delay)
+		df := n.faultFor(c.src.Name(), c.dst, req)
+		if df.Drop {
+			n.stats.Dropped++
+		} else {
+			deliver(df.Delay)
+		}
 	}
 
 	v, ok := fut.GetTimeout(simProc(ctx), n.timeout)

@@ -361,3 +361,98 @@ func TestTCPNetLargePayload(t *testing.T) {
 		t.Fatal("large payload corrupted")
 	}
 }
+
+// dupRig builds a one-client one-server sim network with a scripted fault
+// fn and returns the handler invocation count after the round trip.
+func dupRig(t *testing.T, fault transport.FaultFn) (handlerRuns int, rtErr error, stats transport.Stats) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	e := env.NewSim(k)
+	net := transport.NewSimNet(k, transport.InfiniBand())
+	server := e.NewNode("s", 2)
+	client := e.NewNode("c", 2)
+	net.Listen("s", server, func(ctx env.Ctx, req []byte) []byte {
+		handlerRuns++
+		return []byte("ok")
+	})
+	net.SetFaultFn(fault)
+	client.Go("c", func(ctx env.Ctx) {
+		conn, _ := net.Dial(client, "s")
+		_, rtErr = conn.RoundTrip(ctx, []byte("req"))
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	return handlerRuns, rtErr, net.Stats()
+}
+
+// TestSimNetDuplicateLegReEvaluatesFaults pins the dup+drop composition:
+// the duplicate copy of a request passes through the fault fn again, so a
+// Drop verdict on the second draw loses the duplicate (handler runs once)
+// without touching the original delivery.
+func TestSimNetDuplicateLegReEvaluatesFaults(t *testing.T) {
+	call := 0
+	runs, err, stats := dupRig(t, func(src, dst string, payload []byte) transport.Fault {
+		if dst != "s" {
+			return transport.Fault{} // clean response leg
+		}
+		call++
+		switch call {
+		case 1:
+			return transport.Fault{Duplicate: true}
+		case 2:
+			return transport.Fault{Drop: true} // verdict for the duplicate copy
+		}
+		return transport.Fault{}
+	})
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if call != 2 {
+		t.Fatalf("fault fn consulted %d times on the request path, want 2 (original + duplicate)", call)
+	}
+	if runs != 1 {
+		t.Fatalf("handler ran %d times, want 1 (duplicate was dropped)", runs)
+	}
+	if stats.Duplicated != 1 || stats.Dropped != 1 {
+		t.Fatalf("stats = %+v, want 1 duplicated and 1 dropped", stats)
+	}
+}
+
+// TestSimNetDuplicateLegDelivers is the composing-delay side: a clean
+// second draw delivers the duplicate, running the handler twice.
+func TestSimNetDuplicateLegDelivers(t *testing.T) {
+	first := true
+	runs, err, _ := dupRig(t, func(src, dst string, payload []byte) transport.Fault {
+		if dst != "s" {
+			return transport.Fault{}
+		}
+		if first {
+			first = false
+			return transport.Fault{Duplicate: true}
+		}
+		return transport.Fault{Delay: time.Millisecond}
+	})
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if runs != 2 {
+		t.Fatalf("handler ran %d times, want 2", runs)
+	}
+}
+
+// TestSimNetDuplicateNoCascade pins the bound: even a fault fn that
+// duplicates every leg produces exactly one extra copy per leg (the
+// duplicate's own Duplicate verdict is ignored).
+func TestSimNetDuplicateNoCascade(t *testing.T) {
+	runs, err, _ := dupRig(t, func(src, dst string, payload []byte) transport.Fault {
+		return transport.Fault{Duplicate: true}
+	})
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if runs != 2 {
+		t.Fatalf("handler ran %d times, want exactly 2 under always-duplicate", runs)
+	}
+}

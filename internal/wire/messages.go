@@ -90,6 +90,10 @@ const (
 	StatusWrongPartition
 	StatusUnavailable
 	StatusError
+	// StatusOverload: the server's admission gate shed the request before
+	// execution (bounded inflight + queue deadline, see internal/resil).
+	// Always retryable — the request was never run.
+	StatusOverload
 )
 
 func (s Status) String() string {
@@ -106,17 +110,19 @@ func (s Status) String() string {
 		return "Unavailable"
 	case StatusError:
 		return "Error"
+	case StatusOverload:
+		return "Overload"
 	}
 	return fmt.Sprintf("Status(%d)", byte(s))
 }
 
 // Op is one storage operation. Which fields are meaningful depends on Code:
 //
-//	Get:        Key
-//	Put:        Key, Val
-//	CondPut:    Key, Val, Stamp (0 = key must not exist: an insert)
-//	Delete:     Key, Stamp (0 = unconditional)
-//	CounterAdd: Key, Delta
+//	Get:        Key, Replica
+//	Put:        Key, Val, Seq
+//	CondPut:    Key, Val, Stamp (0 = key must not exist: an insert), Seq
+//	Delete:     Key, Stamp (0 = unconditional), Seq
+//	CounterAdd: Key, Delta, Seq
 //	Scan:       Key (inclusive low), EndKey (exclusive high), Limit, Reverse
 type Op struct {
 	Code    OpCode
@@ -127,6 +133,16 @@ type Op struct {
 	EndKey  []byte
 	Limit   uint32
 	Reverse bool
+	// Seq is the idempotency token of a write op: together with the
+	// request's Client it identifies the op across retried and duplicated
+	// deliveries, letting the node dedup and replay the cached Result
+	// (exactly-once execution, see internal/resil). 0 = no token.
+	Seq uint64
+	// Replica marks a Get the client deliberately routed to a replica of
+	// the key's partition because the master's circuit breaker is open.
+	// The serving node answers from its replica copy instead of
+	// redirecting with StatusWrongPartition.
+	Replica bool
 }
 
 // Pair is one key-value result of a scan.
@@ -163,7 +179,10 @@ func (r *Result) WasRetried() bool { return r.retried }
 // operations from several transactions.
 type StoreRequest struct {
 	Epoch uint64 // partition-map epoch known to the client
-	Ops   []Op
+	// Client identifies the sending client for idempotency-token dedup
+	// (paired with each write Op's Seq). Empty = no dedup.
+	Client string
+	Ops    []Op
 }
 
 // StoreResponse carries one Result per request Op, in order. If Status is
@@ -182,6 +201,7 @@ func (m *StoreRequest) Encode() []byte {
 	w := GetWriter()
 	w.Byte(byte(KindStoreReq))
 	w.Uvarint(m.Epoch)
+	w.String(m.Client)
 	w.Uvarint(uint64(len(m.Ops)))
 	for i := range m.Ops {
 		encodeOp(w, &m.Ops[i])
@@ -194,15 +214,20 @@ func encodeOp(w *Writer, op *Op) {
 	w.BytesN(op.Key)
 	switch op.Code {
 	case OpGet:
+		w.Bool(op.Replica)
 	case OpPut:
 		w.BytesN(op.Val)
+		w.Uvarint(op.Seq)
 	case OpCondPut:
 		w.BytesN(op.Val)
 		w.Uvarint(op.Stamp)
+		w.Uvarint(op.Seq)
 	case OpDelete:
 		w.Uvarint(op.Stamp)
+		w.Uvarint(op.Seq)
 	case OpCounterAdd:
 		w.Varint(op.Delta)
+		w.Uvarint(op.Seq)
 	case OpScan:
 		w.BytesN(op.EndKey)
 		w.Uvarint(uint64(op.Limit))
@@ -219,15 +244,20 @@ func decodeOp(r *Reader, op *Op) {
 	op.Key = r.BytesN()
 	switch op.Code {
 	case OpGet:
+		op.Replica = r.Bool()
 	case OpPut:
 		op.Val = r.BytesN()
+		op.Seq = r.Uvarint()
 	case OpCondPut:
 		op.Val = r.BytesN()
 		op.Stamp = r.Uvarint()
+		op.Seq = r.Uvarint()
 	case OpDelete:
 		op.Stamp = r.Uvarint()
+		op.Seq = r.Uvarint()
 	case OpCounterAdd:
 		op.Delta = r.Varint()
+		op.Seq = r.Uvarint()
 	case OpScan:
 		op.EndKey = r.BytesN()
 		op.Limit = uint32(r.Uvarint())
@@ -262,6 +292,7 @@ func (m *StoreRequest) DecodeFrom(b []byte) error {
 		return fmt.Errorf("wire: kind %d is not a store request", k)
 	}
 	m.Epoch = r.Uvarint()
+	m.Client = r.String()
 	n := r.Count(2)
 	if cap(m.Ops) >= n {
 		m.Ops = m.Ops[:n]
@@ -275,6 +306,42 @@ func (m *StoreRequest) DecodeFrom(b []byte) error {
 	return r.Close()
 }
 
+// EncodeResult appends one Result in its standalone encoding — the same
+// layout StoreResponse uses per entry. The dedup window caches write
+// results in this form so a replayed response decodes byte-identically to
+// the original.
+func EncodeResult(w *Writer, res *Result) {
+	w.Byte(byte(res.Status))
+	w.BytesN(res.Val)
+	w.Uvarint(res.Stamp)
+	w.Varint(res.Count)
+	w.Uvarint(uint64(len(res.Pairs)))
+	for _, p := range res.Pairs {
+		w.BytesN(p.Key)
+		w.BytesN(p.Val)
+		w.Uvarint(p.Stamp)
+	}
+}
+
+// DecodeResult reads one Result written by EncodeResult into res,
+// overwriting all fields. Decoded slices alias the reader's buffer.
+func DecodeResult(r *Reader, res *Result) {
+	*res = Result{}
+	res.Status = Status(r.Byte())
+	res.Val = r.BytesN()
+	res.Stamp = r.Uvarint()
+	res.Count = r.Varint()
+	np := r.Count(3)
+	if np > 0 {
+		res.Pairs = make([]Pair, np)
+		for j := range res.Pairs {
+			res.Pairs[j].Key = r.BytesN()
+			res.Pairs[j].Val = r.BytesN()
+			res.Pairs[j].Stamp = r.Uvarint()
+		}
+	}
+}
+
 // Encode serializes the response into a pool-backed buffer (see pool.go).
 func (m *StoreResponse) Encode() []byte {
 	w := GetWriter()
@@ -283,17 +350,7 @@ func (m *StoreResponse) Encode() []byte {
 	w.Uvarint(m.Epoch)
 	w.Uvarint(uint64(len(m.Results)))
 	for i := range m.Results {
-		res := &m.Results[i]
-		w.Byte(byte(res.Status))
-		w.BytesN(res.Val)
-		w.Uvarint(res.Stamp)
-		w.Varint(res.Count)
-		w.Uvarint(uint64(len(res.Pairs)))
-		for _, p := range res.Pairs {
-			w.BytesN(p.Key)
-			w.BytesN(p.Val)
-			w.Uvarint(p.Stamp)
-		}
+		EncodeResult(w, &m.Results[i])
 	}
 	return w.Finish()
 }
@@ -326,21 +383,7 @@ func (m *StoreResponse) DecodeFrom(b []byte) error {
 		m.Results = make([]Result, n)
 	}
 	for i := range m.Results {
-		m.Results[i] = Result{}
-		res := &m.Results[i]
-		res.Status = Status(r.Byte())
-		res.Val = r.BytesN()
-		res.Stamp = r.Uvarint()
-		res.Count = r.Varint()
-		np := r.Count(3)
-		if np > 0 {
-			res.Pairs = make([]Pair, np)
-			for j := range res.Pairs {
-				res.Pairs[j].Key = r.BytesN()
-				res.Pairs[j].Val = r.BytesN()
-				res.Pairs[j].Stamp = r.Uvarint()
-			}
-		}
+		DecodeResult(&r, &m.Results[i])
 	}
 	return r.Close()
 }
