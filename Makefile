@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test test-race chaos-race fuzz-short vet lint bench-smoke golden-trace ci
+.PHONY: test test-race chaos-race crash-matrix fuzz-short vet lint bench-smoke golden-trace ci
 
 test:
 	$(GO) test ./...
@@ -13,6 +13,14 @@ test-race:
 # data race would hide.
 chaos-race:
 	$(GO) test -race ./internal/chaos -run TestBankChaosMatrix
+
+# Durability proofs under the race detector: the crash-point sweep (kill the
+# disk at every WAL/checkpoint write boundary, replay, diff against the
+# model), the replay-convergence property test, and the process-crash chaos
+# cells (crash-restart-disk, crash-lose-disk) for bank and TPC-C.
+crash-matrix:
+	$(GO) test -race ./internal/crashtest
+	$(GO) test -race ./internal/chaos -run 'DurableChaosMatrix'
 
 # Short continuous-fuzzing session for the wire codecs; the regular test
 # run only replays the corpus.
@@ -48,6 +56,7 @@ ci:
 	$(GO) test -race ./internal/wire ./internal/env ./internal/sim \
 		./internal/metrics ./internal/btree ./internal/lint
 	$(MAKE) chaos-race
+	$(MAKE) crash-matrix
 	$(GO) vet ./...
 	$(MAKE) lint
 	$(GO) test ./internal/wire -run=FuzzRoundTrip

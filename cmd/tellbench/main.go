@@ -29,6 +29,7 @@ func main() {
 		warmup    = flag.Int("warmup", 200, "warm-up transactions before measurement")
 		measure   = flag.Int("measure", 2000, "measured transactions per configuration")
 		seed      = flag.Int64("seed", env.SeedFromEnv(42), "random seed (runs are deterministic per seed; $TELL_SEED overrides the default)")
+		durable   = flag.String("durable", "", "attach a WAL + fuzzy checkpoints to every storage node: 'mem' (zero-latency blob) or 's3' (S3-profile latency); empty = volatile")
 		traceFile = flag.String("trace", "", "run one traced TPC-C deployment and write a Chrome trace_event JSON to FILE (load at ui.perfetto.dev)")
 		breakdown = flag.Bool("breakdown", false, "with or without -trace: print the per-transaction-type latency breakdown of a traced run")
 	)
@@ -47,6 +48,7 @@ func main() {
 		Warmup:     *warmup,
 		Measure:    *measure,
 		Seed:       *seed,
+		Durable:    *durable,
 	}
 	if *traceFile != "" || *breakdown {
 		if err := runTraced(opt, *traceFile, *breakdown); err != nil {

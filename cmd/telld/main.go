@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"tell/internal/commitmgr"
+	"tell/internal/durable"
 	"tell/internal/env"
 	"tell/internal/store"
 	"tell/internal/trace"
@@ -36,6 +37,8 @@ func main() {
 		parts       = flag.Int("partitions-per-node", 1, "partitions per storage node (manager)")
 		id          = flag.String("id", "", "unique id (cm role)")
 		peers       = flag.String("peers", "", "comma-separated commit-manager ids (cm role)")
+		walDir      = flag.String("wal-dir", "", "directory for the WAL and checkpoints (storage role); empty runs the node volatile")
+		ckptBytes   = flag.Int("checkpoint-bytes", 64<<20, "WAL bytes between automatic fuzzy checkpoints (storage role with -wal-dir)")
 	)
 	flag.Parse()
 	if *listen == "" || *role == "" {
@@ -80,6 +83,22 @@ func main() {
 			log.Fatal("telld: storage needs -manager")
 		}
 		sn := store.NewNode(*listen, envr, node, tr, store.DefaultCosts())
+		if *walDir != "" {
+			be, err := durable.NewFile(*walDir)
+			if err != nil {
+				log.Fatalf("telld: wal dir: %v", err)
+			}
+			sn.AttachDurability(store.DurOptions{Backend: be, CheckpointBytes: *ckptBytes})
+			// Replay checkpoint + WAL before serving: a restarted daemon
+			// comes back with every acknowledged write it ever logged.
+			ctx, _ := env.DetachedCtx(node)
+			stats, err := sn.RecoverLocal(ctx)
+			if err != nil {
+				log.Fatalf("telld: wal replay: %v", err)
+			}
+			log.Printf("replayed %d records from %d segments (torn tail: %v)",
+				stats.Records, stats.Segments, stats.Torn)
+		}
 		if err := sn.Start(); err != nil {
 			log.Fatalf("telld: %v", err)
 		}
@@ -96,6 +115,12 @@ func main() {
 		if p := splitList(*peers); len(p) > 0 {
 			cm.Peers = p
 		}
+		// Adopt state a previous incarnation of this id published to the
+		// store (no-op on a fresh cluster): with WAL-backed storage nodes
+		// the store outlives the commit managers, and a cold start at
+		// snapshot base 0 would hide every committed version.
+		cmCtx, _ := env.DetachedCtx(node)
+		cm.Resume(cmCtx)
 		if err := cm.Start(); err != nil {
 			log.Fatalf("telld: %v", err)
 		}

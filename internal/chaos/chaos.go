@@ -41,6 +41,17 @@ const (
 	Partition
 	// Heal removes the partition.
 	Heal
+	// CrashWithDisk kills the target's process — volatile state is lost
+	// but its durable log and checkpoints survive (NodeHooks.Crash with
+	// loseDisk=false) — and takes it off the network.
+	CrashWithDisk
+	// CrashLosingDisk kills the process AND wipes its durable namespace:
+	// the node comes back amnesiac, forcing log-based recovery on peers.
+	CrashLosingDisk
+	// RestartRecover brings the process back on the network and starts
+	// local replay (NodeHooks.Restart); the node refuses service until the
+	// replay completes.
+	RestartRecover
 )
 
 func (k EventKind) String() string {
@@ -53,6 +64,12 @@ func (k EventKind) String() string {
 		return "partition"
 	case Heal:
 		return "heal"
+	case CrashWithDisk:
+		return "crash-with-disk"
+	case CrashLosingDisk:
+		return "crash-losing-disk"
+	case RestartRecover:
+		return "restart-recover"
 	}
 	return "?"
 }
@@ -148,8 +165,21 @@ type Injector struct {
 	// group maps a partitioned endpoint to its side; empty = no
 	// partition in force.
 	group map[string]int
+	// hooks connect process-level crash/restart events to the application
+	// (storage nodes with durable state); nil hooks degrade those events
+	// to plain network-level crash/restart.
+	hooks NodeHooks
 
 	drops, dups, delays uint64
+}
+
+// NodeHooks are the application-side callbacks for process-level faults.
+// Crash must atomically discard the node's volatile state (and its durable
+// namespace when loseDisk); Restart must start the node's local recovery.
+// Both are called on the kernel goroutine and must not block.
+type NodeHooks struct {
+	Crash   func(addr string, loseDisk bool)
+	Restart func(addr string)
 }
 
 // Install wires plan into the kernel and network. The injector draws all
@@ -181,6 +211,9 @@ func (in *Injector) Stats() (drops, dups, delays uint64) {
 	return in.drops, in.dups, in.delays
 }
 
+// SetNodeHooks installs process-level crash/restart callbacks.
+func (in *Injector) SetNodeHooks(h NodeHooks) { in.hooks = h }
+
 func (in *Injector) apply(ev Event) {
 	switch ev.Kind {
 	case Crash:
@@ -191,6 +224,12 @@ func (in *Injector) apply(ev Event) {
 		in.PartitionNet(ev.Groups...)
 	case Heal:
 		in.HealNet()
+	case CrashWithDisk:
+		in.CrashProcess(ev.Target, false)
+	case CrashLosingDisk:
+		in.CrashProcess(ev.Target, true)
+	case RestartRecover:
+		in.RestartProcess(ev.Target)
 	}
 }
 
@@ -199,6 +238,25 @@ func (in *Injector) CrashNode(addr string) { in.net.SetDown(addr, true) }
 
 // RestartNode makes addr reachable again.
 func (in *Injector) RestartNode(addr string) { in.net.SetDown(addr, false) }
+
+// CrashProcess kills addr's process: volatile state is discarded through the
+// node hooks (durable namespace too when loseDisk) and the endpoint drops
+// off the network.
+func (in *Injector) CrashProcess(addr string, loseDisk bool) {
+	if in.hooks.Crash != nil {
+		in.hooks.Crash(addr, loseDisk)
+	}
+	in.net.SetDown(addr, true)
+}
+
+// RestartProcess brings addr back on the network and starts its local
+// recovery; until the replay completes the node answers Unavailable.
+func (in *Injector) RestartProcess(addr string) {
+	in.net.SetDown(addr, false)
+	if in.hooks.Restart != nil {
+		in.hooks.Restart(addr)
+	}
+}
 
 // PartitionNet installs a partition between the given groups.
 func (in *Injector) PartitionNet(groups ...[]string) {

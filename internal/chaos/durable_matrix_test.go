@@ -1,0 +1,80 @@
+package chaos_test
+
+import (
+	"testing"
+	"time"
+
+	"tell/internal/chaos"
+	"tell/internal/transport"
+)
+
+// durableCell is one row of the durability-tier grid: a process-level fault
+// plan plus the replication factor it should run against. RF 1 makes the
+// WAL + scatter-gather path load-bearing (there is no replica to promote);
+// RF 2 checks the durable tier coexists with ordinary replica failover.
+type durableCell struct {
+	scenario
+	rf int
+}
+
+func durableCells(at time.Duration) []durableCell {
+	return []durableCell{
+		// Process dies, disk survives. At RF 1 the manager's only way back
+		// is scatter-gather log recovery onto the survivors; the restarted
+		// node replays locally but stays failed out of the partition map.
+		{scenario{"crash-restart-disk", at, func(r *rig) chaos.Plan {
+			return chaos.CrashRestartWithDisk("sn1", at, at+200*time.Millisecond)
+		}}, 1},
+		// Process dies AND its durable namespace is wiped: nothing to
+		// scatter-gather, so the replicas must carry the partitions — and
+		// the amnesiac node must not resurrect stale state.
+		{scenario{"crash-lose-disk", at, func(r *rig) chaos.Plan {
+			return chaos.CrashLoseDisk("sn1", at)
+		}}, 2},
+	}
+}
+
+// TestBankDurableChaosMatrix runs the bank transfer workload on WAL-backed
+// storage nodes while a process-level crash strikes. Cells assert exactly
+// what the plain matrix does — zero committed-data loss (conservation in the
+// store and in the recorded history), zero SI anomalies, and commits after
+// the fault — except here surviving the fault requires checkpoint + log
+// replay rather than a live replica.
+func TestBankDurableChaosMatrix(t *testing.T) {
+	for _, class := range networkClasses() {
+		at := 30 * time.Millisecond
+		if class.Name == transport.InfiniBand().Name {
+			at = 8 * time.Millisecond
+		}
+		for _, cell := range durableCells(at) {
+			class, cell := class, cell
+			t.Run(class.Name+"/"+cell.name, func(t *testing.T) {
+				seed := cellSeed(t, "bank-durable", class.Name, cell.name)
+				r := newDurableRig(t, seed, class, cell.rf)
+				runBankCellOn(t, r, class, cell.scenario, seed)
+			})
+		}
+	}
+}
+
+// TestTPCCDurableChaosMatrix drives the TPC-C mix through a crash that
+// destroys a storage node's volatile state at RF 1: every committed NewOrder
+// on the dead node exists only in its WAL, so the district consistency check
+// (d_next_o_id - 1 == max(o_id)) fails if replay loses or duplicates one.
+func TestTPCCDurableChaosMatrix(t *testing.T) {
+	for _, class := range networkClasses() {
+		at := 60 * time.Millisecond
+		if class.Name == transport.InfiniBand().Name {
+			at = 15 * time.Millisecond
+		}
+		class := class
+		sc := scenario{"crash-restart-disk", at, func(r *rig) chaos.Plan {
+			return chaos.CrashRestartWithDisk("sn1", at, at+200*time.Millisecond)
+		}}
+		t.Run(class.Name+"/"+sc.name, func(t *testing.T) {
+			seed := cellSeed(t, "tpcc-durable", class.Name, sc.name)
+			r := newDurableRig(t, seed, class, 1)
+			runTpccCellOn(t, r, class, sc, seed)
+		})
+	}
+}

@@ -9,8 +9,10 @@ import (
 	"tell/internal/chaos"
 	"tell/internal/commitmgr"
 	"tell/internal/core"
+	"tell/internal/durable"
 	"tell/internal/env"
 	"tell/internal/histcheck"
+	"tell/internal/recovery"
 	"tell/internal/relational"
 	"tell/internal/sim"
 	"tell/internal/store"
@@ -20,6 +22,8 @@ import (
 
 // rig is a fault-tolerant Tell deployment: 3 storage nodes at RF 2 plus a
 // spare, two commit managers, two PNs with the history recorder installed.
+// The durable variant (newDurableRig) swaps the storage tier for WAL-backed
+// nodes with a scatter-gather recoverer.
 type rig struct {
 	k       *sim.Kernel
 	envr    env.Full
@@ -30,20 +34,66 @@ type rig struct {
 	hist    *histcheck.History
 	driver  env.Node
 	seed    int64
+	rec     *recovery.SNRecoverer // nil unless durable
 }
 
 func newRig(t *testing.T, seed int64, class transport.NetworkClass, weakened bool) *rig {
 	t.Helper()
+	return buildRig(t, seed, class, weakened, store.ClusterConfig{
+		NumNodes: 3, ReplicationFactor: 2, Spares: 1,
+	})
+}
+
+// newDurableRig assembles the durability-tier deployment: WAL + checkpoints
+// on a shared zero-latency blob backend, a scatter-gather recoverer wired to
+// the storage manager, and no spares. At RF 1 the only copy of a partition
+// is its master plus the log, so every crash cell exercises the durable
+// path; at RF 2 replication and the durable tier recover side by side.
+func newDurableRig(t *testing.T, seed int64, class transport.NetworkClass, rf int) *rig {
+	t.Helper()
+	return buildRig(t, seed, class, false, store.ClusterConfig{
+		NumNodes: 3, PartitionsPerNode: 2, ReplicationFactor: rf,
+		Durable: &store.DurOptions{
+			Backend:         durable.NewMem(),
+			SegmentBytes:    2 << 10,
+			ChunkBytes:      2 << 10,
+			CheckpointBytes: 16 << 10,
+		},
+	})
+}
+
+// wireNodeHooks connects process-level chaos events (CrashWithDisk,
+// CrashLosingDisk, RestartRecover) to the storage nodes' crash/recover
+// entry points. Harmless on rigs whose plans never emit those events.
+func (r *rig) wireNodeHooks(inj *chaos.Injector) {
+	inj.SetNodeHooks(chaos.NodeHooks{
+		Crash: func(addr string, loseDisk bool) {
+			if sn := r.cluster.Node(addr); sn != nil {
+				sn.CrashVolatile(loseDisk)
+			}
+		},
+		Restart: func(addr string) {
+			if sn := r.cluster.Node(addr); sn != nil {
+				sn.RecoverAsync()
+			}
+		},
+	})
+}
+
+func buildRig(t *testing.T, seed int64, class transport.NetworkClass, weakened bool, cfg store.ClusterConfig) *rig {
+	t.Helper()
 	k := sim.NewKernel(seed)
 	envr := env.NewSim(k)
 	net := transport.NewSimNet(k, class)
-	cl, err := store.NewCluster(envr, net, store.ClusterConfig{
-		NumNodes: 3, ReplicationFactor: 2, Spares: 1,
-	})
+	cl, err := store.NewCluster(envr, net, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	r := &rig{k: k, envr: envr, net: net, cluster: cl, hist: histcheck.New(), seed: seed}
+	if cfg.Durable != nil {
+		r.rec = recovery.NewSNRecoverer(envr, envr.NewNode("rec0", 2), net, cfg.Durable.Backend)
+		cl.Manager.Recoverer = r.rec
+	}
 	cmAddrs := []string{"cm0", "cm1"}
 	for _, id := range cmAddrs {
 		node := envr.NewNode(id, 2)
@@ -159,8 +209,12 @@ func TestBankChaosMatrix(t *testing.T) {
 
 func runBankCell(t *testing.T, class transport.NetworkClass, sc scenario) {
 	seed := cellSeed(t, "bank", class.Name, sc.name)
-	r := newRig(t, seed, class, false)
+	runBankCellOn(t, newRig(t, seed, class, false), class, sc, seed)
+}
+
+func runBankCellOn(t *testing.T, r *rig, class transport.NetworkClass, sc scenario, seed int64) {
 	inj := chaos.Install(r.k, r.net, sc.plan(r), seed)
+	r.wireNodeHooks(inj)
 	defer inj.Uninstall()
 
 	const nAcc = 16

@@ -36,6 +36,30 @@ func StorageCrashRestart(addr string, crashAt, restartAt time.Duration) Plan {
 	}
 }
 
+// CrashRestartWithDisk kills a storage node's process (volatile state lost,
+// durable log kept) and restarts it later; the restart replays checkpoint +
+// WAL before serving. Requires NodeHooks wired to the store's
+// CrashVolatile/RecoverAsync.
+func CrashRestartWithDisk(addr string, crashAt, restartAt time.Duration) Plan {
+	return Plan{
+		Name: "crash-restart-disk",
+		Events: []Event{
+			{At: crashAt, Kind: CrashWithDisk, Target: addr},
+			{At: restartAt, Kind: RestartRecover, Target: addr},
+		},
+	}
+}
+
+// CrashLoseDisk kills a storage node's process and wipes its durable
+// namespace: nothing local survives, so the cluster must rebuild the node's
+// partitions from replicas or scatter-gather log recovery on the survivors.
+func CrashLoseDisk(addr string, at time.Duration) Plan {
+	return Plan{
+		Name:   "crash-lose-disk",
+		Events: []Event{{At: at, Kind: CrashLosingDisk, Target: addr}},
+	}
+}
+
 // CMFailover kills one commit manager mid-run; PN clients must rotate to a
 // surviving manager (§4.4.3).
 func CMFailover(addr string, at time.Duration) Plan {

@@ -72,7 +72,10 @@ func issueTx(ctx env.Ctx, e tpcc.Engine, tt tpcc.TxType, input any) (bool, error
 
 func runTpccCell(t *testing.T, class transport.NetworkClass, sc scenario) {
 	seed := cellSeed(t, "tpcc", class.Name, sc.name)
-	r := newRig(t, seed, class, false)
+	runTpccCellOn(t, newRig(t, seed, class, false), class, sc, seed)
+}
+
+func runTpccCellOn(t *testing.T, r *rig, class transport.NetworkClass, sc scenario, seed int64) {
 	cfg := tpcc.Config{Warehouses: 2, Scale: 0.02, Seed: seed}
 	loaded, err := tpcc.Load(r.cluster, cfg)
 	if err != nil {
@@ -80,6 +83,7 @@ func runTpccCell(t *testing.T, class transport.NetworkClass, sc scenario) {
 	}
 	cfg = loaded.Config
 	inj := chaos.Install(r.k, r.net, sc.plan(r), seed)
+	r.wireNodeHooks(inj)
 	defer inj.Uninstall()
 
 	const terminals = 4
@@ -89,6 +93,16 @@ func runTpccCell(t *testing.T, class transport.NetworkClass, sc scenario) {
 	commitsAfterFault := 0
 
 	r.driver.Go("tpcc", func(ctx env.Ctx) {
+		// BulkLoad writes straight into the memtables, bypassing the WAL;
+		// on a durable rig, checkpoint the loaded state first so a crash
+		// can rebuild the initial database from the blob tier.
+		if r.rec != nil {
+			if err := r.cluster.CheckpointAll(ctx); err != nil {
+				t.Errorf("checkpoint after load: %v", err)
+				r.k.Stop()
+				return
+			}
+		}
 		for term := 0; term < terminals; term++ {
 			term := term
 			pn := r.pns[term%len(r.pns)]

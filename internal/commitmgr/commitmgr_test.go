@@ -383,3 +383,51 @@ func TestStatsSnapshot(t *testing.T) {
 		}
 	})
 }
+
+func TestRestartedManagerResumesOwnState(t *testing.T) {
+	// Same-id restart against a store that outlived the manager (the
+	// durable-tier scenario: WAL replay brings back the tid counter and
+	// the published CM state, then a cold-started cm0 must not treat the
+	// old commits as uncommitted).
+	h := newCMHarness(t, 1)
+	h.run(t, func(ctx env.Ctx) {
+		var lastTid uint64
+		for i := 0; i < 30; i++ {
+			r, err := h.client.Start(ctx)
+			if err != nil {
+				t.Fatalf("start: %v", err)
+			}
+			h.client.Committed(ctx, r.TID)
+			lastTid = r.TID
+		}
+		ctx.Sleep(5 * time.Millisecond) // let cm0 publish its state
+		h.cms[0].Stop()
+		// Boot a fresh process with the SAME id against the same store.
+		node := h.envr.NewNode("cm0b", 2)
+		srv := commitmgr.New("cm0", "cm0b", h.envr, node, h.net, h.sc.NewClient(node))
+		srv.Resume(ctx)
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		cb := commitmgr.NewClient(h.envr, h.pn, h.net, []string{"cm0b"})
+		r, err := cb.Start(ctx)
+		if err != nil {
+			t.Fatalf("start at resumed manager: %v", err)
+		}
+		if !r.Snap.Contains(lastTid) {
+			t.Fatalf("resumed snapshot %v missing committed tid %d", r.Snap, lastTid)
+		}
+		if r.TID <= lastTid {
+			t.Fatalf("resumed manager issued stale tid %d <= %d", r.TID, lastTid)
+		}
+		cb.Committed(ctx, r.TID)
+		// A second resume on a store with no state record is a no-op: a
+		// brand-new id must still come up at base 0 without erroring.
+		node2 := h.envr.NewNode("cmZ", 2)
+		fresh := commitmgr.New("cmZ", "cmZ", h.envr, node2, h.net, h.sc.NewClient(node2))
+		fresh.Resume(ctx)
+		if err := fresh.Start(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -201,6 +201,56 @@ func (s *Server) Restore(ctx env.Ctx) {
 	s.pullPeers(ctx)
 }
 
+// Resume adopts the state this manager's own previous incarnation published
+// to the store — the same-id variant of Restore, for a process restart
+// against a store that outlived it (the durable tier makes that possible:
+// a WAL-backed storage node replays the tid counter, the published CM
+// state and every committed version, so a cold-started manager must not
+// begin at snapshot base 0 and treat history as uncommitted). The published
+// (fin, comm) fast-forward the descriptor past every tid the old process
+// closed; the unissued tail of its last tid range is fenced and closed
+// through the transaction log exactly like a dead peer's (§4.4.3). On a
+// fresh store (no state record) this is a no-op.
+func (s *Server) Resume(ctx env.Ctx) {
+	raw, _, err := s.sc.Get(ctx, []byte(statePrefix+s.id))
+	if err != nil {
+		return
+	}
+	r := wire.NewReader(raw)
+	pfin, err := mvcc.DecodeSnapshotFrom(r)
+	if err != nil {
+		return
+	}
+	pcomm, err := mvcc.DecodeSnapshotFrom(r)
+	if err != nil {
+		return
+	}
+	r.Uvarint() // lav: ours now that the old incarnation is gone
+	pseq := r.Uvarint()
+	pnext := r.Uvarint()
+	pend := r.Uvarint()
+	if r.Err() != nil {
+		return
+	}
+	// "~prev" is not a valid peer id, so it is never pulled or published;
+	// it exists only to route the old range through dead-peer recovery.
+	const prev = "~prev"
+	s.mu.Lock()
+	s.merge(pfin, pcomm)
+	if pseq > s.seq {
+		s.seq = pseq // keep the publish sequence monotonic across restarts
+	}
+	s.peerRange[prev] = [2]uint64{pnext, pend}
+	s.deadPeers[prev] = true
+	s.advanceLocked()
+	s.mu.Unlock()
+	s.recoverDeadPeers(ctx)
+	s.mu.Lock()
+	delete(s.deadPeers, prev)
+	delete(s.peerRange, prev)
+	s.mu.Unlock()
+}
+
 func (s *Server) handle(ctx env.Ctx, raw []byte) []byte {
 	if wire.PeekKind(raw) == wire.KindPing {
 		return []byte{byte(wire.KindPong)}

@@ -1,0 +1,217 @@
+package crashtest
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"tell/internal/env"
+	"tell/internal/sim"
+	"tell/internal/store"
+	"tell/internal/testutil"
+	"tell/internal/transport"
+	"tell/internal/wire"
+)
+
+// TestCrashEveryBoundary is the tentpole proof: a dry run counts the
+// workload's durability boundaries, then the same workload is re-run once
+// per boundary with a crash injected there (cycling the lost/torn/applied
+// variants), the surviving image is replayed into a fresh node, and the
+// recovered state must equal the acknowledged prefix of the history — or
+// the acknowledged prefix plus the single in-flight op, which a crash
+// between durability and ack legitimately leaves applied.
+func TestCrashEveryBoundary(t *testing.T) {
+	seed := testutil.Seed(t, 50)
+	ops := GenOps(seed, 70)
+
+	dry := NewDisk()
+	clean := RunWorkload(t, seed, dry, ops)
+	if clean.Failed != -1 {
+		t.Fatalf("dry run failed at op %d", clean.Failed)
+	}
+	total := dry.Boundaries()
+	if total < len(ops)/2 {
+		t.Fatalf("suspiciously few durability boundaries: %d for %d ops", total, len(ops))
+	}
+	if diff := Diff(ModelAt(ops, len(ops)), RecoverImage(t, seed, clean.Image)); diff != "" {
+		t.Fatalf("clean image replay diverged:%s", diff)
+	}
+
+	for fail := 1; fail <= total; fail++ {
+		variant := Variant(fail % 3)
+		disk := NewDisk()
+		disk.SetCrashPoint(fail, variant)
+		res := RunWorkload(t, seed, disk, ops)
+		if !disk.Crashed() {
+			t.Fatalf("boundary %d/%d never fired", fail, total)
+		}
+		got := RecoverImage(t, seed, res.Image)
+		acked := ModelAt(ops, res.Acked)
+		diff := Diff(acked, got)
+		if diff != "" && res.Failed >= 0 {
+			// The op in flight at the crash may have become durable
+			// before the ack was lost; both outcomes are legal.
+			if withInflight := Diff(ModelAt(ops, res.Failed+1), got); withInflight == "" {
+				diff = ""
+			}
+		}
+		if diff != "" {
+			t.Fatalf("crash at %s (boundary %d/%d): replay diverged from acked prefix (%d ops):%s",
+				disk.Site(), fail, total, res.Acked, diff)
+		}
+	}
+	t.Logf("seed=%d: swept %d crash boundaries over %d ops, replay converged at every one",
+		seed, total, len(ops))
+}
+
+// convergeDiff runs one uninterrupted history on a durable node, then kills
+// the node's volatile state and replays checkpoint + WAL suffix; the
+// recovered dump must be byte-identical (stamps included) to the live dump.
+// Op errors are treated as no-ops so the predicate is total over arbitrary
+// subsequences, which shrinking produces.
+func convergeDiff(t *testing.T, seed int64, ops []Op) string {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	defer k.Shutdown()
+	envr := env.NewSim(k)
+	net := transport.NewSimNet(k, transport.InfiniBand())
+	cl, err := store.NewCluster(envr, net, store.ClusterConfig{
+		NumNodes: 1, ReplicationFactor: 1, Durable: durOptions(NewDisk()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Manager.Stop()
+	pn := envr.NewNode("pn0", 2)
+	client := cl.NewClient(pn)
+	var diff string
+	done := false
+	pn.Go("driver", func(ctx env.Ctx) {
+		defer k.Stop()
+		for i := range ops {
+			if err := issueOp(ctx, client, cl, ops[i]); err != nil {
+				// Only benign rejections (delete of a missing key in a
+				// shrunk subsequence) are expected; they mutate nothing.
+				if ops[i].Kind != OpDelete {
+					diff = fmt.Sprintf("op %d %v failed: %v", i, ops[i], err)
+					done = true
+					return
+				}
+			}
+		}
+		sn := cl.Node("sn0")
+		live := sn.StateDump()
+		sn.CrashVolatile(false)
+		if _, err := sn.RecoverLocal(ctx); err != nil {
+			diff = fmt.Sprintf("recover: %v", err)
+			done = true
+			return
+		}
+		diff = dumpDiff(live, sn.StateDump())
+		done = true
+	})
+	if err := k.RunUntil(sim.Time(600 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("converge driver did not finish")
+	}
+	return diff
+}
+
+// dumpDiff compares two state dumps field-for-field, stamps included.
+func dumpDiff(live, recovered []wire.Mutation) string {
+	if reflect.DeepEqual(live, recovered) {
+		return ""
+	}
+	if len(live) != len(recovered) {
+		return fmt.Sprintf("live has %d cells, recovered %d", len(live), len(recovered))
+	}
+	for i := range live {
+		if !reflect.DeepEqual(live[i], recovered[i]) {
+			return fmt.Sprintf("cell %d: live %+v, recovered %+v", i, live[i], recovered[i])
+		}
+	}
+	return "dumps differ"
+}
+
+// shrinkOps greedily minimizes a failing history: repeatedly drop chunks
+// (halving the chunk size) while the divergence persists.
+func shrinkOps(t *testing.T, seed int64, ops []Op) []Op {
+	t.Helper()
+	cur := ops
+	for chunk := len(cur) / 2; chunk >= 1; {
+		removed := false
+		for start := 0; start+chunk <= len(cur); start += chunk {
+			cand := make([]Op, 0, len(cur)-chunk)
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[start+chunk:]...)
+			if len(cand) > 0 && convergeDiff(t, seed, cand) != "" {
+				cur = cand
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			chunk /= 2
+		}
+	}
+	return cur
+}
+
+// TestReplayConvergesProperty is the randomized property: for random op
+// histories with checkpoints at random positions, killing the volatile
+// state and replaying checkpoint + WAL suffix reproduces the uninterrupted
+// execution byte-for-byte. On failure the history is shrunk to a minimal
+// reproducer before reporting.
+func TestReplayConvergesProperty(t *testing.T) {
+	seed := testutil.Seed(t, 51)
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < 6; trial++ {
+		opSeed := rng.Int63()
+		ops := GenOps(opSeed, 40+rng.Intn(80))
+		if diff := convergeDiff(t, opSeed, ops); diff != "" {
+			shrunk := shrinkOps(t, opSeed, ops)
+			t.Fatalf("trial %d (op seed %d): replay diverged: %s\nminimal failing history (%d ops): %v",
+				trial, opSeed, diff, len(shrunk), shrunk)
+		}
+	}
+}
+
+// TestDiskCrashVariants pins the Disk model itself: lost keeps nothing,
+// torn keeps a prefix, applied keeps everything, and the disk refuses all
+// traffic after the crash.
+func TestDiskCrashVariants(t *testing.T) {
+	seed := testutil.Seed(t, 52)
+	k := sim.NewKernel(seed)
+	defer k.Shutdown()
+	envr := env.NewSim(k)
+	n := envr.NewNode("t0", 1)
+	n.Go("test", func(ctx env.Ctx) {
+		defer k.Stop()
+		payload := []byte("0123456789abcdef")
+		for _, v := range []Variant{Lost, Torn, Applied} {
+			d := NewDisk()
+			d.SetCrashPoint(1, v)
+			if err := d.Append(ctx, "o", payload); err != nil {
+				t.Fatalf("%v: append: %v", v, err)
+			}
+			if err := d.Sync(ctx, "o"); err != ErrDiskCrashed {
+				t.Fatalf("%v: sync returned %v, want crash", v, err)
+			}
+			img := d.Image()
+			want := map[Variant]int{Lost: 0, Torn: len(payload) / 2, Applied: len(payload)}[v]
+			if len(img["o"]) != want {
+				t.Fatalf("%v: image has %d bytes, want %d", v, len(img["o"]), want)
+			}
+			if _, err := d.Get(ctx, "o"); err != ErrDiskCrashed {
+				t.Fatalf("%v: post-crash get returned %v", v, err)
+			}
+		}
+	})
+	if err := k.RunUntil(sim.Time(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,240 @@
+// Package crashtest proves the durability tier's crash safety by brute
+// force. Disk is a durable.Backend that fails at exactly the k-th durability
+// boundary (a WAL sync, a checkpoint put, a GC delete) in one of three ways
+// — effect lost, effect torn, effect applied but unacknowledged. The harness
+// runs a deterministic workload once per boundary, boots a fresh storage
+// node from the surviving disk image, and asserts replay converges to the
+// acknowledged prefix of the workload. A failing boundary plus the printed
+// seed reproduces the divergence exactly.
+package crashtest
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"tell/internal/det"
+	"tell/internal/durable"
+	"tell/internal/env"
+)
+
+// ErrDiskCrashed is returned by every operation after the crash point fires:
+// the process died at that boundary and nothing further reaches the disk.
+var ErrDiskCrashed = errors.New("crashtest: disk crashed")
+
+// Variant selects what the crashing boundary operation leaves behind.
+type Variant int
+
+const (
+	// Lost: the boundary op has no durable effect (crash just before).
+	Lost Variant = iota
+	// Torn: a strict prefix of the staged bytes becomes durable — a torn
+	// WAL sync. Put and Delete are atomic, so for them Torn degrades to
+	// Lost.
+	Torn
+	// Applied: the op's full effect is durable but the caller never hears
+	// back (crash between the write and the ack).
+	Applied
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Lost:
+		return "lost"
+	case Torn:
+		return "torn"
+	case Applied:
+		return "applied"
+	}
+	return "?"
+}
+
+// Disk is an in-memory durable.Backend with an injectable crash point.
+// Appends stage bytes that become durable only on Sync, mirroring the blob
+// backend; Sync, Put and Delete are the durability boundaries and each call
+// increments the boundary counter.
+type Disk struct {
+	mu      sync.Mutex
+	objects map[string][]byte
+	staged  map[string][]byte
+	n       int // durability boundaries seen so far
+	failAt  int // 1-based boundary to crash at; 0 = run forever
+	variant Variant
+	crashed bool
+	site    string
+}
+
+// NewDisk returns an empty disk that never crashes (until SetCrashPoint).
+func NewDisk() *Disk {
+	return &Disk{objects: make(map[string][]byte), staged: make(map[string][]byte)}
+}
+
+// NewDiskFrom boots a disk from a crash image: durable objects only, staged
+// bytes gone with the process.
+func NewDiskFrom(image map[string][]byte) *Disk {
+	d := NewDisk()
+	for _, name := range det.Keys(image) {
+		d.objects[name] = append([]byte(nil), image[name]...)
+	}
+	return d
+}
+
+// SetCrashPoint arms the disk to crash at the k-th (1-based) durability
+// boundary with the given variant.
+func (d *Disk) SetCrashPoint(k int, v Variant) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failAt, d.variant = k, v
+}
+
+// Boundaries returns how many durability boundaries have executed; a dry run
+// (no crash point) measures the sweep range.
+func (d *Disk) Boundaries() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.n
+}
+
+// Crashed reports whether the crash point fired.
+func (d *Disk) Crashed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.crashed
+}
+
+// Site describes the boundary the crash fired at, for test output.
+func (d *Disk) Site() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.site
+}
+
+// Image deep-copies the durable contents — what a post-mortem disk holds.
+// Staged appends are volatile and do not survive.
+func (d *Disk) Image() map[string][]byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	img := make(map[string][]byte, len(d.objects))
+	for _, name := range det.Keys(d.objects) {
+		img[name] = append([]byte(nil), d.objects[name]...)
+	}
+	return img
+}
+
+// boundary counts one durability boundary and reports whether this is the
+// crash point. Caller holds d.mu.
+func (d *Disk) boundary(op, name string) bool {
+	d.n++
+	if d.failAt != 0 && d.n == d.failAt {
+		d.crashed = true
+		d.site = fmt.Sprintf("%s %q (boundary %d, %v)", op, name, d.n, d.variant)
+		return true
+	}
+	return false
+}
+
+// Put atomically replaces the object. At the crash point, Applied installs
+// the new contents and Lost/Torn keep the old — never a mix.
+func (d *Disk) Put(ctx env.Ctx, name string, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrDiskCrashed
+	}
+	if d.boundary("put", name) {
+		if d.variant == Applied {
+			d.objects[name] = append([]byte(nil), data...)
+		}
+		return ErrDiskCrashed
+	}
+	d.objects[name] = append([]byte(nil), data...)
+	return nil
+}
+
+// Append stages bytes; staging is volatile, so it is not a boundary.
+func (d *Disk) Append(ctx env.Ctx, name string, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrDiskCrashed
+	}
+	d.staged[name] = append(d.staged[name], data...)
+	return nil
+}
+
+// Sync promotes the object's staged bytes to durable. At the crash point,
+// Lost promotes nothing, Torn promotes a strict prefix (a torn write), and
+// Applied promotes everything — the ack is lost in all three.
+func (d *Disk) Sync(ctx env.Ctx, name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrDiskCrashed
+	}
+	buf := d.staged[name]
+	if d.boundary("sync", name) {
+		switch d.variant {
+		case Torn:
+			d.objects[name] = append(d.objects[name], buf[:len(buf)/2]...)
+		case Applied:
+			d.objects[name] = append(d.objects[name], buf...)
+		}
+		return ErrDiskCrashed
+	}
+	if len(buf) > 0 {
+		d.objects[name] = append(d.objects[name], buf...)
+		delete(d.staged, name)
+	}
+	return nil
+}
+
+// Get returns the durable contents.
+func (d *Disk) Get(ctx env.Ctx, name string) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return nil, ErrDiskCrashed
+	}
+	data, ok := d.objects[name]
+	if !ok {
+		return nil, durable.ErrNotExist
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// List returns durable object names under prefix, sorted.
+func (d *Disk) List(ctx env.Ctx, prefix string) ([]string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return nil, ErrDiskCrashed
+	}
+	var names []string
+	for _, name := range det.Keys(d.objects) {
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
+	}
+	return names, nil
+}
+
+// Delete removes the object. Like Put it is atomic: Applied deletes,
+// Lost/Torn keep the object.
+func (d *Disk) Delete(ctx env.Ctx, name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrDiskCrashed
+	}
+	if d.boundary("delete", name) {
+		if d.variant == Applied {
+			delete(d.objects, name)
+			delete(d.staged, name)
+		}
+		return ErrDiskCrashed
+	}
+	delete(d.objects, name)
+	delete(d.staged, name)
+	return nil
+}

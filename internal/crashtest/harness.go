@@ -1,0 +1,274 @@
+package crashtest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"tell/internal/det"
+	"tell/internal/env"
+	"tell/internal/sim"
+	"tell/internal/store"
+	"tell/internal/transport"
+	"tell/internal/wire"
+)
+
+// OpKind enumerates the workload's operations.
+type OpKind int
+
+const (
+	OpPut OpKind = iota
+	OpDelete
+	OpCounter
+	OpCheckpoint
+)
+
+// Op is one workload step. Checkpoint steps mutate nothing but move the
+// durable floor, so a crash during one must never lose earlier state.
+type Op struct {
+	Kind  OpKind
+	Key   string
+	Val   string
+	Delta int64
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case OpPut:
+		return fmt.Sprintf("put(%s=%s)", o.Key, o.Val)
+	case OpDelete:
+		return fmt.Sprintf("del(%s)", o.Key)
+	case OpCounter:
+		return fmt.Sprintf("ctr(%s%+d)", o.Key, o.Delta)
+	case OpCheckpoint:
+		return "checkpoint"
+	}
+	return "?"
+}
+
+// GenOps builds a deterministic op history: puts and deletes over a small
+// hot key space, counter bumps on a disjoint key space, and periodic
+// checkpoints. Deletes target only keys live at that point of the history,
+// so every prefix of the history is a valid execution.
+func GenOps(seed int64, n int) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	live := make(map[string]bool)
+	ops := make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		r := rng.Intn(100)
+		switch {
+		case r < 55:
+			key := fmt.Sprintf("k%02d", rng.Intn(16))
+			ops = append(ops, Op{Kind: OpPut, Key: key, Val: fmt.Sprintf("v%d.%d", i, rng.Intn(1000))})
+			live[key] = true
+		case r < 70:
+			ops = append(ops, Op{Kind: OpCounter, Key: fmt.Sprintf("c%d", rng.Intn(4)),
+				Delta: int64(rng.Intn(21)) - 5})
+		case r < 85:
+			keys := det.Keys(live)
+			if len(keys) == 0 {
+				ops = append(ops, Op{Kind: OpCheckpoint})
+				continue
+			}
+			key := keys[rng.Intn(len(keys))]
+			ops = append(ops, Op{Kind: OpDelete, Key: key})
+			delete(live, key)
+		default:
+			ops = append(ops, Op{Kind: OpCheckpoint})
+		}
+	}
+	return ops
+}
+
+// Entry is the logical value of one key in the shadow model: a regular
+// value, a counter, or a tombstone — stamps deliberately excluded so the
+// model stays independent of the engine's internals.
+type Entry struct {
+	Val     string
+	Ctr     int64
+	Counter bool
+	Deleted bool
+}
+
+func (e Entry) String() string {
+	switch {
+	case e.Deleted:
+		return "<tombstone>"
+	case e.Counter:
+		return fmt.Sprintf("ctr:%d", e.Ctr)
+	}
+	return fmt.Sprintf("%q", e.Val)
+}
+
+// ModelAt replays the first n ops through the shadow model.
+func ModelAt(ops []Op, n int) map[string]Entry {
+	m := make(map[string]Entry)
+	for _, op := range ops[:n] {
+		switch op.Kind {
+		case OpPut:
+			m[op.Key] = Entry{Val: op.Val}
+		case OpDelete:
+			m[op.Key] = Entry{Deleted: true}
+		case OpCounter:
+			e := m[op.Key]
+			e.Counter, e.Ctr = true, e.Ctr+op.Delta
+			m[op.Key] = e
+		}
+	}
+	return m
+}
+
+// Normalize projects a storage node's state dump onto the model's domain.
+func Normalize(dump []wire.Mutation) map[string]Entry {
+	m := make(map[string]Entry, len(dump))
+	for _, mu := range dump {
+		var e Entry
+		switch {
+		case mu.Deleted:
+			e.Deleted = true
+		case mu.Counter:
+			e.Counter, e.Ctr = true, mu.CtrVal
+		default:
+			e.Val = string(mu.Val)
+		}
+		m[string(mu.Key)] = e
+	}
+	return m
+}
+
+// Diff returns a human-readable difference between want and got, or "" if
+// they represent the same logical state.
+func Diff(want, got map[string]Entry) string {
+	keys := make(map[string]bool, len(want)+len(got))
+	for _, k := range det.Keys(want) {
+		keys[k] = true
+	}
+	for _, k := range det.Keys(got) {
+		keys[k] = true
+	}
+	var b strings.Builder
+	for _, k := range det.Keys(keys) {
+		w, okW := want[k]
+		g, okG := got[k]
+		switch {
+		case !okW:
+			fmt.Fprintf(&b, " %s: unexpected %s;", k, g)
+		case !okG:
+			fmt.Fprintf(&b, " %s: missing (want %s);", k, w)
+		case w != g:
+			fmt.Fprintf(&b, " %s: want %s got %s;", k, w, g)
+		}
+	}
+	return b.String()
+}
+
+// WorkloadResult summarizes one workload run against a crash-point disk.
+type WorkloadResult struct {
+	// Acked is how many ops were acknowledged before the first failure.
+	Acked int
+	// Failed is the index of the first op that returned an error, -1 if
+	// the whole history ran clean. The failed op is the one in-flight at
+	// the crash: it may or may not have reached the disk.
+	Failed int
+	// Image is the disk's post-crash durable contents.
+	Image map[string][]byte
+}
+
+// durOptions are the crashtest cluster's durability settings: tiny segments
+// and chunks so checkpoints and segment rolls happen every few ops, and no
+// automatic checkpointing — the workload's explicit Checkpoint ops keep the
+// boundary schedule sequential and therefore enumerable.
+func durOptions(disk *Disk) *store.DurOptions {
+	return &store.DurOptions{Backend: disk, SegmentBytes: 512, ChunkBytes: 512}
+}
+
+// RunWorkload drives ops sequentially through a single durable storage node
+// backed by disk, stopping at the first error (the crash surfacing). The
+// manager is stopped: this harness pins fail-stop local recovery, and the
+// failure detector would only race the driver to declare the node dead.
+func RunWorkload(t *testing.T, seed int64, disk *Disk, ops []Op) WorkloadResult {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	defer k.Shutdown()
+	envr := env.NewSim(k)
+	net := transport.NewSimNet(k, transport.InfiniBand())
+	cl, err := store.NewCluster(envr, net, store.ClusterConfig{
+		NumNodes: 1, ReplicationFactor: 1, Durable: durOptions(disk),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Manager.Stop()
+	pn := envr.NewNode("pn0", 2)
+	client := cl.NewClient(pn)
+	res := WorkloadResult{Failed: -1}
+	pn.Go("driver", func(ctx env.Ctx) {
+		defer k.Stop()
+		for i := range ops {
+			if err := issueOp(ctx, client, cl, ops[i]); err != nil {
+				res.Failed = i
+				return
+			}
+			res.Acked = i + 1
+		}
+	})
+	if err := k.RunUntil(sim.Time(600 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	res.Image = disk.Image()
+	return res
+}
+
+func issueOp(ctx env.Ctx, client *store.Client, cl *store.Cluster, op Op) error {
+	switch op.Kind {
+	case OpPut:
+		_, err := client.Put(ctx, []byte(op.Key), []byte(op.Val))
+		return err
+	case OpDelete:
+		return client.Delete(ctx, []byte(op.Key), 0)
+	case OpCounter:
+		_, err := client.CounterAdd(ctx, []byte(op.Key), op.Delta)
+		return err
+	case OpCheckpoint:
+		return cl.Node("sn0").Checkpoint(ctx)
+	}
+	return fmt.Errorf("crashtest: unknown op kind %d", op.Kind)
+}
+
+// RecoverImage boots a fresh storage node on a copy of the crash image, runs
+// checkpoint-load + WAL replay, and returns the recovered logical state.
+func RecoverImage(t *testing.T, seed int64, image map[string][]byte) map[string]Entry {
+	t.Helper()
+	k := sim.NewKernel(seed + 1)
+	defer k.Shutdown()
+	envr := env.NewSim(k)
+	net := transport.NewSimNet(k, transport.InfiniBand())
+	cl, err := store.NewCluster(envr, net, store.ClusterConfig{
+		NumNodes: 1, ReplicationFactor: 1, Durable: durOptions(NewDiskFrom(image)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Manager.Stop()
+	var dump []wire.Mutation
+	ok := false
+	boot := envr.NewNode("boot", 2)
+	boot.Go("recover", func(ctx env.Ctx) {
+		defer k.Stop()
+		if _, err := cl.Node("sn0").RecoverLocal(ctx); err != nil {
+			t.Errorf("recover from image: %v", err)
+			return
+		}
+		dump = cl.Node("sn0").StateDump()
+		ok = true
+	})
+	if err := k.RunUntil(sim.Time(600 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.FailNow()
+	}
+	return Normalize(dump)
+}

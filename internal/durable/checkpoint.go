@@ -1,0 +1,260 @@
+package durable
+
+import (
+	"fmt"
+	"hash/crc32"
+	"strings"
+
+	"tell/internal/env"
+	"tell/internal/wire"
+)
+
+// Manifest describes one durable checkpoint generation. It is written
+// last, with an atomic Put, after every chunk of its generation: the
+// moment the manifest lands is the atomic switch from the previous
+// checkpoint to this one. A crash anywhere before that leaves the old
+// manifest (and the old recovery path) fully intact.
+type Manifest struct {
+	// Seq is the checkpoint generation number.
+	Seq uint64
+	// Floor is the first WAL segment NOT fully covered by this image:
+	// recovery loads the chunks and replays segments >= Floor. It is the
+	// WAL position read before the memtable snapshot began (fuzzy
+	// checkpoint: mutations racing the snapshot appear in both; stamps
+	// dedupe them).
+	Floor uint64
+	// LSN is the next log sequence number at capture time (diagnostic).
+	LSN uint64
+	// Stamp is the highest cell stamp in the image; recovery seeds the
+	// node's stamp counter past it.
+	Stamp uint64
+	// Fence is the commit-manager snapshot boundary (last assigned commit
+	// timestamp) observed when the snapshot began, 0 if the node has no
+	// fence source. Every transaction at or below it that touched this
+	// node is in image+suffix.
+	Fence uint64
+	// Chunks and Cells size the image.
+	Chunks uint64
+	Cells  uint64
+}
+
+const ckptMagic = 0xC4
+
+func manifestName(ns string) string { return ns + "/ckpt/manifest" }
+
+func chunkName(ns string, seq uint64, i int) string {
+	return fmt.Sprintf("%s/ckpt/g%010d/chunk-%06d", ns, seq, i)
+}
+
+// genPrefix is the object prefix of generation seq's chunks.
+func genPrefix(ns string, seq uint64) string {
+	return fmt.Sprintf("%s/ckpt/g%010d/", ns, seq)
+}
+
+// encodeManifest frames the manifest with magic + CRC like a WAL record, so
+// bit-rot is detected rather than silently replayed.
+func encodeManifest(m *Manifest) []byte {
+	w := wire.NewWriter(64)
+	w.Uvarint(m.Seq)
+	w.Uvarint(m.Floor)
+	w.Uvarint(m.LSN)
+	w.Uvarint(m.Stamp)
+	w.Uvarint(m.Fence)
+	w.Uvarint(m.Chunks)
+	w.Uvarint(m.Cells)
+	p := w.Bytes()
+	out := make([]byte, 0, len(p)+5)
+	out = append(out, ckptMagic)
+	var crc [4]byte
+	putU32(crc[:], crc32.ChecksumIEEE(p))
+	out = append(out, crc[:]...)
+	return append(out, p...)
+}
+
+func decodeManifest(b []byte) (*Manifest, error) {
+	if len(b) < 5 || b[0] != ckptMagic {
+		return nil, fmt.Errorf("%w: bad manifest header", ErrCorrupt)
+	}
+	p := b[5:]
+	if crc32.ChecksumIEEE(p) != getU32(b[1:5]) {
+		return nil, fmt.Errorf("%w: manifest checksum mismatch", ErrCorrupt)
+	}
+	r := wire.NewReader(p)
+	m := &Manifest{
+		Seq:    r.Uvarint(),
+		Floor:  r.Uvarint(),
+		LSN:    r.Uvarint(),
+		Stamp:  r.Uvarint(),
+		Fence:  r.Uvarint(),
+		Chunks: r.Uvarint(),
+		Cells:  r.Uvarint(),
+	}
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return m, nil
+}
+
+// encodeChunk frames a batch of cells: [magic][crc32][count][cells...].
+func encodeChunk(cells []wire.Mutation) []byte {
+	w := wire.NewWriter(64 * len(cells))
+	w.Uvarint(uint64(len(cells)))
+	for i := range cells {
+		appendMutation(w, &cells[i])
+	}
+	p := w.Bytes()
+	out := make([]byte, 0, len(p)+5)
+	out = append(out, ckptMagic)
+	var crc [4]byte
+	putU32(crc[:], crc32.ChecksumIEEE(p))
+	out = append(out, crc[:]...)
+	return append(out, p...)
+}
+
+// DecodeChunk feeds every cell in a checkpoint chunk to fn. Chunks are
+// written atomically, so unlike segments there is no torn case — any
+// framing failure is corruption.
+func DecodeChunk(b []byte, fn func(*wire.Mutation)) error {
+	if len(b) < 5 || b[0] != ckptMagic {
+		return fmt.Errorf("%w: bad chunk header", ErrCorrupt)
+	}
+	p := b[5:]
+	if crc32.ChecksumIEEE(p) != getU32(b[1:5]) {
+		return fmt.Errorf("%w: chunk checksum mismatch", ErrCorrupt)
+	}
+	r := wire.NewReader(p)
+	n := r.Count(6)
+	for i := 0; i < n; i++ {
+		var m wire.Mutation
+		readMutation(r, &m)
+		fn(&m)
+	}
+	if err := r.Close(); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return nil
+}
+
+// IsChunk reports whether the object name is a checkpoint chunk of ns.
+func IsChunk(ns, name string) bool {
+	return strings.HasPrefix(name, ns+"/ckpt/") && strings.Contains(name, "/chunk-")
+}
+
+// WriteCheckpoint writes cells as man.Seq's chunk objects, then atomically
+// installs the manifest, then garbage-collects chunks of older generations.
+// man.Chunks and man.Cells are filled in. chunkBytes bounds chunk size
+// (default 64 KiB); the last write is the manifest, so a crash at any
+// boundary leaves a consistent previous generation.
+func WriteCheckpoint(ctx env.Ctx, be Backend, ns string, man *Manifest, cells []wire.Mutation, chunkBytes int) error {
+	if chunkBytes <= 0 {
+		chunkBytes = 64 << 10
+	}
+	man.Cells = uint64(len(cells))
+	man.Chunks = 0
+	start := 0
+	bytes := 0
+	flush := func(end int) error {
+		if end == start {
+			return nil
+		}
+		name := chunkName(ns, man.Seq, int(man.Chunks))
+		if err := be.Put(ctx, name, encodeChunk(cells[start:end])); err != nil {
+			return err
+		}
+		man.Chunks++
+		start = end
+		bytes = 0
+		return nil
+	}
+	for i := range cells {
+		bytes += 16 + len(cells[i].Key) + len(cells[i].Val)
+		if bytes >= chunkBytes {
+			if err := flush(i + 1); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(len(cells)); err != nil {
+		return err
+	}
+	if err := be.Put(ctx, manifestName(ns), encodeManifest(man)); err != nil {
+		return err
+	}
+	// GC older generations. Crash-safe: the new manifest is already
+	// durable, so these objects are unreachable whatever survives.
+	names, err := be.List(ctx, ns+"/ckpt/")
+	if err != nil {
+		return err
+	}
+	keep := genPrefix(ns, man.Seq)
+	for _, name := range names {
+		if name == manifestName(ns) || strings.HasPrefix(name, keep) {
+			continue
+		}
+		if err := be.Delete(ctx, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadCheckpoint reads ns's current checkpoint, feeding every cell to
+// apply. It returns nil (and calls nothing) when no checkpoint exists.
+func LoadCheckpoint(ctx env.Ctx, be Backend, ns string, apply func(*wire.Mutation)) (*Manifest, error) {
+	raw, err := be.Get(ctx, manifestName(ns))
+	if err == ErrNotExist {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	man, err := decodeManifest(raw)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(man.Chunks); i++ {
+		data, err := be.Get(ctx, chunkName(ns, man.Seq, i))
+		if err != nil {
+			return nil, fmt.Errorf("durable: checkpoint chunk %d: %w", i, err)
+		}
+		if err := DecodeChunk(data, apply); err != nil {
+			return nil, fmt.Errorf("durable: checkpoint chunk %d: %w", i, err)
+		}
+	}
+	return man, nil
+}
+
+// RecoveryObjects lists the objects a scatter-gather recovery must replay
+// to reconstruct ns's state: the current checkpoint generation's chunks
+// followed by WAL segments at or above the manifest floor (all segments
+// when no checkpoint exists). The order is deterministic; applying the
+// records in any order converges because cells carry stamps.
+func RecoveryObjects(ctx env.Ctx, be Backend, ns string) ([]string, error) {
+	var floor uint64
+	var out []string
+	raw, err := be.Get(ctx, manifestName(ns))
+	switch err {
+	case nil:
+		man, err := decodeManifest(raw)
+		if err != nil {
+			return nil, err
+		}
+		floor = man.Floor
+		for i := 0; i < int(man.Chunks); i++ {
+			out = append(out, chunkName(ns, man.Seq, i))
+		}
+	case ErrNotExist:
+	default:
+		return nil, err
+	}
+	names, err := be.List(ctx, ns+"/wal/")
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		if idx, ok := segIndex(name); ok && idx >= floor {
+			out = append(out, name)
+		}
+	}
+	return out, nil
+}

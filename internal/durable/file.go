@@ -1,0 +1,189 @@
+package durable
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"tell/internal/det"
+	"tell/internal/env"
+)
+
+// File is a Backend over a local directory: each object is a file, Append
+// writes through the OS page cache and Sync is fsync, Put is
+// write-temp-then-rename. It serves real deployments (telld -wal-dir);
+// simulated experiments prefer Blob so I/O time is modelled in virtual
+// time.
+type File struct {
+	dir string
+
+	mu   sync.Mutex
+	open map[string]*os.File // append handles, kept open between Sync calls
+}
+
+// NewFile returns a backend rooted at dir, creating it if needed.
+func NewFile(dir string) (*File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &File{dir: dir, open: make(map[string]*os.File)}, nil
+}
+
+func (f *File) path(name string) string {
+	return filepath.Join(f.dir, filepath.FromSlash(name))
+}
+
+// handle returns the open append handle for name, creating file and parent
+// directories on first use. Caller holds f.mu.
+func (f *File) handle(name string) (*os.File, error) {
+	if h, ok := f.open[name]; ok {
+		return h, nil
+	}
+	p := f.path(name)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return nil, err
+	}
+	h, err := os.OpenFile(p, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	f.open[name] = h
+	return h, nil
+}
+
+// Put atomically replaces the object via a temp file and rename.
+func (f *File) Put(ctx env.Ctx, name string, data []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if h, ok := f.open[name]; ok {
+		h.Close()
+		delete(f.open, name)
+	}
+	p := f.path(name)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	tmp := p + ".tmp"
+	h, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := h.Write(data); err != nil {
+		h.Close()
+		return err
+	}
+	if err := h.Sync(); err != nil {
+		h.Close()
+		return err
+	}
+	if err := h.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, p)
+}
+
+// Append writes data at the end of the object.
+func (f *File) Append(ctx env.Ctx, name string, data []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h, err := f.handle(name)
+	if err != nil {
+		return err
+	}
+	_, err = h.Write(data)
+	return err
+}
+
+// Sync fsyncs the object's append handle.
+func (f *File) Sync(ctx env.Ctx, name string) error {
+	f.mu.Lock()
+	h, ok := f.open[name]
+	f.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return h.Sync()
+}
+
+// Get reads the object in full.
+func (f *File) Get(ctx env.Ctx, name string) ([]byte, error) {
+	data, err := os.ReadFile(f.path(name))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, ErrNotExist
+	}
+	return data, err
+}
+
+// List walks the directory tree and returns slash-separated object names
+// with the prefix, sorted.
+func (f *File) List(ctx env.Ctx, prefix string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(f.dir, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, rerr := filepath.Rel(f.dir, p)
+		if rerr != nil {
+			return rerr
+		}
+		name := filepath.ToSlash(rel)
+		if strings.HasSuffix(name, ".tmp") {
+			return nil
+		}
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Delete removes the object; missing objects are not an error.
+func (f *File) Delete(ctx env.Ctx, name string) error {
+	f.mu.Lock()
+	if h, ok := f.open[name]; ok {
+		h.Close()
+		delete(f.open, name)
+	}
+	f.mu.Unlock()
+	err := os.Remove(f.path(name))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// Wipe removes every object under prefix (crash-losing-disk model).
+func (f *File) Wipe(prefix string) {
+	f.mu.Lock()
+	for _, name := range det.Keys(f.open) {
+		if strings.HasPrefix(name, prefix) {
+			f.open[name].Close()
+			delete(f.open, name)
+		}
+	}
+	f.mu.Unlock()
+	os.RemoveAll(f.path(strings.TrimSuffix(prefix, "/")))
+}
+
+// Close releases all open append handles (for tests and shutdown).
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var first error
+	for _, name := range det.Keys(f.open) {
+		if err := f.open[name].Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(f.open, name)
+	}
+	return first
+}

@@ -1,0 +1,160 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"tell/internal/wire"
+)
+
+// Record is one WAL entry: a partition mutation with a log sequence number.
+// Frame layout on disk:
+//
+//	[magic 1B][payload-len u32 LE][crc32(payload) u32 LE][payload]
+//
+// The CRC covers only the payload; the fixed header lets replay distinguish
+// a torn tail (frame cut short by a crash) from corruption (full frame
+// present, checksum wrong).
+type Record struct {
+	LSN  uint64
+	Part uint64
+	Mut  wire.Mutation
+}
+
+const (
+	recMagic      = 0xD7
+	recHeaderSize = 9
+	// maxRecordSize bounds the declared payload length; anything larger is
+	// corruption, not a record this package could have written.
+	maxRecordSize = 1 << 24
+)
+
+// ErrCorrupt reports a record frame that is structurally complete but
+// invalid: bad magic, an implausible length, a checksum mismatch, or a
+// payload that does not decode. Unlike a torn tail this is never expected,
+// so replay surfaces it as an error.
+var ErrCorrupt = errors.New("durable: corrupt record")
+
+// TornError reports a record frame cut short at the end of a buffer — the
+// signature of a torn write: the crash interrupted an append before Sync.
+// Replay treats a torn tail on the final segment as the expected end of the
+// log and discards the partial frame.
+type TornError struct {
+	// Off is the buffer offset where the torn frame starts; Have and Need
+	// are the bytes present and required.
+	Off, Have, Need int
+}
+
+func (e *TornError) Error() string {
+	return fmt.Sprintf("durable: torn record at offset %d: have %d of %d bytes", e.Off, e.Have, e.Need)
+}
+
+// IsTorn reports whether err is a torn-write detection.
+func IsTorn(err error) bool {
+	var t *TornError
+	return errors.As(err, &t)
+}
+
+// AppendRecord appends rec's frame to dst and returns the extended slice.
+func AppendRecord(dst []byte, rec *Record) []byte {
+	w := wire.NewWriter(32 + len(rec.Mut.Key) + len(rec.Mut.Val))
+	w.Uvarint(rec.LSN)
+	w.Uvarint(rec.Part)
+	appendMutation(w, &rec.Mut)
+	p := w.Bytes()
+
+	dst = append(dst, recMagic)
+	var hdr [8]byte
+	putU32(hdr[0:4], uint32(len(p)))
+	putU32(hdr[4:8], crc32.ChecksumIEEE(p))
+	dst = append(dst, hdr[:]...)
+	return append(dst, p...)
+}
+
+// DecodeRecord parses the frame at the start of b. It returns the record,
+// the number of bytes consumed, and an error: a *TornError when b ends
+// before the frame does, or ErrCorrupt (wrapped) when the frame is invalid.
+// Decoded keys and values are copied out of b.
+func DecodeRecord(b []byte) (Record, int, error) {
+	var rec Record
+	if len(b) < recHeaderSize {
+		return rec, 0, &TornError{Have: len(b), Need: recHeaderSize}
+	}
+	if b[0] != recMagic {
+		return rec, 0, fmt.Errorf("%w: bad magic 0x%02x", ErrCorrupt, b[0])
+	}
+	plen := int(getU32(b[1:5]))
+	if plen > maxRecordSize {
+		return rec, 0, fmt.Errorf("%w: implausible payload length %d", ErrCorrupt, plen)
+	}
+	if len(b) < recHeaderSize+plen {
+		return rec, 0, &TornError{Have: len(b), Need: recHeaderSize + plen}
+	}
+	p := b[recHeaderSize : recHeaderSize+plen]
+	if sum := crc32.ChecksumIEEE(p); sum != getU32(b[5:9]) {
+		return rec, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	r := wire.NewReader(p)
+	rec.LSN = r.Uvarint()
+	rec.Part = r.Uvarint()
+	readMutation(r, &rec.Mut)
+	if err := r.Close(); err != nil {
+		return rec, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return rec, recHeaderSize + plen, nil
+}
+
+// DecodeSegment walks every frame in a segment image, invoking fn per
+// record. It returns the number of bytes consumed cleanly; err is nil when
+// the image ends exactly on a frame boundary, a *TornError for a partial
+// trailing frame, or an ErrCorrupt wrap for an invalid frame. Records
+// before the bad frame have already been delivered.
+func DecodeSegment(b []byte, fn func(*Record)) (int, error) {
+	off := 0
+	for off < len(b) {
+		rec, n, err := DecodeRecord(b[off:])
+		if err != nil {
+			var t *TornError
+			if errors.As(err, &t) {
+				t.Off = off
+			}
+			return off, err
+		}
+		fn(&rec)
+		off += n
+	}
+	return off, nil
+}
+
+// appendMutation writes the mutation fields shared by WAL records and
+// checkpoint chunks.
+func appendMutation(w *wire.Writer, m *wire.Mutation) {
+	w.BytesN(m.Key)
+	w.BytesN(m.Val)
+	w.Uvarint(m.Stamp)
+	w.Bool(m.Deleted)
+	w.Bool(m.Counter)
+	w.Varint(m.CtrVal)
+}
+
+// readMutation is the inverse of appendMutation; Key and Val are copied.
+func readMutation(r *wire.Reader, m *wire.Mutation) {
+	m.Key = append([]byte(nil), r.BytesN()...)
+	m.Val = append([]byte(nil), r.BytesN()...)
+	m.Stamp = r.Uvarint()
+	m.Deleted = r.Bool()
+	m.Counter = r.Bool()
+	m.CtrVal = r.Varint()
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

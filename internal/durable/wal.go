@@ -1,0 +1,221 @@
+package durable
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"tell/internal/env"
+)
+
+// WALConfig tunes the write-ahead log.
+type WALConfig struct {
+	// SegmentBytes is the roll threshold: a group commit that finds the
+	// current segment at or past it starts a new segment. Default 64 KiB.
+	SegmentBytes int
+}
+
+func (c *WALConfig) fill() {
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 64 << 10
+	}
+}
+
+// WAL is a segmented write-ahead log under one namespace of a Backend. One
+// writer at a time calls Commit (the storage node's group-commit flusher
+// serializes callers); Position and stats accessors are safe concurrently
+// with the writer.
+type WAL struct {
+	be  Backend
+	ns  string
+	cfg WALConfig
+
+	mu        sync.Mutex
+	seg       uint64 // current segment index
+	segBytes  int    // bytes appended to the current segment
+	nextLSN   uint64
+	sinceCkpt uint64 // bytes appended since MarkCheckpoint
+	commits   uint64
+	records   uint64
+}
+
+// OpenWAL returns a log positioned to append to a fresh segment. A brand
+// new node passes seg 0 and lsn 1; a recovering node passes
+// ReplayStats.NextSeg and MaxLSN+1 so the new tail never touches a segment
+// that may end in a torn write.
+func OpenWAL(be Backend, ns string, cfg WALConfig, seg, nextLSN uint64) *WAL {
+	cfg.fill()
+	if nextLSN == 0 {
+		nextLSN = 1
+	}
+	return &WAL{be: be, ns: ns, cfg: cfg, seg: seg, nextLSN: nextLSN}
+}
+
+// segName formats a segment object name; zero-padding keeps List order
+// equal to segment order.
+func segName(ns string, seg uint64) string {
+	return fmt.Sprintf("%s/wal/seg-%010d", ns, seg)
+}
+
+// segIndex parses the segment index back out of an object name.
+func segIndex(name string) (uint64, bool) {
+	i := strings.LastIndex(name, "/seg-")
+	if i < 0 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[i+len("/seg-"):], 10, 64)
+	return n, err == nil
+}
+
+// IsSegment reports whether the object name is a WAL segment of namespace
+// ns (used by recovery workers to pick a decoder).
+func IsSegment(ns, name string) bool {
+	return strings.HasPrefix(name, ns+"/wal/")
+}
+
+// Commit assigns LSNs to recs, appends them to the log as one frame batch,
+// and syncs — one Commit is one group commit, one durability boundary. On
+// return the records are durable; on error the caller must treat the log as
+// dead (fail-stop), because the append may be partially staged.
+func (w *WAL) Commit(ctx env.Ctx, recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	var buf []byte
+	for i := range recs {
+		recs[i].LSN = w.nextLSN
+		w.nextLSN++
+		buf = AppendRecord(buf, &recs[i])
+	}
+	if w.segBytes >= w.cfg.SegmentBytes {
+		w.seg++
+		w.segBytes = 0
+	}
+	name := segName(w.ns, w.seg)
+	w.segBytes += len(buf)
+	w.sinceCkpt += uint64(len(buf))
+	w.commits++
+	w.records += uint64(len(recs))
+	w.mu.Unlock()
+
+	if err := w.be.Append(ctx, name, buf); err != nil {
+		return err
+	}
+	return w.be.Sync(ctx, name)
+}
+
+// Position returns the current segment index and the next LSN. A fuzzy
+// checkpoint reads Position *before* snapshotting the memtable: every
+// record the snapshot misses lands in a segment at or above the returned
+// index, so replaying from it cannot lose anything (apply-if-newer makes
+// the overlap harmless).
+func (w *WAL) Position() (seg, nextLSN uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seg, w.nextLSN
+}
+
+// SinceCheckpoint returns bytes committed since the last MarkCheckpoint.
+func (w *WAL) SinceCheckpoint() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sinceCkpt
+}
+
+// MarkCheckpoint resets the checkpoint-trigger counter.
+func (w *WAL) MarkCheckpoint() {
+	w.mu.Lock()
+	w.sinceCkpt = 0
+	w.mu.Unlock()
+}
+
+// Stats returns commit-batch and record counts.
+func (w *WAL) Stats() (commits, records uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.commits, w.records
+}
+
+// TruncateBefore deletes segments below floor — they are fully covered by a
+// durable checkpoint. Deleting is crash-safe in any order: replay starts at
+// the manifest's floor, so a leftover segment below it is simply ignored.
+func (w *WAL) TruncateBefore(ctx env.Ctx, floor uint64) error {
+	names, err := w.be.List(ctx, w.ns+"/wal/")
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		if idx, ok := segIndex(name); ok && idx < floor {
+			if err := w.be.Delete(ctx, name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReplayStats summarizes a WAL replay.
+type ReplayStats struct {
+	Segments int
+	Records  int
+	Bytes    int
+	MaxLSN   uint64
+	MaxStamp uint64
+	// NextSeg is the segment index a reopened WAL should append to: one
+	// past the highest segment seen (or the floor if the log was empty).
+	NextSeg uint64
+	// Torn reports that the final segment ended in a partial frame — the
+	// expected signature of a crash mid-group-commit. The partial frame's
+	// records were never acknowledged, so they are discarded.
+	Torn bool
+}
+
+// ReplayWAL reads ns's segments at or above floor in order and feeds every
+// record to apply. A torn tail on the final segment is tolerated (and
+// reported in stats); corruption anywhere, or a torn frame in a non-final
+// segment, aborts the replay with the typed error — the records delivered
+// before it stand.
+func ReplayWAL(ctx env.Ctx, be Backend, ns string, floor uint64, apply func(*Record)) (ReplayStats, error) {
+	st := ReplayStats{NextSeg: floor}
+	names, err := be.List(ctx, ns+"/wal/")
+	if err != nil {
+		return st, err
+	}
+	var segs []string
+	for _, name := range names {
+		if idx, ok := segIndex(name); ok && idx >= floor {
+			segs = append(segs, name)
+		}
+	}
+	for i, name := range segs {
+		data, err := be.Get(ctx, name)
+		if err != nil {
+			return st, fmt.Errorf("durable: read %s: %w", name, err)
+		}
+		n, err := DecodeSegment(data, func(rec *Record) {
+			st.Records++
+			if rec.LSN > st.MaxLSN {
+				st.MaxLSN = rec.LSN
+			}
+			if rec.Mut.Stamp > st.MaxStamp {
+				st.MaxStamp = rec.Mut.Stamp
+			}
+			apply(rec)
+		})
+		st.Bytes += n
+		st.Segments++
+		if idx, ok := segIndex(name); ok {
+			st.NextSeg = idx + 1
+		}
+		if err != nil {
+			if IsTorn(err) && i == len(segs)-1 {
+				st.Torn = true
+				return st, nil
+			}
+			return st, fmt.Errorf("durable: replay %s: %w", name, err)
+		}
+	}
+	return st, nil
+}

@@ -570,6 +570,7 @@ func Registry() map[string]func(Options) (*Table, error) {
 		"ablation-granularity": AblationGranularity,
 		"ext-pushdown":         ExtPushdown,
 		"breakdown":            Breakdown,
+		"recovery-scale":       RecoveryScale,
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"tell/internal/chaos"
 	"tell/internal/commitmgr"
 	"tell/internal/core"
+	"tell/internal/durable"
 	"tell/internal/env"
 	"tell/internal/fdblike"
 	"tell/internal/histcheck"
@@ -42,6 +43,12 @@ type Options struct {
 	// Trace records a full deterministic event trace of the run; the
 	// recorder comes back on TellRun.Trace (or from RunBaselineTraced).
 	Trace bool
+	// Durable attaches a WAL + fuzzy checkpoints to every storage node:
+	// "mem" uses the zero-latency blob backend (isolates the protocol
+	// overhead of logging before ack), "s3" the latency-injected S3-profile
+	// backend. Empty runs the storage tier volatile, as the paper's
+	// evaluation did.
+	Durable string
 }
 
 // Defaults fills zero fields.
@@ -211,10 +218,26 @@ func RunTell(opt Options, p TellParams) (*TellRun, error) {
 		net.SetTimeout(p.NetTimeout)
 	}
 
-	cluster, err := store.NewCluster(envr, net, store.ClusterConfig{
+	clusterCfg := store.ClusterConfig{
 		NumNodes:          p.SNs,
 		ReplicationFactor: p.ReplicationFactor,
-	})
+	}
+	switch opt.Durable {
+	case "":
+	case "mem", "s3":
+		prof := durable.MemProfile()
+		if opt.Durable == "s3" {
+			prof = durable.S3Profile()
+		}
+		clusterCfg.Durable = &store.DurOptions{
+			Backend:         durable.NewBlob(prof),
+			SegmentBytes:    256 << 10,
+			CheckpointBytes: 8 << 20,
+		}
+	default:
+		return nil, fmt.Errorf("exp: unknown durable backend %q (want mem or s3)", opt.Durable)
+	}
+	cluster, err := store.NewCluster(envr, net, clusterCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -331,6 +354,14 @@ func RunTell(opt Options, p TellParams) (*TellRun, error) {
 	var runErr error
 	driverNode.Go("driver", func(ctx env.Ctx) {
 		defer k.Stop()
+		// The bulk load bypasses the WAL; checkpoint it so durable runs
+		// start from a recoverable base, as a real deployment would.
+		if clusterCfg.Durable != nil {
+			if err := cluster.CheckpointAll(ctx); err != nil {
+				runErr = err
+				return
+			}
+		}
 		for _, pn := range pns {
 			eng, err := tpcc.NewTellEngine(ctx, pn)
 			if err != nil {

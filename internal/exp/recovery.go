@@ -1,0 +1,129 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"tell/internal/durable"
+	"tell/internal/env"
+	"tell/internal/recovery"
+	"tell/internal/sim"
+	"tell/internal/store"
+	"tell/internal/transport"
+)
+
+// recoveryVictimRecords is how many records the dying node carries; it is
+// held constant across cluster sizes so the only variable is how many
+// survivors share the replay work.
+const recoveryVictimRecords = 600
+
+// RecoveryScale — scatter-gather recovery time versus cluster size. Every
+// run kills a storage node carrying the same checkpoint + WAL workload on an
+// S3-profile blob backend; RamCloud-style recovery shards the dead node's
+// durable objects across all survivors, so wall-clock recovery time shrinks
+// as the cluster grows (§4.4.2 and the RamCloud fast-recovery design the SN
+// tier follows).
+func RecoveryScale(opt Options) (*Table, error) {
+	opt.Defaults()
+	t := &Table{
+		ID: "recovery-scale",
+		Title: "Scatter-gather recovery time vs cluster size " +
+			"(RF1 durable SNs, S3-profile blob, constant victim data)",
+		Header: []string{"SNs", "survivors", "objects", "records", "replayed KB", "recovery", "speedup"},
+	}
+	var base time.Duration
+	for _, sns := range []int{3, 5, 7, 9} {
+		rep, err := runRecoveryScale(opt, sns)
+		if err != nil {
+			return nil, fmt.Errorf("recovery-scale %d SNs: %w", sns, err)
+		}
+		if base == 0 {
+			base = rep.Elapsed
+		}
+		speedup := 0.0
+		if rep.Elapsed > 0 {
+			speedup = float64(base) / float64(rep.Elapsed)
+		}
+		t.AddRow(fmt.Sprint(sns), fmt.Sprint(rep.Survivors), fmt.Sprint(rep.Objects),
+			fmt.Sprint(rep.Records), f1(float64(rep.Bytes)/1024),
+			rep.Elapsed.Round(100*time.Microsecond).String(), f2(speedup)+"x")
+	}
+	t.Note("the victim's durable objects (checkpoint chunks + log segments) are sharded round-robin over the survivors and replayed in parallel; every acknowledged write survives (asserted by the recovery and chaos test suites)")
+	return t, nil
+}
+
+// runRecoveryScale loads a fixed number of records onto one victim node of
+// an sns-node durable cluster, kills it, and returns the recovery report.
+func runRecoveryScale(opt Options, sns int) (recovery.RecoveryReport, error) {
+	k := sim.NewKernel(opt.Seed)
+	defer k.Shutdown()
+	envr := env.NewSim(k)
+	net := transport.NewSimNet(k, transport.InfiniBand())
+	be := durable.NewBlob(durable.S3Profile())
+	cluster, err := store.NewCluster(envr, net, store.ClusterConfig{
+		NumNodes:          sns,
+		PartitionsPerNode: 2,
+		ReplicationFactor: 1,
+		// Small segments and chunks spread the victim's state over enough
+		// objects that every survivor gets a comparable replay shard.
+		Durable: &store.DurOptions{Backend: be, SegmentBytes: 4 << 10, ChunkBytes: 4 << 10},
+	})
+	if err != nil {
+		return recovery.RecoveryReport{}, err
+	}
+	rec := recovery.NewSNRecoverer(envr, envr.NewNode("rec0", 2), net, be)
+	cluster.Manager.Recoverer = rec
+	recovered := envr.NewFuture()
+	cluster.Manager.OnFailover = func(addr string) { recovered.Set(addr) }
+
+	pn := envr.NewNode("load0", 4)
+	client := cluster.NewClient(pn)
+	var runErr error
+	pn.Go("driver", func(ctx env.Ctx) {
+		defer k.Stop()
+		pm, err := client.FetchMap(ctx)
+		if err != nil {
+			runErr = err
+			return
+		}
+		// Rejection-sample keys owned by the victim so it carries exactly
+		// recoveryVictimRecords records regardless of cluster size.
+		val := bytes.Repeat([]byte("x"), 128)
+		written := 0
+		for i := 0; written < recoveryVictimRecords; i++ {
+			key := []byte(fmt.Sprintf("rec-%07d", i))
+			if p, ok := pm.LookupKey(key); !ok || p.Master != "sn0" {
+				continue
+			}
+			if _, err := client.Put(ctx, key, val); err != nil {
+				runErr = fmt.Errorf("put %d: %w", written, err)
+				return
+			}
+			written++
+			// A mid-stream checkpoint makes recovery replay both chunk and
+			// segment objects, as a long-lived node would.
+			if written == recoveryVictimRecords/2 {
+				if err := cluster.Node("sn0").Checkpoint(ctx); err != nil {
+					runErr = fmt.Errorf("checkpoint: %w", err)
+					return
+				}
+			}
+		}
+		net.SetDown("sn0", true)
+		if _, ok := recovered.GetTimeout(ctx, 120*time.Second); !ok {
+			runErr = fmt.Errorf("failover+recovery did not complete")
+		}
+	})
+	if err := k.RunUntil(sim.Time(time.Hour)); err != nil {
+		return recovery.RecoveryReport{}, err
+	}
+	if runErr != nil {
+		return recovery.RecoveryReport{}, runErr
+	}
+	rep := rec.LastReport()
+	if rep.Dead != "sn0" || rep.Records == 0 {
+		return rep, fmt.Errorf("recovery report incomplete: %+v", rep)
+	}
+	return rep, nil
+}

@@ -24,6 +24,10 @@ type ClusterConfig struct {
 	Spares int
 	// Costs is the CPU cost model (DefaultCosts if zero).
 	Costs Costs
+	// Durable, when non-nil, attaches a WAL + fuzzy-checkpoint tier to
+	// every storage node (spares included) on the shared backend named in
+	// the options.
+	Durable *DurOptions
 }
 
 func (c *ClusterConfig) fill() {
@@ -99,6 +103,9 @@ func NewCluster(envr env.Full, tr transport.Transport, cfg ClusterConfig) (*Clus
 		addr := fmt.Sprintf("sn%d", i)
 		n := envr.NewNode(addr, cfg.CoresPerNode)
 		sn := NewNode(addr, envr, n, tr, cfg.Costs)
+		if cfg.Durable != nil {
+			sn.AttachDurability(*cfg.Durable)
+		}
 		sn.Configure(pmap)
 		if err := sn.Start(); err != nil {
 			return nil, err
@@ -171,6 +178,21 @@ func (c *Cluster) BulkLoadCounter(key []byte, v int64) error {
 	for _, rep := range part.Replicas {
 		if rn := c.byAddr[rep]; rn != nil {
 			rn.LoadReplicaCounter(key, v, stamp)
+		}
+	}
+	return nil
+}
+
+// CheckpointAll writes a fuzzy checkpoint on every durable node. Call after
+// bulk loading: BulkLoad bypasses the WAL, so the loaded image must reach
+// the backend before faults are injected.
+func (c *Cluster) CheckpointAll(ctx env.Ctx) error {
+	for _, n := range c.Nodes {
+		if !n.Durable() {
+			continue
+		}
+		if err := n.Checkpoint(ctx); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,0 +1,248 @@
+package store_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"tell/internal/durable"
+	"tell/internal/env"
+	"tell/internal/store"
+	"tell/internal/wire"
+)
+
+// dumpEqual compares two state dumps field by field (stamps included: both
+// sides of these tests replay the same log, so stamps must agree too).
+func dumpEqual(a, b []wire.Mutation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].Key, b[i].Key) || !bytes.Equal(a[i].Val, b[i].Val) ||
+			a[i].Stamp != b[i].Stamp || a[i].Deleted != b[i].Deleted ||
+			a[i].Counter != b[i].Counter || a[i].CtrVal != b[i].CtrVal {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDurableCrashRecoverRoundTrip drives acknowledged writes through the
+// full client path into a WAL-backed node, crashes it (volatile state gone,
+// disk kept), recovers from checkpoint + log, and requires the recovered
+// memtable to be identical to the pre-crash one.
+func TestDurableCrashRecoverRoundTrip(t *testing.T) {
+	be := durable.NewMem()
+	h := newHarness(t, store.ClusterConfig{
+		NumNodes: 1,
+		Durable:  &store.DurOptions{Backend: be, SegmentBytes: 512},
+	})
+	defer h.close()
+	h.run(t, func(ctx env.Ctx) {
+		sn := h.cluster.Node("sn0")
+		for i := 0; i < 40; i++ {
+			key := []byte(fmt.Sprintf("k%03d", i))
+			if _, err := h.client.Put(ctx, key, []byte(fmt.Sprintf("v%d", i))); err != nil {
+				t.Fatalf("put %d: %v", i, err)
+			}
+		}
+		// A mid-stream fuzzy checkpoint plus more traffic: recovery must
+		// stitch image + suffix.
+		if err := sn.Checkpoint(ctx); err != nil {
+			t.Fatalf("checkpoint: %v", err)
+		}
+		if _, err := h.client.CounterAdd(ctx, []byte("ctr"), 5); err != nil {
+			t.Fatalf("counter: %v", err)
+		}
+		if err := h.client.Delete(ctx, []byte("k003"), 0); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+		before := sn.StateDump()
+
+		sn.CrashVolatile(false)
+		if sn.Keys() != 0 {
+			t.Fatal("crash left volatile state behind")
+		}
+		stats, err := sn.RecoverLocal(ctx)
+		if err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		if stats.Records == 0 {
+			t.Fatal("recovery replayed nothing")
+		}
+		after := sn.StateDump()
+		if !dumpEqual(before, after) {
+			t.Fatalf("recovered state differs:\nbefore: %d cells\nafter:  %d cells", len(before), len(after))
+		}
+
+		// The recovered node serves again, and new stamps are strictly
+		// larger than anything pre-crash.
+		sn.Configure(h.cluster.Manager.Map())
+		st, err := h.client.Put(ctx, []byte("post"), []byte("crash"))
+		if err != nil {
+			t.Fatalf("put after recovery: %v", err)
+		}
+		for i := range before {
+			if before[i].Stamp >= st {
+				t.Fatalf("stamp regression: recovered cell stamp %d >= new stamp %d", before[i].Stamp, st)
+			}
+		}
+	})
+}
+
+// TestDurableCrashRefusesService pins the fail-stop contract: a crashed node
+// answers every protocol family with Unavailable until recovered.
+func TestDurableCrashRefusesService(t *testing.T) {
+	be := durable.NewMem()
+	h := newHarness(t, store.ClusterConfig{
+		NumNodes: 1,
+		Durable:  &store.DurOptions{Backend: be},
+	})
+	defer h.close()
+	h.run(t, func(ctx env.Ctx) {
+		// This test pins node-level fail-stop, not failover: keep the
+		// failure detector from declaring the RF1 node dead (which would
+		// leave the partition headless with nothing to promote).
+		h.cluster.Manager.Stop()
+		sn := h.cluster.Node("sn0")
+		if _, err := h.client.Put(ctx, []byte("k"), []byte("v")); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		sn.CrashVolatile(false)
+		if _, _, err := h.client.Get(ctx, []byte("k")); err == nil {
+			t.Fatal("crashed node served a read")
+		}
+		if _, err := sn.RecoverLocal(ctx); err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		sn.Configure(h.cluster.Manager.Map())
+		// Fresh client: the old one's circuit breaker opened on the dead
+		// node and is still cooling down.
+		val, _, err := h.cluster.NewClient(h.pn).Get(ctx, []byte("k"))
+		if err != nil || !bytes.Equal(val, []byte("v")) {
+			t.Fatalf("get after recovery: %q %v", val, err)
+		}
+	})
+}
+
+// TestDurableLoseDiskLosesData is the negative control: wiping the namespace
+// at crash time must leave nothing to recover.
+func TestDurableLoseDiskLosesData(t *testing.T) {
+	be := durable.NewMem()
+	h := newHarness(t, store.ClusterConfig{
+		NumNodes: 1,
+		Durable:  &store.DurOptions{Backend: be},
+	})
+	defer h.close()
+	h.run(t, func(ctx env.Ctx) {
+		sn := h.cluster.Node("sn0")
+		if _, err := h.client.Put(ctx, []byte("k"), []byte("v")); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		sn.CrashVolatile(true)
+		stats, err := sn.RecoverLocal(ctx)
+		if err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		if stats.Records != 0 || len(sn.StateDump()) != 0 {
+			t.Fatalf("data survived a lost disk: %d records, %d cells", stats.Records, len(sn.StateDump()))
+		}
+	})
+}
+
+// TestDurableGroupCommit checks that concurrent writers share WAL commits:
+// with 32 parallel single-op batches, the log should see far fewer than 32
+// backend round-trips.
+func TestDurableGroupCommit(t *testing.T) {
+	// A nonzero op latency makes commits slow enough that writers pile up
+	// behind the flusher and batch.
+	be := durable.NewBlob(durable.S3Profile())
+	h := newHarness(t, store.ClusterConfig{
+		NumNodes: 1,
+		Durable:  &store.DurOptions{Backend: be},
+	})
+	defer h.close()
+	h.run(t, func(ctx env.Ctx) {
+		const writers = 32
+		done := make([]env.Future, writers)
+		for i := 0; i < writers; i++ {
+			i := i
+			done[i] = h.envr.NewFuture()
+			ctx.Go("writer", func(wctx env.Ctx) {
+				cl := h.cluster.NewClient(h.pn)
+				_, err := cl.Put(wctx, []byte(fmt.Sprintf("k%02d", i)), []byte("v"))
+				done[i].Set(err)
+			})
+		}
+		for i := range done {
+			if err, _ := done[i].Get(ctx).(error); err != nil {
+				t.Fatalf("writer %d: %v", i, err)
+			}
+		}
+		sn := h.cluster.Node("sn0")
+		commits, records, _ := sn.DurStats()
+		if records != writers {
+			t.Fatalf("logged %d records, want %d", records, writers)
+		}
+		if commits >= writers {
+			t.Fatalf("no group commit: %d commits for %d writers", commits, writers)
+		}
+	})
+}
+
+// TestDurableAutoCheckpoint checks the byte-triggered checkpoint fires and
+// truncates the log.
+func TestDurableAutoCheckpoint(t *testing.T) {
+	be := durable.NewMem()
+	h := newHarness(t, store.ClusterConfig{
+		NumNodes: 1,
+		Durable:  &store.DurOptions{Backend: be, SegmentBytes: 256, CheckpointBytes: 1024},
+	})
+	defer h.close()
+	h.run(t, func(ctx env.Ctx) {
+		val := bytes.Repeat([]byte("x"), 64)
+		for i := 0; i < 64; i++ {
+			if _, err := h.client.Put(ctx, []byte(fmt.Sprintf("k%03d", i)), val); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+		}
+		sn := h.cluster.Node("sn0")
+		_, _, ckpts := sn.DurStats()
+		if ckpts == 0 {
+			t.Fatal("auto checkpoint never fired")
+		}
+		// And recovery over image+suffix reproduces the live state.
+		before := sn.StateDump()
+		sn.CrashVolatile(false)
+		if _, err := sn.RecoverLocal(ctx); err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		if !dumpEqual(before, sn.StateDump()) {
+			t.Fatal("recovered state differs after auto checkpoint")
+		}
+	})
+}
+
+// TestDurableReplicaLogs checks RF2: both master and replica log every
+// mutation, so either copy alone can rebuild the partition.
+func TestDurableReplicaLogs(t *testing.T) {
+	be := durable.NewMem()
+	h := newHarness(t, store.ClusterConfig{
+		NumNodes: 2, ReplicationFactor: 2,
+		Durable: &store.DurOptions{Backend: be},
+	})
+	defer h.close()
+	h.run(t, func(ctx env.Ctx) {
+		for i := 0; i < 10; i++ {
+			if _, err := h.client.Put(ctx, []byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+		}
+		for _, addr := range []string{"sn0", "sn1"} {
+			_, records, _ := h.cluster.Node(addr).DurStats()
+			if records != 10 {
+				t.Fatalf("%s logged %d records, want 10 (master+replica each log all)", addr, records)
+			}
+		}
+	})
+}

@@ -39,7 +39,21 @@ type Manager struct {
 	// been failed over; tests use it to observe recovery.
 	OnFailover func(addr string)
 
-	failovers int
+	// Recoverer, if set, rebuilds partitions that lost every copy from the
+	// dead node's durable log (scatter-gather across survivors, see
+	// internal/recovery). Without it such partitions go headless.
+	Recoverer SNRecoverer
+
+	failovers  int
+	recoveries int
+}
+
+// SNRecoverer reconstructs a dead storage node's partitions from its durable
+// objects. It returns the surviving node that now masters each recovered
+// partition. Called without the manager lock; survivors excludes the dead
+// node.
+type SNRecoverer interface {
+	RecoverSN(ctx env.Ctx, dead string, pids []uint64, survivors []string) (map[uint64]string, error)
 }
 
 // NewManager creates a management node serving addr.
@@ -67,6 +81,13 @@ func (m *Manager) Failovers() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.failovers
+}
+
+// Recoveries returns how many log-based partition recoveries succeeded.
+func (m *Manager) Recoveries() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recoveries
 }
 
 // Map returns a copy of the current partition map.
@@ -218,6 +239,7 @@ func (m *Manager) failover(ctx env.Ctx, deadAddr string) {
 	m.dead[deadAddr] = true
 	m.failovers++
 	pm := m.pmap
+	var headless []uint64
 	for i := range pm.Partitions {
 		p := &pm.Partitions[i]
 		// Drop the dead node from the replica list.
@@ -230,9 +252,14 @@ func (m *Manager) failover(ctx env.Ctx, deadAddr string) {
 		p.Replicas = reps
 		if p.Master == deadAddr {
 			if len(p.Replicas) == 0 {
-				// Data loss: no replica to promote. The partition
-				// stays headless; clients see Unavailable.
+				// No replica to promote. With a Recoverer the partition
+				// is rebuilt below from the dead node's durable log;
+				// without one this is data loss and the partition stays
+				// headless (clients see Unavailable).
 				p.Master = ""
+				if m.Recoverer != nil {
+					headless = append(headless, p.ID)
+				}
 				continue
 			}
 			p.Master = p.Replicas[0]
@@ -246,6 +273,30 @@ func (m *Manager) failover(ctx env.Ctx, deadAddr string) {
 			transfers = append(transfers, transfer{master: p.Master, pid: p.ID, target: spare})
 		}
 	}
+	survivors := m.liveNodesLocked()
+	m.mu.Unlock()
+
+	// Scatter-gather recovery (RamCloud-style): partition the dead node's
+	// WAL segments and checkpoint chunks across the survivors, replay in
+	// parallel, and install the recovered masters before publishing the new
+	// map. Blocking here is deliberate — the partitions are unavailable
+	// either way until their data is reconstructed.
+	if len(headless) > 0 {
+		assigned, err := m.Recoverer.RecoverSN(ctx, deadAddr, headless, survivors)
+		if err == nil {
+			m.mu.Lock()
+			for i := range pm.Partitions {
+				p := &pm.Partitions[i]
+				if a, ok := assigned[p.ID]; ok && p.Master == "" {
+					p.Master = a
+					m.recoveries++
+				}
+			}
+			m.mu.Unlock()
+		}
+	}
+
+	m.mu.Lock()
 	pm.Epoch++
 	newMap := pm.Clone()
 	targets := m.liveNodesLocked()

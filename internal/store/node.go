@@ -2,10 +2,12 @@ package store
 
 import (
 	"encoding/binary"
+	"fmt"
 	"sync"
 	"time"
 
 	"tell/internal/det"
+	"tell/internal/durable"
 	"tell/internal/env"
 	"tell/internal/metrics"
 	"tell/internal/resil"
@@ -68,6 +70,10 @@ type Node struct {
 	// retr retries replication sends (idempotent: replicas apply-if-newer
 	// by stamp) before declaring a replica dead.
 	retr *resil.Retrier
+
+	// dur is the durability tier (WAL + fuzzy checkpoints), nil when the
+	// node runs memory-only. See durability.go.
+	dur *durState
 
 	// stats
 	nGets, nWrites, nScans uint64
@@ -172,6 +178,11 @@ func (sn *Node) masterOf(h uint64) (*Partition, bool) {
 // under the request-class name (served by `tellcli stats`).
 func (sn *Node) handle(ctx env.Ctx, req []byte) []byte {
 	start := ctx.Now()
+	// A crashed or WAL-dead node refuses everything, pings included, so the
+	// failure detector sees it exactly like a vanished process.
+	if sn.dur != nil && sn.dur.down() {
+		return unavailableFor(wire.PeekKind(req))
+	}
 	var class string
 	var resp []byte
 	switch wire.PeekKind(req) {
@@ -191,6 +202,8 @@ func (sn *Node) handle(ctx env.Ctx, req []byte) []byte {
 		class, resp = "meta", sn.handleMeta(ctx, req)
 	case wire.KindPing:
 		class, resp = "ping", []byte{byte(wire.KindPong)}
+	case wire.KindRecoverReq:
+		class, resp = "recover", sn.handleRecover(ctx, req)
 	case wire.KindStatsReq:
 		return sn.handleStats(ctx)
 	default:
@@ -200,6 +213,21 @@ func (sn *Node) handle(ctx env.Ctx, req []byte) []byte {
 	sn.lat.Record(class, ctx.Now()-start)
 	sn.mu.Unlock()
 	return resp
+}
+
+// unavailableFor encodes a kind-appropriate Unavailable refusal (a crashed
+// node must answer every protocol family with something its caller decodes).
+func unavailableFor(k wire.Kind) []byte {
+	switch k {
+	case wire.KindReplicate:
+		return (&wire.ReplicateResponse{Status: wire.StatusUnavailable}).Encode()
+	case wire.KindRecoverReq:
+		return (&wire.RecoverResponse{Status: wire.StatusUnavailable}).Encode()
+	case wire.KindMetaReq:
+		return encodeMetaAck(wire.StatusUnavailable)
+	default:
+		return (&wire.StoreResponse{Status: wire.StatusUnavailable}).Encode()
+	}
 }
 
 // handleStats serves a telemetry snapshot: per-class handler-latency digests
@@ -280,10 +308,16 @@ func (sn *Node) handleStore(ctx env.Ctx, raw []byte) []byte {
 	}
 	// Snapshot replica targets under the lock, in sorted partition order:
 	// the jobs become replication messages, whose emission order must not
-	// depend on map iteration.
+	// depend on map iteration. WAL records are collected in the same order.
 	var jobs []replJob
+	var walRecs []durable.Record
 	for _, pid := range det.Keys(muts) {
 		ms := muts[pid]
+		if sn.dur != nil {
+			for i := range ms {
+				walRecs = append(walRecs, durable.Record{Part: pid, Mut: ms[i]})
+			}
+		}
 		var part *Partition
 		for j := range sn.masters {
 			if sn.masters[j].ID == pid {
@@ -322,6 +356,17 @@ func (sn *Node) handleStore(ctx env.Ctx, raw []byte) []byte {
 	if scanned > 0 || respBytes > 0 {
 		ctx.Work(time.Duration(scanned)*sn.costs.PerOp/4 +
 			time.Duration(respBytes)*sn.costs.PerKB/1024)
+	}
+
+	// Log before ack: the batch's mutations must be durable before the
+	// client can observe success. Group commit batches concurrent handlers
+	// into one backend round-trip. A failed log means the node fail-stops;
+	// release the dedup tokens so the writes can retry elsewhere.
+	if err := sn.walCommit(ctx, walRecs); err != nil {
+		for _, i := range executed {
+			sn.dedup.Abort(req.Client, req.Ops[i].Seq)
+		}
+		return (&wire.StoreResponse{Status: wire.StatusUnavailable}).Encode()
 	}
 
 	sn.replicateAll(ctx, jobs)
@@ -389,8 +434,15 @@ func (sn *Node) replicateOne(ctx env.Ctx, addr string, req *wire.ReplicateReques
 		if rtErr != nil {
 			return rtErr
 		}
-		if _, rtErr = wire.DecodeReplicateResponse(raw); rtErr != nil {
+		rr, rtErr := wire.DecodeReplicateResponse(raw)
+		if rtErr != nil {
 			return resil.Permanent(rtErr)
+		}
+		if rr.Status != wire.StatusOK {
+			// A refusal (crashed node draining in its network buffers, WAL
+			// failure) will not heal by resending: let the failure detector
+			// reconfigure rather than count this replica as caught up.
+			return resil.Permanent(fmt.Errorf("store: replica %s refused: %v", addr, rr.Status))
 		}
 		return nil
 	})
@@ -618,29 +670,40 @@ func (sn *Node) handleReplicate(ctx env.Ctx, raw []byte) []byte {
 	ctx.Work(sn.costs.chargeFor(len(req.Mutations), len(raw)))
 	sn.mu.Lock()
 	for i := range req.Mutations {
-		m := &req.Mutations[i]
-		// Apply-if-newer: concurrent replication batches may arrive out
-		// of order; stamps are unique and monotonic per master, so
-		// last-writer-wins reconstructs the master's final state.
-		if cur, ok := sn.mt.get(m.Key); ok && cur.stamp >= m.Stamp {
-			continue
-		}
-		switch {
-		case m.Deleted:
-			sn.mt.set(m.Key, cell{dead: true, stamp: m.Stamp})
-		case m.Counter:
-			sn.mt.set(m.Key, cell{isCtr: true, counter: m.CtrVal, stamp: m.Stamp})
-		default:
-			sn.mt.set(m.Key, cell{val: append([]byte(nil), m.Val...), stamp: m.Stamp})
-		}
-		// Track the master's stamps so that, if promoted, this node
-		// issues strictly larger ones (keeping LL/SC ABA-safe).
-		if m.Stamp > sn.stamp {
-			sn.stamp = m.Stamp
-		}
+		sn.applyMutationLocked(&req.Mutations[i])
 	}
 	sn.mu.Unlock()
+	// The replica's copy must be as durable as the master's: a write is
+	// only acknowledged once every live replica logged it.
+	if sn.dur != nil {
+		recs := make([]durable.Record, len(req.Mutations))
+		for i := range req.Mutations {
+			recs[i] = durable.Record{Part: req.PartitionID, Mut: req.Mutations[i]}
+		}
+		if err := sn.walCommit(ctx, recs); err != nil {
+			return (&wire.ReplicateResponse{Status: wire.StatusUnavailable}).Encode()
+		}
+	}
 	return (&wire.ReplicateResponse{Status: wire.StatusOK}).Encode()
+}
+
+// applyMutationLocked applies one replicated mutation if-newer by stamp.
+// Caller holds sn.mu.
+//
+// Apply-if-newer: concurrent replication batches (and parallel recovery
+// workers) may deliver mutations out of order; stamps are unique and
+// monotonic per master, so last-writer-wins reconstructs the master's final
+// state regardless of arrival order.
+func (sn *Node) applyMutationLocked(m *wire.Mutation) {
+	if cur, ok := sn.mt.get(m.Key); ok && cur.stamp >= m.Stamp {
+		return
+	}
+	sn.mt.set(m.Key, cellFromMutation(m))
+	// Track the master's stamps so that, if promoted, this node issues
+	// strictly larger ones (keeping LL/SC ABA-safe).
+	if m.Stamp > sn.stamp {
+		sn.stamp = m.Stamp
+	}
 }
 
 // handleMeta serves control messages from the management node.

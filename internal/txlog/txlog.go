@@ -171,18 +171,41 @@ func (l *Log) MarkAborted(ctx env.Ctx, tid uint64) (fenced, committed bool, err 
 	}
 }
 
+// CorruptEntryError reports a transaction-log record that failed to decode
+// (torn or corrupted bytes in the shared store). Replay stops cleanly at the
+// first such record: every entry already delivered decoded intact, and
+// nothing past the corrupt record is visited.
+type CorruptEntryError struct {
+	// TID is the corrupt entry's transaction id, recovered from its store
+	// key (the key embeds the tid even when the value is garbage).
+	TID uint64
+	Err error
+}
+
+func (e *CorruptEntryError) Error() string {
+	return fmt.Sprintf("txlog: corrupt entry for tid %d: %v", e.TID, e.Err)
+}
+
+func (e *CorruptEntryError) Unwrap() error { return e.Err }
+
 // Get fetches the entry for tid.
 func (l *Log) Get(ctx env.Ctx, tid uint64) (*Entry, error) {
 	raw, _, err := l.sc.Get(ctx, Key(tid))
 	if err != nil {
 		return nil, err
 	}
-	return Decode(raw)
+	e, err := Decode(raw)
+	if err != nil {
+		return nil, &CorruptEntryError{TID: tid, Err: err}
+	}
+	return e, nil
 }
 
 // ScanBackward visits entries with lo <= tid <= hi in descending tid order,
 // stopping early when fn returns false. This is the recovery iteration
-// pattern: from the highest tid down to the lav checkpoint (§4.4.1).
+// pattern: from the highest tid down to the lav checkpoint (§4.4.1). A
+// record that fails to decode stops the scan with a *CorruptEntryError
+// identifying the offending tid; entries already visited were intact.
 func (l *Log) ScanBackward(ctx env.Ctx, lo, hi uint64, fn func(e *Entry) bool) error {
 	loKey := Key(lo)
 	hiKey := Key(hi + 1) // exclusive upper bound
@@ -196,7 +219,8 @@ func (l *Log) ScanBackward(ctx env.Ctx, lo, hi uint64, fn func(e *Entry) bool) e
 	for _, p := range pairs {
 		e, err := Decode(p.Val)
 		if err != nil {
-			return err
+			tid, _ := TIDFromKey(p.Key)
+			return &CorruptEntryError{TID: tid, Err: err}
 		}
 		if !fn(e) {
 			return nil

@@ -2,6 +2,7 @@ package txlog_test
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"time"
 
@@ -161,4 +162,72 @@ func TestTruncate(t *testing.T) {
 			t.Fatalf("after truncate: %v", got)
 		}
 	})
+}
+
+// TestScanStopsAtCorruptEntry is the regression test for torn/corrupted log
+// records: replay must deliver every intact entry above the corruption,
+// then stop cleanly with a typed error naming the offending tid — not
+// return garbage, not skip silently, not visit anything below it.
+func TestScanStopsAtCorruptEntry(t *testing.T) {
+	k := sim.NewKernel(testutil.Seed(t, 6))
+	defer k.Shutdown()
+	envr := env.NewSim(k)
+	net := transport.NewSimNet(k, transport.InfiniBand())
+	cl, err := store.NewCluster(envr, net, store.ClusterConfig{NumNodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn := envr.NewNode("pn0", 2)
+	sc := cl.NewClient(pn)
+	l := txlog.New(sc)
+	done := false
+	pn.Go("test", func(ctx env.Ctx) {
+		defer k.Stop()
+		for tid := uint64(1); tid <= 5; tid++ {
+			if err := l.Append(ctx, &txlog.Entry{TID: tid, PN: "pn0"}); err != nil {
+				t.Errorf("append %d: %v", tid, err)
+				return
+			}
+		}
+		// Tear entry 3: overwrite it with a truncated encoding, as a torn
+		// store write would leave it.
+		torn := (&txlog.Entry{TID: 3, PN: "pn0", WriteSet: [][]byte{[]byte("t0/r9")}}).Encode()
+		if _, err := sc.Put(ctx, txlog.Key(3), torn[:len(torn)-3]); err != nil {
+			t.Errorf("corrupt put: %v", err)
+			return
+		}
+
+		var visited []uint64
+		err := l.ScanBackward(ctx, 1, 5, func(e *txlog.Entry) bool {
+			visited = append(visited, e.TID)
+			return true
+		})
+		var ce *txlog.CorruptEntryError
+		if !errors.As(err, &ce) {
+			t.Errorf("scan returned %v, want CorruptEntryError", err)
+			return
+		}
+		if ce.TID != 3 {
+			t.Errorf("corrupt tid = %d, want 3", ce.TID)
+		}
+		if len(visited) != 2 || visited[0] != 5 || visited[1] != 4 {
+			t.Errorf("visited %v, want [5 4]: intact entries above the corruption only", visited)
+		}
+
+		// Point reads report the same typed error.
+		if _, err := l.Get(ctx, 3); !errors.As(err, &ce) || ce.TID != 3 {
+			t.Errorf("get corrupt entry: %v", err)
+		}
+		// Entries on either side stay readable.
+		if e, err := l.Get(ctx, 2); err != nil || e.TID != 2 {
+			t.Errorf("get 2: %+v %v", e, err)
+		}
+		done = true
+	})
+	if err := k.RunUntil(sim.Time(60 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("test did not finish")
+	}
 }

@@ -33,6 +33,11 @@ func FuzzRoundTrip(f *testing.F) {
 		{Key: []byte("d"), Deleted: true, Stamp: 7},
 	}}).Encode())
 	f.Add((&ReplicateResponse{Status: StatusOK}).Encode())
+	f.Add((&RecoverRequest{Dead: "sn1",
+		Objects: []string{"sn1/wal/seg-0000000003", "sn1/ckpt/g0000000001/chunk-000000"},
+		Assign:  []RecoverAssign{{Pid: 4, Addr: "sn0"}, {Pid: 9, Addr: "sn2"}},
+	}).Encode())
+	f.Add((&RecoverResponse{Status: StatusOK, Records: 120, Bytes: 4096}).Encode())
 	f.Add((&StatsSnapshot{Node: "sn0", UptimeNs: 12345,
 		Classes:  []StatsClass{{Name: "store", Count: 9, MeanNs: 1200, P99Ns: 5000, MaxNs: 9000}},
 		Counters: []StatsCounter{{Name: "sn0/gets", Value: 42}, {Name: "sn0/writes", Value: -1}},
@@ -81,6 +86,26 @@ func FuzzRoundTrip(f *testing.F) {
 			}
 			if e2 := m2.Encode(); !bytes.Equal(e1, e2) {
 				t.Fatalf("ReplicateResponse fixpoint: % x != % x", e1, e2)
+			}
+		}
+		if m, err := DecodeRecoverRequest(data); err == nil {
+			e1 := m.Encode()
+			m2, err := DecodeRecoverRequest(e1)
+			if err != nil {
+				t.Fatalf("re-decode RecoverRequest: %v", err)
+			}
+			if e2 := m2.Encode(); !bytes.Equal(e1, e2) {
+				t.Fatalf("RecoverRequest fixpoint: % x != % x", e1, e2)
+			}
+		}
+		if m, err := DecodeRecoverResponse(data); err == nil {
+			e1 := m.Encode()
+			m2, err := DecodeRecoverResponse(e1)
+			if err != nil {
+				t.Fatalf("re-decode RecoverResponse: %v", err)
+			}
+			if e2 := m2.Encode(); !bytes.Equal(e1, e2) {
+				t.Fatalf("RecoverResponse fixpoint: % x != % x", e1, e2)
 			}
 		}
 		if m, err := DecodeStatsSnapshot(data); err == nil {

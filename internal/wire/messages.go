@@ -20,6 +20,8 @@ const (
 	KindPong
 	KindStatsReq
 	KindStatsResp
+	KindRecoverReq
+	KindRecoverResp
 )
 
 // PeekKind returns the kind byte of an encoded message.
@@ -462,5 +464,92 @@ func DecodeReplicateResponse(b []byte) (*ReplicateResponse, error) {
 		return nil, fmt.Errorf("wire: kind %d is not a replicate response", k)
 	}
 	m := &ReplicateResponse{Status: Status(r.Byte())}
+	return m, r.Close()
+}
+
+// RecoverAssign names the surviving node taking over one of a dead node's
+// partitions; recovery workers route replayed records by this table.
+type RecoverAssign struct {
+	Pid  uint64
+	Addr string
+}
+
+// RecoverRequest asks a surviving storage node to fetch and replay a shard
+// of a dead node's durable objects (WAL segments and checkpoint chunks).
+// The worker applies records for partitions it now masters directly and
+// forwards the rest per the assignment table. One request carries a small
+// object batch so each RPC stays within network timeouts.
+type RecoverRequest struct {
+	// Dead is the durable namespace (node address) being recovered.
+	Dead    string
+	Objects []string
+	Assign  []RecoverAssign
+}
+
+// Encode serializes the recover request.
+func (m *RecoverRequest) Encode() []byte {
+	w := GetWriter()
+	w.Byte(byte(KindRecoverReq))
+	w.String(m.Dead)
+	w.Uvarint(uint64(len(m.Objects)))
+	for _, o := range m.Objects {
+		w.String(o)
+	}
+	w.Uvarint(uint64(len(m.Assign)))
+	for i := range m.Assign {
+		w.Uvarint(m.Assign[i].Pid)
+		w.String(m.Assign[i].Addr)
+	}
+	return w.Finish()
+}
+
+// DecodeRecoverRequest parses an encoded RecoverRequest.
+func DecodeRecoverRequest(b []byte) (*RecoverRequest, error) {
+	r := NewReader(b)
+	if k := Kind(r.Byte()); k != KindRecoverReq {
+		return nil, fmt.Errorf("wire: kind %d is not a recover request", k)
+	}
+	m := &RecoverRequest{Dead: r.String()}
+	n := r.Count(1)
+	m.Objects = make([]string, n)
+	for i := range m.Objects {
+		m.Objects[i] = r.String()
+	}
+	n = r.Count(2)
+	m.Assign = make([]RecoverAssign, n)
+	for i := range m.Assign {
+		m.Assign[i].Pid = r.Uvarint()
+		m.Assign[i].Addr = r.String()
+	}
+	return m, r.Close()
+}
+
+// RecoverResponse reports one worker's replay result: records routed and
+// payload bytes read from the durable backend.
+type RecoverResponse struct {
+	Status  Status
+	Records uint64
+	Bytes   uint64
+}
+
+// Encode serializes the recover response.
+func (m *RecoverResponse) Encode() []byte {
+	w := GetWriter()
+	w.Byte(byte(KindRecoverResp))
+	w.Byte(byte(m.Status))
+	w.Uvarint(m.Records)
+	w.Uvarint(m.Bytes)
+	return w.Finish()
+}
+
+// DecodeRecoverResponse parses an encoded RecoverResponse.
+func DecodeRecoverResponse(b []byte) (*RecoverResponse, error) {
+	r := NewReader(b)
+	if k := Kind(r.Byte()); k != KindRecoverResp {
+		return nil, fmt.Errorf("wire: kind %d is not a recover response", k)
+	}
+	m := &RecoverResponse{Status: Status(r.Byte())}
+	m.Records = r.Uvarint()
+	m.Bytes = r.Uvarint()
 	return m, r.Close()
 }
