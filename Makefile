@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test test-race chaos-race crash-matrix fuzz-short vet lint bench-smoke golden-trace ci
+.PHONY: test test-race chaos-race crash-matrix fuzz-short vet lint lint-determinism sanitize bench-smoke golden-trace ci
 
 test:
 	$(GO) test ./...
@@ -30,10 +30,30 @@ fuzz-short:
 vet:
 	$(GO) vet ./...
 
-# tellvet: the determinism analyzer suite (see DESIGN.md §6). Exits
-# non-zero on any unsuppressed finding.
+# tellvet: the determinism-and-concurrency analyzer suite (see DESIGN.md
+# §6 and §9). Exits non-zero on any unsuppressed finding.
 lint:
 	$(GO) run ./cmd/tellvet ./...
+
+# The analyzer suite must itself be deterministic: two runs over identical
+# inputs produce byte-identical summaries (package counts, per-analyzer
+# finding/suppression counts). Any map-order or load-order nondeterminism
+# in the analyzers shows up here as a diff.
+lint-determinism:
+	$(GO) run ./cmd/tellvet -summary ./... > /tmp/tellvet-sum-a.txt
+	$(GO) run ./cmd/tellvet -summary ./... > /tmp/tellvet-sum-b.txt
+	cmp /tmp/tellvet-sum-a.txt /tmp/tellvet-sum-b.txt
+	rm -f /tmp/tellvet-sum-a.txt /tmp/tellvet-sum-b.txt
+
+# Runtime sanitizer smoke: the telldebug build tag swaps every engine mutex
+# for the instrumented internal/sanitize variant (acquisition-order graph,
+# inversion detection, long-hold watchdog), and each suite's TestMain fails
+# the package on leaked goroutines or recorded inversions. The bank chaos
+# cell is the densest cross-node locking path, so it runs under the race
+# detector with the sanitizers armed.
+sanitize:
+	$(GO) test -race -tags telldebug ./internal/sanitize
+	$(GO) test -race -tags telldebug ./internal/chaos -run TestBankChaosMatrix
 
 # Allocation guards for the pooled wire hot path: the AllocsPerRun tests
 # pin encode/decode at zero steady-state allocations, and every benchmark
@@ -59,6 +79,8 @@ ci:
 	$(MAKE) crash-matrix
 	$(GO) vet ./...
 	$(MAKE) lint
+	$(MAKE) lint-determinism
+	$(MAKE) sanitize
 	$(GO) test ./internal/wire -run=FuzzRoundTrip
 	$(MAKE) bench-smoke
 	$(MAKE) golden-trace

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -104,8 +105,7 @@ func runTraced(opt exp.Options, file string, breakdown bool) error {
 			return err
 		}
 		if err := run.Trace.WriteChromeTrace(f); err != nil {
-			f.Close()
-			return err
+			return errors.Join(err, f.Close())
 		}
 		if err := f.Close(); err != nil {
 			return err

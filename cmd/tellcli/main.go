@@ -267,6 +267,7 @@ func (c *cli) get(args []string) error {
 	if err != nil {
 		return err
 	}
+	//lint:allow errdiscard read-only transaction: commit only releases the snapshot, the printed rows are already final
 	defer txn.Commit(c.ctx)
 	rid, row, found, err := txn.LookupPK(c.ctx, t, vals...)
 	if err != nil {
@@ -289,6 +290,7 @@ func (c *cli) scan(args []string) error {
 	if err != nil {
 		return err
 	}
+	//lint:allow errdiscard read-only transaction: commit only releases the snapshot, the printed rows are already final
 	defer txn.Commit(c.ctx)
 	n := 0
 	err = txn.ScanTable(c.ctx, t, func(rid uint64, row relational.Row) bool {

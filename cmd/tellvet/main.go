@@ -33,6 +33,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"tell/internal/lint"
@@ -45,7 +46,7 @@ func main() {
 		if os.Args[1] == "-V=full" || os.Args[1] == "-V" {
 			// The version fingerprints the tool for go vet's action
 			// cache; bump it when analyzer behavior changes.
-			fmt.Printf("%s version tellvet-1.0\n", os.Args[0])
+			fmt.Printf("%s version tellvet-2.0\n", os.Args[0])
 			return
 		}
 		if os.Args[1] == "-flags" {
@@ -75,8 +76,9 @@ func standaloneMain() int {
 	fs := flag.NewFlagSet("tellvet", flag.ExitOnError)
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	summary := fs.Bool("summary", false, "print a per-analyzer findings/suppressed summary after the diagnostics")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: tellvet [-list] [-only names] packages...\n")
+		fmt.Fprintf(fs.Output(), "usage: tellvet [-list] [-only names] [-summary] packages...\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(os.Args[1:])
@@ -115,7 +117,7 @@ func standaloneMain() int {
 		fmt.Fprintln(os.Stderr, "tellvet:", err)
 		return 2
 	}
-	diags, err := lint.Run(pkgs, analyzers)
+	diags, stats, err := lint.RunStats(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tellvet:", err)
 		return 2
@@ -123,11 +125,36 @@ func standaloneMain() int {
 	for _, d := range diags {
 		fmt.Println(relativize(wd, d))
 	}
+	if *summary {
+		printSummary(stats)
+	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "tellvet: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// printSummary renders the run's per-analyzer counts in a fixed, fully
+// deterministic shape: analyzer names sorted, every analyzer present even
+// at zero, no paths or timings. CI runs the suite twice and compares the
+// two summaries byte-for-byte — any nondeterminism in package loading,
+// analysis order, or suppression accounting shows up as a diff.
+func printSummary(stats lint.Stats) {
+	names := make([]string, 0, len(stats.Findings))
+	for name := range stats.Findings {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("tellvet summary: %d package(s)\n", stats.Packages)
+	totalF, totalS := 0, 0
+	for _, name := range names {
+		f, s := stats.Findings[name], stats.Suppressed[name]
+		totalF += f
+		totalS += s
+		fmt.Printf("%-14s findings=%-3d suppressed=%d\n", name, f, s)
+	}
+	fmt.Printf("%-14s findings=%-3d suppressed=%d\n", "total", totalF, totalS)
 }
 
 func relativize(wd string, d lint.Diagnostic) string {
@@ -267,8 +294,7 @@ func unitcheckerMain(cfgPath string, jsonOut bool) int {
 			fmt.Fprintln(os.Stderr, "tellvet:", err)
 			return 1
 		}
-		os.Stdout.Write(out)
-		os.Stdout.Write([]byte("\n"))
+		fmt.Printf("%s\n", out)
 		return 0
 	}
 	for _, d := range diags {

@@ -88,7 +88,9 @@ func main() {
 		}); err != nil {
 			log.Fatal(err)
 		}
-		tx.Commit()
+		if err := tx.Commit(); err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("round %d: snapshot of %d orders (stream has inserted %d so far)\n",
 			round, count, inserted.Load())
 		for _, r := range regions {
@@ -109,7 +111,9 @@ func main() {
 		}); err != nil {
 		log.Fatal(err)
 	}
-	tx.Commit()
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("push-down query: emea revenue %.2f over %d orders (filter+projection ran in the storage nodes)\n", emea, n)
 
 	close(stop)

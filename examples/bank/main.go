@@ -116,7 +116,9 @@ func main() {
 		count++
 		return true
 	})
-	tx.Commit()
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
 
 	c1, a1 := db1.Stats()
 	c2, a2 := db2.Stats()

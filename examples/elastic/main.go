@@ -121,7 +121,9 @@ func main() {
 		sum += row[1].I
 		return true
 	})
-	tx.Commit()
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("committed %d increments; counter sum %d (must match)\n", total.Load(), sum)
 	if sum != total.Load() {
 		log.Fatal("MISMATCH: increments lost or duplicated")

@@ -4,9 +4,9 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"sync"
 
 	"tell/internal/env"
+	"tell/internal/sanitize"
 	"tell/internal/store"
 )
 
@@ -32,7 +32,7 @@ type Tree struct {
 	// Retries bounds optimistic retry loops.
 	Retries int
 
-	mu        sync.Mutex
+	mu        sanitize.Mutex
 	cache     map[uint64]*node
 	root      *rootPtr
 	idNext    uint64
@@ -47,7 +47,7 @@ const idRangeSize = 64
 // New returns a handle to the tree stored under name. The tree must have
 // been created once with Create (or BulkBuild).
 func New(name string, sc *store.Client) *Tree {
-	return &Tree{
+	t := &Tree{
 		name:       name,
 		sc:         sc,
 		MaxKeys:    64,
@@ -55,6 +55,8 @@ func New(name string, sc *store.Client) *Tree {
 		Retries:    64,
 		cache:      make(map[uint64]*node),
 	}
+	t.mu.SetName("btree.Tree.mu")
+	return t
 }
 
 // Stats returns (store reads issued, inner-cache hits).

@@ -9,6 +9,7 @@ import (
 	"tell/internal/env"
 	"tell/internal/mvcc"
 	"tell/internal/resil"
+	"tell/internal/sanitize"
 	"tell/internal/trace"
 	"tell/internal/transport"
 	"tell/internal/wire"
@@ -64,7 +65,7 @@ type Client struct {
 	// roundTrip already rotates through the whole fleet per attempt.
 	Resil *resil.Retrier
 
-	mu     sync.Mutex
+	mu     sanitize.Mutex
 	addrs  []string
 	cur    int
 	conns  map[string]transport.Conn
@@ -105,7 +106,7 @@ func nextCMClientID(node string) string {
 // NewClient creates a client that talks to the managers at addrs. The
 // coalesced protocol is on by default.
 func NewClient(envr env.Full, node env.Node, tr transport.Transport, addrs []string) *Client {
-	return &Client{
+	c := &Client{
 		envr:           envr,
 		node:           node,
 		tr:             tr,
@@ -119,6 +120,8 @@ func NewClient(envr env.Full, node env.Node, tr transport.Transport, addrs []str
 		conns:          make(map[string]transport.Conn),
 		clientID:       nextCMClientID(nodeLabel(node)),
 	}
+	c.mu.SetName("commitmgr.Client.mu")
+	return c
 }
 
 // nextSeq issues the next grouped-request idempotency token.
@@ -170,13 +173,24 @@ func (c *Client) Close() {
 
 func (c *Client) conn(addr string) (transport.Conn, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if conn, ok := c.conns[addr]; ok {
+		c.mu.Unlock()
 		return conn, nil
 	}
+	c.mu.Unlock()
+	// Dial outside the lock: fleet rotation must keep trying other
+	// managers while one dial hangs.
 	conn, err := c.tr.Dial(c.node, addr)
 	if err != nil {
 		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if exist, ok := c.conns[addr]; ok {
+		// Lost a dial race; keep the first connection.
+		//lint:allow errdiscard closing a redundant just-dialed connection nothing was sent on
+		conn.Close()
+		return exist, nil
 	}
 	c.conns[addr] = conn
 	return conn, nil
@@ -198,6 +212,7 @@ func (c *Client) roundTrip(ctx env.Ctx, req []byte) ([]byte, transport.Conn, err
 		if err != nil {
 			continue
 		}
+		//lint:allow ctxdeadline fleet-rotation primitive: grouped callers wrap it in Resil.Do(ClassCM); the solo path bounds retries with c.Retries
 		resp, err := conn.RoundTrip(ctx, req)
 		if err != nil {
 			continue

@@ -13,13 +13,13 @@ package commitmgr
 
 import (
 	"slices"
-	"sync"
 	"time"
 
 	"tell/internal/env"
 	"tell/internal/metrics"
 	"tell/internal/mvcc"
 	"tell/internal/resil"
+	"tell/internal/sanitize"
 	"tell/internal/store"
 	"tell/internal/transport"
 	"tell/internal/txlog"
@@ -63,7 +63,7 @@ type Server struct {
 	// whose states are merged.
 	Peers []string
 
-	mu sync.Mutex
+	mu sanitize.Mutex
 	// fin is the finished set: {x ≤ Base} all finished, bits = finished
 	// tids above Base (committed or aborted). Base is the paper's b.
 	fin *mvcc.Snapshot
@@ -133,7 +133,7 @@ type Server struct {
 // New creates a commit manager. id must be unique across the fleet; addr is
 // where PNs reach it. sc is its client to the shared store.
 func New(id, addr string, envr env.Full, node env.Node, tr transport.Transport, sc *store.Client) *Server {
-	return &Server{
+	s := &Server{
 		addr:           addr,
 		id:             id,
 		envr:           envr,
@@ -160,6 +160,8 @@ func New(id, addr string, envr env.Full, node env.Node, tr transport.Transport, 
 		RecoveryEvery:  100,
 		lat:            metrics.NewSummary(),
 	}
+	s.mu.SetName("commitmgr.Server.mu")
+	return s
 }
 
 // Addr returns the server's address.
@@ -563,6 +565,7 @@ func (s *Server) closeTids(tids []uint64) {
 // manager i issues those ≡ i+1 (mod n). Uniqueness still comes from the
 // shared counter (block ids never repeat).
 func (s *Server) refillRange(ctx env.Ctx) error {
+	//lint:allow guardedfield Interleaved is configuration, set before Start and immutable afterwards
 	if !s.Interleaved {
 		hi, err := s.sc.CounterAdd(ctx, []byte(tidCounterKey), s.TidRange)
 		if err != nil {
@@ -759,6 +762,7 @@ func (s *Server) pushState(ctx env.Ctx) {
 	w.Uvarint(s.tidEnd)
 	payload := w.Bytes()
 	s.mu.Unlock()
+	//lint:allow errdiscard best-effort gossip: a failed publish leaves peers on the previous epoch and the next pushState supersedes it
 	s.sc.Put(ctx, []byte(statePrefix+s.id), payload)
 }
 

@@ -3,12 +3,12 @@ package core
 import (
 	"container/list"
 	"fmt"
-	"sync"
 
 	"tell/internal/det"
 	"tell/internal/env"
 	"tell/internal/mvcc"
 	"tell/internal/relational"
+	"tell/internal/sanitize"
 	"tell/internal/store"
 	"tell/internal/wire"
 )
@@ -56,7 +56,7 @@ type sbEntry struct {
 // sharedBuffer is an LRU cache of records shared by all transactions on a
 // processing node.
 type sharedBuffer struct {
-	mu      sync.Mutex
+	mu      sanitize.Mutex
 	max     int
 	entries map[string]*sbEntry
 	byUnit  map[string]map[string]*sbEntry
@@ -66,12 +66,14 @@ type sharedBuffer struct {
 }
 
 func newSharedBuffer(max int) *sharedBuffer {
-	return &sharedBuffer{
+	b := &sharedBuffer{
 		max:     max,
 		entries: make(map[string]*sbEntry),
 		byUnit:  make(map[string]map[string]*sbEntry),
 		lru:     list.New(),
 	}
+	b.mu.SetName("core.sharedBuffer.mu")
+	return b
 }
 
 // HitRatio returns the fraction of lookups served from the buffer.

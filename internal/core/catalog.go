@@ -9,12 +9,12 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"tell/internal/btree"
 	"tell/internal/det"
 	"tell/internal/env"
 	"tell/internal/relational"
+	"tell/internal/sanitize"
 	"tell/internal/store"
 )
 
@@ -38,7 +38,7 @@ func (t *TableInfo) PKKey(row relational.Row) []byte {
 type Catalog struct {
 	sc      *store.Client
 	fanout  int
-	mu      sync.Mutex
+	mu      sanitize.Mutex
 	tables  map[string]*TableInfo
 	caching bool
 }
@@ -50,7 +50,9 @@ func NewCatalog(sc *store.Client, fanout int, caching bool) *Catalog {
 	if fanout <= 0 {
 		fanout = 64
 	}
-	return &Catalog{sc: sc, fanout: fanout, tables: make(map[string]*TableInfo), caching: caching}
+	c := &Catalog{sc: sc, fanout: fanout, tables: make(map[string]*TableInfo), caching: caching}
+	c.mu.SetName("core.Catalog.mu")
+	return c
 }
 
 // CreateTable registers a new table in the shared catalog and creates its

@@ -1,13 +1,13 @@
 package core
 
 import (
-	"sync"
 	"time"
 
 	"tell/internal/commitmgr"
 	"tell/internal/env"
 	"tell/internal/mvcc"
 	"tell/internal/relational"
+	"tell/internal/sanitize"
 	"tell/internal/store"
 	"tell/internal/trace"
 	"tell/internal/transport"
@@ -133,7 +133,7 @@ type PN struct {
 
 	shared *sharedBuffer
 
-	mu sync.Mutex
+	mu sanitize.Mutex
 	// rec, when non-nil, observes the transaction history (histcheck).
 	rec TxnRecorder
 	// lastSnap is the snapshot of the most recently started transaction:
@@ -168,6 +168,7 @@ func New(cfg Config, envr env.Full, node env.Node, tr transport.Transport, sc *s
 	if cfg.Buffer != TB {
 		pn.shared = newSharedBuffer(cfg.SharedBufferSize)
 	}
+	pn.mu.SetName("core.PN.mu")
 	return pn
 }
 

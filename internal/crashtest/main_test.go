@@ -1,0 +1,11 @@
+package crashtest
+
+import (
+	"testing"
+
+	"tell/internal/testutil"
+)
+
+// TestMain fails the package on leaked goroutines and (under
+// -tags telldebug) on recorded lock-order inversions.
+func TestMain(m *testing.M) { testutil.Main(m) }

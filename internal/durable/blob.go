@@ -2,11 +2,11 @@ package durable
 
 import (
 	"strings"
-	"sync"
 	"time"
 
 	"tell/internal/det"
 	"tell/internal/env"
+	"tell/internal/sanitize"
 )
 
 // BlobProfile models the latency of a remote object store. All delay is
@@ -39,18 +39,20 @@ func MemProfile() BlobProfile { return BlobProfile{Name: "mem"} }
 type Blob struct {
 	prof BlobProfile
 
-	mu      sync.Mutex
+	mu      sanitize.Mutex
 	objects map[string][]byte
 	staged  map[string][]byte
 }
 
 // NewBlob returns an empty blob store with the given latency profile.
 func NewBlob(prof BlobProfile) *Blob {
-	return &Blob{
+	b := &Blob{
 		prof:    prof,
 		objects: make(map[string][]byte),
 		staged:  make(map[string][]byte),
 	}
+	b.mu.SetName("durable.Blob.mu")
+	return b
 }
 
 // NewMem returns a zero-latency in-memory backend.

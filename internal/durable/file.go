@@ -7,10 +7,10 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
-	"sync"
 
 	"tell/internal/det"
 	"tell/internal/env"
+	"tell/internal/sanitize"
 )
 
 // File is a Backend over a local directory: each object is a file, Append
@@ -21,7 +21,7 @@ import (
 type File struct {
 	dir string
 
-	mu   sync.Mutex
+	mu   sanitize.Mutex
 	open map[string]*os.File // append handles, kept open between Sync calls
 }
 
@@ -30,7 +30,9 @@ func NewFile(dir string) (*File, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &File{dir: dir, open: make(map[string]*os.File)}, nil
+	f := &File{dir: dir, open: make(map[string]*os.File)}
+	f.mu.SetName("durable.File.mu")
+	return f, nil
 }
 
 func (f *File) path(name string) string {
@@ -55,14 +57,21 @@ func (f *File) handle(name string) (*os.File, error) {
 	return h, nil
 }
 
-// Put atomically replaces the object via a temp file and rename.
+// Put atomically replaces the object via a temp file and rename. The file
+// I/O (including the fsync) runs outside f.mu: a checkpoint Put must not
+// stall concurrent WAL appends to other objects, and the backend contract
+// forbids concurrent writers to the same object, so only the handle map
+// needs the lock.
 func (f *File) Put(ctx env.Ctx, name string, data []byte) error {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	if h, ok := f.open[name]; ok {
-		h.Close()
 		delete(f.open, name)
+		if err := h.Close(); err != nil {
+			f.mu.Unlock()
+			return err
+		}
 	}
+	f.mu.Unlock()
 	p := f.path(name)
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return err
@@ -73,12 +82,10 @@ func (f *File) Put(ctx env.Ctx, name string, data []byte) error {
 		return err
 	}
 	if _, err := h.Write(data); err != nil {
-		h.Close()
-		return err
+		return errors.Join(err, h.Close())
 	}
 	if err := h.Sync(); err != nil {
-		h.Close()
-		return err
+		return errors.Join(err, h.Close())
 	}
 	if err := h.Close(); err != nil {
 		return err
@@ -146,19 +153,22 @@ func (f *File) List(ctx env.Ctx, prefix string) ([]string, error) {
 	return out, nil
 }
 
-// Delete removes the object; missing objects are not an error.
+// Delete removes the object; missing objects are not an error. A close
+// failure on the append handle is reported even though the file is going
+// away: it can signal a dying disk that WAL truncation must not ignore.
 func (f *File) Delete(ctx env.Ctx, name string) error {
 	f.mu.Lock()
+	var closeErr error
 	if h, ok := f.open[name]; ok {
-		h.Close()
+		closeErr = h.Close()
 		delete(f.open, name)
 	}
 	f.mu.Unlock()
 	err := os.Remove(f.path(name))
 	if errors.Is(err, fs.ErrNotExist) {
-		return nil
+		err = nil
 	}
-	return err
+	return errors.Join(closeErr, err)
 }
 
 // Wipe removes every object under prefix (crash-losing-disk model).
@@ -166,6 +176,8 @@ func (f *File) Wipe(prefix string) {
 	f.mu.Lock()
 	for _, name := range det.Keys(f.open) {
 		if strings.HasPrefix(name, prefix) {
+			// Wipe models losing the disk; the handles' fate is the point.
+			//lint:allow errdiscard wipe simulates disk loss, close errors are part of the modeled failure
 			f.open[name].Close()
 			delete(f.open, name)
 		}

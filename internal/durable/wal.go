@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
-	"sync"
 
 	"tell/internal/env"
+	"tell/internal/sanitize"
 )
 
 // WALConfig tunes the write-ahead log.
@@ -31,7 +31,7 @@ type WAL struct {
 	ns  string
 	cfg WALConfig
 
-	mu        sync.Mutex
+	mu        sanitize.Mutex
 	seg       uint64 // current segment index
 	segBytes  int    // bytes appended to the current segment
 	nextLSN   uint64
@@ -49,7 +49,9 @@ func OpenWAL(be Backend, ns string, cfg WALConfig, seg, nextLSN uint64) *WAL {
 	if nextLSN == 0 {
 		nextLSN = 1
 	}
-	return &WAL{be: be, ns: ns, cfg: cfg, seg: seg, nextLSN: nextLSN}
+	w := &WAL{be: be, ns: ns, cfg: cfg, seg: seg, nextLSN: nextLSN}
+	w.mu.SetName("durable.WAL.mu")
+	return w
 }
 
 // segName formats a segment object name; zero-padding keeps List order

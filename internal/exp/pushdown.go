@@ -81,6 +81,7 @@ func ExtPushdown(opt Options) (*Table, error) {
 			if err != nil {
 				tblErr = err
 			}
+			//lint:allow errdiscard read-only analytics scan: commit only releases the snapshot, rows are already counted
 			txn.Commit(ctx)
 			after := net.Stats()
 			mb = float64(after.BytesSent+after.BytesRecv-before.BytesSent-before.BytesRecv) / (1 << 20)

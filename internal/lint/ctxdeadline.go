@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxDeadline verifies that every RPC send path threads a deadline/retry
+// policy from internal/resil: a transport.Conn.RoundTrip call in engine
+// code must sit lexically inside the attempt closure of a
+// (*resil.Retrier).Do call. A bare RoundTrip bypasses the per-class
+// deadline, backoff and give-up policy — under faults it either hangs on
+// the transport timeout or fails without the deterministic retry schedule
+// the simulation (and the paper's availability numbers) depend on.
+var CtxDeadline = &Analyzer{
+	Name: "ctxdeadline",
+	Doc:  "require transport RoundTrip calls to run inside a resil.Retrier.Do policy",
+	Run:  runCtxDeadline,
+}
+
+func runCtxDeadline(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Collect the attempt-closure spans of Retrier.Do calls first.
+		var policied []span
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isRetrierDo(pass, call) {
+				return true
+			}
+			for _, a := range call.Args {
+				if lit, ok := unparen(a).(*ast.FuncLit); ok {
+					policied = append(policied, span{lit.Pos(), lit.End()})
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "RoundTrip" {
+				return true
+			}
+			fn, _ := pass.ObjectOf(sel.Sel).(*types.Func)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "tell/internal/transport" {
+				return true
+			}
+			for _, sp := range policied {
+				if call.Pos() >= sp.lo && call.End() <= sp.hi {
+					return true
+				}
+			}
+			pass.Reportf(call.Pos(), "bare conn.RoundTrip: wrap the attempt in (*resil.Retrier).Do so it carries a deadline/backoff policy (or //lint:allow ctxdeadline <reason>)")
+			return true
+		})
+	}
+	return nil
+}
+
+type span struct{ lo, hi token.Pos }
+
+// isRetrierDo matches calls to (*resil.Retrier).Do.
+func isRetrierDo(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Do" {
+		return false
+	}
+	fn, _ := pass.ObjectOf(sel.Sel).(*types.Func)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "tell/internal/resil"
+}

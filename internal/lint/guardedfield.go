@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// GuardedField infers "field X is only accessed while mu is held" from
+// majority usage and flags the outlier accesses. A field of a struct that
+// also holds a mutex is considered guarded by that mutex when at least
+// guardedMin accesses happen under it and guarded sites outnumber
+// unguarded ones by guardedRatio; the remaining unguarded accesses are then
+// likely races. Accesses in constructors (functions returning the struct)
+// and on freshly built composite literals are exempt — initialization before
+// publication needs no lock. "Caller holds mu" helper methods are credited
+// through the same call-path context inference lockorder uses.
+var GuardedField = &Analyzer{
+	Name: "guardedfield",
+	Doc:  "flag unguarded accesses to fields that are mutex-guarded by majority usage",
+	Run:  runGuardedField,
+}
+
+const (
+	guardedMin   = 2 // minimum guarded accesses before the field counts as guarded
+	guardedRatio = 2 // guarded sites must be >= ratio × unguarded sites
+)
+
+type fieldStats struct {
+	field     *types.Var
+	owner     *types.Named
+	guarded   int
+	guardians map[*types.Var]int // which mutex was held, for the message
+	unguarded []token.Pos
+}
+
+func runGuardedField(pass *Pass) error {
+	lf := buildLockFacts(pass)
+
+	stats := map[*types.Var]*fieldStats{}
+	var fieldOrder []*types.Var
+
+	for _, ff := range lf.funcs {
+		ctor := constructorResults(pass, ff.decl)
+		fresh := freshLocals(pass, ff.decl)
+		sc := &lockScanner{pass: pass}
+		sc.onAccess = func(sel *ast.SelectorExpr, held []heldLock) {
+			selInfo := pass.TypesInfo.Selections[sel]
+			if selInfo == nil || selInfo.Kind() != types.FieldVal {
+				return
+			}
+			field, _ := selInfo.Obj().(*types.Var)
+			if field == nil || isMutexType(deref(field.Type())) {
+				return
+			}
+			owner := namedOf(selInfo.Recv())
+			if owner == nil || owner.Obj().Pkg() != pass.Pkg {
+				return
+			}
+			mus := mutexFields(owner)
+			if len(mus) == 0 {
+				return
+			}
+			if ctor[owner] {
+				return
+			}
+			base, ok := basePath(pass, sel.X)
+			if !ok {
+				return
+			}
+			if rootFresh(base, fresh) {
+				return
+			}
+			st := stats[field]
+			if st == nil {
+				st = &fieldStats{field: field, owner: owner, guardians: map[*types.Var]int{}}
+				stats[field] = st
+				fieldOrder = append(fieldOrder, field)
+			}
+			for _, h := range held {
+				if h.ref.base == base && isOwnMutex(mus, h.ref.obj) {
+					st.guarded++
+					st.guardians[h.ref.obj]++
+					return
+				}
+			}
+			st.unguarded = append(st.unguarded, sel.Sel.Pos())
+		}
+		sc.scanBody(ff.decl.Body, lf.entryHeld(ff))
+	}
+
+	sort.Slice(fieldOrder, func(i, j int) bool { return fieldOrder[i].Pos() < fieldOrder[j].Pos() })
+	for _, f := range fieldOrder {
+		st := stats[f]
+		if st.guarded < guardedMin || len(st.unguarded) == 0 {
+			continue
+		}
+		if st.guarded < guardedRatio*len(st.unguarded) {
+			continue
+		}
+		guardian := dominantGuardian(st.guardians)
+		owner := "(" + pass.Pkg.Name() + "." + st.owner.Obj().Name() + ")"
+		for _, pos := range st.unguarded {
+			pass.Reportf(pos, "%s.%s is accessed under %s.%s at %d site(s) but not here; hold the mutex or //lint:allow guardedfield <reason>",
+				owner, st.field.Name(), owner, guardian.Name(), st.guarded)
+		}
+	}
+	return nil
+}
+
+func isOwnMutex(mus []*types.Var, v *types.Var) bool {
+	for _, m := range mus {
+		if m == v {
+			return true
+		}
+	}
+	return false
+}
+
+func dominantGuardian(g map[*types.Var]int) *types.Var {
+	var best *types.Var
+	for v, n := range g {
+		if best == nil || n > g[best] || (n == g[best] && v.Pos() < best.Pos()) {
+			best = v
+		}
+	}
+	return best
+}
+
+// constructorResults lists the named struct types a function returns —
+// accesses to their fields inside it are initialization, not sharing.
+func constructorResults(pass *Pass, fd *ast.FuncDecl) map[*types.Named]bool {
+	out := map[*types.Named]bool{}
+	if fd.Type.Results == nil {
+		return out
+	}
+	for _, r := range fd.Type.Results.List {
+		if n := namedOf(pass.TypeOf(r.Type)); n != nil {
+			out[n] = true
+		}
+	}
+	return out
+}

@@ -150,9 +150,35 @@ func parseAllows(fset *token.FileSet, f *ast.File, report func(Diagnostic)) []*a
 	return allows
 }
 
+// Stats summarizes one Run: how many packages were analyzed and, per
+// analyzer, how many diagnostics survived suppression and how many were
+// suppressed by //lint:allow annotations. Every analyzer in the run has an
+// entry (zero counts included), so the summary's shape is stable — the
+// `make lint` determinism check compares two renderings byte-for-byte.
+type Stats struct {
+	Packages   int
+	Findings   map[string]int
+	Suppressed map[string]int
+}
+
 // Run applies the analyzers to the packages and returns the surviving
 // (unsuppressed) diagnostics, sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunStats(pkgs, analyzers)
+	return diags, err
+}
+
+// RunStats is Run plus per-analyzer finding/suppression counts.
+func RunStats(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, Stats, error) {
+	stats := Stats{
+		Packages:   len(pkgs),
+		Findings:   map[string]int{},
+		Suppressed: map[string]int{},
+	}
+	for _, a := range analyzers {
+		stats.Findings[a.Name] = 0
+		stats.Suppressed[a.Name] = 0
+	}
 	var raw []Diagnostic
 	collect := func(d Diagnostic) { raw = append(raw, d) }
 
@@ -177,16 +203,19 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				report:    collect,
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
+				return nil, Stats{}, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
 			}
 		}
 	}
 
 	kept := raw[:0]
 	for _, d := range raw {
-		if !suppressed(d, allows) {
-			kept = append(kept, d)
+		if suppressed(d, allows) {
+			stats.Suppressed[d.Analyzer]++
+			continue
 		}
+		stats.Findings[d.Analyzer]++
+		kept = append(kept, d)
 	}
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]
@@ -201,7 +230,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return kept, nil
+	return kept, stats, nil
 }
 
 // suppressed reports whether d is covered by an allow annotation: same

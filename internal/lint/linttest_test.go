@@ -123,6 +123,23 @@ func TestRetrySleepFixture(t *testing.T) {
 	runFixture(t, RetrySleep, "retrysleep", "time")
 }
 
+func TestLockOrderFixture(t *testing.T) {
+	runFixture(t, LockOrder, "lockorder", "sync", "time")
+}
+
+func TestGuardedFieldFixture(t *testing.T) {
+	runFixture(t, GuardedField, "guardedfield", "sync")
+}
+
+func TestErrDiscardFixture(t *testing.T) {
+	runFixture(t, ErrDiscard, "errdiscard", "bytes")
+}
+
+func TestCtxDeadlineFixture(t *testing.T) {
+	runFixture(t, CtxDeadline, "ctxdeadline",
+		"tell/internal/env", "tell/internal/resil", "tell/internal/transport")
+}
+
 // TestAllowFixture exercises the suppression paths: same-line allow,
 // line-above allow, whole-file allow, and an allow naming the wrong
 // analyzer (which must not suppress).

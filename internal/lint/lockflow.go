@@ -1,0 +1,730 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+)
+
+// This file is the shared flow machinery behind the concurrency analyzers
+// (lockorder, guardedfield): a syntactic held-lock tracker that walks a
+// function body in rough execution order maintaining the set of mutexes
+// held, plus a package-local fixpoint that infers "caller holds mu"
+// conventions — an unexported method whose every in-package call site holds
+// a given receiver mutex is analyzed as if it acquired that mutex on entry.
+//
+// The tracking is deliberately approximate (branches are merged
+// heuristically, closures start with an empty held set); the analyzers
+// built on top report candidate hazards for human triage, with //lint:allow
+// as the escape hatch, so precision is tuned for a useful signal-to-noise
+// ratio rather than soundness.
+
+// lockRef identifies one mutex as precisely as static analysis allows: the
+// mutex variable (struct field, package-level or local var) plus the access
+// path of the instance that owns it. base is a canonical string ("" when
+// the path is too dynamic to canonicalize, which then never matches).
+type lockRef struct {
+	obj   *types.Var
+	base  string
+	class string // stable display name: "(pkg.Type).field" or "pkg.var"
+}
+
+func (l lockRef) sameInstance(o lockRef) bool {
+	return l.obj == o.obj && l.base != "" && l.base == o.base
+}
+
+// heldLock is one entry of the held set.
+type heldLock struct {
+	ref lockRef
+	pos token.Pos // acquisition site
+}
+
+// isMutexType reports whether t is sync.Mutex/RWMutex or the sanitize
+// instrumented equivalents.
+func isMutexType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sync", "tell/internal/sanitize":
+		return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+	}
+	return false
+}
+
+// basePath canonicalizes the owner expression of a mutex or field access.
+// Roots are identified by declaration position so shadowed names stay
+// distinct; the result is deterministic across runs (token.Pos of a
+// declaration is stable for a fixed file set).
+func basePath(pass *Pass, e ast.Expr) (string, bool) {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.ObjectOf(x)
+		if obj == nil {
+			return "", false
+		}
+		return strconv.Itoa(int(obj.Pos())), true
+	case *ast.SelectorExpr:
+		p, ok := basePath(pass, x.X)
+		if !ok {
+			return "", false
+		}
+		return p + "." + x.Sel.Name, true
+	case *ast.StarExpr:
+		return basePath(pass, x.X)
+	}
+	return "", false
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// namedOf returns the named type behind t (through one pointer), or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	n, _ := deref(t).(*types.Named)
+	return n
+}
+
+// lockClassName builds the stable display name of a mutex variable.
+func lockClassName(pass *Pass, ownerExpr ast.Expr, v *types.Var) string {
+	if v.IsField() && ownerExpr != nil {
+		if n := namedOf(pass.TypeOf(ownerExpr)); n != nil {
+			return "(" + pass.Pkg.Name() + "." + n.Obj().Name() + ")." + v.Name()
+		}
+	}
+	return pass.Pkg.Name() + "." + v.Name()
+}
+
+type lockOp int
+
+const (
+	opNone lockOp = iota
+	opAcquire
+	opRelease
+)
+
+// classifyLockCall recognizes x.mu.Lock()/RLock()/Unlock()/RUnlock() (and
+// the same on a bare mutex variable) and returns the operation plus the
+// mutex reference.
+func classifyLockCall(pass *Pass, call *ast.CallExpr) (lockOp, lockRef, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return opNone, lockRef{}, false
+	}
+	var op lockOp
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = opAcquire
+	case "Unlock", "RUnlock":
+		op = opRelease
+	default:
+		return opNone, lockRef{}, false
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil || !isMutexType(deref(t)) {
+		return opNone, lockRef{}, false
+	}
+	switch mx := unparen(sel.X).(type) {
+	case *ast.SelectorExpr: // owner.mu
+		v, _ := pass.ObjectOf(mx.Sel).(*types.Var)
+		if v == nil {
+			return opNone, lockRef{}, false
+		}
+		base, _ := basePath(pass, mx.X)
+		return op, lockRef{obj: v, base: base, class: lockClassName(pass, mx.X, v)}, true
+	case *ast.Ident: // package-level or local mutex
+		v, _ := pass.ObjectOf(mx).(*types.Var)
+		if v == nil {
+			return opNone, lockRef{}, false
+		}
+		return op, lockRef{obj: v, base: "", class: lockClassName(pass, nil, v)}, true
+	}
+	return opNone, lockRef{}, false
+}
+
+// calleeFunc resolves the statically-called function of call, or nil.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch f := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.ObjectOf(f).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.ObjectOf(f.Sel).(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// lockScanner walks a function body tracking held locks. Callbacks may be
+// nil. Branch merging is heuristic: a branch that terminates (returns,
+// panics, breaks) does not contribute its lock effects to the fall-through
+// state, which matches the dominant `if cond { mu.Unlock(); return }`
+// idiom; sibling non-terminating branches are applied in order. Function
+// literals inherit the held set at their syntactic position — in this
+// codebase closures not launched with Go() run inline (mt.scan callbacks,
+// retry attempts, local helpers), so the lock state at the literal is the
+// state at invocation; only goroutine bodies start empty.
+type lockScanner struct {
+	pass      *Pass
+	onAcquire func(ref lockRef, held []heldLock, pos token.Pos)
+	onCall    func(call *ast.CallExpr, held []heldLock)
+	onAccess  func(sel *ast.SelectorExpr, held []heldLock)
+}
+
+func (s *lockScanner) scanBody(body *ast.BlockStmt, entry []heldLock) {
+	if body == nil {
+		return
+	}
+	held := append([]heldLock(nil), entry...)
+	s.stmtList(body.List, &held)
+}
+
+func (s *lockScanner) stmtList(list []ast.Stmt, held *[]heldLock) {
+	for _, st := range list {
+		s.stmt(st, held)
+	}
+}
+
+func copyHeld(h []heldLock) []heldLock { return append([]heldLock(nil), h...) }
+
+func (s *lockScanner) stmt(st ast.Stmt, held *[]heldLock) {
+	switch st := st.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		s.stmtList(st.List, held)
+	case *ast.ExprStmt:
+		s.expr(st.X, held)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			s.expr(e, held)
+		}
+		for _, e := range st.Lhs {
+			s.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						s.expr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		op, ref, ok := classifyLockCall(s.pass, st.Call)
+		if ok && op == opRelease {
+			// Deferred unlock: the lock stays held to the end of the
+			// function as far as this scan can see. Intentional.
+			_ = ref
+			return
+		}
+		for _, a := range st.Call.Args {
+			s.expr(a, held)
+		}
+		if ok && op == opAcquire {
+			return
+		}
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			s.funcLit(lit, *held)
+		}
+		if s.onCall != nil {
+			s.onCall(st.Call, *held)
+		}
+	case *ast.GoStmt:
+		// The spawned call runs concurrently: its body never executes
+		// under the caller's locks.
+		for _, a := range st.Call.Args {
+			s.expr(a, held)
+		}
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			var empty []heldLock
+			s.stmtList(lit.Body.List, &empty)
+		}
+	case *ast.SendStmt:
+		s.expr(st.Chan, held)
+		s.expr(st.Value, held)
+	case *ast.IncDecStmt:
+		s.expr(st.X, held)
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.expr(e, held)
+		}
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt, held)
+	case *ast.IfStmt:
+		s.stmt(st.Init, held)
+		s.expr(st.Cond, held)
+		thenHeld := copyHeld(*held)
+		s.stmtList(st.Body.List, &thenHeld)
+		thenTerm := terminates(st.Body)
+		if st.Else != nil {
+			elseHeld := copyHeld(*held)
+			s.stmt(st.Else, &elseHeld)
+			elseTerm := stmtTerminates(st.Else)
+			switch {
+			case thenTerm && elseTerm:
+				// fall-through unreachable; keep entry state
+			case thenTerm:
+				*held = elseHeld
+			default:
+				*held = thenHeld
+			}
+		} else if !thenTerm {
+			*held = thenHeld
+		}
+	case *ast.ForStmt:
+		s.stmt(st.Init, held)
+		if st.Cond != nil {
+			s.expr(st.Cond, held)
+		}
+		body := copyHeld(*held)
+		s.stmtList(st.Body.List, &body)
+		s.stmt(st.Post, &body)
+		*held = body
+	case *ast.RangeStmt:
+		s.expr(st.X, held)
+		body := copyHeld(*held)
+		s.stmtList(st.Body.List, &body)
+		*held = body
+	case *ast.SwitchStmt:
+		s.stmt(st.Init, held)
+		if st.Tag != nil {
+			s.expr(st.Tag, held)
+		}
+		s.caseClauses(st.Body, held)
+	case *ast.TypeSwitchStmt:
+		s.stmt(st.Init, held)
+		s.stmt(st.Assign, held)
+		s.caseClauses(st.Body, held)
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				branch := copyHeld(*held)
+				if cc.Comm != nil {
+					s.stmt(cc.Comm, &branch)
+				}
+				s.stmtList(cc.Body, &branch)
+			}
+		}
+	}
+}
+
+func (s *lockScanner) caseClauses(body *ast.BlockStmt, held *[]heldLock) {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			branch := copyHeld(*held)
+			for _, e := range cc.List {
+				s.expr(e, &branch)
+			}
+			s.stmtList(cc.Body, &branch)
+		}
+	}
+}
+
+// funcLit scans a literal's body with the held state at its position;
+// mutations inside the closure stay local to it.
+func (s *lockScanner) funcLit(lit *ast.FuncLit, held []heldLock) {
+	body := copyHeld(held)
+	s.stmtList(lit.Body.List, &body)
+}
+
+func (s *lockScanner) expr(e ast.Expr, held *[]heldLock) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		if op, ref, ok := classifyLockCall(s.pass, e); ok {
+			// Visit the owner path for field-access accounting first.
+			if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+				if mx, ok := unparen(sel.X).(*ast.SelectorExpr); ok {
+					s.expr(mx.X, held)
+				}
+			}
+			switch op {
+			case opAcquire:
+				if s.onAcquire != nil {
+					s.onAcquire(ref, *held, e.Pos())
+				}
+				*held = append(*held, heldLock{ref: ref, pos: e.Pos()})
+			case opRelease:
+				s.release(held, ref)
+			}
+			return
+		}
+		s.expr(e.Fun, held)
+		for _, a := range e.Args {
+			s.expr(a, held)
+		}
+		if s.onCall != nil {
+			s.onCall(e, *held)
+		}
+	case *ast.FuncLit:
+		s.funcLit(e, *held)
+	case *ast.SelectorExpr:
+		s.expr(e.X, held)
+		if s.onAccess != nil {
+			s.onAccess(e, *held)
+		}
+	case *ast.ParenExpr:
+		s.expr(e.X, held)
+	case *ast.StarExpr:
+		s.expr(e.X, held)
+	case *ast.UnaryExpr:
+		s.expr(e.X, held)
+	case *ast.BinaryExpr:
+		s.expr(e.X, held)
+		s.expr(e.Y, held)
+	case *ast.IndexExpr:
+		s.expr(e.X, held)
+		s.expr(e.Index, held)
+	case *ast.SliceExpr:
+		s.expr(e.X, held)
+		s.expr(e.Low, held)
+		s.expr(e.High, held)
+		s.expr(e.Max, held)
+	case *ast.TypeAssertExpr:
+		s.expr(e.X, held)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				s.expr(kv.Value, held)
+				continue
+			}
+			s.expr(el, held)
+		}
+	case *ast.KeyValueExpr:
+		s.expr(e.Value, held)
+	}
+}
+
+// release removes the innermost held entry matching ref's variable (and
+// instance, when both sides have a canonical base).
+func (s *lockScanner) release(held *[]heldLock, ref lockRef) {
+	h := *held
+	for i := len(h) - 1; i >= 0; i-- {
+		if h[i].ref.obj != ref.obj {
+			continue
+		}
+		if h[i].ref.base != ref.base && h[i].ref.base != "" && ref.base != "" {
+			continue
+		}
+		*held = append(h[:i:i], h[i+1:]...)
+		return
+	}
+}
+
+// terminates reports whether a block always transfers control away (the
+// approximation behind branch merging).
+func terminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	return stmtTerminates(b.List[len(b.List)-1])
+}
+
+func stmtTerminates(st ast.Stmt) bool {
+	switch st := st.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(st)
+	case *ast.IfStmt:
+		return st.Else != nil && terminates(st.Body) && stmtTerminates(st.Else)
+	case *ast.LabeledStmt:
+		return stmtTerminates(st.Stmt)
+	}
+	return false
+}
+
+// funcFacts is the per-function result of the context-propagation fixpoint.
+type funcFacts struct {
+	decl    *ast.FuncDecl
+	fn      *types.Func
+	recv    *types.Var
+	ctxHeld map[*types.Var]bool // receiver mutex fields held at every in-package call site
+	escapes bool                // referenced as a value: unknown callers exist
+}
+
+// lockFacts is the package-wide analysis state shared by lockorder and
+// guardedfield.
+type lockFacts struct {
+	pass  *Pass
+	funcs []*funcFacts // declaration order
+	byFn  map[*types.Func]*funcFacts
+}
+
+// entryHeld translates a function's inferred context into scanner entry
+// state: each context mutex appears held on the receiver's path.
+func (lf *lockFacts) entryHeld(ff *funcFacts) []heldLock {
+	if ff.recv == nil || len(ff.ctxHeld) == 0 {
+		return nil
+	}
+	base := strconv.Itoa(int(ff.recv.Pos()))
+	var fields []*types.Var
+	for v := range ff.ctxHeld {
+		fields = append(fields, v)
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Pos() < fields[j].Pos() })
+	var out []heldLock
+	for _, v := range fields {
+		class := lockClassName(lf.pass, nil, v)
+		if n := namedOf(ff.recv.Type()); n != nil {
+			class = "(" + lf.pass.Pkg.Name() + "." + n.Obj().Name() + ")." + v.Name()
+		}
+		out = append(out, heldLock{
+			ref: lockRef{obj: v, base: base, class: class},
+			pos: ff.decl.Pos(),
+		})
+	}
+	return out
+}
+
+// mutexFields lists the mutex-typed fields of the named struct type.
+func mutexFields(n *types.Named) []*types.Var {
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []*types.Var
+	for i := 0; i < st.NumFields(); i++ {
+		if isMutexType(deref(st.Field(i).Type())) {
+			out = append(out, st.Field(i))
+		}
+	}
+	return out
+}
+
+// freshLocals collects local variables assigned from composite literals or
+// same-package constructor calls (package-level functions, the New*/Decode*
+// shape): values still private to the function that built them, which no
+// lock can be expected to guard yet.
+func freshLocals(pass *Pass, fd *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) < 1 {
+			return true
+		}
+		if len(as.Rhs) == len(as.Lhs) {
+			for i, rhs := range as.Rhs {
+				if freshRhs(pass, rhs) {
+					markFresh(pass, as.Lhs[i], out)
+				}
+			}
+			return true
+		}
+		// v, err := NewX(...) style multi-value constructor.
+		if len(as.Rhs) == 1 && freshRhs(pass, as.Rhs[0]) {
+			markFresh(pass, as.Lhs[0], out)
+		}
+		return true
+	})
+	return out
+}
+
+func freshRhs(pass *Pass, rhs ast.Expr) bool {
+	e := unparen(rhs)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = unparen(u.X)
+	}
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		fn := calleeFunc(pass, e)
+		if fn == nil || fn.Pkg() != pass.Pkg {
+			return false
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		return sig != nil && sig.Recv() == nil
+	}
+	return false
+}
+
+func markFresh(pass *Pass, lhs ast.Expr, out map[string]bool) {
+	id, ok := unparen(lhs).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if obj := pass.ObjectOf(id); obj != nil {
+		out[strconv.Itoa(int(obj.Pos()))] = true
+	}
+}
+
+// rootFresh reports whether the access path is rooted at a fresh local.
+func rootFresh(base string, fresh map[string]bool) bool {
+	root := base
+	for i := 0; i < len(base); i++ {
+		if base[i] == '.' {
+			root = base[:i]
+			break
+		}
+	}
+	return fresh[root]
+}
+
+// buildLockFacts runs the "guarded call path" fixpoint: starting from
+// lexically-held locks, it repeatedly infers that an unexported,
+// never-escaping method is always entered with a receiver mutex held when
+// every in-package call site holds it, until nothing changes.
+func buildLockFacts(pass *Pass) *lockFacts {
+	lf := &lockFacts{pass: pass, byFn: map[*types.Func]*funcFacts{}}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.ObjectOf(fd.Name).(*types.Func)
+			if fn == nil {
+				continue
+			}
+			ff := &funcFacts{decl: fd, fn: fn, ctxHeld: map[*types.Var]bool{}}
+			if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+				ff.recv, _ = pass.ObjectOf(fd.Recv.List[0].Names[0]).(*types.Var)
+			}
+			lf.funcs = append(lf.funcs, ff)
+			lf.byFn[fn] = ff
+		}
+	}
+
+	// A function referenced outside call position (stored, passed as a
+	// handler, ...) has callers the call-graph cannot see.
+	callPos := map[*ast.Ident]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				switch fun := unparen(call.Fun).(type) {
+				case *ast.Ident:
+					callPos[fun] = true
+				case *ast.SelectorExpr:
+					callPos[fun.Sel] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || callPos[id] {
+				return true
+			}
+			// Uses only: the declaration ident itself is not a reference.
+			if fn, ok := pass.TypesInfo.Uses[id].(*types.Func); ok {
+				if ff := lf.byFn[fn]; ff != nil {
+					ff.escapes = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Fixpoint: held context only grows, so this converges.
+	for iter := 0; iter < 10; iter++ {
+		// callee → per-call-site held mutex fields; nil slice means no
+		// call sites seen yet.
+		siteHeld := map[*funcFacts][]map[*types.Var]bool{}
+		for _, ff := range lf.funcs {
+			entry := lf.entryHeld(ff)
+			fresh := freshLocals(pass, ff.decl)
+			sc := &lockScanner{pass: pass}
+			sc.onCall = func(call *ast.CallExpr, held []heldLock) {
+				fn := calleeFunc(pass, call)
+				if fn == nil {
+					return
+				}
+				callee := lf.byFn[fn]
+				if callee == nil || callee.recv == nil {
+					return
+				}
+				sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return
+				}
+				base, ok := basePath(pass, sel.X)
+				if !ok {
+					base = "\x00nomatch"
+				}
+				// A method call on a still-private value needs no lock;
+				// such sites must not veto the callee's held context.
+				if ok && rootFresh(base, fresh) {
+					return
+				}
+				heldFields := map[*types.Var]bool{}
+				for _, h := range held {
+					if h.ref.base == base && h.ref.obj.IsField() {
+						heldFields[h.ref.obj] = true
+					}
+				}
+				siteHeld[callee] = append(siteHeld[callee], heldFields)
+			}
+			sc.scanBody(ff.decl.Body, entry)
+		}
+		changed := false
+		for _, ff := range lf.funcs {
+			if ff.recv == nil || ff.fn.Exported() || ff.escapes {
+				continue
+			}
+			sites := siteHeld[ff]
+			if len(sites) == 0 {
+				continue
+			}
+			inter := map[*types.Var]bool{}
+			for v := range sites[0] {
+				inter[v] = true
+			}
+			for _, s := range sites[1:] {
+				for v := range inter {
+					if !s[v] {
+						delete(inter, v)
+					}
+				}
+			}
+			// Restrict to mutex fields of the receiver's own struct.
+			if n := namedOf(ff.recv.Type()); n != nil {
+				own := map[*types.Var]bool{}
+				for _, mf := range mutexFields(n) {
+					own[mf] = true
+				}
+				for v := range inter {
+					if !own[v] {
+						delete(inter, v)
+					}
+				}
+			} else {
+				inter = map[*types.Var]bool{}
+			}
+			for v := range inter {
+				if !ff.ctxHeld[v] {
+					ff.ctxHeld[v] = true
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return lf
+}

@@ -1,0 +1,349 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds a per-package mutex-acquisition graph from guarded call
+// paths and reports (a) acquisition-order cycles — potential deadlocks,
+// (b) re-acquisition of a mutex already held on the same instance — a
+// guaranteed self-deadlock with Go's non-reentrant mutexes, and (c) locks
+// held across blocking operations (network round trips, WAL/backend syncs,
+// virtual-clock sleeps, queue waits). The last class is the engine's core
+// locking rule: a sync.Mutex protects in-memory state between scheduling
+// points and must be released before any operation that can park the
+// goroutine (see internal/env.Locker for the blocking-safe alternative).
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "report mutex acquisition-order cycles and locks held across blocking I/O",
+	Run:  runLockOrder,
+}
+
+// blockingCalls maps package path → function/method name → why it blocks.
+// Method lookups use the package that declares the method (interface
+// methods resolve to the interface's package), so transport.Conn.RoundTrip
+// covers every transport implementation.
+var blockingCalls = map[string]map[string]string{
+	"time": {"Sleep": "wall-clock sleep"},
+	"os":   {"Sync": "file fsync"},
+	"tell/internal/env": {
+		"Sleep":      "virtual-clock sleep",
+		"Get":        "queue/future wait",
+		"GetTimeout": "queue/future wait",
+		"Lock":       "env.Locker wait",
+	},
+	"tell/internal/transport": {
+		"RoundTrip": "network round trip",
+		"Dial":      "connection dial",
+	},
+	"tell/internal/resil": {
+		"Do":    "retry loop (RPC attempts + backoff sleeps)",
+		"Enter": "admission-gate wait",
+	},
+	"tell/internal/durable": {
+		"Put":             "backend write",
+		"Append":          "backend append",
+		"Sync":            "backend sync",
+		"Get":             "backend read",
+		"List":            "backend list",
+		"Delete":          "backend delete",
+		"Commit":          "WAL group commit",
+		"WriteCheckpoint": "checkpoint write",
+		"LoadCheckpoint":  "checkpoint read",
+		"ReplayWAL":       "WAL replay",
+		"RecoveryObjects": "backend list",
+	},
+}
+
+// blockingReason returns why calling fn blocks, or "".
+func blockingReason(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return blockingCalls[fn.Pkg().Path()][fn.Name()]
+}
+
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	via      string // callee name when the acquisition is transitive
+}
+
+type fnSummary struct {
+	acquires map[string]bool // lock classes acquired anywhere in the body
+	blocks   string          // non-empty: why the function (transitively) blocks
+	blockVia string          // call chain hint for transitive blocking
+}
+
+func runLockOrder(pass *Pass) error {
+	lf := buildLockFacts(pass)
+
+	// Pass 1: per-function direct facts — classes acquired, direct blocking
+	// calls, and the same-package static call list.
+	type callRec struct {
+		fn  *types.Func
+		pos token.Pos
+	}
+	direct := map[*funcFacts]*fnSummary{}
+	calls := map[*funcFacts][]callRec{}
+	for _, ff := range lf.funcs {
+		sum := &fnSummary{acquires: map[string]bool{}}
+		direct[ff] = sum
+		sc := &lockScanner{pass: pass}
+		sc.onAcquire = func(ref lockRef, held []heldLock, pos token.Pos) {
+			sum.acquires[ref.class] = true
+		}
+		sc.onCall = func(call *ast.CallExpr, held []heldLock) {
+			fn := calleeFunc(pass, call)
+			if fn == nil {
+				return
+			}
+			if why := blockingReason(fn); why != "" && sum.blocks == "" {
+				sum.blocks = why
+				sum.blockVia = fn.Name()
+			}
+			if callee := lf.byFn[fn]; callee != nil {
+				calls[ff] = append(calls[ff], callRec{fn: fn, pos: call.Pos()})
+			}
+		}
+		sc.scanBody(ff.decl.Body, nil)
+	}
+
+	// Transitive closure over the package-local call graph: acquires and
+	// blocking propagate from callees to callers.
+	summary := map[*funcFacts]*fnSummary{}
+	for ff, d := range direct {
+		s := &fnSummary{acquires: map[string]bool{}, blocks: d.blocks, blockVia: d.blockVia}
+		for c := range d.acquires {
+			s.acquires[c] = true
+		}
+		summary[ff] = s
+	}
+	for iter := 0; iter < 20; iter++ {
+		changed := false
+		for _, ff := range lf.funcs {
+			s := summary[ff]
+			for _, cr := range calls[ff] {
+				cs := summary[lf.byFn[cr.fn]]
+				for c := range cs.acquires {
+					if !s.acquires[c] {
+						s.acquires[c] = true
+						changed = true
+					}
+				}
+				if s.blocks == "" && cs.blocks != "" {
+					s.blocks = cs.blocks
+					s.blockVia = cr.fn.Name() + " → " + cs.blockVia
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Pass 2: with inferred entry contexts, collect order edges and
+	// held-across-blocking sites.
+	var edges []lockEdge
+	for _, ff := range lf.funcs {
+		sc := &lockScanner{pass: pass}
+		sc.onAcquire = func(ref lockRef, held []heldLock, pos token.Pos) {
+			for _, h := range held {
+				if h.ref.sameInstance(ref) {
+					pass.Reportf(pos, "%s acquired while already held (self-deadlock; Go mutexes are not reentrant)", ref.class)
+					continue
+				}
+				// Same class on a distinct instance records a self-edge, so
+				// two-instance ordering shows up as a cycle.
+				edges = append(edges, lockEdge{from: h.ref.class, to: ref.class, pos: pos})
+			}
+		}
+		sc.onCall = func(call *ast.CallExpr, held []heldLock) {
+			if len(held) == 0 {
+				return
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil {
+				return
+			}
+			classes := heldClasses(held)
+			if why := blockingReason(fn); why != "" {
+				pass.Reportf(call.Pos(), "%s held across %s.%s (%s); release before blocking or //lint:allow lockorder <reason>",
+					classes, calleePkgName(fn), fn.Name(), why)
+				return
+			}
+			callee := lf.byFn[fn]
+			if callee == nil {
+				return
+			}
+			cs := summary[callee]
+			if cs.blocks != "" && !callContextCovered(pass, lf, call, callee, held) {
+				pass.Reportf(call.Pos(), "%s held across call to %s, which blocks (%s via %s)",
+					classes, fn.Name(), cs.blocks, cs.blockVia)
+			}
+			for _, h := range held {
+				for c := range cs.acquires {
+					if c == h.ref.class {
+						continue
+					}
+					edges = append(edges, lockEdge{from: h.ref.class, to: c, pos: call.Pos(), via: fn.Name()})
+				}
+			}
+		}
+		sc.scanBody(ff.decl.Body, lf.entryHeld(ff))
+	}
+
+	reportCycles(pass, edges)
+	return nil
+}
+
+// callContextCovered reports whether the callee's inferred held context
+// already accounts for every lock held at this call site — i.e. the callee
+// is a "caller holds mu" helper and its own body was checked under that
+// context, so re-reporting at the call site would duplicate the finding.
+func callContextCovered(pass *Pass, lf *lockFacts, call *ast.CallExpr, callee *funcFacts, held []heldLock) bool {
+	if len(callee.ctxHeld) == 0 {
+		return false
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	base, ok := basePath(pass, sel.X)
+	if !ok {
+		return false
+	}
+	for _, h := range held {
+		if h.ref.base == base && callee.ctxHeld[h.ref.obj] {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+func heldClasses(held []heldLock) string {
+	seen := map[string]bool{}
+	var names []string
+	for _, h := range held {
+		if !seen[h.ref.class] {
+			seen[h.ref.class] = true
+			names = append(names, h.ref.class)
+		}
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+func calleePkgName(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return "?"
+	}
+	return fn.Pkg().Name()
+}
+
+// reportCycles finds strongly connected components of the acquisition graph
+// and reports every edge participating in a cycle.
+func reportCycles(pass *Pass, edges []lockEdge) {
+	adj := map[string]map[string]bool{}
+	nodes := map[string]bool{}
+	for _, e := range edges {
+		nodes[e.from], nodes[e.to] = true, true
+		if adj[e.from] == nil {
+			adj[e.from] = map[string]bool{}
+		}
+		adj[e.from][e.to] = true
+	}
+	var order []string
+	for n := range nodes {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+
+	// Tarjan SCC, iterative enough for these tiny graphs via recursion.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	comp := map[string]int{}
+	nextIndex, nextComp := 0, 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = nextIndex
+		low[v] = nextIndex
+		nextIndex++
+		stack = append(stack, v)
+		onStack[v] = true
+		var succs []string
+		for w := range adj[v] {
+			succs = append(succs, w)
+		}
+		sort.Strings(succs)
+		for _, w := range succs {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = nextComp
+				if w == v {
+					break
+				}
+			}
+			nextComp++
+		}
+	}
+	for _, n := range order {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+
+	compSize := map[int]int{}
+	for _, c := range comp {
+		compSize[c]++
+	}
+	compMembers := map[int][]string{}
+	for _, n := range order {
+		compMembers[comp[n]] = append(compMembers[comp[n]], n)
+	}
+
+	reported := map[string]bool{}
+	for _, e := range edges {
+		inCycle := comp[e.from] == comp[e.to] &&
+			(compSize[comp[e.from]] > 1 || (e.from == e.to && adj[e.from][e.to]))
+		if !inCycle {
+			continue
+		}
+		key := fmt.Sprintf("%d:%s:%s", e.pos, e.from, e.to)
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		cycle := strings.Join(compMembers[comp[e.from]], " ⇄ ")
+		via := ""
+		if e.via != "" {
+			via = " (via " + e.via + ")"
+		}
+		if e.from == e.to {
+			pass.Reportf(e.pos, "lock-order hazard: %s acquired while another %s instance is held%s; order instances consistently or //lint:allow lockorder <reason>", e.to, e.from, via)
+			continue
+		}
+		pass.Reportf(e.pos, "lock-order cycle [%s]: %s acquired while %s is held%s; a concurrent path acquires them in the opposite order", cycle, e.to, e.from, via)
+	}
+}

@@ -10,13 +10,16 @@ const enginePrefix = "tell/internal/"
 //
 //	env      — provides the real/virtual clock split itself
 //	sim      — is the kernel (its goroutines ARE the scheduling mechanism)
-//	testutil — test-only helpers (seed plumbing)
+//	testutil — test-only helpers (seed plumbing, leak checking)
 //	lint     — this tool
+//	sanitize — the telldebug runtime sanitizers (instrument real time on
+//	           purpose; the passthrough build is inert)
 var engineExempt = map[string]bool{
 	"env":      true,
 	"sim":      true,
 	"testutil": true,
 	"lint":     true,
+	"sanitize": true,
 }
 
 // EnginePackage reports whether importPath holds sim-executed engine code,
@@ -43,10 +46,19 @@ func RealEnvPackage(importPath string) bool {
 		strings.HasPrefix(importPath, "tell/examples/")
 }
 
+// AnalysisPackage reports whether importPath is in scope for the
+// concurrency/protocol analyzers (lockorder, guardedfield, errdiscard):
+// all module code — engine and real-environment alike — since locking and
+// error discipline matter on both sides of the env split.
+func AnalysisPackage(importPath string) bool {
+	return EnginePackage(importPath) || RealEnvPackage(importPath)
+}
+
 // Default returns the tellvet analyzer suite with its repository scoping
 // applied: the determinism analyzers run over engine packages, the wire
-// completeness check over the wire codec, and the retry-pacing check over
-// the real-environment packages.
+// completeness check over the wire codec, the retry-pacing check over the
+// real-environment packages, and the concurrency/protocol analyzers over
+// both.
 func Default() []*Analyzer {
 	scoped := func(a *Analyzer, applies func(string) bool) *Analyzer {
 		b := *a
@@ -60,6 +72,14 @@ func Default() []*Analyzer {
 		scoped(NoGoroutine, EnginePackage),
 		scoped(WireComplete, func(path string) bool { return path == "tell/internal/wire" }),
 		scoped(RetrySleep, RealEnvPackage),
+		scoped(LockOrder, AnalysisPackage),
+		scoped(GuardedField, AnalysisPackage),
+		scoped(ErrDiscard, AnalysisPackage),
+		// The transport package implements RoundTrip; wrapping its own
+		// internals in retry policies would be circular.
+		scoped(CtxDeadline, func(path string) bool {
+			return EnginePackage(path) && path != "tell/internal/transport"
+		}),
 	}
 }
 

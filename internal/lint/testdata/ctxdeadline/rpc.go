@@ -1,0 +1,29 @@
+package ctxdeadline
+
+import (
+	"tell/internal/env"
+	"tell/internal/resil"
+	"tell/internal/transport"
+)
+
+// A bare RoundTrip bypasses the per-class deadline/backoff/give-up policy.
+func bare(ctx env.Ctx, conn transport.Conn, req []byte) ([]byte, error) {
+	return conn.RoundTrip(ctx, req) // want "bare conn.RoundTrip"
+}
+
+// Wrapping the attempt in Retrier.Do threads the policy.
+func policied(ctx env.Ctx, r *resil.Retrier, conn transport.Conn, addr string, req []byte) ([]byte, error) {
+	var resp []byte
+	err := r.Do(ctx, resil.ClassRead, addr, func(int) error {
+		var rtErr error
+		resp, rtErr = conn.RoundTrip(ctx, req)
+		return rtErr
+	})
+	return resp, err
+}
+
+// A justified suppression: some primitives own their retry schedule.
+func allowed(ctx env.Ctx, conn transport.Conn, req []byte) ([]byte, error) {
+	//lint:allow ctxdeadline fixture: the caller owns the retry schedule
+	return conn.RoundTrip(ctx, req)
+}

@@ -1,0 +1,40 @@
+package guardedfield
+
+import "sync"
+
+// counter.n is accessed under mu at three sites, so majority usage infers
+// the guard; the lock-free peek is the outlier.
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) add(d int) {
+	c.mu.Lock()
+	c.n += d
+	c.mu.Unlock()
+}
+
+func (c *counter) racyPeek() int {
+	return c.n // want "accessed under"
+}
+
+// Initialization before publication is exempt: constructors (functions
+// returning the type) and freshly built locals need no lock.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}

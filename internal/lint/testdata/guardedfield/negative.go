@@ -1,0 +1,41 @@
+package guardedfield
+
+import "sync"
+
+// A justified suppression on the one unguarded site.
+type gauge struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (g *gauge) set(v int) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+func (g *gauge) get() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+func (g *gauge) snapshot() int {
+	//lint:allow guardedfield teardown snapshot: all writers have exited
+	return g.v
+}
+
+// Below the inference threshold: one guarded site against two unguarded
+// ones is no majority, so nothing is reported.
+type loose struct {
+	mu sync.Mutex
+	a  int
+}
+
+func (l *loose) touch() { l.a++ }
+func (l *loose) poke()  { l.a = 2 }
+func (l *loose) one() {
+	l.mu.Lock()
+	l.a = 3
+	l.mu.Unlock()
+}

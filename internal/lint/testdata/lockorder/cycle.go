@@ -1,0 +1,41 @@
+package lockorder
+
+import "sync"
+
+// Two distinct lock classes acquired in opposite orders on two paths form
+// an acquisition-order cycle — the classic AB/BA deadlock.
+type pair struct {
+	amu sync.Mutex
+	bmu sync.Mutex
+
+	a, b int
+}
+
+func lockAB(p *pair) {
+	p.amu.Lock()
+	p.bmu.Lock() // want "lock-order cycle"
+	p.a++
+	p.b++
+	p.bmu.Unlock()
+	p.amu.Unlock()
+}
+
+func lockBA(p *pair) {
+	p.bmu.Lock()
+	p.amu.Lock() // want "lock-order cycle"
+	p.b--
+	p.a--
+	p.amu.Unlock()
+	p.bmu.Unlock()
+}
+
+// Once two classes participate in a cycle, every edge between them is
+// reported — including sites that follow one of the two orders — so the
+// triage view shows all acquisition points that need a consistent order.
+func lockConsistent(p *pair) {
+	p.amu.Lock()
+	defer p.amu.Unlock()
+	p.bmu.Lock() // want "lock-order cycle"
+	defer p.bmu.Unlock()
+	p.a += p.b
+}

@@ -1,0 +1,67 @@
+package lockorder
+
+import (
+	"sync"
+	"time"
+)
+
+type account struct {
+	mu  sync.Mutex
+	bal int
+}
+
+// The engine's core locking rule: a mutex protects in-memory state between
+// scheduling points and must be released before anything that can park the
+// goroutine.
+func holdAcrossSleep(a *account) {
+	a.mu.Lock()
+	time.Sleep(time.Millisecond) // want "held across time.Sleep"
+	a.mu.Unlock()
+}
+
+// Releasing before the blocking call is the fix.
+func releaseBeforeSleep(a *account) {
+	a.mu.Lock()
+	a.bal++
+	a.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// Go mutexes are not reentrant: re-acquiring on the same instance is a
+// guaranteed self-deadlock.
+func reacquire(a *account) {
+	a.mu.Lock()
+	a.mu.Lock() // want "acquired while already held"
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Blocking reached through a same-package helper is still blocking.
+func nap() {
+	time.Sleep(time.Millisecond)
+}
+
+func holdAcrossHelper(a *account) {
+	a.mu.Lock()
+	nap() // want "which blocks"
+	a.mu.Unlock()
+}
+
+// Two instances of the same class locked without a consistent order: a
+// concurrent transfer(b, a) deadlocks with transfer(a, b).
+func transfer(from, to *account) {
+	from.mu.Lock()
+	to.mu.Lock() // want "lock-order hazard"
+	to.bal++
+	from.bal--
+	to.mu.Unlock()
+	from.mu.Unlock()
+}
+
+// A justified suppression: the directive names the analyzer and a reason.
+func allowHeld(a *account) {
+	a.mu.Lock()
+	//lint:allow lockorder fixture: demonstrating a justified suppression
+	time.Sleep(time.Millisecond)
+	a.mu.Unlock()
+}

@@ -10,7 +10,6 @@
 package recovery
 
 import (
-	"sync"
 	"time"
 
 	"tell/internal/commitmgr"
@@ -18,6 +17,7 @@ import (
 	"tell/internal/det"
 	"tell/internal/env"
 	"tell/internal/resil"
+	"tell/internal/sanitize"
 	"tell/internal/store"
 	"tell/internal/transport"
 	"tell/internal/txlog"
@@ -42,7 +42,7 @@ type Manager struct {
 	// destroy the FailAfter calibration.
 	retr *resil.Retrier
 
-	mu      sync.Mutex
+	mu      sanitize.Mutex
 	pns     map[string]bool // addr → declared dead
 	misses  map[string]int
 	conns   map[string]transport.Conn
@@ -59,7 +59,7 @@ type Manager struct {
 
 // NewManager creates a PN management node.
 func NewManager(envr env.Full, node env.Node, tr transport.Transport, sc *store.Client, cm *commitmgr.Client) *Manager {
-	return &Manager{
+	m := &Manager{
 		envr:         envr,
 		node:         node,
 		tr:           tr,
@@ -73,6 +73,8 @@ func NewManager(envr env.Full, node env.Node, tr transport.Transport, sc *store.
 		misses:       make(map[string]int),
 		conns:        make(map[string]transport.Conn),
 	}
+	m.mu.SetName("recovery.Manager.mu")
+	return m
 }
 
 // Watch registers a PN address with the failure detector.
@@ -175,13 +177,23 @@ func (m *Manager) ping(ctx env.Ctx, addr string) bool {
 
 func (m *Manager) conn(addr string) transport.Conn {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if c, ok := m.conns[addr]; ok {
+		m.mu.Unlock()
 		return c
 	}
+	m.mu.Unlock()
+	// Dial outside the lock: probes of other nodes must not wait on it.
 	c, err := m.tr.Dial(m.node, addr)
 	if err != nil {
 		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if exist, ok := m.conns[addr]; ok {
+		// Lost a dial race; keep the first connection.
+		//lint:allow errdiscard closing a redundant just-dialed connection nothing was sent on
+		c.Close()
+		return exist
 	}
 	m.conns[addr] = c
 	return c

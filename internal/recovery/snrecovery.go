@@ -8,6 +8,8 @@ import (
 
 	"tell/internal/durable"
 	"tell/internal/env"
+	"tell/internal/resil"
+	"tell/internal/sanitize"
 	"tell/internal/transport"
 	"tell/internal/wire"
 )
@@ -27,8 +29,12 @@ type SNRecoverer struct {
 	node env.Node
 	tr   transport.Transport
 	be   durable.Backend
+	// retr retries replay RPCs under the meta policy: replaying an object is
+	// apply-if-newer on the receiving master, so a duplicate delivery after a
+	// lost response is harmless.
+	retr *resil.Retrier
 
-	mu    sync.Mutex
+	mu    sanitize.Mutex
 	conns map[string]transport.Conn
 	last  RecoveryReport
 
@@ -49,13 +55,16 @@ type RecoveryReport struct {
 // NewSNRecoverer creates a coordinator homed on the given execution node
 // (typically the management node) reading the cluster's shared backend.
 func NewSNRecoverer(envr env.Full, node env.Node, tr transport.Transport, be durable.Backend) *SNRecoverer {
-	return &SNRecoverer{
+	r := &SNRecoverer{
 		envr:  envr,
 		node:  node,
 		tr:    tr,
 		be:    be,
+		retr:  resil.NewRetrier(),
 		conns: make(map[string]transport.Conn),
 	}
+	r.mu.SetName("recovery.SNRecoverer.mu")
+	return r
 }
 
 // LastReport returns the most recent recovery's summary.
@@ -67,13 +76,24 @@ func (r *SNRecoverer) LastReport() RecoveryReport {
 
 func (r *SNRecoverer) conn(addr string) (transport.Conn, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if c, ok := r.conns[addr]; ok {
+		r.mu.Unlock()
 		return c, nil
 	}
+	r.mu.Unlock()
+	// Dial outside the lock: recovery workers dial their survivors in
+	// parallel and must not serialize on one slow dial.
 	c, err := r.tr.Dial(r.node, addr)
 	if err != nil {
 		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if exist, ok := r.conns[addr]; ok {
+		// Lost a dial race; keep the first connection.
+		//lint:allow errdiscard closing a redundant just-dialed connection nothing was sent on
+		c.Close()
+		return exist, nil
 	}
 	r.conns[addr] = c
 	return c, nil
@@ -160,7 +180,12 @@ func (r *SNRecoverer) runWorker(ctx env.Ctx, worker, dead string, objs []string,
 	}
 	for _, obj := range objs {
 		req := &wire.RecoverRequest{Dead: dead, Objects: []string{obj}, Assign: table}
-		raw, err := conn.RoundTrip(ctx, req.Encode())
+		var raw []byte
+		err := r.retr.Do(ctx, resil.ClassMeta, worker, func(int) error {
+			var rtErr error
+			raw, rtErr = conn.RoundTrip(ctx, req.Encode())
+			return rtErr
+		})
 		if err != nil {
 			return fmt.Errorf("recovery: worker %s object %s: %w", worker, obj, err)
 		}

@@ -1,8 +1,9 @@
 package resil
 
 import (
-	"sync"
 	"time"
+
+	"tell/internal/sanitize"
 )
 
 // Breaker is a per-endpoint circuit breaker. It opens after Threshold
@@ -22,7 +23,7 @@ type Breaker struct {
 	// half-open probe.
 	Cooldown time.Duration
 
-	mu        sync.Mutex
+	mu        sanitize.Mutex
 	fails     int
 	openUntil time.Duration // 0 = closed
 }
@@ -91,14 +92,16 @@ type BreakerSet struct {
 	Threshold int
 	Cooldown  time.Duration
 
-	mu sync.Mutex
+	mu sanitize.Mutex
 	m  map[string]*Breaker
 }
 
 // NewBreakerSet returns a set whose breakers open after threshold
 // consecutive failures and cool down for the given duration.
 func NewBreakerSet(threshold int, cooldown time.Duration) *BreakerSet {
-	return &BreakerSet{Threshold: threshold, Cooldown: cooldown, m: make(map[string]*Breaker)}
+	s := &BreakerSet{Threshold: threshold, Cooldown: cooldown, m: make(map[string]*Breaker)}
+	s.mu.SetName("resil.BreakerSet.mu")
+	return s
 }
 
 func (s *BreakerSet) get(addr string) *Breaker {
@@ -107,6 +110,7 @@ func (s *BreakerSet) get(addr string) *Breaker {
 	b := s.m[addr]
 	if b == nil {
 		b = &Breaker{Threshold: s.Threshold, Cooldown: s.Cooldown}
+		b.mu.SetName("resil.Breaker.mu")
 		s.m[addr] = b
 	}
 	return b

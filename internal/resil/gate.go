@@ -1,10 +1,10 @@
 package resil
 
 import (
-	"sync"
 	"time"
 
 	"tell/internal/env"
+	"tell/internal/sanitize"
 )
 
 // Gate is server-side admission control: a bounded pool of inflight slots
@@ -22,7 +22,7 @@ type Gate struct {
 
 	q env.Queue
 
-	mu    sync.Mutex
+	mu    sanitize.Mutex
 	sheds uint64
 }
 
@@ -33,6 +33,7 @@ func NewGate(f env.Factory, maxInflight int, queueDeadline time.Duration) *Gate 
 		maxInflight = 64
 	}
 	g := &Gate{QueueDeadline: queueDeadline, q: f.NewQueue()}
+	g.mu.SetName("resil.Gate.mu")
 	for i := 0; i < maxInflight; i++ {
 		g.q.Put(struct{}{})
 	}

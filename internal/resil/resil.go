@@ -16,10 +16,10 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"sync"
 	"time"
 
 	"tell/internal/env"
+	"tell/internal/sanitize"
 	"tell/internal/trace"
 )
 
@@ -148,7 +148,7 @@ type Retrier struct {
 	// whose breaker is open.
 	Breakers *BreakerSet
 
-	mu      sync.Mutex
+	mu      sanitize.Mutex
 	hash    uint64 // FNV-64a over (class, addr, attempt, backoff, now)
 	retries uint64
 }
@@ -156,7 +156,9 @@ type Retrier struct {
 // NewRetrier returns a Retrier with the default policy table and no
 // breaker set.
 func NewRetrier() *Retrier {
-	return &Retrier{Policies: DefaultPolicies(), hash: fnvOffset}
+	r := &Retrier{Policies: DefaultPolicies(), hash: fnvOffset}
+	r.mu.SetName("resil.Retrier.mu")
+	return r
 }
 
 const (

@@ -2,9 +2,9 @@ package resil
 
 import (
 	"fmt"
-	"sync"
 
 	"tell/internal/det"
+	"tell/internal/sanitize"
 	"tell/internal/wire"
 )
 
@@ -60,7 +60,7 @@ type Window struct {
 	// Cap is the per-client completed-entry capacity. <=0 means 256.
 	Cap int
 
-	mu      sync.Mutex
+	mu      sanitize.Mutex
 	clients map[string]*clientWindow
 	replays uint64
 }
@@ -74,7 +74,9 @@ type clientWindow struct {
 // NewWindow returns a dedup window keeping up to cap completed entries per
 // client.
 func NewWindow(cap int) *Window {
-	return &Window{Cap: cap, clients: make(map[string]*clientWindow)}
+	w := &Window{Cap: cap, clients: make(map[string]*clientWindow)}
+	w.mu.SetName("resil.Window.mu")
+	return w
 }
 
 func (w *Window) cap() int {

@@ -11,6 +11,7 @@ import (
 	"tell/internal/det"
 	"tell/internal/env"
 	"tell/internal/resil"
+	"tell/internal/sanitize"
 	"tell/internal/trace"
 	"tell/internal/transport"
 	"tell/internal/wire"
@@ -69,7 +70,7 @@ type Client struct {
 	// idempotency token the storage node dedups on.
 	Resil *resil.Retrier
 
-	mu       sync.Mutex
+	mu       sanitize.Mutex
 	pmap     *PartitionMap
 	conns    map[string]transport.Conn
 	batchers map[string]*batcher
@@ -146,6 +147,7 @@ func (c *Client) Close() {
 		c.batchers[addr].q.Close()
 	}
 	for _, addr := range det.Keys(c.conns) {
+		//lint:allow errdiscard client teardown: the conns are being abandoned and in-flight failures are expected
 		c.conns[addr].Close()
 	}
 }
@@ -231,13 +233,24 @@ func (c *Client) getMap(ctx env.Ctx) (*PartitionMap, error) {
 
 func (c *Client) conn(addr string) (transport.Conn, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if conn, ok := c.conns[addr]; ok {
+		c.mu.Unlock()
 		return conn, nil
 	}
+	c.mu.Unlock()
+	// Dial outside the lock: a slow dial (TCP under faults) must not stall
+	// every other connection lookup.
 	conn, err := c.tr.Dial(c.node, addr)
 	if err != nil {
 		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if exist, ok := c.conns[addr]; ok {
+		// Lost a dial race; keep the first connection.
+		//lint:allow errdiscard closing a redundant just-dialed connection nothing was sent on
+		conn.Close()
+		return exist, nil
 	}
 	c.conns[addr] = conn
 	return conn, nil
@@ -270,7 +283,7 @@ type batcher struct {
 	addr string
 	q    env.Queue
 
-	mu sync.Mutex
+	mu sanitize.Mutex
 	// sizeEWMA8 is an exponentially weighted moving average of batch sizes
 	// in fixed-point (×8): after observing size n it becomes
 	// ewma - ewma/8 + n. Senders read it to decide how long to linger.
@@ -317,6 +330,7 @@ func (c *Client) batcherFor(addr string) *batcher {
 		return b
 	}
 	b := &batcher{c: c, addr: addr, q: c.envr.NewQueue()}
+	b.mu.SetName("store.batcher.mu")
 	c.batchers[addr] = b
 	n := c.Senders
 	if n < 1 {

@@ -2,12 +2,12 @@ package store
 
 import (
 	"errors"
-	"sync"
 
 	"tell/internal/det"
 	"tell/internal/durable"
 	"tell/internal/env"
 	"tell/internal/resil"
+	"tell/internal/sanitize"
 	"tell/internal/wire"
 )
 
@@ -36,10 +36,10 @@ type DurOptions struct {
 type durState struct {
 	opts DurOptions
 
-	mu      sync.Mutex
-	wal     *durable.WAL
-	pending []durable.Record
-	waiters []env.Future
+	mu       sanitize.Mutex
+	wal      *durable.WAL
+	pending  []durable.Record
+	waiters  []env.Future
 	flushing bool
 	// dead: the WAL failed mid-append; the log tail is undefined, so the
 	// node fail-stops (every request answers Unavailable) until recovered.
@@ -56,6 +56,7 @@ type durState struct {
 // setup, before the node serves traffic. No I/O happens here.
 func (sn *Node) AttachDurability(opts DurOptions) {
 	d := &durState{opts: opts}
+	d.mu.SetName("store.durState.mu")
 	d.wal = durable.OpenWAL(opts.Backend, sn.addr, durable.WALConfig{SegmentBytes: opts.SegmentBytes}, 0, 1)
 	sn.dur = d
 }
@@ -473,7 +474,13 @@ func (sn *Node) handleRecover(ctx env.Ctx, raw []byte) []byte {
 				return (&wire.RecoverResponse{Status: wire.StatusUnavailable}).Encode()
 			}
 			rr := &wire.ReplicateRequest{PartitionID: pid, Mutations: ms[off:end]}
-			raw, err := conn.RoundTrip(ctx, rr.Encode())
+			// Apply-if-newer on the receiving master makes re-sends safe.
+			var raw []byte
+			err = sn.retr.Do(ctx, resil.ClassReplicate, target, func(int) error {
+				var rtErr error
+				raw, rtErr = conn.RoundTrip(ctx, rr.Encode())
+				return rtErr
+			})
 			if err != nil {
 				return (&wire.RecoverResponse{Status: wire.StatusUnavailable}).Encode()
 			}

@@ -1,10 +1,11 @@
 package store
 
 import (
-	"sync"
 	"time"
 
 	"tell/internal/env"
+	"tell/internal/resil"
+	"tell/internal/sanitize"
 	"tell/internal/transport"
 	"tell/internal/wire"
 )
@@ -27,7 +28,13 @@ type Manager struct {
 	// ReplicationFactor is the target number of copies (master included).
 	ReplicationFactor int
 
-	mu      sync.Mutex
+	// retr brackets every outbound RPC in a retry policy: pings pin to the
+	// single-attempt ClassPing so the FailAfter calibration holds, and
+	// failover pushes use ClassMeta so a transient drop does not strand a
+	// survivor on a stale partition map.
+	retr *resil.Retrier
+
+	mu      sanitize.Mutex
 	pmap    *PartitionMap
 	spares  []string
 	dead    map[string]bool
@@ -58,11 +65,12 @@ type SNRecoverer interface {
 
 // NewManager creates a management node serving addr.
 func NewManager(addr string, envr env.Full, node env.Node, tr transport.Transport) *Manager {
-	return &Manager{
+	m := &Manager{
 		addr:              addr,
 		envr:              envr,
 		node:              node,
 		tr:                tr,
+		retr:              resil.NewRetrier(),
 		PingInterval:      5 * time.Millisecond,
 		FailAfter:         3,
 		ReplicationFactor: 1,
@@ -71,6 +79,8 @@ func NewManager(addr string, envr env.Full, node env.Node, tr transport.Transpor
 		misses:            make(map[string]int),
 		conns:             make(map[string]transport.Conn),
 	}
+	m.mu.SetName("store.Manager.mu")
+	return m
 }
 
 // Addr returns the manager's serving address.
@@ -202,19 +212,39 @@ func (m *Manager) ping(ctx env.Ctx, addr string) bool {
 	if err != nil {
 		return false
 	}
-	resp, err := conn.RoundTrip(ctx, []byte{byte(wire.KindPing)})
-	return err == nil && wire.PeekKind(resp) == wire.KindPong
+	// ClassPing allows exactly one attempt: one probe, one verdict.
+	alive := false
+	_ = m.retr.Do(ctx, resil.ClassPing, addr, func(int) error {
+		resp, err := conn.RoundTrip(ctx, []byte{byte(wire.KindPing)})
+		if err != nil {
+			return err
+		}
+		alive = wire.PeekKind(resp) == wire.KindPong
+		return nil
+	})
+	return alive
 }
 
 func (m *Manager) conn(addr string) (transport.Conn, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if c, ok := m.conns[addr]; ok {
+		m.mu.Unlock()
 		return c, nil
 	}
+	m.mu.Unlock()
+	// Dial outside the lock: the failure detector must keep probing other
+	// nodes while one dial hangs.
 	c, err := m.tr.Dial(m.node, addr)
 	if err != nil {
 		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if exist, ok := m.conns[addr]; ok {
+		// Lost a dial race; keep the first connection.
+		//lint:allow errdiscard closing a redundant just-dialed connection nothing was sent on
+		c.Close()
+		return exist, nil
 	}
 	m.conns[addr] = c
 	return c, nil
@@ -302,18 +332,27 @@ func (m *Manager) failover(ctx env.Ctx, deadAddr string) {
 	targets := m.liveNodesLocked()
 	m.mu.Unlock()
 
-	// Push the new configuration to every surviving node.
+	// Push the new configuration to every surviving node. Best-effort with
+	// ClassMeta retries: a node the push cannot reach is on its way to being
+	// declared dead itself, and clients refetch the map on Unavailable.
 	cfg := encodeMetaConfigure(newMap)
 	for _, addr := range targets {
 		if conn, err := m.conn(addr); err == nil {
-			conn.RoundTrip(ctx, cfg)
+			_ = m.retr.Do(ctx, resil.ClassMeta, addr, func(int) error {
+				_, err := conn.RoundTrip(ctx, cfg)
+				return err
+			})
 		}
 	}
 	// Backfill new replicas from their masters. Apply-if-newer on the
 	// replica makes this safe concurrently with live writes.
 	for _, tr := range transfers {
 		if conn, err := m.conn(tr.master); err == nil {
-			conn.RoundTrip(ctx, encodeMetaTransfer(tr.pid, tr.target))
+			req := encodeMetaTransfer(tr.pid, tr.target)
+			_ = m.retr.Do(ctx, resil.ClassMeta, tr.master, func(int) error {
+				_, err := conn.RoundTrip(ctx, req)
+				return err
+			})
 		}
 	}
 	if m.OnFailover != nil {

@@ -3,7 +3,6 @@ package store
 import (
 	"encoding/binary"
 	"fmt"
-	"sync"
 	"time"
 
 	"tell/internal/det"
@@ -11,6 +10,7 @@ import (
 	"tell/internal/env"
 	"tell/internal/metrics"
 	"tell/internal/resil"
+	"tell/internal/sanitize"
 	"tell/internal/transport"
 	"tell/internal/wire"
 )
@@ -48,7 +48,7 @@ type Node struct {
 	tr    transport.Transport
 	costs Costs
 
-	mu    sync.Mutex
+	mu    sanitize.Mutex
 	mt    *memtable
 	stamp uint64
 	// pmap is the node's view of the cluster layout; masters caches the
@@ -99,6 +99,7 @@ func NewNode(addr string, envr env.Full, n env.Node, tr transport.Transport, cos
 		retr:    resil.NewRetrier(),
 		lat:     metrics.NewSummary(),
 	}
+	sn.mu.SetName("store.Node.mu")
 	return sn
 }
 
@@ -462,13 +463,23 @@ func (sn *Node) markReplicaDead(addr string) {
 
 func (sn *Node) conn(addr string) (transport.Conn, error) {
 	sn.mu.Lock()
-	defer sn.mu.Unlock()
 	if c, ok := sn.conns[addr]; ok {
+		sn.mu.Unlock()
 		return c, nil
 	}
+	sn.mu.Unlock()
+	// Dial outside the lock: a slow dial must not stall the request path.
 	c, err := sn.tr.Dial(sn.node, addr)
 	if err != nil {
 		return nil, err
+	}
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	if exist, ok := sn.conns[addr]; ok {
+		// Lost a dial race; keep the first connection.
+		//lint:allow errdiscard closing a redundant just-dialed connection nothing was sent on
+		c.Close()
+		return exist, nil
 	}
 	sn.conns[addr] = c
 	return c, nil
@@ -794,7 +805,15 @@ func (sn *Node) transferPartition(ctx env.Ctx, pid uint64, target string) bool {
 		if err != nil {
 			return false
 		}
-		raw, err := conn.RoundTrip(ctx, req.Encode())
+		// Backfill chunks are apply-if-newer on the target, so the
+		// replication retry policy can safely re-send a chunk whose
+		// response was lost.
+		var raw []byte
+		err = sn.retr.Do(ctx, resil.ClassReplicate, target, func(int) error {
+			var rtErr error
+			raw, rtErr = conn.RoundTrip(ctx, req.Encode())
+			return rtErr
+		})
 		if err != nil {
 			return false
 		}

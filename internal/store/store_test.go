@@ -545,6 +545,9 @@ func TestClientWorksOverLocalNet(t *testing.T) {
 	defer cl.Manager.Stop()
 	pn := envr.NewNode("pn0", 2)
 	client := cl.NewClient(pn)
+	// Real-env batcher activities are OS goroutines; Close wakes them so
+	// the package leak checker sees them exit.
+	defer client.Close()
 	done := make(chan error, 1)
 	pn.Go("test", func(ctx env.Ctx) {
 		if _, err := client.Put(ctx, []byte("k"), []byte("v")); err != nil {

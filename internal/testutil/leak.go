@@ -1,0 +1,110 @@
+package testutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"tell/internal/sanitize"
+)
+
+// TestingM is the subset of *testing.M that Main needs; a named interface
+// keeps this file importable from non-test code without dragging testing
+// into the build graph of packages that only want Seed.
+type TestingM interface {
+	Run() int
+}
+
+// Main is a drop-in TestMain body that turns two whole-package invariants
+// into test failures:
+//
+//   - No leaked goroutines: after the package's tests finish, every
+//     goroutine they spawned must have exited (modulo the runtime's and
+//     testing's own). A lingering accept loop, kernel process, or retry
+//     ticker fails the package and dumps the offending stacks.
+//   - No lock-order inversions: under -tags telldebug the instrumented
+//     mutexes in internal/sanitize record the acquisition-order graph;
+//     any inversion observed during the run fails the package even if no
+//     deadlock actually fired.
+//
+// Use it as:
+//
+//	func TestMain(m *testing.M) { testutil.Main(m) }
+func Main(m TestingM) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := settle(5 * time.Second); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr, "testutil: %d goroutine(s) leaked by this package's tests:\n\n%s\n",
+				len(leaked), strings.Join(leaked, "\n\n"))
+			code = 1
+		}
+	}
+	if code == 0 && sanitize.Enabled {
+		for _, inv := range sanitize.Inversions() {
+			fmt.Fprintf(os.Stderr,
+				"testutil: lock-order inversion: acquired %q while holding %q\n--- acquisition ---\n%s\n--- prior reverse-order acquisition ---\n%s\n",
+				inv.Taking, inv.Held, inv.Stack, inv.PriorStack)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// settle polls the goroutine dump until only benign goroutines remain or
+// the deadline passes, returning the stacks still alive. The grace period
+// absorbs teardown in flight when the last test returns — closed listeners
+// unwinding accept loops, killed sim processes draining — without hiding
+// genuine leaks, which by definition never exit.
+func settle(deadline time.Duration) []string {
+	start := time.Now()
+	for {
+		leaked := leakedGoroutines()
+		if len(leaked) == 0 || time.Since(start) > deadline {
+			return leaked
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// benignMarkers identify goroutines that legitimately outlive the tests:
+// the goroutine running this checker, testing's own machinery, and the
+// runtime/os helpers Go starts on demand. runtime.Stack already excludes
+// system goroutines (GC workers etc.), so the list is short.
+var benignMarkers = []string{
+	"tell/internal/testutil.leakedGoroutines", // this checker itself
+	"testing.(*M).Run",
+	"testing.runTests",
+	"testing.(*T).Run",      // parent test blocked in t.Parallel bookkeeping
+	"os/signal.signal_recv", // signal handling, started on demand
+	"os/signal.loop",
+	"runtime.ensureSigM",
+	"runtime.ReadTrace", // -trace support
+}
+
+func leakedGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	for n == len(buf) {
+		buf = make([]byte, 2*len(buf))
+		n = runtime.Stack(buf, true)
+	}
+	var leaked []string
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if g == "" || benign(g) {
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	return leaked
+}
+
+func benign(stack string) bool {
+	for _, m := range benignMarkers {
+		if strings.Contains(stack, m) {
+			return true
+		}
+	}
+	return false
+}

@@ -3,10 +3,10 @@ package transport
 import (
 	"fmt"
 	"math/rand"
-	"sync"
 	"time"
 
 	"tell/internal/env"
+	"tell/internal/sanitize"
 	"tell/internal/trace"
 )
 
@@ -15,12 +15,12 @@ import (
 // a whole virtual cluster inside one binary this way). An optional fixed
 // latency can be injected per round trip.
 type LocalNet struct {
-	mu      sync.RWMutex
+	mu      sanitize.RWMutex
 	eps     map[string]*localEndpoint
 	down    map[string]bool
 	latency time.Duration
 
-	statsMu sync.Mutex
+	statsMu sanitize.Mutex
 	stats   Stats
 }
 
@@ -31,7 +31,10 @@ type localEndpoint struct {
 
 // NewLocalNet returns an empty in-process network.
 func NewLocalNet() *LocalNet {
-	return &LocalNet{eps: make(map[string]*localEndpoint), down: make(map[string]bool)}
+	n := &LocalNet{eps: make(map[string]*localEndpoint), down: make(map[string]bool)}
+	n.mu.SetName("transport.LocalNet.mu")
+	n.statsMu.SetName("transport.LocalNet.statsMu")
+	return n
 }
 
 // SetLatency injects a fixed real-time delay per round trip.

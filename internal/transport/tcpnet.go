@@ -13,10 +13,10 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"sync"
 	"time"
 
 	"tell/internal/env"
+	"tell/internal/sanitize"
 	"tell/internal/trace"
 	"tell/internal/wire"
 )
@@ -32,15 +32,20 @@ type TCPNet struct {
 	// Timeout bounds each round trip (default 10s).
 	Timeout time.Duration
 
-	mu        sync.Mutex
+	mu        sanitize.Mutex
 	listeners []net.Listener
 
-	statsMu sync.Mutex
+	statsMu sanitize.Mutex
 	stats   Stats
 }
 
 // NewTCPNet returns a TCP transport.
-func NewTCPNet() *TCPNet { return &TCPNet{Timeout: 10 * time.Second} }
+func NewTCPNet() *TCPNet {
+	t := &TCPNet{Timeout: 10 * time.Second}
+	t.mu.SetName("transport.TCPNet.mu")
+	t.statsMu.SetName("transport.TCPNet.statsMu")
+	return t
+}
 
 // Stats returns cumulative traffic counters.
 func (t *TCPNet) Stats() Stats {
@@ -140,8 +145,10 @@ func (t *TCPNet) acceptLoop(l net.Listener, node env.Node, h Handler) {
 }
 
 func (t *TCPNet) serveConn(c net.Conn, node env.Node, h Handler) {
+	//lint:allow errdiscard server-side teardown of a connection whose peer already went away
 	defer c.Close()
-	var wmu sync.Mutex
+	var wmu sanitize.Mutex
+	wmu.SetName("transport.serveConn.wmu")
 	var rf, wf framer // rf owned by this loop; wf guarded by wmu
 	peer := c.RemoteAddr().String()
 	for {
@@ -184,6 +191,7 @@ func (t *TCPNet) serveConn(c net.Conn, node env.Node, h Handler) {
 			err := wf.writeFrame(c, id, rflow, resp)
 			wmu.Unlock()
 			if err != nil {
+				//lint:allow errdiscard the write already failed; Close is a best-effort kick so the read loop exits too
 				c.Close()
 				return
 			}
@@ -209,6 +217,8 @@ func (t *TCPNet) Dial(node env.Node, addr string) (Conn, error) {
 		conn:    c,
 		pending: make(map[uint64]chan tcpReply),
 	}
+	tc.wmu.SetName("transport.tcpConn.wmu")
+	tc.mu.SetName("transport.tcpConn.mu")
 	go tc.readLoop()
 	return tc, nil
 }
@@ -225,10 +235,10 @@ type tcpConn struct {
 	dst  string
 	conn net.Conn
 
-	wmu sync.Mutex // serializes frame writes; wf's scratch lives under it
+	wmu sanitize.Mutex // serializes frame writes; wf's scratch lives under it
 	wf  framer
 
-	mu      sync.Mutex
+	mu      sanitize.Mutex
 	nextID  uint64
 	pending map[uint64]chan tcpReply
 	closed  bool
@@ -250,6 +260,7 @@ func (c *tcpConn) readLoop() {
 	for {
 		id, flow, payload, err := rf.readFrame(c.conn)
 		if err != nil {
+			//lint:allow errdiscard the read already failed; Close just fails pending callers so they can retry elsewhere
 			c.Close()
 			return
 		}

@@ -31,7 +31,6 @@ package tell
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"tell/internal/commitmgr"
@@ -39,6 +38,7 @@ import (
 	"tell/internal/env"
 	"tell/internal/recovery"
 	"tell/internal/relational"
+	"tell/internal/sanitize"
 	"tell/internal/store"
 	"tell/internal/transport"
 )
@@ -124,7 +124,7 @@ type Cluster struct {
 	cmAddrs []string
 	pnMgr   *recovery.Manager
 
-	mu     sync.Mutex
+	mu     sanitize.Mutex
 	dbs    map[string]*DB
 	closed bool
 }
@@ -147,6 +147,7 @@ func Start(opts Options) (*Cluster, error) {
 		storage: storage,
 		dbs:     make(map[string]*DB),
 	}
+	c.mu.SetName("tell.Cluster.mu")
 	var ids []string
 	for i := 0; i < opts.CommitManagers; i++ {
 		ids = append(ids, fmt.Sprintf("cm%d", i))
