@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test test-race chaos-race crash-matrix fuzz-short vet lint lint-determinism sanitize bench-smoke golden-trace ci
+.PHONY: test test-race chaos-race crash-matrix fuzz-short vet lint lint-determinism sanitize bench-smoke golden-trace obs-golden ci
 
 test:
 	$(GO) test ./...
@@ -69,6 +69,13 @@ golden-trace:
 	cmp /tmp/tell-trace-a.json /tmp/tell-trace-b.json
 	rm -f /tmp/tell-trace-a.json /tmp/tell-trace-b.json
 
+# Telemetry determinism: two same-seed runs must render byte-identical
+# telemetry (series windows, heat rows, breaches, flight captures) and the
+# Prometheus exposition must match its golden (see internal/obs tests).
+obs-golden:
+	$(GO) test ./internal/exp -run TestObsGoldenDeterminism -count=1
+	$(GO) test ./internal/obs -run 'TestPromGolden|TestDeterministicDump' -count=1
+
 # Everything CI runs, in order (race on the fast packages only).
 ci:
 	$(GO) build ./...
@@ -84,3 +91,4 @@ ci:
 	$(GO) test ./internal/wire -run=FuzzRoundTrip
 	$(MAKE) bench-smoke
 	$(MAKE) golden-trace
+	$(MAKE) obs-golden

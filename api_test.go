@@ -1,6 +1,8 @@
 package tell_test
 
 import (
+	"bytes"
+	"strings"
 	"sync"
 	"testing"
 
@@ -267,5 +269,55 @@ func TestPublicAPIPushdownScan(t *testing.T) {
 		if id < 15 {
 			t.Fatalf("id %d should not match", id)
 		}
+	}
+}
+
+func TestPublicAPITelemetry(t *testing.T) {
+	c := startCluster(t, tell.Options{StorageNodes: 2, Telemetry: true})
+	db, _ := c.NewProcessingNode("pn1")
+	table, _ := db.CreateTable(usersSchema())
+	err := db.Transact(func(tx *tell.Tx) error {
+		for i := int64(0); i < 50; i++ {
+			if _, err := tx.Insert(table, tell.Row{tell.I64(i), tell.Str("u"), tell.I64(i)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rows := c.HeatRows()
+	if len(rows) == 0 {
+		t.Fatal("Telemetry cluster returned no heat rows after 50 inserts")
+	}
+	var writes int64
+	for _, r := range rows {
+		writes += r.Writes
+	}
+	if writes == 0 {
+		t.Error("heat rows carry zero writes")
+	}
+	var buf bytes.Buffer
+	if err := c.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "tell_range_ops_total") {
+		t.Errorf("metrics exposition missing heat gauges:\n%.400s", buf.String())
+	}
+}
+
+func TestPublicAPITelemetryDisabled(t *testing.T) {
+	c := startCluster(t, tell.Options{StorageNodes: 2})
+	if rows := c.HeatRows(); rows != nil {
+		t.Fatalf("telemetry-off cluster returned heat rows: %v", rows)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("telemetry-off cluster wrote metrics: %q", buf.String())
 	}
 }

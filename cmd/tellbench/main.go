@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -20,6 +21,8 @@ import (
 
 	"tell/internal/env"
 	"tell/internal/exp"
+	"tell/internal/obs"
+	"tell/internal/trace"
 )
 
 func main() {
@@ -33,6 +36,10 @@ func main() {
 		durable   = flag.String("durable", "", "attach a WAL + fuzzy checkpoints to every storage node: 'mem' (zero-latency blob) or 's3' (S3-profile latency); empty = volatile")
 		traceFile = flag.String("trace", "", "run one traced TPC-C deployment and write a Chrome trace_event JSON to FILE (load at ui.perfetto.dev)")
 		breakdown = flag.Bool("breakdown", false, "with or without -trace: print the per-transaction-type latency breakdown of a traced run")
+		series    = flag.Bool("series", false, "run one telemetry-enabled deployment and print windowed series, per-range heat, SLO breaches and flight-recorder state")
+		seriesOut = flag.String("series-dump", "", "with -series: also write the full deterministic telemetry dump to FILE (byte-identical per seed)")
+		flightOut = flag.String("flight", "", "with -series: write the flight recorder's captured outlier span trees as Chrome trace_event JSON to FILE")
+		benchJSON = flag.String("bench-json", "", "with -series: write a machine-readable benchmark result (throughput, msgs/txn, per-class quantiles) to FILE")
 	)
 	flag.Parse()
 
@@ -54,6 +61,15 @@ func main() {
 	if *traceFile != "" || *breakdown {
 		if err := runTraced(opt, *traceFile, *breakdown); err != nil {
 			fmt.Fprintf(os.Stderr, "trace run failed: %v\n", err)
+			os.Exit(1)
+		}
+		if len(flag.Args()) == 0 && !*series && *benchJSON == "" {
+			return
+		}
+	}
+	if *series || *seriesOut != "" || *flightOut != "" || *benchJSON != "" {
+		if err := runSeries(opt, *seriesOut, *flightOut, *benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "series run failed: %v\n", err)
 			os.Exit(1)
 		}
 		if len(flag.Args()) == 0 {
@@ -118,6 +134,189 @@ func runTraced(opt exp.Options, file string, breakdown bool) error {
 	}
 	if breakdown {
 		fmt.Println(exp.BreakdownTable(run.Trace, "Latency breakdown (traced run)"))
+	}
+	return nil
+}
+
+// benchClass is one transaction class's latency digest in -bench-json output.
+type benchClass struct {
+	Class  string `json:"class"`
+	Count  uint64 `json:"count"`
+	MeanNs int64  `json:"mean_ns"`
+	P50Ns  int64  `json:"p50_ns"`
+	P99Ns  int64  `json:"p99_ns"`
+	P999Ns int64  `json:"p999_ns"`
+}
+
+// benchResult is the machine-readable run summary written by -bench-json;
+// BENCH_8.json in the repo root records one such run per configuration so
+// the performance trajectory is diffable across changes.
+type benchResult struct {
+	Mix            string       `json:"mix"`
+	Warehouses     int          `json:"warehouses"`
+	Scale          float64      `json:"scale"`
+	Warmup         int          `json:"warmup"`
+	Measure        int          `json:"measure"`
+	Seed           int64        `json:"seed"`
+	PNs            int          `json:"pns"`
+	SNs            int          `json:"sns"`
+	CMs            int          `json:"cms"`
+	TpmC           float64      `json:"tpmc"`
+	Tps            float64      `json:"tps"`
+	AbortRate      float64      `json:"abort_rate"`
+	MsgsPerTxn     float64      `json:"msgs_per_txn"`
+	BytesPerTxn    float64      `json:"bytes_per_txn"`
+	CMMsgsPerTxn   float64      `json:"cm_msgs_per_txn"`
+	Classes        []benchClass `json:"classes"`
+	SLOBreaches    int          `json:"slo_breaches"`
+	FlightCaptures int          `json:"flight_captures"`
+	FlightEvicted  uint64       `json:"flight_evicted"`
+}
+
+// runSeries executes one telemetry-enabled deployment (same 2 PN / 3 SN /
+// 2 CM shape as the traced run) and emits the requested artifacts: a console
+// summary, the deterministic telemetry dump, the flight recorder's outlier
+// traces, and the machine-readable benchmark JSON.
+func runSeries(opt exp.Options, dumpFile, flightFile, jsonFile string) error {
+	opt.Series = true
+	const pns, sns, cms = 2, 3, 2
+	run, err := exp.RunTell(opt, exp.TellParams{PNs: pns, SNs: sns, CMs: cms})
+	if err != nil {
+		return err
+	}
+	p := run.Obs
+	at := p.Now()
+	res := run.Result
+
+	fmt.Printf("%s: TpmC=%.0f Tps=%.0f aborts=%.2f%%  (%.1f msgs/txn, %.1f KB/txn)\n",
+		res.Mix, res.TpmC(), res.Tps(), 100*run.AbortRate, run.MsgsPerTxn, run.BytesPerTxn/1024)
+
+	// Per-class windowed quantiles against their SLO targets.
+	slos := make(map[string]obs.SLO)
+	for _, s := range exp.DefaultSLOs() {
+		slos[s.Class] = s
+	}
+	var classes []benchClass
+	fmt.Printf("\n%-14s %8s %10s %10s %10s   SLO p99\n", "class", "count", "p50", "p99", "p999")
+	for _, d := range p.Snapshot() {
+		if d.Node != "txn" || !d.Hist || len(d.Metric) < 5 || d.Metric[:4] != "lat/" {
+			continue
+		}
+		class := d.Metric[4:]
+		h := p.Class(d.Node, d.Metric)
+		if h == nil || h.Count() == 0 {
+			continue
+		}
+		bc := benchClass{
+			Class:  class,
+			Count:  h.Count(),
+			MeanNs: int64(h.Mean()),
+			P50Ns:  int64(h.Percentile(50)),
+			P99Ns:  int64(h.Percentile(99)),
+			P999Ns: int64(h.Percentile(99.9)),
+		}
+		classes = append(classes, bc)
+		target := "-"
+		if s, ok := slos[class]; ok {
+			target = s.P99.String()
+		}
+		fmt.Printf("%-14s %8d %10v %10v %10v   %s\n", class, bc.Count,
+			time.Duration(bc.P50Ns).Round(time.Microsecond),
+			time.Duration(bc.P99Ns).Round(time.Microsecond),
+			time.Duration(bc.P999Ns).Round(time.Microsecond), target)
+	}
+
+	// Hottest ranges over the retention horizon.
+	rows := p.HeatRows()
+	obs.SortHeatByRecent(rows)
+	fmt.Printf("\n%-6s %-8s %12s %10s %10s %10s %12s\n",
+		"node", "range", "recent_ops", "reads", "writes", "conflicts", "mean_lat")
+	for i, r := range rows {
+		if i >= 10 {
+			fmt.Printf("(… %d more rows)\n", len(rows)-10)
+			break
+		}
+		fmt.Printf("%-6s %-8d %12d %10d %10d %10d %12v\n", r.Node, r.Range,
+			r.Recent.Ops(), r.Total.Reads, r.Total.Writes, r.Total.Conflicts,
+			r.Recent.MeanLat().Round(time.Microsecond))
+	}
+
+	breaches, dropped := p.Breaches()
+	caps, evicted := p.Flight().Captures()
+	fmt.Printf("\nSLO breaches: %d (%d dropped at cap)   flight: %d captured, %d evicted, %d events seen\n",
+		len(breaches), dropped, len(caps), evicted, p.Flight().Seen())
+	for i, b := range breaches {
+		if i >= 5 {
+			fmt.Printf("(… %d more breaches)\n", len(breaches)-5)
+			break
+		}
+		fmt.Printf("  t=%v %s %s observed %v > target %v (n=%d)\n",
+			b.At.Round(time.Millisecond), b.Class, b.Quantile, b.Observed.Round(time.Microsecond),
+			b.Target.Round(time.Microsecond), b.Count)
+	}
+
+	if dumpFile != "" {
+		f, err := os.Create(dumpFile)
+		if err != nil {
+			return err
+		}
+		if err := p.WriteDump(f, at); err != nil {
+			return errors.Join(err, f.Close())
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (deterministic telemetry dump)\n", dumpFile)
+	}
+	if flightFile != "" {
+		var events []trace.Event
+		for i := range caps {
+			events = append(events, caps[i].Events...)
+		}
+		f, err := os.Create(flightFile)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChromeTraceEvents(f, events); err != nil {
+			return errors.Join(err, f.Close())
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d captures, %d events) — open at ui.perfetto.dev\n",
+			flightFile, len(caps), len(events))
+	}
+	if jsonFile != "" {
+		br := benchResult{
+			Mix:            res.Mix,
+			Warehouses:     opt.Warehouses,
+			Scale:          opt.Scale,
+			Warmup:         opt.Warmup,
+			Measure:        opt.Measure,
+			Seed:           opt.Seed,
+			PNs:            pns,
+			SNs:            sns,
+			CMs:            cms,
+			TpmC:           res.TpmC(),
+			Tps:            res.Tps(),
+			AbortRate:      run.AbortRate,
+			MsgsPerTxn:     run.MsgsPerTxn,
+			BytesPerTxn:    run.BytesPerTxn,
+			CMMsgsPerTxn:   run.CMMsgsPerTxn,
+			Classes:        classes,
+			SLOBreaches:    len(breaches),
+			FlightCaptures: len(caps),
+			FlightEvicted:  evicted,
+		}
+		raw, err := json.MarshalIndent(&br, "", "  ")
+		if err != nil {
+			return err
+		}
+		raw = append(raw, '\n')
+		if err := os.WriteFile(jsonFile, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (machine-readable benchmark result)\n", jsonFile)
 	}
 	return nil
 }

@@ -10,7 +10,8 @@
 //	insert <table> <v1> <v2> ...
 //	get <table> <pk values...>
 //	scan <table>
-//	stats <addr>
+//	stats [-watch] <addr>
+//	top [-watch] [addr]
 //	tables
 //	help | quit
 package main
@@ -20,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -53,7 +55,8 @@ func main() {
 		commitmgr.NewClient(envr, node, tr, cmAddrs))
 	ctx, _ := env.DetachedCtx(node)
 
-	cli := &cli{pn: pn, ctx: ctx, tr: tr, node: node, tables: make(map[string]*core.TableInfo)}
+	cli := &cli{pn: pn, ctx: ctx, tr: tr, node: node, manager: *manager,
+		tables: make(map[string]*core.TableInfo)}
 	fmt.Println("tell shell — 'help' for commands")
 	sc_ := bufio.NewScanner(os.Stdin)
 	for {
@@ -75,11 +78,12 @@ func main() {
 }
 
 type cli struct {
-	pn     *core.PN
-	ctx    env.Ctx
-	tr     transport.Transport
-	node   env.Node
-	tables map[string]*core.TableInfo
+	pn      *core.PN
+	ctx     env.Ctx
+	tr      transport.Transport
+	node    env.Node
+	manager string
+	tables  map[string]*core.TableInfo
 }
 
 func (c *cli) table(name string) (*core.TableInfo, error) {
@@ -102,7 +106,8 @@ func (c *cli) run(line string) error {
 		fmt.Println("insert <table> <v1> <v2> ...")
 		fmt.Println("get <table> <pk values...>")
 		fmt.Println("scan <table>")
-		fmt.Println("stats <addr>   # live telemetry snapshot from a daemon")
+		fmt.Println("stats [-watch] <addr>   # telemetry snapshot from one daemon")
+		fmt.Println("top [-watch] [addr]     # cluster-wide series/heat/SLO view via the manager")
 		fmt.Println("quit")
 		return nil
 	case "create":
@@ -115,6 +120,8 @@ func (c *cli) run(line string) error {
 		return c.scan(fields[1:])
 	case "stats":
 		return c.stats(fields[1:])
+	case "top":
+		return c.top(fields[1:])
 	default:
 		return fmt.Errorf("unknown command %q", fields[0])
 	}
@@ -302,14 +309,57 @@ func (c *cli) scan(args []string) error {
 	return err
 }
 
+// watchRefresh is the refresh cadence of -watch mode.
+const watchRefresh = 2 * time.Second
+
+// watchLoop runs render once, or — in watch mode — repeatedly with a screen
+// clear between refreshes until the process is interrupted. A transient
+// fetch error in watch mode is shown and retried on the next tick rather
+// than ending the loop (the daemon may be restarting).
+func (c *cli) watchLoop(watch bool, render func() error) error {
+	if !watch {
+		return render()
+	}
+	for {
+		fmt.Print("\033[H\033[2J")
+		if err := render(); err != nil {
+			fmt.Printf("error: %v\n", err)
+		}
+		fmt.Printf("(refreshing every %v — ctrl-c to quit)\n", watchRefresh)
+		c.ctx.Sleep(watchRefresh)
+	}
+}
+
+// colWidth returns the print width for a name column: at least min, wide
+// enough for the longest name so long node/counter names stay aligned.
+func colWidth(min int, names ...string) int {
+	w := min
+	for _, n := range names {
+		if len(n) > w {
+			w = len(n)
+		}
+	}
+	return w
+}
+
 // stats fetches and pretty-prints a live telemetry snapshot from one
 // daemon (storage node or commit manager): handler-latency classes from its
-// metrics summary plus operation and trace counters.
+// metrics summary plus operation and trace counters. With -watch the view
+// refreshes in place.
 func (c *cli) stats(args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: stats <addr>")
+	watch := false
+	if len(args) > 0 && args[0] == "-watch" {
+		watch, args = true, args[1:]
 	}
-	conn, err := c.tr.Dial(c.node, args[0])
+	if len(args) != 1 {
+		return fmt.Errorf("usage: stats [-watch] <addr>")
+	}
+	addr := args[0]
+	return c.watchLoop(watch, func() error { return c.statsOnce(addr) })
+}
+
+func (c *cli) statsOnce(addr string) error {
+	conn, err := c.tr.Dial(c.node, addr)
 	if err != nil {
 		return err
 	}
@@ -323,18 +373,135 @@ func (c *cli) stats(args []string) error {
 	}
 	fmt.Printf("node %s  uptime %s\n", snap.Node, time.Duration(snap.UptimeNs).Round(time.Millisecond))
 	if len(snap.Classes) > 0 {
-		fmt.Printf("  %-12s %10s %12s %12s %12s\n", "class", "count", "mean", "p99", "max")
+		names := make([]string, len(snap.Classes))
+		for i, cl := range snap.Classes {
+			names[i] = cl.Name
+		}
+		w := colWidth(12, names...)
+		fmt.Printf("  %-*s %10s %12s %12s %12s\n", w, "class", "count", "mean", "p99", "max")
 		for _, cl := range snap.Classes {
-			fmt.Printf("  %-12s %10d %12s %12s %12s\n", cl.Name, cl.Count,
+			fmt.Printf("  %-*s %10d %12s %12s %12s\n", w, cl.Name, cl.Count,
 				time.Duration(cl.MeanNs).Round(time.Microsecond),
 				time.Duration(cl.P99Ns).Round(time.Microsecond),
 				time.Duration(cl.MaxNs).Round(time.Microsecond))
 		}
 	}
+	names := make([]string, len(snap.Counters))
+	for i, ct := range snap.Counters {
+		names[i] = ct.Name
+	}
+	w := colWidth(28, names...)
 	for _, ct := range snap.Counters {
-		fmt.Printf("  %-28s %d\n", ct.Name, ct.Value)
+		fmt.Printf("  %-*s %d\n", w, ct.Name, ct.Value)
+	}
+	// The windowed view over the extended stats protocol: series, heat,
+	// breaches and flight state from this one daemon (best-effort — an
+	// older daemon without the protocol just shows the base snapshot).
+	if raw, err := conn.RoundTrip(c.ctx, wire.EncodeStatsExtReq()); err == nil {
+		if ext, err := wire.DecodeStatsExt(raw); err == nil {
+			renderExt(ext)
+		}
 	}
 	return nil
+}
+
+// top renders the cluster-wide telemetry view: the manager fans the
+// extended stats request out to every live storage node and returns the
+// merged snapshot — windowed per-class latency series, the per-range
+// heatmap ranked by recent activity, SLO breach tallies and flight-recorder
+// state. Defaults to the -manager address; pass another daemon's address to
+// see just that node.
+func (c *cli) top(args []string) error {
+	watch := false
+	addr := c.manager
+	for _, a := range args {
+		if a == "-watch" {
+			watch = true
+			continue
+		}
+		addr = a
+	}
+	return c.watchLoop(watch, func() error { return c.topOnce(addr) })
+}
+
+func (c *cli) topOnce(addr string) error {
+	conn, err := c.tr.Dial(c.node, addr)
+	if err != nil {
+		return err
+	}
+	raw, err := conn.RoundTrip(c.ctx, wire.EncodeStatsExtReq())
+	if err != nil {
+		return err
+	}
+	ext, err := wire.DecodeStatsExt(raw)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cluster via %s  t=%v  window=%v\n", ext.Node,
+		time.Duration(ext.NowNs).Round(time.Millisecond), time.Duration(ext.WindowNs))
+	renderExt(ext)
+	return nil
+}
+
+// renderExt pretty-prints one extended telemetry snapshot — a single
+// daemon's own view (`stats`) or the manager's merged cluster view (`top`).
+func renderExt(ext *wire.StatsExt) {
+	var hists, rates []wire.SeriesStat
+	names := []string{}
+	for _, s := range ext.Series {
+		if s.Hist {
+			if s.Count > 0 {
+				hists = append(hists, s)
+			}
+		} else if s.Total != 0 {
+			rates = append(rates, s)
+		}
+		names = append(names, s.Node+" "+s.Metric)
+	}
+	w := colWidth(20, names...)
+	if len(hists) > 0 {
+		fmt.Printf("\n%-*s %10s %12s %12s %12s %12s\n", w, "series", "count", "mean", "p50", "p99", "p999")
+		for _, s := range hists {
+			fmt.Printf("%-*s %10d %12s %12s %12s %12s\n", w, s.Node+" "+s.Metric, s.Count,
+				time.Duration(s.MeanNs).Round(time.Microsecond),
+				time.Duration(s.P50Ns).Round(time.Microsecond),
+				time.Duration(s.P99Ns).Round(time.Microsecond),
+				time.Duration(s.P999Ns).Round(time.Microsecond))
+		}
+	}
+	for _, s := range rates {
+		fmt.Printf("%-*s total %d\n", w, s.Node+" "+s.Metric, s.Total)
+	}
+
+	if len(ext.Heat) > 0 {
+		// Rank by recent activity — the "what is hot right now" view. Ties
+		// keep the canonical (node, range) order so output is deterministic.
+		heat := make([]wire.HeatStat, len(ext.Heat))
+		copy(heat, ext.Heat)
+		sort.SliceStable(heat, func(i, j int) bool { return heat[i].RecentOps > heat[j].RecentOps })
+		hn := make([]string, len(heat))
+		for i := range heat {
+			hn[i] = heat[i].Node
+		}
+		hw := colWidth(8, hn...)
+		fmt.Printf("\n%-*s %-8s %12s %10s %10s %10s %12s %12s\n", hw,
+			"node", "range", "recent_ops", "reads", "writes", "conflicts", "rd_bytes", "mean_lat")
+		for i, h := range heat {
+			if i >= 12 {
+				fmt.Printf("(… %d more ranges)\n", len(heat)-12)
+				break
+			}
+			fmt.Printf("%-*s %-8d %12d %10d %10d %10d %12d %12s\n", hw, h.Node, h.Range,
+				h.RecentOps, h.Reads, h.Writes, h.Conflicts, h.ReadBytes,
+				time.Duration(h.RecentLatNs).Round(time.Microsecond))
+		}
+	}
+
+	for _, b := range ext.Breaches {
+		fmt.Printf("SLO breach %s %s ×%d\n", b.Class, b.Quantile, b.Count)
+	}
+	fmt.Printf("flight: %d captured, %d evicted, %d events seen\n",
+		ext.Flight.Retained, ext.Flight.Evicted, ext.Flight.Seen)
 }
 
 func formatRow(row relational.Row) string {

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"tell/internal/commitmgr"
 	"tell/internal/durable"
 	"tell/internal/env"
+	"tell/internal/obs"
 	"tell/internal/store"
 	"tell/internal/trace"
 	"tell/internal/transport"
@@ -39,6 +41,7 @@ func main() {
 		peers       = flag.String("peers", "", "comma-separated commit-manager ids (cm role)")
 		walDir      = flag.String("wal-dir", "", "directory for the WAL and checkpoints (storage role); empty runs the node volatile")
 		ckptBytes   = flag.Int("checkpoint-bytes", 64<<20, "WAL bytes between automatic fuzzy checkpoints (storage role with -wal-dir)")
+		metricsAddr = flag.String("metrics", "", "host:port for the HTTP telemetry endpoint (/metrics Prometheus text, /telemetry full dump); empty disables")
 	)
 	flag.Parse()
 	if *listen == "" || *role == "" {
@@ -51,7 +54,16 @@ func main() {
 	envr := env.NewReal(env.SeedFromEnv(time.Now().UnixNano()))
 	// Counters-only telemetry: running totals for `tellcli stats`, no
 	// event buffering (full traces come from the simulator).
-	env.SetTracer(envr, trace.NewCounters(envr.Now))
+	rec := trace.NewCounters(envr.Now)
+	env.SetTracer(envr, rec)
+	// Windowed series + heat + flight recorder: answers the extended stats
+	// protocol (`tellcli top`) and, with -metrics, a Prometheus scrape.
+	// Daemons use 1s windows; the 100ms default is sized for simulated runs.
+	pipe := obs.New(obs.Config{Window: time.Second, AdaptiveOutliers: true}, envr.Now)
+	rec.SetTap(pipe.Flight())
+	if *metricsAddr != "" {
+		serveMetrics(*metricsAddr, pipe)
+	}
 	tr := transport.NewTCPNet()
 	node := envr.NewNode(*listen, 4)
 
@@ -83,6 +95,7 @@ func main() {
 			log.Fatal("telld: storage needs -manager")
 		}
 		sn := store.NewNode(*listen, envr, node, tr, store.DefaultCosts())
+		sn.SetObs(pipe)
 		if *walDir != "" {
 			be, err := durable.NewFile(*walDir)
 			if err != nil {
@@ -112,6 +125,7 @@ func main() {
 		}
 		sc := store.NewClient(envr, node, tr, *manager)
 		cm := commitmgr.New(*id, *listen, envr, node, tr, sc)
+		cm.SetObs(pipe)
 		if p := splitList(*peers); len(p) > 0 {
 			cm.Peers = p
 		}
@@ -130,6 +144,31 @@ func main() {
 		log.Fatalf("telld: unknown role %q", *role)
 	}
 	select {} // serve forever
+}
+
+// serveMetrics starts the HTTP telemetry endpoint: /metrics is the
+// Prometheus text exposition of the daemon's windowed series, heat rows and
+// flight state; /telemetry is the full human-readable dump.
+func serveMetrics(addr string, p *obs.Pipeline) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := p.WritePrometheus(w, p.Now()); err != nil {
+			log.Printf("telld: metrics write: %v", err)
+		}
+	})
+	mux.HandleFunc("/telemetry", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := p.WriteDump(w, p.Now()); err != nil {
+			log.Printf("telld: telemetry write: %v", err)
+		}
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Fatalf("telld: metrics endpoint: %v", err)
+		}
+	}()
+	log.Printf("telemetry endpoint on http://%s/metrics", addr)
 }
 
 // bootstrapStorage pulls the partition map until the manager is reachable.

@@ -88,19 +88,21 @@ type Client struct {
 	nFins    uint64
 }
 
-// cmClientInstances numbers client instances for token identity. Clients
-// are created during deterministic setup, so the numbering is reproducible.
+// cmClientInstances numbers client instances for token identity, per
+// environment: ids go into wire idempotency tokens, so a process-global
+// counter would make one run's message bytes (and its simulated timing)
+// depend on how many runs preceded it in the same process. Entries are
+// never deleted; environments are few and small per process.
 var (
 	cmClientInstMu sync.Mutex
-	cmClientInst   uint64
+	cmClientInst   = make(map[env.Env]uint64)
 )
 
-func nextCMClientID(node string) string {
+func nextCMClientID(envr env.Env, node string) string {
 	cmClientInstMu.Lock()
-	cmClientInst++
-	n := cmClientInst
-	cmClientInstMu.Unlock()
-	return fmt.Sprintf("%s#%d", node, n)
+	defer cmClientInstMu.Unlock()
+	cmClientInst[envr]++
+	return fmt.Sprintf("%s#%d", node, cmClientInst[envr])
 }
 
 // NewClient creates a client that talks to the managers at addrs. The
@@ -118,7 +120,7 @@ func NewClient(envr env.Full, node env.Node, tr transport.Transport, addrs []str
 		Resil:          resil.NewRetrier(),
 		addrs:          append([]string(nil), addrs...),
 		conns:          make(map[string]transport.Conn),
-		clientID:       nextCMClientID(nodeLabel(node)),
+		clientID:       nextCMClientID(envr, nodeLabel(node)),
 	}
 	c.mu.SetName("commitmgr.Client.mu")
 	return c

@@ -18,6 +18,7 @@ import (
 	"tell/internal/env"
 	"tell/internal/metrics"
 	"tell/internal/mvcc"
+	"tell/internal/obs"
 	"tell/internal/resil"
 	"tell/internal/sanitize"
 	"tell/internal/store"
@@ -128,7 +129,13 @@ type Server struct {
 	// for the delta-encoding hit rate; gap or fail-over forces a full).
 	deltas, fulls uint64
 	lat           *metrics.Summary // handler latency per request class
+	// obs, if set, feeds handler latencies into the windowed telemetry
+	// pipeline (nil disables; every hook below is nil-safe).
+	obs *obs.Pipeline
 }
+
+// SetObs attaches the telemetry pipeline. Call before Start.
+func (s *Server) SetObs(p *obs.Pipeline) { s.obs = p }
 
 // New creates a commit manager. id must be unique across the fleet; addr is
 // where PNs reach it. sc is its client to the shared store.
@@ -260,6 +267,9 @@ func (s *Server) handle(ctx env.Ctx, raw []byte) []byte {
 	if wire.PeekKind(raw) == wire.KindStatsReq {
 		return s.handleStats(ctx)
 	}
+	if wire.PeekKind(raw) == wire.KindStatsExtReq {
+		return s.obs.StatsExt(s.id).Encode()
+	}
 	// Admission control: shed rather than queue without bound (pings and
 	// stats above bypass — the failure detector must see an overloaded
 	// manager as alive).
@@ -310,6 +320,7 @@ func (s *Server) recordLat(class string, d time.Duration) {
 	s.mu.Lock()
 	s.lat.Record(class, d)
 	s.mu.Unlock()
+	s.obs.ObserveClass(s.obs.Now(), s.id, class, d)
 }
 
 // handleStats serves a telemetry snapshot: per-class handler-latency digests

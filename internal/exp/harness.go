@@ -18,6 +18,7 @@ import (
 	"tell/internal/fdblike"
 	"tell/internal/histcheck"
 	"tell/internal/ndblike"
+	"tell/internal/obs"
 	"tell/internal/resil"
 	"tell/internal/sim"
 	"tell/internal/store"
@@ -43,6 +44,16 @@ type Options struct {
 	// Trace records a full deterministic event trace of the run; the
 	// recorder comes back on TellRun.Trace (or from RunBaselineTraced).
 	Trace bool
+	// Series enables the windowed telemetry pipeline (internal/obs):
+	// per-class SLO series on the virtual clock, per-range heat tracking on
+	// every storage node, and the slow-transaction flight recorder. The
+	// pipeline comes back on TellRun.Obs. When Trace is off a counters-only
+	// recorder is installed so the flight recorder still sees span trees
+	// without the run buffering its whole event log.
+	Series bool
+	// SLOs overrides DefaultSLOs as the per-window latency targets
+	// evaluated when Series is set.
+	SLOs []obs.SLO
 	// Durable attaches a WAL + fuzzy checkpoints to every storage node:
 	// "mem" uses the zero-latency blob backend (isolates the protocol
 	// overhead of logging before ack), "s3" the latency-injected S3-profile
@@ -76,6 +87,21 @@ func (o *Options) Defaults() {
 
 func (o Options) tpccConfig() tpcc.Config {
 	return tpcc.Config{Warehouses: o.Warehouses, Scale: o.Scale, Seed: o.Seed}
+}
+
+// DefaultSLOs is the per-class latency objective set used when Options.SLOs
+// is nil. The targets are calibrated against the simulated InfiniBand
+// deployment (§6.2 latencies are sub-millisecond at the median): loose
+// enough that a healthy run stays green, tight enough that contention or
+// fault injection visibly breaches.
+func DefaultSLOs() []obs.SLO {
+	return []obs.SLO{
+		{Class: "new-order", P50: 2 * time.Millisecond, P99: 20 * time.Millisecond, P999: 80 * time.Millisecond},
+		{Class: "payment", P50: 2 * time.Millisecond, P99: 20 * time.Millisecond, P999: 80 * time.Millisecond},
+		{Class: "order-status", P50: 1 * time.Millisecond, P99: 10 * time.Millisecond, P999: 40 * time.Millisecond},
+		{Class: "delivery", P50: 5 * time.Millisecond, P99: 50 * time.Millisecond, P999: 200 * time.Millisecond},
+		{Class: "stock-level", P50: 2 * time.Millisecond, P99: 20 * time.Millisecond, P999: 80 * time.Millisecond},
+	}
 }
 
 // TellParams configure one Tell deployment.
@@ -180,6 +206,8 @@ type TellRun struct {
 	BytesPerTxn float64
 	// Trace is the event recorder, non-nil when Options.Trace was set.
 	Trace *trace.Recorder
+	// Obs is the telemetry pipeline, non-nil when Options.Series was set.
+	Obs *obs.Pipeline
 	// Resilience counters (ablation-resilience). Retries counts transport-
 	// level retries scheduled by every store and CM client; RetryHash is the
 	// merged deterministic digest of those schedules — with the same
@@ -213,6 +241,25 @@ func RunTell(opt Options, p TellParams) (*TellRun, error) {
 		rec = trace.New(envr.Now)
 		env.SetTracer(envr, rec)
 	}
+	var pipe *obs.Pipeline
+	if opt.Series {
+		slos := opt.SLOs
+		if slos == nil {
+			slos = DefaultSLOs()
+		}
+		// Adaptive p99.9 capture is on by default: tail-based sampling is
+		// the point of the flight recorder, and the threshold is
+		// deterministic (same-run history only).
+		pipe = obs.New(obs.Config{SLOs: slos, AdaptiveOutliers: true}, envr.Now)
+		tracer := rec
+		if tracer == nil {
+			// Counters-only: spans reach the flight recorder through the
+			// tap without the Recorder buffering the run's event log.
+			tracer = trace.NewCounters(envr.Now)
+			env.SetTracer(envr, tracer)
+		}
+		tracer.SetTap(pipe.Flight())
+	}
 	net := transport.NewSimNet(k, p.Network)
 	if p.NetTimeout > 0 {
 		net.SetTimeout(p.NetTimeout)
@@ -243,6 +290,13 @@ func RunTell(opt Options, p TellParams) (*TellRun, error) {
 	}
 	if _, err := tpcc.Load(cluster, opt.tpccConfig()); err != nil {
 		return nil, err
+	}
+	if pipe != nil {
+		// Attach after the bulk load so the heatmap reflects the workload,
+		// not the loader's write storm.
+		for _, addr := range cluster.Addrs() {
+			cluster.Node(addr).SetObs(pipe)
+		}
 	}
 	if p.Admission > 0 {
 		for _, addr := range cluster.Addrs() {
@@ -292,6 +346,7 @@ func RunTell(opt Options, p TellParams) (*TellRun, error) {
 		if p.TidRange > 0 {
 			cm.TidRange = p.TidRange
 		}
+		cm.SetObs(pipe)
 		if err := cm.Start(); err != nil {
 			return nil, err
 		}
@@ -371,7 +426,11 @@ func RunTell(opt Options, p TellParams) (*TellRun, error) {
 			engines = append(engines, eng)
 		}
 		drv := tpcc.NewDriver(opt.tpccConfig(), p.Mix, engines, terminals, opt.Seed)
+		drv.Obs = pipe
 		res = drv.Run(ctx, envr, driverNode, opt.Warmup, opt.Measure)
+		// Close any still-open windows at the virtual end-of-run so every
+		// exporter sees the same final state.
+		pipe.Sync(ctx.Now())
 	})
 	if err := k.RunUntil(sim.Time(6 * time.Hour)); err != nil {
 		return nil, err
@@ -384,7 +443,7 @@ func RunTell(opt Options, p TellParams) (*TellRun, error) {
 		return nil, fmt.Errorf("exp: run did not complete within the virtual deadline")
 	}
 
-	out := &TellRun{Result: res, AbortRate: res.AbortRate(), Trace: rec}
+	out := &TellRun{Result: res, AbortRate: res.AbortRate(), Trace: rec, Obs: pipe}
 	st := net.Stats()
 	out.NetRequests = st.Requests
 	out.NetBytes = st.BytesSent + st.BytesRecv

@@ -1,0 +1,129 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"tell/internal/obs"
+)
+
+func seriesOpt() Options {
+	o := quickOpt()
+	o.Series = true
+	return o
+}
+
+// TestSeriesRunProducesTelemetry checks the end-to-end threading: a Series
+// run must come back with per-class latency series from the driver,
+// handler-latency series from the storage nodes and commit managers, and
+// non-empty per-range heat.
+func TestSeriesRunProducesTelemetry(t *testing.T) {
+	run, err := RunTell(seriesOpt(), TellParams{PNs: 2, SNs: 3, CMs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Obs == nil {
+		t.Fatal("Series run returned a nil pipeline")
+	}
+	nodes := make(map[string]bool)
+	metrics := make(map[string]bool)
+	for _, d := range run.Obs.Snapshot() {
+		nodes[d.Node] = true
+		metrics[d.Metric] = true
+	}
+	for _, want := range []string{"txn", "sn0", "cm0"} {
+		if !nodes[want] {
+			t.Errorf("no series from node %q (have %v)", want, nodes)
+		}
+	}
+	for _, want := range []string{"lat/new-order", "lat/payment", "rate/committed", "lat/store"} {
+		if !metrics[want] {
+			t.Errorf("no %q series (have %v)", want, metrics)
+		}
+	}
+	rows := run.Obs.HeatRows()
+	if len(rows) == 0 {
+		t.Fatal("no heat rows from a measured TPC-C run")
+	}
+	var ops int64
+	for _, r := range rows {
+		ops += r.Total.Ops()
+	}
+	if ops == 0 {
+		t.Error("heat rows carry zero operations")
+	}
+}
+
+// TestObsGoldenDeterminism is the obs-golden gate (`make obs-golden`): two
+// runs with the same seed must produce byte-identical telemetry — the text
+// dump (series windows, heat rows, breaches, flight captures with their
+// content hashes) and the Prometheus exposition.
+func TestObsGoldenDeterminism(t *testing.T) {
+	render := func() (string, string) {
+		opt := seriesOpt()
+		opt.Seed = 42
+		run, err := RunTell(opt, TellParams{PNs: 2, SNs: 3, CMs: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		at := run.Obs.Now()
+		var dump, prom bytes.Buffer
+		if err := run.Obs.WriteDump(&dump, at); err != nil {
+			t.Fatal(err)
+		}
+		if err := run.Obs.WritePrometheus(&prom, at); err != nil {
+			t.Fatal(err)
+		}
+		return dump.String(), prom.String()
+	}
+	dumpA, promA := render()
+	dumpB, promB := render()
+	if dumpA != dumpB {
+		t.Errorf("telemetry dump differs between same-seed runs:\n%s", firstDiff(dumpA, dumpB))
+	}
+	if promA != promB {
+		t.Errorf("prometheus exposition differs between same-seed runs:\n%s", firstDiff(promA, promB))
+	}
+	for _, want := range []string{"series txn lat/new-order", "heat sn0", "tell_latency_seconds"} {
+		if !strings.Contains(dumpA+promA, want) {
+			t.Errorf("golden output missing %q", want)
+		}
+	}
+}
+
+func firstDiff(a, b string) string {
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if la[i] != lb[i] {
+			return fmt.Sprintf("line %d:\nA: %s\nB: %s", i+1, la[i], lb[i])
+		}
+	}
+	return fmt.Sprintf("length mismatch: %d vs %d lines", len(la), len(lb))
+}
+
+// TestDefaultSLOs pins the default objective set to the classes the TPC-C
+// driver emits, so a renamed transaction class cannot silently detach its
+// SLO.
+func TestDefaultSLOs(t *testing.T) {
+	want := map[string]bool{
+		"new-order": false, "payment": false, "order-status": false,
+		"delivery": false, "stock-level": false,
+	}
+	for _, s := range DefaultSLOs() {
+		if _, ok := want[s.Class]; !ok {
+			t.Errorf("SLO for unknown class %q", s.Class)
+		}
+		want[s.Class] = true
+		if s.P50 <= 0 || s.P99 < s.P50 || s.P999 < s.P99 {
+			t.Errorf("SLO %q targets not monotone: %+v", s.Class, s)
+		}
+	}
+	for c, seen := range want {
+		if !seen {
+			t.Errorf("no default SLO for class %q", c)
+		}
+	}
+	_ = obs.SLO{} // keep the obs import pinned to the public type
+}

@@ -58,11 +58,17 @@ func bucketValue(i int) time.Duration {
 
 // Record adds one observation.
 func (h *Histogram) Record(d time.Duration) {
-	if h.count == 0 || d < h.min {
-		h.min = d
-	}
-	if d > h.max {
-		h.max = d
+	if h.count == 0 {
+		// First observation defines both extremes (the zero-valued max of an
+		// empty histogram is "nothing seen", not an observation of zero).
+		h.min, h.max = d, d
+	} else {
+		if d < h.min {
+			h.min = d
+		}
+		if d > h.max {
+			h.max = d
+		}
 	}
 	h.count++
 	f := float64(d)
@@ -129,11 +135,19 @@ func (h *Histogram) Merge(other *Histogram) {
 	if other.count == 0 {
 		return
 	}
-	if h.count == 0 || other.min < h.min {
-		h.min = other.min
-	}
-	if other.max > h.max {
-		h.max = other.max
+	if h.count == 0 {
+		// An empty receiver adopts the other side's extremes wholesale: its
+		// zero-valued min/max are "no observations", not observations of
+		// zero, so comparing against them would keep a bogus 0 whenever the
+		// other side's range does not straddle zero.
+		h.min, h.max = other.min, other.max
+	} else {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
 	}
 	h.count += other.count
 	h.sum += other.sum

@@ -73,6 +73,41 @@ func TestHistogramMerge(t *testing.T) {
 	}
 }
 
+// TestHistogramMergeIntoEmpty: merging into an empty receiver must adopt the
+// other side's min and max verbatim. The regression: an empty histogram's
+// zero-valued extremes were treated as observations, so a merged-in side
+// whose range did not straddle zero kept min=0 (when all values were
+// positive the old min check happened to adopt, but max stayed 0 whenever
+// every merged value was negative or zero).
+func TestHistogramMergeIntoEmpty(t *testing.T) {
+	// All-positive values: min and max must both come from the other side.
+	empty, pos := &Histogram{}, &Histogram{}
+	pos.Record(5 * time.Millisecond)
+	pos.Record(9 * time.Millisecond)
+	empty.Merge(pos)
+	if empty.Min() != 5*time.Millisecond || empty.Max() != 9*time.Millisecond {
+		t.Fatalf("positive merge: min/max = %v/%v, want 5ms/9ms", empty.Min(), empty.Max())
+	}
+
+	// Non-positive values (a clock-skewed duration, or a gauge-style use):
+	// the empty receiver's max must not stay at zero.
+	empty2, neg := &Histogram{}, &Histogram{}
+	neg.Record(-3 * time.Millisecond)
+	neg.Record(-1 * time.Millisecond)
+	empty2.Merge(neg)
+	if empty2.Min() != -3*time.Millisecond || empty2.Max() != -time.Millisecond {
+		t.Fatalf("negative merge: min/max = %v/%v, want -3ms/-1ms", empty2.Min(), empty2.Max())
+	}
+
+	// Merging an empty histogram into a populated one stays a no-op.
+	keep := &Histogram{}
+	keep.Record(2 * time.Millisecond)
+	keep.Merge(&Histogram{})
+	if keep.Min() != 2*time.Millisecond || keep.Max() != 2*time.Millisecond || keep.Count() != 1 {
+		t.Fatalf("no-op merge changed state: min=%v max=%v n=%d", keep.Min(), keep.Max(), keep.Count())
+	}
+}
+
 func TestHistogramZeroAndTinyValues(t *testing.T) {
 	h := &Histogram{}
 	h.Record(0)

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteDump renders the whole pipeline — every series window, heat row,
+// breach and flight capture — as a fixed-format text dump. This is the
+// determinism surface: the obs golden runs the same workload twice under
+// the same seed and requires byte-identical dumps. at closes trailing
+// windows before export (pass the run's end time).
+func (p *Pipeline) WriteDump(w io.Writer, at time.Duration) error {
+	bw := bufio.NewWriter(w)
+	if p == nil {
+		fmt.Fprintln(bw, "obs disabled")
+		return bw.Flush()
+	}
+	p.Sync(at)
+
+	fmt.Fprintf(bw, "obs window=%v windows=%d at=%v\n", p.cfg.Window, p.cfg.Windows, at)
+
+	for _, d := range p.Snapshot() {
+		k := "rate"
+		if d.Hist {
+			k = "hist"
+		}
+		fmt.Fprintf(bw, "series %s %s %s total=%d\n", d.Node, d.Metric, k, d.Total)
+		for _, pt := range d.Points {
+			if d.Hist {
+				fmt.Fprintf(bw, "  w%d t=%v n=%d mean=%v p50=%v p99=%v p999=%v min=%v max=%v\n",
+					pt.Idx, pt.Start, pt.Count, pt.Mean, pt.P50, pt.P99, pt.P999, pt.Min, pt.Max)
+			} else {
+				fmt.Fprintf(bw, "  w%d t=%v n=%d\n", pt.Idx, pt.Start, pt.N)
+			}
+		}
+	}
+
+	for _, r := range p.HeatRows() {
+		fmt.Fprintf(bw, "heat %s range=%d reads=%d writes=%d conflicts=%d rbytes=%d wbytes=%d lat=%v recent_ops=%d recent_lat=%v\n",
+			r.Node, r.Range, r.Total.Reads, r.Total.Writes, r.Total.Conflicts,
+			r.Total.ReadBytes, r.Total.WriteBytes, r.Total.MeanLat(),
+			r.Recent.Ops(), r.Recent.MeanLat())
+	}
+
+	breaches, bdrop := p.Breaches()
+	for _, b := range breaches {
+		fmt.Fprintf(bw, "breach t=%v class=%s q=%s observed=%v target=%v n=%d\n",
+			b.At, b.Class, b.Quantile, b.Observed, b.Target, b.Count)
+	}
+	if bdrop > 0 {
+		fmt.Fprintf(bw, "breach dropped=%d\n", bdrop)
+	}
+
+	caps, evicted := p.flight.Captures()
+	fmt.Fprintf(bw, "flight captures=%d evicted=%d seen=%d\n",
+		len(caps), evicted, p.flight.Seen())
+	for i := range caps {
+		c := &caps[i]
+		fmt.Fprintf(bw, "capture seq=%d t=%v class=%s reason=%s committed=%t e2e=%v threshold=%v root=%d events=%d hash=%016x\n",
+			c.Seq, c.At, c.Class, c.Reason, c.Committed, c.E2E, c.Threshold,
+			c.Root, len(c.Events), c.Hash())
+	}
+	return bw.Flush()
+}

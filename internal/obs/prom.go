@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WritePrometheus renders the pipeline in the Prometheus text exposition
+// format (version 0.0.4): windowed latency quantiles as summaries over the
+// retention horizon, rate series and heat counters as counters, SLO
+// breaches and flight-recorder state as counters. at is the export time on
+// the pipeline's clock; trailing windows older than it are closed first.
+//
+// The output is deterministic — series sorted by (node, metric), ranges by
+// (node, range), floats in Go 'g' shortest form — so same-seed runs
+// produce byte-identical expositions (the CI golden relies on this).
+func (p *Pipeline) WritePrometheus(w io.Writer, at time.Duration) error {
+	bw := bufio.NewWriter(w)
+	if p == nil {
+		fmt.Fprintln(bw, "# tell telemetry disabled")
+		return bw.Flush()
+	}
+	p.Sync(at)
+
+	var hists, rates []SeriesDump
+	for _, d := range p.Snapshot() {
+		if d.Hist {
+			hists = append(hists, d)
+		} else {
+			rates = append(rates, d)
+		}
+	}
+
+	if len(hists) > 0 {
+		fmt.Fprintln(bw, "# HELP tell_latency_seconds Latency quantiles over the retained windows.")
+		fmt.Fprintln(bw, "# TYPE tell_latency_seconds summary")
+		for _, d := range hists {
+			h := p.Class(d.Node, d.Metric)
+			if h == nil || h.Count() == 0 {
+				continue
+			}
+			l := labels("node", d.Node, "metric", d.Metric)
+			for _, q := range []struct {
+				name string
+				pct  float64
+			}{{"0.5", 50}, {"0.99", 99}, {"0.999", 99.9}} {
+				fmt.Fprintf(bw, "tell_latency_seconds{%s,quantile=%q} %s\n",
+					l, q.name, secs(h.Percentile(q.pct)))
+			}
+			fmt.Fprintf(bw, "tell_latency_seconds_sum{%s} %s\n",
+				l, secs(time.Duration(uint64(h.Mean())*h.Count())))
+			fmt.Fprintf(bw, "tell_latency_seconds_count{%s} %d\n", l, h.Count())
+		}
+	}
+
+	if len(rates) > 0 {
+		fmt.Fprintln(bw, "# HELP tell_events_total All-time event counts per rate series.")
+		fmt.Fprintln(bw, "# TYPE tell_events_total counter")
+		for _, d := range rates {
+			fmt.Fprintf(bw, "tell_events_total{%s} %d\n",
+				labels("node", d.Node, "metric", d.Metric), d.Total)
+		}
+	}
+
+	rows := p.HeatRows()
+	if len(rows) > 0 {
+		fmt.Fprintln(bw, "# HELP tell_range_ops_total All-time operations (reads+writes) per range.")
+		fmt.Fprintln(bw, "# TYPE tell_range_ops_total counter")
+		for _, r := range rows {
+			fmt.Fprintf(bw, "tell_range_ops_total{%s} %d\n", rangeLabels(r), r.Total.Ops())
+		}
+		fmt.Fprintln(bw, "# HELP tell_range_conflicts_total All-time write conflicts per range.")
+		fmt.Fprintln(bw, "# TYPE tell_range_conflicts_total counter")
+		for _, r := range rows {
+			fmt.Fprintf(bw, "tell_range_conflicts_total{%s} %d\n", rangeLabels(r), r.Total.Conflicts)
+		}
+		fmt.Fprintln(bw, "# HELP tell_range_bytes_total All-time payload bytes per range.")
+		fmt.Fprintln(bw, "# TYPE tell_range_bytes_total counter")
+		for _, r := range rows {
+			fmt.Fprintf(bw, "tell_range_bytes_total{%s} %d\n",
+				rangeLabels(r), r.Total.ReadBytes+r.Total.WriteBytes)
+		}
+		fmt.Fprintln(bw, "# HELP tell_range_recent_ops Operations per range over the retention horizon.")
+		fmt.Fprintln(bw, "# TYPE tell_range_recent_ops gauge")
+		for _, r := range rows {
+			fmt.Fprintf(bw, "tell_range_recent_ops{%s} %d\n", rangeLabels(r), r.Recent.Ops())
+		}
+	}
+
+	breaches, bdrop := p.Breaches()
+	if len(breaches) > 0 || bdrop > 0 {
+		fmt.Fprintln(bw, "# HELP tell_slo_breaches_total Closed windows whose quantile exceeded its SLO target.")
+		fmt.Fprintln(bw, "# TYPE tell_slo_breaches_total counter")
+		type bkey struct{ class, q string }
+		counts := make(map[bkey]int)
+		var order []bkey
+		for _, b := range breaches {
+			k := bkey{b.Class, b.Quantile}
+			if counts[k] == 0 {
+				order = append(order, k)
+			}
+			counts[k]++
+		}
+		// Occurrence order is deterministic but presentation should be
+		// sorted like everything else.
+		sort.Slice(order, func(i, j int) bool {
+			if order[i].class != order[j].class {
+				return order[i].class < order[j].class
+			}
+			return order[i].q < order[j].q
+		})
+		for _, k := range order {
+			fmt.Fprintf(bw, "tell_slo_breaches_total{%s} %d\n",
+				labels("class", k.class, "quantile", k.q), counts[k])
+		}
+	}
+
+	caps, evicted := p.flight.Captures()
+	fmt.Fprintln(bw, "# HELP tell_flight_captures Flight-recorder captures retained / evicted / events seen.")
+	fmt.Fprintln(bw, "# TYPE tell_flight_captures gauge")
+	fmt.Fprintf(bw, "tell_flight_captures{state=\"retained\"} %d\n", len(caps))
+	fmt.Fprintf(bw, "tell_flight_captures{state=\"evicted\"} %d\n", evicted)
+	fmt.Fprintf(bw, "tell_flight_captures{state=\"events_seen\"} %d\n", p.flight.Seen())
+	return bw.Flush()
+}
+
+// secs renders a duration as seconds in shortest-form float notation.
+func secs(d time.Duration) string {
+	return strconv.FormatFloat(float64(d)/float64(time.Second), 'g', -1, 64)
+}
+
+// labels renders k1=v1,k2=v2 label pairs with Prometheus escaping.
+func labels(kv ...string) string {
+	var b strings.Builder
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func rangeLabels(r HeatRow) string {
+	return labels("node", r.Node, "range", strconv.FormatUint(r.Range, 10))
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}

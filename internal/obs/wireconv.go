@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"tell/internal/wire"
+)
+
+// StatsExt renders the pipeline as the extended stats wire snapshot a
+// daemon serves for KindStatsExtReq: merged series digests, heat rows,
+// aggregated breach tallies and flight-recorder state. node names the
+// answering daemon. Safe on a nil pipeline (returns an empty snapshot, so
+// a daemon without telemetry still answers the protocol).
+func (p *Pipeline) StatsExt(node string) *wire.StatsExt {
+	ext := &wire.StatsExt{Node: node}
+	if p == nil {
+		return ext
+	}
+	now := p.Now()
+	p.Sync(now)
+	ext.NowNs = int64(now)
+	ext.WindowNs = int64(p.cfg.Window)
+
+	for _, d := range p.Snapshot() {
+		s := wire.SeriesStat{Node: d.Node, Metric: d.Metric, Hist: d.Hist, Total: d.Total}
+		if d.Hist {
+			if h := p.Class(d.Node, d.Metric); h != nil && h.Count() > 0 {
+				s.Count = h.Count()
+				s.MeanNs = int64(h.Mean())
+				s.P50Ns = int64(h.Percentile(50))
+				s.P99Ns = int64(h.Percentile(99))
+				s.P999Ns = int64(h.Percentile(99.9))
+			}
+		}
+		ext.Series = append(ext.Series, s)
+	}
+
+	for _, r := range p.HeatRows() {
+		ext.Heat = append(ext.Heat, wire.HeatStat{
+			Node:        r.Node,
+			Range:       r.Range,
+			Reads:       r.Total.Reads,
+			Writes:      r.Total.Writes,
+			Conflicts:   r.Total.Conflicts,
+			ReadBytes:   r.Total.ReadBytes,
+			WriteBytes:  r.Total.WriteBytes,
+			RecentOps:   r.Recent.Ops(),
+			RecentLatNs: int64(r.Recent.MeanLat()),
+		})
+	}
+
+	breaches, _ := p.Breaches()
+	tally := make(map[[2]string]int64)
+	var order [][2]string
+	for _, b := range breaches {
+		k := [2]string{b.Class, b.Quantile}
+		if tally[k] == 0 {
+			order = append(order, k)
+		}
+		tally[k]++
+	}
+	for _, k := range order {
+		ext.Breaches = append(ext.Breaches, wire.BreachStat{
+			Class: k[0], Quantile: k[1], Count: tally[k]})
+	}
+
+	caps, evicted := p.flight.Captures()
+	ext.Flight = wire.FlightStat{
+		Retained: uint64(len(caps)),
+		Evicted:  evicted,
+		Seen:     p.flight.Seen(),
+	}
+	ext.SortRows()
+	return ext
+}

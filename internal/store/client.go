@@ -85,19 +85,23 @@ type Client struct {
 	nBatches, nOps uint64
 }
 
-// clientInstances numbers client instances for token identity. Clients are
-// created during deterministic setup, so the numbering is reproducible.
+// clientInstances numbers client instances for token identity, per
+// environment: two clients on one node must not collide, but a fresh
+// environment (one simulation run) must restart the numbering — the ids go
+// into wire idempotency tokens, and a process-global counter would make a
+// run's message bytes (and so its simulated timing) depend on how many runs
+// preceded it in the same process. Entries are never deleted; environments
+// are few and small per process.
 var (
 	clientInstMu sync.Mutex
-	clientInst   uint64
+	clientInst   = make(map[env.Env]uint64)
 )
 
-func nextClientID(node string) string {
+func nextClientID(envr env.Env, node string) string {
 	clientInstMu.Lock()
-	clientInst++
-	n := clientInst
-	clientInstMu.Unlock()
-	return fmt.Sprintf("%s#%d", node, n)
+	defer clientInstMu.Unlock()
+	clientInst[envr]++
+	return fmt.Sprintf("%s#%d", node, clientInst[envr])
 }
 
 // NewClient creates a client on the given node. mgrAddr is the management
@@ -119,7 +123,7 @@ func NewClient(envr env.Full, node env.Node, tr transport.Transport, mgrAddr str
 		conns:       make(map[string]transport.Conn),
 		batchers:    make(map[string]*batcher),
 		batching:    true,
-		clientID:    nextClientID(node.Name()),
+		clientID:    nextClientID(envr, node.Name()),
 	}
 }
 

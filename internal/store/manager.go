@@ -143,6 +143,9 @@ func (m *Manager) handle(ctx env.Ctx, raw []byte) []byte {
 	if wire.PeekKind(raw) == wire.KindPing {
 		return []byte{byte(wire.KindPong)}
 	}
+	if wire.PeekKind(raw) == wire.KindStatsExtReq {
+		return m.handleStatsExt(ctx)
+	}
 	r := wire.NewReader(raw)
 	if wire.Kind(r.Byte()) != wire.KindMetaReq {
 		return encodeMetaAck(wire.StatusError)
@@ -155,6 +158,42 @@ func (m *Manager) handle(ctx env.Ctx, raw []byte) []byte {
 		return encodeMetaMap(pm)
 	}
 	return encodeMetaAck(wire.StatusError)
+}
+
+// handleStatsExt answers the extended stats request with a cluster-wide
+// aggregation: the manager fans the request out to every live storage node
+// and merges the answers, so one query paints the whole heatmap. A node
+// that cannot be reached is simply absent from the merged view — telemetry
+// must not block on a dying SN.
+func (m *Manager) handleStatsExt(ctx env.Ctx) []byte {
+	m.mu.Lock()
+	targets := m.liveNodesLocked()
+	m.mu.Unlock()
+
+	agg := &wire.StatsExt{Node: m.addr}
+	req := wire.EncodeStatsExtReq()
+	for _, addr := range targets {
+		conn, err := m.conn(addr)
+		if err != nil {
+			continue
+		}
+		var raw []byte
+		err = m.retr.Do(ctx, resil.ClassMeta, addr, func(int) error {
+			var rtErr error
+			raw, rtErr = conn.RoundTrip(ctx, req)
+			return rtErr
+		})
+		if err != nil {
+			continue
+		}
+		ext, err := wire.DecodeStatsExt(raw)
+		if err != nil {
+			continue
+		}
+		agg.Merge(ext)
+	}
+	agg.SortRows()
+	return agg.Encode()
 }
 
 // monitor is the failure-detector loop.

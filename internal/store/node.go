@@ -9,6 +9,7 @@ import (
 	"tell/internal/durable"
 	"tell/internal/env"
 	"tell/internal/metrics"
+	"tell/internal/obs"
 	"tell/internal/resil"
 	"tell/internal/sanitize"
 	"tell/internal/transport"
@@ -78,6 +79,12 @@ type Node struct {
 	// stats
 	nGets, nWrites, nScans uint64
 	lat                    *metrics.Summary // handler latency per request class
+
+	// obs is the optional telemetry pipeline; obsHeat the node's per-range
+	// heat tracker within it. Both are nil-safe, so the hot-path hooks stay
+	// unconditional and cost nothing when telemetry is off.
+	obs     *obs.Pipeline
+	obsHeat *obs.Heat
 }
 
 // NewNode creates a storage node serving addr on the given execution node.
@@ -101,6 +108,15 @@ func NewNode(addr string, envr env.Full, n env.Node, tr transport.Transport, cos
 	}
 	sn.mu.SetName("store.Node.mu")
 	return sn
+}
+
+// SetObs attaches the telemetry pipeline: handler-class latencies feed its
+// windowed series and every request's per-range activity feeds this node's
+// heat tracker. Call at setup time, before the node serves traffic; a nil
+// pipeline (the default) keeps all hooks free.
+func (sn *Node) SetObs(p *obs.Pipeline) {
+	sn.obs = p
+	sn.obsHeat = p.Heat(sn.addr)
 }
 
 // SetAdmission reconfigures the admission gate: at most maxInflight client
@@ -207,12 +223,16 @@ func (sn *Node) handle(ctx env.Ctx, req []byte) []byte {
 		class, resp = "recover", sn.handleRecover(ctx, req)
 	case wire.KindStatsReq:
 		return sn.handleStats(ctx)
+	case wire.KindStatsExtReq:
+		return sn.obs.StatsExt(sn.addr).Encode()
 	default:
 		return (&wire.StoreResponse{Status: wire.StatusError}).Encode()
 	}
+	elapsed := ctx.Now() - start
 	sn.mu.Lock()
-	sn.lat.Record(class, ctx.Now()-start)
+	sn.lat.Record(class, elapsed)
 	sn.mu.Unlock()
+	sn.obs.ObserveClass(start, sn.addr, class, elapsed)
 	return resp
 }
 
@@ -269,12 +289,19 @@ func (sn *Node) handleStore(ctx env.Ctx, raw []byte) []byte {
 	if err != nil {
 		return (&wire.StoreResponse{Status: wire.StatusError}).Encode()
 	}
+	start := ctx.Now()
 	ctx.Work(sn.costs.chargeFor(len(req.Ops), len(raw)))
 
 	resp := &wire.StoreResponse{Status: wire.StatusOK}
 	resp.Results = make([]wire.Result, len(req.Ops))
 	// Mutations produced by this batch, grouped by partition.
 	muts := make(map[uint64][]wire.Mutation)
+	// Per-range activity of this batch, flushed to the heat tracker after
+	// the reply is ready (nil when telemetry is off — zero cost).
+	var heat map[uint64]*obs.HeatDelta
+	if sn.obsHeat != nil {
+		heat = make(map[uint64]*obs.HeatDelta)
+	}
 
 	// executed collects the indices of tokened writes this request actually
 	// ran; their outcomes enter the dedup window only after replication
@@ -305,7 +332,7 @@ func (sn *Node) handleStore(ctx env.Ctx, raw []byte) []byte {
 			}
 			executed = append(executed, i)
 		}
-		sn.execOp(op, &resp.Results[i], muts)
+		sn.execOp(op, &resp.Results[i], muts, heat)
 	}
 	// Snapshot replica targets under the lock, in sorted partition order:
 	// the jobs become replication messages, whose emission order must not
@@ -385,6 +412,20 @@ func (sn *Node) handleStore(ctx env.Ctx, raw []byte) []byte {
 		b := w.Finish()
 		sn.dedup.Commit(req.Client, req.Ops[i].Seq, b) // Commit clones
 		wire.PutBuf(b)
+	}
+
+	// Flush the batch's per-range activity, attributing the batch's full
+	// handler latency to each touched range (partition-granular
+	// approximation: one batch rarely spans partitions, and the heat feed
+	// needs relative weight, not exact accounting). Ranges in sorted order
+	// so tracker state mutates identically across same-seed runs.
+	if heat != nil {
+		elapsed := ctx.Now() - start
+		for _, pid := range det.Keys(heat) {
+			d := heat[pid]
+			d.Lat, d.LatN = elapsed, 1
+			sn.obsHeat.Add(start, pid, *d)
+		}
 	}
 	return resp.Encode()
 }
@@ -492,14 +533,42 @@ func counterBytes(v int64) []byte {
 	return b
 }
 
-// execOp runs a single operation against the memtable. Caller holds sn.mu.
-func (sn *Node) execOp(op *wire.Op, res *wire.Result, muts map[uint64][]wire.Mutation) {
-	if op.Code == wire.OpScan {
-		sn.execScan(op, res)
-		return
+// heatFor returns the accumulating delta for partition pid, or nil when
+// telemetry is off (heat is nil then, so callers guard on the result).
+func heatFor(heat map[uint64]*obs.HeatDelta, pid uint64) *obs.HeatDelta {
+	if heat == nil {
+		return nil
 	}
-	if op.Code == wire.OpScanFiltered {
-		sn.execScanFiltered(op, res)
+	d := heat[pid]
+	if d == nil {
+		d = &obs.HeatDelta{}
+		heat[pid] = d
+	}
+	return d
+}
+
+// execOp runs a single operation against the memtable, attributing its
+// activity to the owning partition in heat (nil when telemetry is off).
+// Caller holds sn.mu.
+func (sn *Node) execOp(op *wire.Op, res *wire.Result, muts map[uint64][]wire.Mutation, heat map[uint64]*obs.HeatDelta) {
+	if op.Code == wire.OpScan || op.Code == wire.OpScanFiltered {
+		if op.Code == wire.OpScan {
+			sn.execScan(op, res)
+		} else {
+			sn.execScanFiltered(op, res)
+		}
+		// A scan's rows are attributed to the partition of its start key —
+		// range scans are contiguous in key space, so this identifies the
+		// range driving scan load without re-hashing every returned row.
+		if heat != nil {
+			if p, ok := sn.pmap.Lookup(KeyHash(op.Key)); ok {
+				d := heatFor(heat, p.ID)
+				d.Reads += res.Count
+				for i := range res.Pairs {
+					d.ReadBytes += int64(len(res.Pairs[i].Val))
+				}
+			}
+		}
 		return
 	}
 	h := KeyHash(op.Key)
@@ -510,10 +579,32 @@ func (sn *Node) execOp(op *wire.Op, res *wire.Result, muts map[uint64][]wire.Mut
 		// synchronous, so the replica has every acknowledged write.
 		if op.Code == wire.OpGet && op.Replica && sn.replicaOf(h) {
 			sn.execGet(op, res)
+			if heat != nil {
+				if p, pok := sn.pmap.Lookup(h); pok {
+					d := heatFor(heat, p.ID)
+					d.Reads++
+					d.ReadBytes += int64(len(res.Val))
+				}
+			}
 			return
 		}
 		res.Status = wire.StatusWrongPartition
 		return
+	}
+	if heat != nil {
+		defer func() {
+			d := heatFor(heat, part.ID)
+			if op.Code == wire.OpGet {
+				d.Reads++
+				d.ReadBytes += int64(len(res.Val))
+			} else {
+				d.Writes++
+				d.WriteBytes += int64(len(op.Val))
+			}
+			if res.Status == wire.StatusConflict {
+				d.Conflicts++
+			}
+		}()
 	}
 	switch op.Code {
 	case wire.OpGet:
@@ -684,6 +775,13 @@ func (sn *Node) handleReplicate(ctx env.Ctx, raw []byte) []byte {
 		sn.applyMutationLocked(&req.Mutations[i])
 	}
 	sn.mu.Unlock()
+	if sn.obsHeat != nil {
+		d := obs.HeatDelta{Writes: int64(len(req.Mutations))}
+		for i := range req.Mutations {
+			d.WriteBytes += int64(len(req.Mutations[i].Val))
+		}
+		sn.obsHeat.Add(ctx.Now(), req.PartitionID, d)
+	}
 	// The replica's copy must be as durable as the master's: a write is
 	// only acknowledged once every live replica logged it.
 	if sn.dur != nil {

@@ -8,6 +8,7 @@ import (
 
 	"tell/internal/env"
 	"tell/internal/metrics"
+	"tell/internal/obs"
 	"tell/internal/trace"
 )
 
@@ -76,6 +77,11 @@ type Driver struct {
 	engines   []Engine
 	terminals int
 	seed      int64
+
+	// Obs, if set, receives every finished transaction (class = tx type)
+	// for windowed SLO tracking and tail-based flight recording. All hooks
+	// are nil-safe, so leaving it unset costs nothing.
+	Obs *obs.Pipeline
 
 	mu        sync.Mutex
 	started   bool
@@ -154,6 +160,7 @@ func (d *Driver) terminal(ctx env.Ctx, id int) {
 		begin := ctx.Now()
 		committed, err := d.issue(ctx, engine, txType, input)
 		elapsed := ctx.Now() - begin
+		root := sc.Span
 		if sc.R.Enabled() {
 			var c int64
 			if committed {
@@ -163,6 +170,9 @@ func (d *Driver) terminal(ctx env.Ctx, id int) {
 			sc.R.RecordTxn(txType.String(), committed, elapsed, sc.Agg)
 			sc.Span, sc.Agg = 0, nil
 		}
+		// Telemetry after the root span closes, so a flight capture sees the
+		// complete span tree in the recorder's ring.
+		d.Obs.ObserveTxn(begin, txType.String(), root, elapsed, committed)
 		if err != nil {
 			// Infrastructure failure: stop this terminal; the run can
 			// still complete on the others.

@@ -25,8 +25,14 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 		_, err := io.WriteString(w, "[]\n")
 		return err
 	}
-	events := r.Events()
+	return WriteChromeTraceEvents(w, r.Events())
+}
 
+// WriteChromeTraceEvents renders an explicit event slice as Chrome
+// trace_event JSON with the same layout and determinism guarantees as
+// Recorder.WriteChromeTrace. It exists for exporters that hold events
+// outside a Recorder — the flight recorder's captured outlier span trees.
+func WriteChromeTraceEvents(w io.Writer, events []Event) error {
 	// pid per node, sorted by name for stable numbering.
 	nodeSet := make(map[string]bool)
 	for _, e := range events {

@@ -68,6 +68,16 @@ type Event struct {
 // aggregation (breakdowns, counters) keeps running regardless.
 const DefaultMaxEvents = 4 << 20
 
+// Tap observes every event at the moment it is recorded, independently of
+// whether the event log stores it — a counters-only Recorder (maxEvents 0)
+// still feeds its tap, which is how a daemon's flight recorder sees span
+// trees without the Recorder buffering anything. TraceEvent is called with
+// the Recorder's internal lock held: implementations must be fast,
+// non-blocking, and must never call back into the Recorder.
+type Tap interface {
+	TraceEvent(Event)
+}
+
 // Recorder collects events and running aggregates. All methods are safe on
 // a nil receiver (no-ops), which is the "tracing disabled" representation.
 type Recorder struct {
@@ -77,6 +87,7 @@ type Recorder struct {
 	nextID atomic.Uint64
 
 	mu        sync.Mutex
+	tap       Tap
 	events    []Event
 	dropped   uint64
 	breakdown map[string]*Breakdown
@@ -123,8 +134,23 @@ func (r *Recorder) NewID() SpanID {
 	return SpanID(r.nextID.Add(1))
 }
 
+// SetTap installs t as the recorder's event tap (nil removes it). Install
+// before the run starts; the tap sees every subsequent event in recording
+// order, which is deterministic under the simulation kernel.
+func (r *Recorder) SetTap(t Tap) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.tap = t
+	r.mu.Unlock()
+}
+
 func (r *Recorder) append(e Event) {
 	r.mu.Lock()
+	if r.tap != nil {
+		r.tap.TraceEvent(e)
+	}
 	if r.maxEvents > 0 && len(r.events) < r.maxEvents {
 		r.events = append(r.events, e)
 	} else {
@@ -194,11 +220,14 @@ func (r *Recorder) Counter(node, name string, v int64) {
 		return
 	}
 	at := r.now()
+	e := Event{Kind: KindCounter, At: at, Node: node, Name: name, Arg1: v}
 	r.mu.Lock()
 	r.totals[node+"/"+name] = v
+	if r.tap != nil {
+		r.tap.TraceEvent(e)
+	}
 	if r.maxEvents > 0 && len(r.events) < r.maxEvents {
-		r.events = append(r.events, Event{Kind: KindCounter, At: at,
-			Node: node, Name: name, Arg1: v})
+		r.events = append(r.events, e)
 	} else if r.maxEvents > 0 {
 		r.dropped++
 	}

@@ -22,6 +22,12 @@ const (
 	KindStatsResp
 	KindRecoverReq
 	KindRecoverResp
+	// KindStatsExtReq / KindStatsExtResp carry the extended telemetry
+	// protocol: windowed series digests, per-range heat and flight-recorder
+	// state (see statsext.go). Appended after the recovery kinds so every
+	// earlier kind keeps its byte value on the wire.
+	KindStatsExtReq
+	KindStatsExtResp
 )
 
 // PeekKind returns the kind byte of an encoded message.

@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -258,9 +259,69 @@ func TestDecodeGarbageNeverPanics(t *testing.T) {
 		DecodeReplicateRequest(b)
 		DecodeReplicateResponse(b)
 		DecodeStatsSnapshot(b)
+		DecodeStatsExt(b)
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestStatsExtRoundTrip(t *testing.T) {
+	m := &StatsExt{
+		Node:     "mgr",
+		NowNs:    123456789,
+		WindowNs: int64(100 * 1e6),
+		Series: []SeriesStat{
+			{Node: "txn", Metric: "lat/neworder", Hist: true, Total: 99,
+				Count: 42, MeanNs: 1000, P50Ns: 900, P99Ns: 5000, P999Ns: 9000},
+			{Node: "txn", Metric: "rate/committed", Total: 77},
+		},
+		Heat: []HeatStat{
+			{Node: "sn1", Range: 3, Reads: 10, Writes: 5, Conflicts: 1,
+				ReadBytes: 640, WriteBytes: 320, RecentOps: 15, RecentLatNs: 2500},
+		},
+		Breaches: []BreachStat{{Class: "neworder", Quantile: "p99", Count: 2}},
+		Flight:   FlightStat{Retained: 3, Evicted: 1, Seen: 100000},
+	}
+	got, err := DecodeStatsExt(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestStatsExtMerge(t *testing.T) {
+	a := &StatsExt{Node: "mgr", NowNs: 5, WindowNs: 7,
+		Series:   []SeriesStat{{Node: "sn2", Metric: "lat/store"}},
+		Heat:     []HeatStat{{Node: "sn2", Range: 1}},
+		Breaches: []BreachStat{{Class: "neworder", Quantile: "p99", Count: 2}},
+		Flight:   FlightStat{Retained: 1}}
+	b := &StatsExt{Node: "sn1", NowNs: 9,
+		Series: []SeriesStat{{Node: "sn1", Metric: "lat/store"}},
+		Heat:   []HeatStat{{Node: "sn1", Range: 2}},
+		Breaches: []BreachStat{
+			{Class: "neworder", Quantile: "p99", Count: 3},
+			{Class: "payment", Quantile: "p50", Count: 1},
+		},
+		Flight: FlightStat{Retained: 2, Evicted: 1, Seen: 10}}
+	a.Merge(b)
+	a.SortRows()
+	if a.NowNs != 9 || a.WindowNs != 7 {
+		t.Fatalf("merged header: %+v", a)
+	}
+	if len(a.Series) != 2 || a.Series[0].Node != "sn1" || a.Series[1].Node != "sn2" {
+		t.Fatalf("merged series: %+v", a.Series)
+	}
+	if len(a.Heat) != 2 || a.Heat[0].Node != "sn1" || a.Heat[1].Node != "sn2" {
+		t.Fatalf("merged heat: %+v", a.Heat)
+	}
+	if len(a.Breaches) != 2 || a.Breaches[0].Count != 5 || a.Breaches[1].Class != "payment" {
+		t.Fatalf("merged breaches: %+v", a.Breaches)
+	}
+	if a.Flight.Retained != 3 || a.Flight.Evicted != 1 || a.Flight.Seen != 10 {
+		t.Fatalf("merged flight: %+v", a.Flight)
 	}
 }

@@ -14,9 +14,11 @@ import (
 	"tell/internal/commitmgr"
 	"tell/internal/core"
 	"tell/internal/env"
+	"tell/internal/obs"
 	"tell/internal/relational"
 	"tell/internal/store"
 	"tell/internal/transport"
+	"tell/internal/wire"
 )
 
 // freeAddrs reserves n distinct loopback addresses.
@@ -61,10 +63,12 @@ func TestFullStackOverTCP(t *testing.T) {
 	}
 	defer mgr.Stop()
 
-	// Storage nodes, configured from the lookup service like telld does.
+	// Storage nodes, configured from the lookup service like telld does —
+	// each with its own telemetry pipeline, as in cmd/telld.
 	for i, addr := range snAddrs {
 		node := envr.NewNode(fmt.Sprintf("sn%d", i), 2)
 		sn := store.NewNode(addr, envr, node, tr, store.DefaultCosts())
+		sn.SetObs(obs.New(obs.Config{Window: time.Second}, envr.Now))
 		if err := sn.Start(); err != nil {
 			t.Fatal(err)
 		}
@@ -150,5 +154,44 @@ func TestFullStackOverTCP(t *testing.T) {
 	}
 	if err := b.Commit(ctx); err != core.ErrConflict {
 		t.Fatalf("want conflict over TCP, got %v", err)
+	}
+
+	// Extended stats over the wire: the manager fans the request out to the
+	// live storage nodes and returns the merged cluster snapshot, so one
+	// round trip paints the whole heatmap (what `tellcli top` renders).
+	statsConn, err := tr.Dial(pnNode, mgrAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := statsConn.RoundTrip(ctx, wire.EncodeStatsExtReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := wire.DecodeStatsExt(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heatNodes := map[string]bool{}
+	var heatOps int64
+	for _, h := range ext.Heat {
+		heatNodes[h.Node] = true
+		heatOps += h.Reads + h.Writes
+	}
+	for _, addr := range snAddrs {
+		if !heatNodes[addr] {
+			t.Errorf("merged snapshot missing heat from storage node %s (have %v)", addr, heatNodes)
+		}
+	}
+	if heatOps == 0 {
+		t.Error("merged heat rows carry zero operations after the workload")
+	}
+	foundStore := false
+	for _, s := range ext.Series {
+		if s.Metric == "lat/store" && s.Count > 0 {
+			foundStore = true
+		}
+	}
+	if !foundStore {
+		t.Error("merged snapshot has no store handler-latency series")
 	}
 }

@@ -31,15 +31,18 @@ package tell
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"tell/internal/commitmgr"
 	"tell/internal/core"
 	"tell/internal/env"
+	"tell/internal/obs"
 	"tell/internal/recovery"
 	"tell/internal/relational"
 	"tell/internal/sanitize"
 	"tell/internal/store"
+	"tell/internal/trace"
 	"tell/internal/transport"
 )
 
@@ -98,6 +101,11 @@ type Options struct {
 	CommitManagers int
 	// Seed drives internal randomness (default 1).
 	Seed int64
+	// Telemetry enables the windowed telemetry pipeline: per-range heat
+	// tracking on every storage node and handler-latency series, readable
+	// via Cluster.HeatRows and Cluster.WriteMetrics. Off by default — the
+	// disabled path costs nothing on the hot paths.
+	Telemetry bool
 }
 
 func (o *Options) fill() {
@@ -123,6 +131,7 @@ type Cluster struct {
 	cms     []*commitmgr.Server
 	cmAddrs []string
 	pnMgr   *recovery.Manager
+	obs     *obs.Pipeline // nil unless Options.Telemetry
 
 	mu     sanitize.Mutex
 	dbs    map[string]*DB
@@ -148,6 +157,17 @@ func Start(opts Options) (*Cluster, error) {
 		dbs:     make(map[string]*DB),
 	}
 	c.mu.SetName("tell.Cluster.mu")
+	if opts.Telemetry {
+		// Counters-only tracer feeding the flight recorder's tap plus the
+		// windowed pipeline; every storage node gets a heat tracker.
+		rec := trace.NewCounters(envr.Now)
+		env.SetTracer(envr, rec)
+		c.obs = obs.New(obs.Config{AdaptiveOutliers: true}, envr.Now)
+		rec.SetTap(c.obs.Flight())
+		for _, addr := range storage.Addrs() {
+			storage.Node(addr).SetObs(c.obs)
+		}
+	}
 	var ids []string
 	for i := 0; i < opts.CommitManagers; i++ {
 		ids = append(ids, fmt.Sprintf("cm%d", i))
@@ -156,6 +176,7 @@ func Start(opts Options) (*Cluster, error) {
 		node := envr.NewNode(id, 2)
 		cm := commitmgr.New(id, id, envr, node, net, storage.NewClient(node))
 		cm.Peers = ids
+		cm.SetObs(c.obs)
 		if err := cm.Start(); err != nil {
 			return nil, err
 		}
@@ -186,6 +207,58 @@ func (c *Cluster) Close() {
 		db.pn.Stop()
 		db.pn.Store().Close()
 	}
+}
+
+// HeatRow is one (storage node, partition range) activity row from the
+// telemetry pipeline: all-time operation totals plus activity over the
+// recent retention horizon — the feed a placement controller uses to spot
+// hot ranges.
+type HeatRow struct {
+	Node       string
+	Range      uint64
+	Reads      int64
+	Writes     int64
+	Conflicts  int64
+	ReadBytes  int64
+	WriteBytes int64
+	// RecentOps and RecentLat cover the retained window horizon only.
+	RecentOps int64
+	RecentLat time.Duration
+}
+
+// HeatRows returns the cluster-wide per-range heatmap, hottest (most
+// recently active) ranges first. Empty unless Options.Telemetry is set.
+func (c *Cluster) HeatRows() []HeatRow {
+	rows := c.obs.HeatRows()
+	if len(rows) == 0 {
+		return nil
+	}
+	obs.SortHeatByRecent(rows)
+	out := make([]HeatRow, len(rows))
+	for i, r := range rows {
+		out[i] = HeatRow{
+			Node:       r.Node,
+			Range:      r.Range,
+			Reads:      r.Total.Reads,
+			Writes:     r.Total.Writes,
+			Conflicts:  r.Total.Conflicts,
+			ReadBytes:  r.Total.ReadBytes,
+			WriteBytes: r.Total.WriteBytes,
+			RecentOps:  r.Recent.Ops(),
+			RecentLat:  r.Recent.MeanLat(),
+		}
+	}
+	return out
+}
+
+// WriteMetrics writes the cluster's telemetry in Prometheus text format
+// (latency series, heat gauges, SLO breach counters, flight-recorder
+// state). A no-op unless Options.Telemetry is set.
+func (c *Cluster) WriteMetrics(w io.Writer) error {
+	if c.obs == nil {
+		return nil
+	}
+	return c.obs.WritePrometheus(w, c.obs.Now())
 }
 
 // NewProcessingNode adds a processing node to the cluster — the elastic
