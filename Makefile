@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test test-race chaos-race crash-matrix fuzz-short vet lint lint-determinism sanitize bench-smoke golden-trace obs-golden ci
+.PHONY: test test-race chaos-race crash-matrix migrate-matrix fuzz-short vet lint lint-determinism sanitize bench-smoke golden-trace obs-golden ci
 
 test:
 	$(GO) test ./...
@@ -21,6 +21,15 @@ chaos-race:
 crash-matrix:
 	$(GO) test -race ./internal/crashtest
 	$(GO) test -race ./internal/chaos -run 'DurableChaosMatrix'
+
+# Live-migration proofs under the race detector: the journal boundary
+# sweep (crash the management node at every journal-write durability
+# boundary of a migration, in Lost and Applied variants; the range must end
+# on exactly one owner), plus the kill-source / kill-target /
+# kill-manager-at-cutover chaos cells for bank and TPC-C under histcheck.
+migrate-matrix:
+	$(GO) test -race ./internal/crashtest -run TestMigrationJournalBoundarySweep
+	$(GO) test -race ./internal/chaos -run 'MigrationChaos'
 
 # Short continuous-fuzzing session for the wire codecs; the regular test
 # run only replays the corpus.
@@ -84,6 +93,7 @@ ci:
 		./internal/metrics ./internal/btree ./internal/lint
 	$(MAKE) chaos-race
 	$(MAKE) crash-matrix
+	$(MAKE) migrate-matrix
 	$(GO) vet ./...
 	$(MAKE) lint
 	$(MAKE) lint-determinism

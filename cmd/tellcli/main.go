@@ -107,7 +107,7 @@ func (c *cli) run(line string) error {
 		fmt.Println("get <table> <pk values...>")
 		fmt.Println("scan <table>")
 		fmt.Println("stats [-watch] <addr>   # telemetry snapshot from one daemon")
-		fmt.Println("top [-watch] [addr]     # cluster-wide series/heat/SLO view via the manager")
+		fmt.Println("top [-watch] [addr]     # cluster-wide series/heat/migration/SLO view via the manager")
 		fmt.Println("quit")
 		return nil
 	case "create":
@@ -494,6 +494,20 @@ func renderExt(ext *wire.StatsExt) {
 			fmt.Printf("%-*s %-8d %12d %10d %10d %10d %12d %12s\n", hw, h.Node, h.Range,
 				h.RecentOps, h.Reads, h.Writes, h.Conflicts, h.ReadBytes,
 				time.Duration(h.RecentLatNs).Round(time.Microsecond))
+		}
+	}
+
+	if len(ext.Migr) > 0 {
+		mn := make([]string, len(ext.Migr))
+		for i := range ext.Migr {
+			mn[i] = ext.Migr[i].Node
+		}
+		mw := colWidth(8, mn...)
+		fmt.Printf("\n%-*s %-8s %-8s %-24s %12s %8s\n", mw,
+			"node", "range", "phase", "move", "bytes", "chunks")
+		for _, g := range ext.Migr {
+			fmt.Printf("%-*s %-8d %-8s %-24s %12d %8d\n", mw, g.Node, g.Range,
+				g.Phase, g.Source+" -> "+g.Target, g.BytesMoved, g.Chunks)
 		}
 	}
 

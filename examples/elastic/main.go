@@ -2,6 +2,12 @@
 // (§2.1) — processing nodes can be added on demand "without any cost": no
 // repartitioning, no data movement. A new PN sees all data instantly and
 // adds processing capacity to the same workload.
+//
+// The storage tier scales too, just not for free: a new SN joins empty and
+// the placement controller live-migrates ranges onto it while transactions
+// keep running. Clients caught mid-cutover see a stale-map status, refresh,
+// and retry; the final conservation check proves no increment was lost or
+// duplicated across the moves.
 package main
 
 import (
@@ -18,7 +24,9 @@ import (
 const items = 200
 
 func main() {
-	cluster, err := tell.Start(tell.Options{StorageNodes: 3})
+	// Telemetry feeds per-range heat to the placement controller; without it
+	// Rebalance would fall back to balancing range counts instead of load.
+	cluster, err := tell.Start(tell.Options{StorageNodes: 3, Telemetry: true})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -110,6 +118,21 @@ func main() {
 	third, _ := cluster.NewProcessingNode("pn3")
 	spawnWorkers(third, "pn3", 4)
 	measure("3 processing nodes:")
+
+	// Scale out the STORAGE tier with the workload still running: a fresh,
+	// empty SN joins, then the heat-driven rebalancer migrates ranges onto it
+	// live — chunked copy, delta catch-up, fenced cutover.
+	if err := cluster.AddStorageNode("sn3"); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond) // let the heat windows see current traffic
+	moves, err := cluster.Rebalance()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sn3 online; rebalancer ran %d placement actions under load\n", moves)
+	time.Sleep(300 * time.Millisecond) // let retried transactions drain
+	measure("4 storage nodes:")
 
 	close(stop)
 	wg.Wait()

@@ -312,6 +312,14 @@ func (s *Server) handleCM(ctx env.Ctx, raw []byte) []byte {
 		s.finish(tid, committed)
 		s.recordLat("finish", ctx.Now()-began)
 		return ackResp(wire.StatusOK)
+	case cmFence:
+		w := wire.NewWriter(16)
+		w.Byte(byte(wire.KindCMResp))
+		w.Byte(byte(cmFence))
+		w.Byte(byte(wire.StatusOK))
+		w.Uvarint(s.Lav())
+		s.recordLat("fence", ctx.Now()-began)
+		return w.Bytes()
 	}
 	return ackResp(wire.StatusError)
 }
@@ -983,4 +991,9 @@ const (
 	// cmStartGroup is the coalesced protocol: starts, finish notifications
 	// and a (possibly delta-encoded) descriptor in one round trip.
 	cmStartGroup
+	// cmFence samples the snapshot boundary (the lav) for a migration
+	// cutover: every transaction that started before the fence call holds a
+	// snapshot at or above the returned version, so the storage manager can
+	// record what the cutover serialized against.
+	cmFence
 )

@@ -571,6 +571,7 @@ func Registry() map[string]func(Options) (*Table, error) {
 		"ext-pushdown":         ExtPushdown,
 		"breakdown":            Breakdown,
 		"recovery-scale":       RecoveryScale,
+		"scaleout-skew":        ScaleoutSkew,
 	}
 }
 

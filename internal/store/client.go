@@ -215,6 +215,33 @@ func (c *Client) FetchMap(ctx env.Ctx) (*PartitionMap, error) {
 	return c.pmap.Clone(), nil
 }
 
+// installMap decodes a partition map piggybacked on a store response (see
+// StoreResponse.Map) and installs it if newer than the cache. This is how
+// clients converge on a migration cutover without a lookup-service round
+// trip. A decode failure is ignored: the piggyback is an optimization and
+// the lookup service stays authoritative.
+func (c *Client) installMap(raw []byte) {
+	pm, err := DecodePartitionMap(raw)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	if c.pmap == nil || pm.Epoch > c.pmap.Epoch {
+		c.pmap = pm
+	}
+	c.mu.Unlock()
+}
+
+// cachedEpoch returns the epoch of the cached map (0 = no map yet).
+func (c *Client) cachedEpoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pmap == nil {
+		return 0
+	}
+	return c.pmap.Epoch
+}
+
 // pmapLocked returns the cached map, fetching it on first use.
 func (c *Client) getMap(ctx env.Ctx) (*PartitionMap, error) {
 	c.mu.Lock()
@@ -457,6 +484,9 @@ func (b *batcher) send(ctx env.Ctx, batch []*pendingOp, resp *wire.StoreResponse
 			return nil
 		})
 		if err == nil {
+			if len(resp.Map) > 0 {
+				b.c.installMap(resp.Map)
+			}
 			if len(resp.Results) != len(batch) {
 				err = fmt.Errorf("store: %d results for %d ops", len(resp.Results), len(batch))
 			} else {
@@ -585,6 +615,9 @@ func (c *Client) execBatch(ctx env.Ctx, ops []wire.Op) ([]wire.Result, error) {
 					resp.Results[k].MarkRetried()
 				}
 			}
+			if err == nil && len(resp.Map) > 0 {
+				c.installMap(resp.Map)
+			}
 		}
 		for k, i := range d.indices {
 			if err != nil || resp == nil || k >= len(resp.Results) {
@@ -662,11 +695,12 @@ func (c *Client) Exec(ctx env.Ctx, ops []wire.Op) ([]wire.Result, error) {
 	// charged to the retry component of the transaction's breakdown.
 	sc := ctx.Trace()
 	retrying := false
+	epochSeen := c.cachedEpoch()
 	for attempt := 0; attempt < c.Retries; attempt++ {
 		var retryIdx []int
 		for i := range results {
 			switch results[i].Status {
-			case wire.StatusWrongPartition, wire.StatusUnavailable:
+			case wire.StatusWrongPartition, wire.StatusUnavailable, wire.StatusStaleMap:
 				retryIdx = append(retryIdx, i)
 			}
 		}
@@ -678,7 +712,12 @@ func (c *Client) Exec(ctx env.Ctx, ops []wire.Op) ([]wire.Result, error) {
 			sc.Agg.Redirect = trace.CompRetry
 		}
 		ctx.Sleep(c.RetryDelay)
-		if err := c.refreshMap(ctx); err != nil {
+		// The failing response usually piggybacks the newer map (migration
+		// cutover); only fall back to the lookup service when the cache has
+		// not moved since the failed attempt.
+		if cur := c.cachedEpoch(); cur > epochSeen {
+			epochSeen = cur
+		} else if err := c.refreshMap(ctx); err != nil {
 			continue
 		}
 		sub := make([]wire.Op, len(retryIdx))
@@ -709,7 +748,7 @@ func statusErr(s wire.Status) error {
 		return ErrNotFound
 	case wire.StatusConflict:
 		return ErrConflict
-	case wire.StatusUnavailable, wire.StatusWrongPartition, wire.StatusOverload:
+	case wire.StatusUnavailable, wire.StatusWrongPartition, wire.StatusOverload, wire.StatusStaleMap:
 		return ErrUnavailable
 	}
 	return fmt.Errorf("store: status %v", s)

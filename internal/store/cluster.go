@@ -122,6 +122,31 @@ func NewCluster(envr env.Full, tr transport.Transport, cfg ClusterConfig) (*Clus
 	return c, nil
 }
 
+// AddStorageNode provisions and starts a fresh, empty storage node at addr
+// (scale-out). The node gets the cluster's cost model, core count and — when
+// the cluster is durable — its own durability tier, learns the current
+// partition map, and registers with the manager so the failure detector and
+// the placement controller see it. It masters nothing until the rebalancer
+// (or an explicit MigratePartition) moves ranges onto it.
+func (c *Cluster) AddStorageNode(addr string) (*Node, error) {
+	if c.byAddr[addr] != nil {
+		return nil, fmt.Errorf("store: node %q already exists", addr)
+	}
+	n := c.Env.NewNode(addr, c.cfg.CoresPerNode)
+	sn := NewNode(addr, c.Env, n, c.Transport, c.cfg.Costs)
+	if c.cfg.Durable != nil {
+		sn.AttachDurability(*c.cfg.Durable)
+	}
+	sn.Configure(c.Manager.Map())
+	if err := sn.Start(); err != nil {
+		return nil, err
+	}
+	c.Nodes = append(c.Nodes, sn)
+	c.byAddr[addr] = sn
+	c.Manager.AddNode(addr)
+	return sn, nil
+}
+
 // ManagerAddr returns the lookup-service address for clients.
 func (c *Cluster) ManagerAddr() string { return c.Manager.Addr() }
 

@@ -326,6 +326,9 @@ func (sn *Node) RecoverLocal(ctx env.Ctx) (durable.ReplayStats, error) {
 		}
 	}
 	stats, err := durable.ReplayWAL(ctx, d.opts.Backend, sn.addr, floor, func(r *durable.Record) {
+		if r.Part == migJournalPart {
+			return // migration control records never enter the memtable
+		}
 		apply(&r.Mut)
 	})
 	if err != nil {

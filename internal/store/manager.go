@@ -3,6 +3,8 @@ package store
 import (
 	"time"
 
+	"tell/internal/det"
+	"tell/internal/durable"
 	"tell/internal/env"
 	"tell/internal/resil"
 	"tell/internal/sanitize"
@@ -51,8 +53,52 @@ type Manager struct {
 	// internal/recovery). Without it such partitions go headless.
 	Recoverer SNRecoverer
 
+	// Fence, if set, samples the commit managers' snapshot boundary (the
+	// lowest active version) at migration cutover; the token rides the
+	// cutover journal record. Wired to commitmgr by the cluster assembly.
+	Fence func(ctx env.Ctx) uint64
+
+	// OnCutoverJournaled, if set, is called after a migration's cutover
+	// record is durable but before the new map is installed or published.
+	// Returning false abandons the coordinator mid-flight — crash-recovery
+	// tests use it to emulate a manager death at the commit point.
+	OnCutoverJournaled func(pid uint64) bool
+
+	// journal is the durable migration journal (see placement.go). Guarded
+	// by mu; nil means migrations are not crash-recoverable on the manager.
+	journal durable.Backend
+	// known lists storage nodes registered via AddNode that may not appear
+	// in the partition map yet (fresh, empty scale-out targets).
+	known map[string]bool
+	// migs is the manager's authoritative migration telemetry, by range id.
+	migs map[uint64]*wire.MigrationStat
+	// inflight marks ranges with an active migration.
+	inflight map[uint64]bool
+	// heatPrev holds the cumulative per-(node, range) op totals seen at the
+	// controller's previous load pass: planning ranks ranges by the delta
+	// since then, so heat follows a range to its new owner immediately
+	// instead of lingering at the old one for a retention horizon.
+	heatPrev map[string]map[uint64]int64
+	// planPass counts controller planning passes; cooled records the pass
+	// at which each range last migrated (anti-ping-pong cooldown).
+	planPass int
+	cooled   map[uint64]int
+	// hotShare is the hottest node's fraction of total ops at the latest
+	// planning pass — the convergence signal Cluster.Rebalance watches to
+	// stop once actions no longer improve the balance (some hotspots, like
+	// an append-frontier log range, are irreducible by placement).
+	hotShare float64
+	// schedule is the placement controller's decision log (virtual
+	// timestamps only, so same-seed runs produce identical schedules).
+	schedule []string
+
+	// probing marks dead nodes with a rejoin probe in flight, so the
+	// monitor never stacks probes on one address.
+	probing map[string]bool
+
 	failovers  int
 	recoveries int
+	rejoins    int
 }
 
 // SNRecoverer reconstructs a dead storage node's partitions from its durable
@@ -77,6 +123,7 @@ func NewManager(addr string, envr env.Full, node env.Node, tr transport.Transpor
 		pmap:              &PartitionMap{Epoch: 1},
 		dead:              make(map[string]bool),
 		misses:            make(map[string]int),
+		probing:           make(map[string]bool),
 		conns:             make(map[string]transport.Conn),
 	}
 	m.mu.SetName("store.Manager.mu")
@@ -85,6 +132,11 @@ func NewManager(addr string, envr env.Full, node env.Node, tr transport.Transpor
 
 // Addr returns the manager's serving address.
 func (m *Manager) Addr() string { return m.addr }
+
+// Node returns the manager's execution node. Drivers (tests, the embedded
+// API) spawn migration-control activities on it so control RPCs originate
+// from the management node in both environments.
+func (m *Manager) Node() env.Node { return m.node }
 
 // Failovers returns how many node fail-overs the manager has executed.
 func (m *Manager) Failovers() int {
@@ -166,6 +218,13 @@ func (m *Manager) handle(ctx env.Ctx, raw []byte) []byte {
 // that cannot be reached is simply absent from the merged view — telemetry
 // must not block on a dying SN.
 func (m *Manager) handleStatsExt(ctx env.Ctx) []byte {
+	return m.collectExt(ctx).Encode()
+}
+
+// collectExt fans the extended-stats request out to every live node, merges
+// the answers, and overlays the manager's own migration telemetry. Also the
+// placement controller's load-view source.
+func (m *Manager) collectExt(ctx env.Ctx) *wire.StatsExt {
 	m.mu.Lock()
 	targets := m.liveNodesLocked()
 	m.mu.Unlock()
@@ -192,8 +251,9 @@ func (m *Manager) handleStatsExt(ctx env.Ctx) []byte {
 		}
 		agg.Merge(ext)
 	}
+	m.fillMigStats(agg)
 	agg.SortRows()
-	return agg.Encode()
+	return agg
 }
 
 // monitor is the failure-detector loop.
@@ -222,12 +282,71 @@ func (m *Manager) monitor(ctx env.Ctx) {
 				m.failover(ctx, addr)
 			}
 		}
+		m.probeDead()
 		ctx.Sleep(m.PingInterval)
 	}
 }
 
-// liveNodesLocked lists distinct storage addresses in the map that are not
-// known dead. Caller holds m.mu.
+// probeDead launches one async rejoin probe per dead node without one in
+// flight. A node that answers again — a healed partition or a restarted
+// process that finished local recovery — rejoins as an empty placement
+// target: it is pushed the current map first, so a node that kept stale
+// state across a network partition demotes itself before it can serve a
+// single stale read, and the placement controller may then move ranges back
+// onto it.
+func (m *Manager) probeDead() {
+	m.mu.Lock()
+	var probes []string
+	if !m.stopped {
+		for _, addr := range det.Keys(m.dead) {
+			if m.dead[addr] && !m.probing[addr] {
+				m.probing[addr] = true
+				probes = append(probes, addr)
+			}
+		}
+	}
+	m.mu.Unlock()
+	for _, addr := range probes {
+		addr := addr
+		m.node.Go("rejoin-probe", func(ctx env.Ctx) {
+			alive := m.ping(ctx, addr)
+			m.mu.Lock()
+			delete(m.probing, addr)
+			if !alive || !m.dead[addr] || m.stopped {
+				m.mu.Unlock()
+				return
+			}
+			delete(m.dead, addr)
+			m.misses[addr] = 0
+			if m.known == nil {
+				m.known = make(map[string]bool)
+			}
+			m.known[addr] = true
+			m.rejoins++
+			pm := m.pmap.Clone()
+			m.mu.Unlock()
+			cfg := encodeMetaConfigure(pm)
+			if conn, err := m.conn(addr); err == nil {
+				//lint:allow errdiscard best-effort: a rejoined node that misses the push answers from an empty or older map and is demoted by the next configure
+				m.retr.Do(ctx, resil.ClassMeta, addr, func(int) error {
+					_, err := conn.RoundTrip(ctx, cfg)
+					return err
+				})
+			}
+		})
+	}
+}
+
+// Rejoins returns how many dead nodes have been reintegrated after healing.
+func (m *Manager) Rejoins() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rejoins
+}
+
+// liveNodesLocked lists distinct storage addresses that are not known dead:
+// every address in the map plus nodes registered via AddNode (which may not
+// master anything yet). Caller holds m.mu.
 func (m *Manager) liveNodesLocked() []string {
 	seen := make(map[string]bool)
 	var out []string
@@ -242,6 +361,9 @@ func (m *Manager) liveNodesLocked() []string {
 		for _, r := range m.pmap.Partitions[i].Replicas {
 			add(r)
 		}
+	}
+	for _, a := range det.Keys(m.known) {
+		add(a)
 	}
 	return out
 }

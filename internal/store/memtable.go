@@ -45,6 +45,10 @@ type memtable struct {
 type mtNode struct {
 	key  []byte
 	cell cell
+	// hits counts client accesses of this key on this node — node-local
+	// telemetry (never replicated or compared) that weights data-aware
+	// split points by load rather than key count.
+	hits uint64
 	next []*mtNode
 	prev *mtNode // level-0 back pointer
 }
@@ -119,6 +123,28 @@ func (m *memtable) set(key []byte, c cell) {
 		m.tail = nn
 	}
 	m.size++
+}
+
+// touch bumps key's access counter, if the key is present.
+func (m *memtable) touch(key []byte) {
+	x := m.head
+	for i := m.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+	}
+	if n := x.next[0]; n != nil && bytes.Equal(n.key, key) {
+		n.hits++
+	}
+}
+
+// scanHits is a forward scan that also yields each key's access counter.
+func (m *memtable) scanHits(fn func(key []byte, c cell, hits uint64) bool) {
+	for n := m.head.next[0]; n != nil; n = n.next[0] {
+		if !fn(n.key, n.cell, n.hits) {
+			return
+		}
+	}
 }
 
 // delete removes key, reporting whether it was present.

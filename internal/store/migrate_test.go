@@ -1,0 +1,240 @@
+package store_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"tell/internal/env"
+	"tell/internal/sim"
+	"tell/internal/store"
+	"tell/internal/testutil"
+	"tell/internal/transport"
+)
+
+// errWrap lets an error (possibly nil) ride an env.Future.
+type errWrap struct{ err error }
+
+// pickPartition returns some partition mastered by addr.
+func pickPartition(t *testing.T, m *store.Manager, addr string) uint64 {
+	t.Helper()
+	pm := m.Map()
+	for _, p := range pm.Partitions {
+		if p.Master == addr {
+			return p.ID
+		}
+	}
+	t.Fatalf("no partition mastered by %s", addr)
+	return 0
+}
+
+func masterOf(t *testing.T, m *store.Manager, pid uint64) string {
+	t.Helper()
+	pm := m.Map()
+	for _, p := range pm.Partitions {
+		if p.ID == pid {
+			return p.Master
+		}
+	}
+	t.Fatalf("no partition %d in map", pid)
+	return ""
+}
+
+// TestLiveMigrationUnderTraffic drives the full three-phase protocol while
+// a client keeps writing: the copy is throttled so writes land in every
+// phase, and afterwards every acknowledged write must be readable through
+// the new master — zero lost updates across the cutover.
+func TestLiveMigrationUnderTraffic(t *testing.T) {
+	h := newHarness(t, store.ClusterConfig{NumNodes: 2, PartitionsPerNode: 2})
+	defer h.close()
+	h.run(t, func(ctx env.Ctx) {
+		const n = 300
+		want := make([]string, n)
+		for i := 0; i < n; i++ {
+			k := fmt.Sprintf("k%04d", i)
+			v := fmt.Sprintf("v%04d", i)
+			if _, err := h.client.Put(ctx, []byte(k), []byte(v)); err != nil {
+				t.Fatalf("put %s: %v", k, err)
+			}
+			want[i] = v
+		}
+		// A load-link taken before the migration: its store-conditional must
+		// still succeed against the new master (stamps ship unchanged).
+		llKey := []byte("ll-across-migration")
+		if _, err := h.client.Put(ctx, llKey, []byte("a")); err != nil {
+			t.Fatal(err)
+		}
+		_, llStamp, err := h.client.Get(ctx, llKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Throttle the source's copy loop so live writes interleave with the
+		// bulk copy, the delta rounds, and the fence.
+		h.cluster.Node("sn0").MigrateChunkDelay = 500 * time.Microsecond
+
+		pid := pickPartition(t, h.cluster.Manager, "sn0")
+		mig := h.envr.NewFuture()
+		h.cluster.Manager.Node().Go("migrate", func(mctx env.Ctx) {
+			mig.Set(errWrap{h.cluster.Manager.MigratePartition(mctx, pid, "sn1")})
+		})
+		// Writes racing every migration phase.
+		for i := 0; i < n; i++ {
+			idx := i % 97
+			k := fmt.Sprintf("k%04d", idx)
+			v := fmt.Sprintf("w%04d", i)
+			if _, err := h.client.Put(ctx, []byte(k), []byte(v)); err != nil {
+				t.Fatalf("live put %s: %v", k, err)
+			}
+			want[idx] = v
+			ctx.Sleep(50 * time.Microsecond)
+		}
+		if err := mig.Get(ctx).(errWrap).err; err != nil {
+			t.Fatalf("migrate: %v", err)
+		}
+		if got := masterOf(t, h.cluster.Manager, pid); got != "sn1" {
+			t.Fatalf("post-cutover master = %s, want sn1", got)
+		}
+		// Every acknowledged write is visible through the new map.
+		for i := 0; i < n; i++ {
+			k := fmt.Sprintf("k%04d", i)
+			val, _, err := h.client.Get(ctx, []byte(k))
+			if err != nil {
+				t.Fatalf("get %s: %v", k, err)
+			}
+			if string(val) != want[i] {
+				t.Fatalf("get %s = %q, want %q", k, val, want[i])
+			}
+		}
+		// The pre-migration load-link token is still valid.
+		if _, err := h.client.CondPut(ctx, llKey, []byte("b"), llStamp); err != nil {
+			t.Fatalf("condput across migration: %v", err)
+		}
+	})
+}
+
+// TestScaleOutRebalance adds a fresh, empty storage node mid-run and forces
+// placement passes until the map is balanced: the new node must end up
+// mastering ranges, and every key stays readable.
+func TestScaleOutRebalance(t *testing.T) {
+	h := newHarness(t, store.ClusterConfig{NumNodes: 2, PartitionsPerNode: 3})
+	defer h.close()
+	h.run(t, func(ctx env.Ctx) {
+		const n = 200
+		for i := 0; i < n; i++ {
+			k := fmt.Sprintf("k%04d", i)
+			if _, err := h.client.Put(ctx, []byte(k), []byte("v")); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+		}
+		if _, err := h.cluster.AddStorageNode("sn2"); err != nil {
+			t.Fatalf("add node: %v", err)
+		}
+		done := h.envr.NewFuture()
+		h.cluster.Manager.Node().Go("rebalance", func(mctx env.Ctx) {
+			for {
+				acted, err := h.cluster.Manager.RebalanceOnce(mctx)
+				if err != nil {
+					done.Set(errWrap{err})
+					return
+				}
+				if !acted {
+					done.Set(errWrap{nil})
+					return
+				}
+			}
+		})
+		if err := done.Get(ctx).(errWrap).err; err != nil {
+			t.Fatalf("rebalance: %v", err)
+		}
+		counts := map[string]int{}
+		pm := h.cluster.Manager.Map()
+		for _, p := range pm.Partitions {
+			counts[p.Master]++
+		}
+		if counts["sn2"] == 0 {
+			t.Fatalf("fresh node masters nothing: %v", counts)
+		}
+		for _, c := range counts {
+			if c < 1 || c > 3 {
+				t.Fatalf("unbalanced master counts: %v", counts)
+			}
+		}
+		for i := 0; i < n; i++ {
+			k := fmt.Sprintf("k%04d", i)
+			if _, _, err := h.client.Get(ctx, []byte(k)); err != nil {
+				t.Fatalf("get %s after rebalance: %v", k, err)
+			}
+		}
+		if len(h.cluster.Manager.ScheduleLog()) == 0 {
+			t.Fatal("rebalance left no schedule log")
+		}
+	})
+}
+
+// TestRebalanceScheduleDeterministic runs the identical scale-out scenario
+// twice on the same seed: the controller's decision logs must be
+// byte-identical (virtual timestamps included) — the determinism contract
+// of the rebalancing experiment.
+func TestRebalanceScheduleDeterministic(t *testing.T) {
+	runOnce := func() []string {
+		k := sim.NewKernel(testutil.Seed(t, 42))
+		defer k.Shutdown()
+		envr := env.NewSim(k)
+		net := transport.NewSimNet(k, transport.InfiniBand())
+		cl, err := store.NewCluster(envr, net, store.ClusterConfig{NumNodes: 2, PartitionsPerNode: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pn := envr.NewNode("pn0", 4)
+		client := cl.NewClient(pn)
+		var sched []string
+		finished := false
+		pn.Go("drive", func(ctx env.Ctx) {
+			defer k.Stop()
+			for i := 0; i < 120; i++ {
+				k := fmt.Sprintf("k%04d", i)
+				if _, err := client.Put(ctx, []byte(k), []byte("v")); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+			}
+			if _, err := cl.AddStorageNode("sn2"); err != nil {
+				t.Errorf("add node: %v", err)
+				return
+			}
+			done := envr.NewFuture()
+			cl.Manager.Node().Go("rebalance", func(mctx env.Ctx) {
+				for {
+					acted, err := cl.Manager.RebalanceOnce(mctx)
+					if err != nil || !acted {
+						done.Set(errWrap{err})
+						return
+					}
+				}
+			})
+			if err := done.Get(ctx).(errWrap).err; err != nil {
+				t.Errorf("rebalance: %v", err)
+				return
+			}
+			sched = cl.Manager.ScheduleLog()
+			finished = true
+		})
+		if err := k.RunUntil(sim.Time(600 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		if !finished {
+			t.Fatal("driver did not finish")
+		}
+		return sched
+	}
+	a := runOnce()
+	b := runOnce()
+	if len(a) == 0 {
+		t.Fatal("no schedule produced")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("schedules differ across same-seed runs:\n%v\n%v", a, b)
+	}
+}

@@ -76,6 +76,19 @@ type Node struct {
 	// node runs memory-only. See durability.go.
 	dur *durState
 
+	// fenced marks ranges this node has fenced for live migration: writes
+	// fail with StatusStaleMap until the cutover publishes (or aborts),
+	// while reads stay live on the old master (see migrate.go). Guarded by
+	// mu; nil until the first fence.
+	fenced map[uint64]bool
+	// migs is the node's migration telemetry (per range, served through the
+	// extended stats protocol). Guarded by mu; nil until the first phase.
+	migs map[uint64]*wire.MigrationStat
+	// MigrateChunkDelay throttles bulk-copy chunk shipping so a migration
+	// shares the node with foreground traffic instead of saturating it.
+	// 0 (the default) ships back to back. Set at setup time.
+	MigrateChunkDelay time.Duration
+
 	// stats
 	nGets, nWrites, nScans uint64
 	lat                    *metrics.Summary // handler latency per request class
@@ -167,6 +180,34 @@ func (sn *Node) Configure(m *PartitionMap) {
 	sn.applyMap(m)
 }
 
+// CurrentMap returns a copy of the partition map this node is serving
+// under. Tests and tools use it to inspect convergence after failovers and
+// migrations.
+func (sn *Node) CurrentMap() *PartitionMap {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return sn.pmap.Clone()
+}
+
+// OwnedKeys returns every live key this node currently masters, in order.
+// Synchronous and lock-bound: a post-run assertion helper for tests, not a
+// serving path.
+func (sn *Node) OwnedKeys() [][]byte {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	var out [][]byte
+	sn.mt.scan(nil, nil, false, func(key []byte, c cell) bool {
+		if c.dead {
+			return true
+		}
+		if _, mine := sn.masterOf(KeyHash(key)); mine {
+			out = append(out, append([]byte(nil), key...))
+		}
+		return true
+	})
+	return out
+}
+
 func (sn *Node) applyMap(m *PartitionMap) {
 	if m.Epoch < sn.pmap.Epoch {
 		return
@@ -224,7 +265,9 @@ func (sn *Node) handle(ctx env.Ctx, req []byte) []byte {
 	case wire.KindStatsReq:
 		return sn.handleStats(ctx)
 	case wire.KindStatsExtReq:
-		return sn.obs.StatsExt(sn.addr).Encode()
+		ext := sn.obs.StatsExt(sn.addr)
+		sn.fillMigStats(ext)
+		return ext.Encode()
 	default:
 		return (&wire.StoreResponse{Status: wire.StatusError}).Encode()
 	}
@@ -366,7 +409,28 @@ func (sn *Node) handleStore(ctx env.Ctx, raw []byte) []byte {
 			})
 		}
 	}
+	// Map piggybacking: when the client's map lags this node's, or an op hit
+	// a fenced range, ride the full map along so long-lived clients converge
+	// without a lookup-service round trip. (During a fence the node's map
+	// may still match the client's — the piggyback is then same-epoch and
+	// the client falls back to refreshing from the manager.)
+	var pmPiggy *PartitionMap
+	staleReq := req.Epoch != 0 && req.Epoch < sn.pmap.Epoch
+	if !staleReq {
+		for i := range resp.Results {
+			if resp.Results[i].Status == wire.StatusStaleMap {
+				staleReq = true
+				break
+			}
+		}
+	}
+	if staleReq {
+		pmPiggy = sn.pmap.Clone()
+	}
 	sn.mu.Unlock()
+	if pmPiggy != nil {
+		resp.Map = pmPiggy.Encode()
+	}
 
 	// Scans cost CPU proportional to the records they examined (Count
 	// carries the examined-row count for scan ops) and to the bytes they
@@ -399,11 +463,11 @@ func (sn *Node) handleStore(ctx env.Ctx, raw []byte) []byte {
 
 	sn.replicateAll(ctx, jobs)
 
-	// Seal executed tokens now that replication is done. WrongPartition
-	// means the op did not execute here — release the token so the client
-	// can retry against the real master after a map refresh.
+	// Seal executed tokens now that replication is done. WrongPartition and
+	// StaleMap mean the op did not execute here — release the token so the
+	// client can retry against the real master after a map refresh.
 	for _, i := range executed {
-		if resp.Results[i].Status == wire.StatusWrongPartition {
+		if st := resp.Results[i].Status; st == wire.StatusWrongPartition || st == wire.StatusStaleMap {
 			sn.dedup.Abort(req.Client, req.Ops[i].Seq)
 			continue
 		}
@@ -591,7 +655,19 @@ func (sn *Node) execOp(op *wire.Op, res *wire.Result, muts map[uint64][]wire.Mut
 		res.Status = wire.StatusWrongPartition
 		return
 	}
+	// A range fenced for migration refuses writes with the retriable
+	// stale-map status: an in-flight LL/SC either executed before the fence
+	// (and its cell shipped with the final delta) or fails here and retries
+	// against the new master once the cutover map arrives. Reads stay live —
+	// the fenced copy is complete until the cutover publishes.
+	if op.Code.IsWrite() && sn.fenced[part.ID] {
+		res.Status = wire.StatusStaleMap
+		return
+	}
 	if heat != nil {
+		// Per-key access counter: the load weight behind data-aware split
+		// points. Only meaningful (and only paid for) when telemetry flows.
+		sn.mt.touch(op.Key)
 		defer func() {
 			d := heatFor(heat, part.ID)
 			if op.Code == wire.OpGet {
@@ -843,6 +919,29 @@ func (sn *Node) handleMeta(ctx env.Ctx, raw []byte) []byte {
 			return encodeMetaAck(wire.StatusUnavailable)
 		}
 		return encodeMetaAck(wire.StatusOK)
+
+	case metaMigCopy, metaMigDelta, metaMigFence, metaMigFinish, metaMigAdopt, metaMigMedian:
+		sub := metaSub(raw[1])
+		pid := r.Uvarint()
+		peer := r.String()
+		floor := r.Uvarint()
+		if r.Err() != nil {
+			return encodeMetaAck(wire.StatusError)
+		}
+		switch sub {
+		case metaMigCopy:
+			return sn.handleMigCopy(ctx, pid, peer)
+		case metaMigDelta:
+			return sn.handleMigDelta(ctx, pid, peer, floor)
+		case metaMigFence:
+			return sn.handleMigFence(ctx, pid, peer, floor)
+		case metaMigFinish:
+			return sn.handleMigFinish(ctx, pid, floor != 0)
+		case metaMigMedian:
+			return sn.handleMigMedian(pid)
+		default:
+			return sn.handleMigAdopt(ctx, pid, peer)
+		}
 	}
 	return encodeMetaAck(wire.StatusError)
 }
@@ -857,66 +956,28 @@ const transferChunk = 512
 
 // transferPartition copies all cells of partition pid to target, restoring
 // the replication factor after a node loss (§4.4.2: "eventually, the system
-// re-organizes itself and restores the replication level").
+// re-organizes itself and restores the replication level"). It shares the
+// migration copy machinery: a floor-0 bulk pass followed by delta rounds,
+// so cells written while the copy runs are re-shipped under a stamp floor
+// instead of relying on the live replication stream racing the scan, and
+// the bulk pass holds the lock per chunk, not for the whole partition.
 func (sn *Node) transferPartition(ctx env.Ctx, pid uint64, target string) bool {
-	sn.mu.Lock()
-	var part *Partition
-	for i := range sn.pmap.Partitions {
-		if sn.pmap.Partitions[i].ID == pid {
-			part = &sn.pmap.Partitions[i]
-			break
-		}
-	}
-	if part == nil {
-		sn.mu.Unlock()
+	ack, ok := sn.copyRange(ctx, pid, target, 0, 0)
+	if !ok {
 		return false
 	}
-	// Collect the partition's cells. Data volumes here are bounded by
-	// partition size; chunked sends bound message size.
-	var all []wire.Mutation
-	sn.mt.scan(nil, nil, false, func(key []byte, c cell) bool {
-		if !part.Owns(KeyHash(key)) {
-			return true
-		}
-		m := wire.Mutation{Key: append([]byte(nil), key...), Stamp: c.stamp}
-		switch {
-		case c.dead:
-			m.Deleted = true
-		case c.isCtr:
-			m.Counter = true
-			m.CtrVal = c.counter
-		default:
-			m.Val = append([]byte(nil), c.val...)
-		}
-		all = append(all, m)
-		return true
-	})
-	sn.mu.Unlock()
-
-	for off := 0; off < len(all); off += transferChunk {
-		end := off + transferChunk
-		if end > len(all) {
-			end = len(all)
-		}
-		req := &wire.ReplicateRequest{PartitionID: pid, Mutations: all[off:end]}
-		conn, err := sn.conn(target)
-		if err != nil {
+	floor := ack.Floor
+	for round := 0; round < migDeltaRounds; round++ {
+		d, ok := sn.copyRange(ctx, pid, target, floor, 0)
+		if !ok {
 			return false
 		}
-		// Backfill chunks are apply-if-newer on the target, so the
-		// replication retry policy can safely re-send a chunk whose
-		// response was lost.
-		var raw []byte
-		err = sn.retr.Do(ctx, resil.ClassReplicate, target, func(int) error {
-			var rtErr error
-			raw, rtErr = conn.RoundTrip(ctx, req.Encode())
-			return rtErr
-		})
-		if err != nil {
-			return false
-		}
-		if _, err := wire.DecodeReplicateResponse(raw); err != nil {
-			return false
+		floor = d.Floor
+		if d.Count <= migDeltaSettle {
+			// The remaining window is one delta's worth of writes, which the
+			// live replication stream to the (already configured) new replica
+			// covers from here on.
+			break
 		}
 	}
 	return true

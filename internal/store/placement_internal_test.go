@@ -1,0 +1,156 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"tell/internal/durable"
+	"tell/internal/env"
+	"tell/internal/sim"
+	"tell/internal/testutil"
+	"tell/internal/transport"
+)
+
+// These tests exercise the manager-journal recovery rule directly: a fresh
+// manager reading a journal left by a crashed one must resolve every
+// migration to exactly one owner — pre-cutover entries abort (source keeps
+// the range, fence cleared), cutover entries complete (journaled map
+// republished).
+
+func newJournalRig(t *testing.T) (*sim.Kernel, env.Full, *transport.SimNet, *Cluster, env.Node) {
+	t.Helper()
+	k := sim.NewKernel(testutil.Seed(t, 11))
+	envr := env.NewSim(k)
+	net := transport.NewSimNet(k, transport.InfiniBand())
+	cl, err := NewCluster(envr, net, ClusterConfig{NumNodes: 2, PartitionsPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, envr, net, cl, envr.NewNode("driver", 2)
+}
+
+func drive(t *testing.T, k *sim.Kernel, n env.Node, fn func(ctx env.Ctx)) {
+	t.Helper()
+	done := false
+	n.Go("test", func(ctx env.Ctx) {
+		fn(ctx)
+		done = true
+		k.Stop()
+	})
+	if err := k.RunUntil(sim.Time(600 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("driver did not finish")
+	}
+}
+
+func TestResolveJournalAbortsPreCutover(t *testing.T) {
+	k, envr, net, cl, driver := newJournalRig(t)
+	defer k.Shutdown()
+	j := durable.NewMem()
+	pid := cl.Manager.Map().Partitions[0].ID
+	src := cl.Manager.Map().Partitions[0].Master
+	sn := cl.Node(src)
+
+	drive(t, k, driver, func(ctx env.Ctx) {
+		// A manager died after fencing but before the cutover committed:
+		// the fence is up on the source and the journal stops at "fence".
+		sn.mu.Lock()
+		sn.fenced = map[uint64]bool{pid: true}
+		sn.mu.Unlock()
+		e := &migJournalEntry{Phase: migPhaseFence, Pid: pid, Src: src, Dst: "sn1"}
+		if err := j.Put(ctx, migJournalKey(pid), e.encode()); err != nil {
+			t.Fatalf("seed journal: %v", err)
+		}
+
+		m2 := NewManager("mgmt2", envr, envr.NewNode("mgmt2", 2), net)
+		m2.SetMap(cl.Manager.Map())
+		m2.SetJournal(j)
+		if err := m2.ResolveJournal(ctx); err != nil {
+			t.Fatalf("resolve: %v", err)
+		}
+
+		// The source keeps the range and its fence is cleared.
+		sn.mu.Lock()
+		fenced := sn.fenced[pid]
+		sn.mu.Unlock()
+		if fenced {
+			t.Fatal("fence not cleared by journal resolution")
+		}
+		raw, err := j.Get(ctx, migJournalKey(pid))
+		if err != nil {
+			t.Fatalf("journal get: %v", err)
+		}
+		got, err := decodeMigJournalEntry(raw)
+		if err != nil {
+			t.Fatalf("journal decode: %v", err)
+		}
+		if got.Phase != migPhaseAborted {
+			t.Fatalf("journal phase = %q, want aborted", got.Phase)
+		}
+	})
+}
+
+func TestResolveJournalCompletesCutover(t *testing.T) {
+	k, envr, net, cl, driver := newJournalRig(t)
+	defer k.Shutdown()
+	j := durable.NewMem()
+	base := cl.Manager.Map()
+	pid := base.Partitions[0].ID
+	src := base.Partitions[0].Master
+	dst := "sn1"
+	if src == dst {
+		dst = "sn0"
+	}
+
+	drive(t, k, driver, func(ctx env.Ctx) {
+		// A manager died right after journaling the cutover: the record
+		// embeds the committed map, so recovery must finish the migration.
+		committed := base.Clone()
+		for i := range committed.Partitions {
+			if committed.Partitions[i].ID == pid {
+				committed.Partitions[i].Master = dst
+			}
+		}
+		committed.Epoch = base.Epoch + 1
+		e := &migJournalEntry{Phase: migPhaseCutover, Pid: pid, Src: src, Dst: dst, Map: committed.Encode()}
+		if err := j.Put(ctx, migJournalKey(pid), e.encode()); err != nil {
+			t.Fatalf("seed journal: %v", err)
+		}
+
+		m2 := NewManager("mgmt2", envr, envr.NewNode("mgmt2", 2), net)
+		m2.SetMap(base)
+		m2.SetJournal(j)
+		if err := m2.ResolveJournal(ctx); err != nil {
+			t.Fatalf("resolve: %v", err)
+		}
+
+		// The fresh manager holds the committed map...
+		pm := m2.Map()
+		if pm.Epoch != committed.Epoch {
+			t.Fatalf("manager epoch = %d, want %d", pm.Epoch, committed.Epoch)
+		}
+		for _, p := range pm.Partitions {
+			if p.ID == pid && p.Master != dst {
+				t.Fatalf("range %d master = %s, want %s", pid, p.Master, dst)
+			}
+		}
+		// ...and pushed it to the storage nodes.
+		for _, addr := range []string{"sn0", "sn1"} {
+			n := cl.Node(addr)
+			n.mu.Lock()
+			epoch := n.pmap.Epoch
+			n.mu.Unlock()
+			if epoch != committed.Epoch {
+				t.Fatalf("%s epoch = %d, want %d", addr, epoch, committed.Epoch)
+			}
+		}
+		// The journal entry is terminal now.
+		raw, _ := j.Get(ctx, migJournalKey(pid))
+		got, err := decodeMigJournalEntry(raw)
+		if err != nil || got.Phase != migPhaseDone {
+			t.Fatalf("journal phase = %q (%v), want done", got.Phase, err)
+		}
+	})
+}

@@ -102,6 +102,13 @@ const (
 	// execution (bounded inflight + queue deadline, see internal/resil).
 	// Always retryable — the request was never run.
 	StatusOverload
+	// StatusStaleMap: the operation targeted a range the contacted node has
+	// fenced for live migration (or no longer owns after a cutover the
+	// client has not seen). The write was NOT executed. Always retryable:
+	// the client must install a newer partition map (the response usually
+	// piggybacks one) and re-route. Appended after StatusOverload so every
+	// earlier status keeps its byte value on the wire.
+	StatusStaleMap
 )
 
 func (s Status) String() string {
@@ -120,6 +127,8 @@ func (s Status) String() string {
 		return "Error"
 	case StatusOverload:
 		return "Overload"
+	case StatusStaleMap:
+		return "StaleMap"
 	}
 	return fmt.Sprintf("Status(%d)", byte(s))
 }
@@ -200,6 +209,12 @@ type StoreResponse struct {
 	Status  Status
 	Epoch   uint64
 	Results []Result
+	// Map optionally piggybacks the node's full encoded partition map
+	// (PartitionMap.Encode bytes) when the node knows the client's map is
+	// stale: the request's Epoch lagged the node's, or an op hit a range
+	// fenced for migration (StatusStaleMap). Long-lived clients install it
+	// and converge without a management-node round trip. Empty = absent.
+	Map []byte
 }
 
 // Encode serializes the request. The buffer comes from the encode pool;
@@ -360,6 +375,7 @@ func (m *StoreResponse) Encode() []byte {
 	for i := range m.Results {
 		EncodeResult(w, &m.Results[i])
 	}
+	w.BytesN(m.Map)
 	return w.Finish()
 }
 
@@ -393,6 +409,7 @@ func (m *StoreResponse) DecodeFrom(b []byte) error {
 	for i := range m.Results {
 		DecodeResult(&r, &m.Results[i])
 	}
+	m.Map = r.BytesN()
 	return r.Close()
 }
 

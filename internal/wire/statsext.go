@@ -41,6 +41,19 @@ type HeatStat struct {
 	RecentLatNs int64 // mean attributed latency over the retained windows
 }
 
+// MigrationStat is one live or recently finished range migration as seen
+// by the node reporting it (the management node reports the authoritative
+// view; storage nodes report the ranges they are shipping or adopting).
+type MigrationStat struct {
+	Node       string // reporting node
+	Range      uint64 // partition id being moved
+	Phase      string // "copy", "delta", "fence", "cutover", "done", "aborted"
+	Source     string
+	Target     string
+	BytesMoved int64
+	Chunks     int64
+}
+
 // BreachStat is one aggregated SLO violation tally.
 type BreachStat struct {
 	Class    string
@@ -63,6 +76,7 @@ type StatsExt struct {
 	Series   []SeriesStat
 	Heat     []HeatStat
 	Breaches []BreachStat
+	Migr     []MigrationStat
 	Flight   FlightStat
 }
 
@@ -89,6 +103,7 @@ func (m *StatsExt) Merge(other *StatsExt) {
 			m.Breaches = append(m.Breaches, ob)
 		}
 	}
+	m.Migr = append(m.Migr, other.Migr...)
 	m.Flight.Retained += other.Flight.Retained
 	m.Flight.Evicted += other.Flight.Evicted
 	m.Flight.Seen += other.Flight.Seen
@@ -121,6 +136,15 @@ func (m *StatsExt) SortRows() {
 			return m.Breaches[i].Class < m.Breaches[j].Class
 		}
 		return m.Breaches[i].Quantile < m.Breaches[j].Quantile
+	})
+	sort.Slice(m.Migr, func(i, j int) bool {
+		if m.Migr[i].Node != m.Migr[j].Node {
+			return m.Migr[i].Node < m.Migr[j].Node
+		}
+		if m.Migr[i].Range != m.Migr[j].Range {
+			return m.Migr[i].Range < m.Migr[j].Range
+		}
+		return m.Migr[i].Phase < m.Migr[j].Phase
 	})
 }
 
@@ -163,6 +187,17 @@ func (m *StatsExt) Encode() []byte {
 		w.String(b.Class)
 		w.String(b.Quantile)
 		w.Varint(b.Count)
+	}
+	w.Uvarint(uint64(len(m.Migr)))
+	for i := range m.Migr {
+		g := &m.Migr[i]
+		w.String(g.Node)
+		w.Uvarint(g.Range)
+		w.String(g.Phase)
+		w.String(g.Source)
+		w.String(g.Target)
+		w.Varint(g.BytesMoved)
+		w.Varint(g.Chunks)
 	}
 	w.Uvarint(m.Flight.Retained)
 	w.Uvarint(m.Flight.Evicted)
@@ -218,6 +253,20 @@ func DecodeStatsExt(b []byte) (*StatsExt, error) {
 		b.Class = r.String()
 		b.Quantile = r.String()
 		b.Count = r.Varint()
+	}
+	nm := r.Count(7)
+	if nm > 0 {
+		m.Migr = make([]MigrationStat, nm)
+	}
+	for i := range m.Migr {
+		g := &m.Migr[i]
+		g.Node = r.String()
+		g.Range = r.Uvarint()
+		g.Phase = r.String()
+		g.Source = r.String()
+		g.Target = r.String()
+		g.BytesMoved = r.Varint()
+		g.Chunks = r.Varint()
 	}
 	m.Flight.Retained = r.Uvarint()
 	m.Flight.Evicted = r.Uvarint()

@@ -187,7 +187,81 @@ func Start(opts Options) (*Cluster, error) {
 	c.pnMgr = recovery.NewManager(envr, mgmtNode, net, storage.NewClient(mgmtNode),
 		commitmgr.NewClient(envr, mgmtNode, net, c.cmAddrs))
 	c.pnMgr.Start()
+	// Migration cutovers sample the commit managers' snapshot boundary; in
+	// the embedded assembly the servers are in-process, so read it directly.
+	cms := c.cms
+	storage.Manager.Fence = func(env.Ctx) uint64 {
+		var lav uint64
+		for i, cm := range cms {
+			if v := cm.Lav(); i == 0 || v < lav {
+				lav = v
+			}
+		}
+		return lav
+	}
 	return c, nil
+}
+
+// AddStorageNode adds a fresh, empty storage node to the running cluster —
+// the storage-side elastic scale-out. The node serves immediately but
+// masters nothing until Rebalance (or the autonomic rebalancer) migrates
+// ranges onto it.
+func (c *Cluster) AddStorageNode(addr string) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return errors.New("tell: cluster closed")
+	}
+	c.mu.Unlock()
+	sn, err := c.storage.AddStorageNode(addr)
+	if err != nil {
+		return err
+	}
+	if c.obs != nil {
+		sn.SetObs(c.obs)
+	}
+	return nil
+}
+
+// Rebalance runs forced placement passes — live range migrations under
+// traffic — until the cluster's load view is balanced, and returns how many
+// split/migrate actions ran. Transactions keep executing throughout; ones
+// caught mid-cutover retry transparently on the new partition map.
+func (c *Cluster) Rebalance() (int, error) {
+	ctx, ok := env.DetachedCtx(c.storage.Manager.Node())
+	if !ok {
+		return 0, errors.New("tell: rebalance requires the real environment")
+	}
+	pol := store.DefaultRebalancePolicy()
+	moves := 0
+	best := 1.0
+	stall := 0
+	for moves < 64 {
+		acted, err := c.storage.Manager.RebalanceOnce(ctx)
+		if err != nil {
+			return moves, err
+		}
+		if !acted {
+			return moves, nil
+		}
+		moves++
+		// Convergence at the achievable granularity: some hotspots (an
+		// append-frontier log range, a single mega-hot key) cannot be
+		// spread by any split or migration, so the policy ratio may never
+		// be met. Stop once several consecutive actions fail to reduce the
+		// hottest node's share of total load.
+		if share := c.storage.Manager.HotShare(); share < best-0.01 {
+			best, stall = share, 0
+		} else if stall++; stall >= 4 {
+			return moves, nil
+		}
+		// The controller ranks ranges by ops since its previous pass, so
+		// give live traffic one policy interval to land before planning the
+		// next action — back-to-back passes would see an empty delta and
+		// fall back to count balancing.
+		ctx.Sleep(pol.Interval)
+	}
+	return moves, nil
 }
 
 // Close shuts the cluster down. In-flight transactions may fail.
